@@ -1,0 +1,263 @@
+(* injcrpq: command-line interface to the CRPQ injective-semantics
+   library.
+
+     injcrpq eval     --query 'Q(x,y) :- x -[(ab)*]-> y' --graph db.txt --sem q-inj
+     injcrpq contain  --lhs '...' --rhs '...' --sem a-inj
+     injcrpq expand   --query '...' --max-len 3
+     injcrpq classify --query '...'
+     injcrpq reduce   pcp|gcp|qbf
+     injcrpq demo *)
+
+open Cmdliner
+
+let semantics_conv =
+  let parse s =
+    match Semantics.of_string s with
+    | Some sem -> Ok sem
+    | None -> Error (`Msg (Printf.sprintf "unknown semantics %S" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Semantics.to_string s))
+
+let query_conv =
+  let parse s =
+    match Crpq.parse s with
+    | q -> Ok q
+    | exception e -> Error (`Msg (Printexc.to_string e))
+  in
+  Arg.conv (parse, fun ppf q -> Format.pp_print_string ppf (Crpq.to_string q))
+
+let sem_arg =
+  Arg.(
+    value
+    & opt semantics_conv Semantics.St
+    & info [ "s"; "sem" ] ~docv:"SEM"
+        ~doc:"Semantics: st, a-inj, q-inj, a-edge-inj or q-edge-inj.")
+
+let query_arg names doc =
+  Arg.(required & opt (some query_conv) None & info names ~docv:"QUERY" ~doc)
+
+let graph_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "g"; "graph" ] ~docv:"FILE"
+        ~doc:"Graph database file: one 'src label dst' edge per line.")
+
+(* ------------------------------ eval ------------------------------ *)
+
+let eval_cmd =
+  let run sem q graph_file tuple =
+    let g = Graph_io.load graph_file in
+    match tuple with
+    | [] ->
+      let answers = Eval.eval sem q g in
+      Format.printf "%d answer(s) under %s semantics:@." (List.length answers)
+        (Semantics.to_string sem);
+      List.iter
+        (fun t ->
+          Format.printf "  (%s)@." (String.concat ", " (List.map string_of_int t)))
+        answers
+    | t ->
+      Format.printf "%b@." (Eval.check sem q g t)
+  in
+  let tuple_arg =
+    Arg.(
+      value & opt (list int) []
+      & info [ "t"; "tuple" ] ~docv:"NODES"
+          ~doc:"Check a specific answer tuple instead of enumerating.")
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a CRPQ over a graph database.")
+    Term.(
+      const run $ sem_arg
+      $ query_arg [ "q"; "query" ] "The CRPQ to evaluate."
+      $ graph_arg $ tuple_arg)
+
+(* ---------------------------- contain ----------------------------- *)
+
+let contain_cmd =
+  let run sem q1 q2 bound =
+    Format.printf "strategy: %s@." (Containment.strategy_name sem q1 q2);
+    let v = Containment.decide ~bound sem q1 q2 in
+    Format.printf "%a@." Containment.pp_verdict v;
+    match v with Containment.Unknown _ -> exit 2 | _ -> ()
+  in
+  let bound_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "b"; "bound" ] ~docv:"N"
+          ~doc:"Word-length bound for the bounded counterexample search.")
+  in
+  Cmd.v
+    (Cmd.info "contain"
+       ~doc:"Decide Q1 ⊆ Q2 under the chosen semantics (exit 2 when undecided).")
+    Term.(
+      const run $ sem_arg
+      $ query_arg [ "lhs" ] "Left-hand query Q1."
+      $ query_arg [ "rhs" ] "Right-hand query Q2."
+      $ bound_arg)
+
+(* ----------------------------- expand ----------------------------- *)
+
+let expand_cmd =
+  let run q max_len ainj =
+    let es =
+      if ainj then Expansion.ainj_expansions ~max_len q
+      else Expansion.expansions ~max_len q
+    in
+    Format.printf "%d expansion(s) with atom words of length <= %d:@."
+      (List.length es) max_len;
+    List.iter (fun e -> Format.printf "  %s@." (Cq.to_string e.Expansion.cq)) es
+  in
+  let max_len_arg =
+    Arg.(value & opt int 2 & info [ "max-len" ] ~docv:"N" ~doc:"Word length bound.")
+  in
+  let ainj_arg =
+    Arg.(
+      value & flag
+      & info [ "a-inj" ] ~doc:"Enumerate a-inj-expansions (with merges) instead.")
+  in
+  Cmd.v
+    (Cmd.info "expand" ~doc:"Enumerate (a-inj-)expansions of a CRPQ.")
+    Term.(const run $ query_arg [ "q"; "query" ] "The CRPQ." $ max_len_arg $ ainj_arg)
+
+(* ---------------------------- classify ---------------------------- *)
+
+let classify_cmd =
+  let run q =
+    let cls =
+      match Crpq.classify q with
+      | Crpq.Class_cq -> "CQ"
+      | Crpq.Class_fin -> "CRPQfin"
+      | Crpq.Class_crpq -> "CRPQ"
+    in
+    Format.printf "class: %s@." cls;
+    Format.printf "atoms: %d, variables: %d, alphabet: {%s}@." (Crpq.size q)
+      (List.length (Crpq.vars q))
+      (String.concat ", " (Crpq.alphabet q));
+    Format.printf "boolean: %b, satisfiable: %b@." (Crpq.is_boolean q)
+      (Crpq.epsilon_free_disjuncts q <> [])
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Report the class and shape of a CRPQ.")
+    Term.(const run $ query_arg [ "q"; "query" ] "The CRPQ.")
+
+(* ----------------------------- reduce ----------------------------- *)
+
+let reduce_cmd =
+  let run which =
+    match which with
+    | "pcp" ->
+      let inst = Pcp.solvable_small in
+      let enc = Pcp_to_ainj.encode inst in
+      Format.printf "PCP instance %a (solvable with 1,2)@." Pcp.pp inst;
+      Format.printf "@.Q1 = %s@." (Crpq.to_string enc.Pcp_to_ainj.q1);
+      Format.printf "@.Q2 = %s@." (Crpq.to_string enc.Pcp_to_ainj.q2);
+      Format.printf "@.solution expansion defeats Q2: %b@."
+        (Pcp_to_ainj.is_counterexample enc
+           (Pcp_to_ainj.well_formed_expansion enc [ 1; 2 ]))
+    | "gcp" ->
+      let inst = Gcp.cycle 4 ~n:2 in
+      let enc = Gcp_to_qinj.encode inst in
+      Format.printf "GCP2 instance: %a@." Gcp.pp inst;
+      Format.printf "@.Q1 = %s@." (Crpq.to_string enc.Gcp_to_qinj.q1);
+      Format.printf "@.Q2 = %s@." (Crpq.to_string enc.Gcp_to_qinj.q2);
+      let via_q, via_b = Gcp_to_qinj.verify inst in
+      Format.printf "@.GCP2 positive (queries/brute): %b/%b@." via_q via_b
+    | "qbf" ->
+      let inst = Qbf.valid_small in
+      let enc = Qbf_to_ainj.encode inst in
+      Format.printf "QBF instance: %a@." Qbf.pp inst;
+      Format.printf "@.|Q1| = %d atoms, |Q2| = %d atoms@."
+        (Crpq.size enc.Qbf_to_ainj.q1) (Crpq.size enc.Qbf_to_ainj.q2);
+      let via_q, via_b = Qbf_to_ainj.verify inst in
+      Format.printf "valid (queries/brute): %b/%b@." via_q via_b
+    | other -> Format.printf "unknown reduction %S (pcp|gcp|qbf)@." other
+  in
+  let which_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WHICH" ~doc:"pcp, gcp or qbf.")
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Show one of the paper's hardness reductions on a sample instance.")
+    Term.(const run $ which_arg)
+
+(* ---------------------------- minimize ---------------------------- *)
+
+let minimize_cmd =
+  let run sem q =
+    let m = Minimize.drop_redundant_atoms sem q in
+    Format.printf "%s@." (Crpq.to_string (Minimize.prune_languages m));
+    if Crpq.size m < Crpq.size q then
+      Format.printf "(removed %d redundant atom(s) under %s semantics)@."
+        (Crpq.size q - Crpq.size m)
+        (Semantics.to_string sem)
+  in
+  Cmd.v
+    (Cmd.info "minimize"
+       ~doc:"Remove provably redundant atoms and simplify languages.")
+    Term.(const run $ sem_arg $ query_arg [ "q"; "query" ] "The CRPQ.")
+
+(* ------------------------------ equiv ----------------------------- *)
+
+let equiv_cmd =
+  let run sem q1 q2 bound =
+    match Minimize.equivalent ~bound sem q1 q2 with
+    | Some b -> Format.printf "%b@." b
+    | None ->
+      Format.printf "undecided@.";
+      exit 2
+  in
+  let bound_arg =
+    Arg.(value & opt int 4 & info [ "b"; "bound" ] ~docv:"N" ~doc:"Search bound.")
+  in
+  Cmd.v
+    (Cmd.info "equiv" ~doc:"Decide query equivalence under a semantics.")
+    Term.(
+      const run $ sem_arg
+      $ query_arg [ "lhs" ] "First query."
+      $ query_arg [ "rhs" ] "Second query."
+      $ bound_arg)
+
+(* ------------------------------ demo ------------------------------ *)
+
+let demo_cmd =
+  let run () =
+    let q = Paper_examples.example_21_query in
+    Format.printf "Example 2.1: Q = %s@." (Crpq.to_string q);
+    let g = Paper_examples.example_21_g in
+    let t = Paper_examples.example_21_g_tuple in
+    List.iter
+      (fun sem ->
+        Format.printf "  (u,w) under %-6s: %b@." (Semantics.to_string sem)
+          (Eval.check sem q g t))
+      Semantics.node_semantics;
+    Format.printf "@.Example 4.7 verdicts:@.";
+    List.iter
+      (fun (name, sem, q1, q2, expected) ->
+        Format.printf "  %s under %-6s: %a (paper: %b)@." name
+          (Semantics.to_string sem) Containment.pp_verdict
+          (Containment.decide sem q1 q2) expected)
+      Paper_examples.example_47_expectations
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Run the paper's running examples.") Term.(const run $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "injcrpq" ~version:"1.0.0"
+      ~doc:"CRPQs under injective semantics (PODS'23 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            eval_cmd;
+            contain_cmd;
+            expand_cmd;
+            classify_cmd;
+            minimize_cmd;
+            equiv_cmd;
+            reduce_cmd;
+            demo_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/disjoint_paths.ml: Crpq Eval Format Graph Semantics

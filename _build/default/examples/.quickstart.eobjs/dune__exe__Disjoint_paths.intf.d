@@ -1,0 +1,1 @@
+examples/disjoint_paths.mli:

@@ -1,0 +1,1 @@
+examples/query_optimizer.ml: Crpq Eval Format Generate List Minimize Random Semantics

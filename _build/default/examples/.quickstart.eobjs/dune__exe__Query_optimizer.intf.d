@@ -1,0 +1,1 @@
+examples/query_optimizer.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Containment Crpq Eval Format Graph List Semantics String

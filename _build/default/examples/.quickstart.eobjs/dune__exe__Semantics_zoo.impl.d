@@ -1,0 +1,1 @@
+examples/semantics_zoo.ml: Containment Containment_qinj Cq Crpq Eval Expansion Format List Paper_examples Pcp Pcp_to_ainj Semantics String

@@ -1,0 +1,1 @@
+examples/semantics_zoo.mli:

@@ -1,0 +1,1 @@
+examples/static_analysis.ml: C2rpq Crpq Format Graph List Minimize Semantics String Ucrpq

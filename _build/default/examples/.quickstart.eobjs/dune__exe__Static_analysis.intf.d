@@ -1,0 +1,1 @@
+examples/static_analysis.mli:

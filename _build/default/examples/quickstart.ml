@@ -1,0 +1,55 @@
+(* Quickstart: build a graph database, run a CRPQ under the three
+   semantics, and check a containment.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* A small knowledge graph: people and the projects they mentor.
+     Labels: m = mentors, c = collaborates, p = promoted-to. *)
+  let alice = 0
+  and bob = 1
+  and carol = 2
+  and dave = 3
+  and erin = 4 in
+  let g =
+    Graph.make ~nnodes:5
+      [
+        (alice, "m", bob);
+        (bob, "m", carol);
+        (carol, "c", dave);
+        (dave, "c", carol);
+        (bob, "p", alice);
+        (dave, "m", erin);
+        (carol, "m", dave);
+      ]
+  in
+  Format.printf "database:@.%a@." Graph.pp g;
+
+  (* "find mentorship chains x ->...-> y that eventually collaborate
+     back" — a CRPQ with two atoms *)
+  let q = Crpq.parse "Q(x, y) :- x -[m+]-> y, y -[c*]-> y" in
+  Format.printf "@.query: %s@." (Crpq.to_string q);
+
+  List.iter
+    (fun sem ->
+      let answers = Eval.eval sem q g in
+      Format.printf "  %-12s: %s@." (Semantics.to_string sem)
+        (String.concat " "
+           (List.map
+              (fun t -> "(" ^ String.concat "," (List.map string_of_int t) ^ ")")
+              answers)))
+    Semantics.all;
+
+  (* containment: every answer of the longer chain query is an answer of
+     the plain reachability query — under every semantics *)
+  let chained = Crpq.parse "Q(x, y) :- x -[m]-> z, z -[m+]-> y" in
+  let reach = Crpq.parse "Q(x, y) :- x -[m+]-> y" in
+  Format.printf "@.containment %s ⊆ %s:@." (Crpq.to_string chained)
+    (Crpq.to_string reach);
+  List.iter
+    (fun sem ->
+      Format.printf "  %-12s: %a   (decided by: %s)@." (Semantics.to_string sem)
+        Containment.pp_verdict
+        (Containment.decide sem chained reach)
+        (Containment.strategy_name sem chained reach))
+    Semantics.node_semantics

@@ -1,0 +1,74 @@
+(* A tour of the paper's own examples: Example 2.1 (Figure 2),
+   Section 2.2's expansions, Example 4.7, and the undecidability
+   machinery of Theorem 5.2 in action.
+
+   Run with:  dune exec examples/semantics_zoo.exe *)
+
+let header s = Format.printf "@.== %s ==@." s
+
+let () =
+  header "Example 2.1 (Figure 2)";
+  let q = Paper_examples.example_21_query in
+  Format.printf "Q = %s@." (Crpq.to_string q);
+  let show name g tuple =
+    Format.printf "%s, tuple %s: st=%b a-inj=%b q-inj=%b@." name
+      ("(" ^ String.concat "," (List.map string_of_int tuple) ^ ")")
+      (Eval.check Semantics.St q g tuple)
+      (Eval.check Semantics.A_inj q g tuple)
+      (Eval.check Semantics.Q_inj q g tuple)
+  in
+  show "G " Paper_examples.example_21_g Paper_examples.example_21_g_tuple;
+  show "G'" Paper_examples.example_21_g' Paper_examples.example_21_g'_tuple_st;
+
+  header "Section 2.2: expansions";
+  Format.printf "E1 = %s@." (Cq.to_string Paper_examples.example_22_e1.Expansion.cq);
+  Format.printf "E2 = %s@." (Cq.to_string Paper_examples.example_22_e2.Expansion.cq);
+  Format.printf "all expansions with words of length <= 2:@.";
+  List.iter
+    (fun e -> Format.printf "  %s@." (Cq.to_string e.Expansion.cq))
+    (Expansion.expansions ~max_len:2 q);
+
+  header "Example 4.7: incomparability of containment";
+  List.iter
+    (fun (name, sem, q1, q2, expected) ->
+      Format.printf "%s under %-6s: expected %-5b measured %a@." name
+        (Semantics.to_string sem) expected Containment.pp_verdict
+        (Containment.decide sem q1 q2))
+    Paper_examples.example_47_expectations;
+
+  header "Theorem 5.1: deciding q-inj containment exactly";
+  let pairs =
+    [
+      ("x -[a+]-> y", "x -[a*]-> y");
+      ("x -[(ab)+]-> y", "x -[(a|b)+]-> y");
+      ("x -[(a|b)+]-> y", "x -[(ab)+]-> y");
+      ("x -[a]-> y, y -[b+]-> z", "x -[ab+]-> z");
+    ]
+  in
+  List.iter
+    (fun (s1, s2) ->
+      let q1 = Crpq.parse s1 and q2 = Crpq.parse s2 in
+      let r, stats = Containment_qinj.decide_with_stats q1 q2 in
+      Format.printf "%s ⊆ %s : %s (%d types, %d abstractions)@." s1 s2
+        (match r with
+        | Containment_qinj.Qinj_contained -> "contained"
+        | Containment_qinj.Qinj_not_contained _ -> "NOT contained")
+        stats.Containment_qinj.morphism_types
+        stats.Containment_qinj.abstractions_checked)
+    pairs;
+
+  header "Theorem 5.2: a PCP instance becomes a containment problem";
+  let inst = Pcp.solvable_small in
+  Format.printf "PCP instance %s, solution 1,2@."
+    (Format.asprintf "%a" Pcp.pp inst);
+  let enc = Pcp_to_ainj.encode inst in
+  Format.printf "encoded: |Q1| = %d atoms over %d symbols; |Q2| = %d atoms@."
+    (Crpq.size enc.Pcp_to_ainj.q1)
+    (List.length (Crpq.alphabet enc.Pcp_to_ainj.q1))
+    (Crpq.size enc.Pcp_to_ainj.q2);
+  let wf = Pcp_to_ainj.well_formed_expansion enc [ 1; 2 ] in
+  Format.printf
+    "the well-formed expansion of the solution defeats Q2 (so Q1 ⊄ Q2): %b@."
+    (Pcp_to_ainj.is_counterexample enc wf);
+  Format.printf "an unmerged (ill-formed) expansion is matched by Q2: %b@."
+    (not (Pcp_to_ainj.is_counterexample enc (Pcp_to_ainj.unmerged_expansion enc [ 1; 2 ])))

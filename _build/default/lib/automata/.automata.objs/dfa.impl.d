@@ -1,0 +1,1 @@
+lib/automata/dfa.ml: Array Hashtbl List Nfa Queue Stdlib String Word

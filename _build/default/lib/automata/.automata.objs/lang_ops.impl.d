@@ -1,0 +1,1 @@
+lib/automata/lang_ops.ml: Array Dfa List Nfa Regex String

@@ -1,0 +1,1 @@
+lib/automata/lang_ops.mli: Dfa Nfa Regex Word

@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Array Format Hashtbl Int List Option Queue Regex Set Stdlib String Word

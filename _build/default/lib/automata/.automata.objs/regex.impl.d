@@ -1,0 +1,1 @@
+lib/automata/regex.ml: Buffer Format List Printf Set Stdlib String Word

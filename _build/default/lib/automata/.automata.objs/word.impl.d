@@ -1,0 +1,1 @@
+lib/automata/word.ml: Format List Stdlib String

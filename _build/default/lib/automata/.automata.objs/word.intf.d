@@ -1,0 +1,1 @@
+lib/automata/word.mli: Format

@@ -1,0 +1,42 @@
+type symbol = string
+
+type t = symbol list
+
+let epsilon = []
+
+let compare = Stdlib.compare
+
+let equal u v = compare u v = 0
+
+let concat u v = u @ v
+
+let length = List.length
+
+let hat s = "^" ^ s
+
+let is_hatted s = String.length s > 0 && s.[0] = '^'
+
+let unhat s = if is_hatted s then String.sub s 1 (String.length s - 1) else s
+
+let of_string str =
+  let n = String.length str in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else if str.[i] = '<' then begin
+      match String.index_from_opt str i '>' with
+      | None -> invalid_arg "Word.of_string: unterminated '<'"
+      | Some j -> go (j + 1) (String.sub str (i + 1) (j - i - 1) :: acc)
+    end
+    else go (i + 1) (String.make 1 str.[i] :: acc)
+  in
+  go 0 []
+
+let symbol_to_string s = if String.length s = 1 then s else "<" ^ s ^ ">"
+
+let to_string w = String.concat "" (List.map symbol_to_string w)
+
+let pp_symbol ppf s = Format.pp_print_string ppf (symbol_to_string s)
+
+let pp ppf w =
+  if w = [] then Format.pp_print_string ppf "ε"
+  else Format.pp_print_string ppf (to_string w)

@@ -1,0 +1,40 @@
+(** Words over a finite alphabet of symbols.
+
+    Symbols are arbitrary strings: the PCP reduction of Theorem 5.2 uses
+    multi-character symbols such as ["I1"], ["#inf"] or hatted twins
+    (["^a"]).  A word is a list of symbols; the empty list is the empty
+    word {m \varepsilon}. *)
+
+type symbol = string
+
+type t = symbol list
+
+val epsilon : t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** [concat u v] is the word {m u \cdot v}. *)
+val concat : t -> t -> t
+
+val length : t -> int
+
+(** [hat s] is the hatted twin {m \hat{s}} of a symbol, written [^s]. *)
+val hat : symbol -> symbol
+
+(** [unhat s] removes one hat, if any. *)
+val unhat : symbol -> symbol
+
+val is_hatted : symbol -> bool
+
+(** [of_string "abc"] splits a string of single-character symbols.
+    Multi-character symbols can be written between angle brackets, e.g.
+    ["a<I1>b"] is the word [["a"; "I1"; "b"]]. *)
+val of_string : string -> t
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val pp_symbol : Format.formatter -> symbol -> unit

@@ -1,0 +1,1 @@
+lib/core/c2rpq.ml: Crpq Eval Graph List Option Regex String

@@ -1,0 +1,1 @@
+lib/core/c2rpq.mli: Crpq Graph Semantics Word

@@ -1,0 +1,1 @@
+lib/core/containment.ml: Containment_f7 Containment_qinj Cq Crpq Dfa Eval Expansion Format Graph List Option Printf Regex Semantics String

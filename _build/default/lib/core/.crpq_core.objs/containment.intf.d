@@ -1,0 +1,1 @@
+lib/core/containment.mli: Cq Crpq Expansion Format Graph Semantics

@@ -1,0 +1,1 @@
+lib/core/containment_f7.ml: Array Cq Crpq Dfa Eval Expansion Graph Hashtbl Lang_ops List Morphism Nfa Option Printf Queue Regex Semantics String Word

@@ -1,0 +1,1 @@
+lib/core/containment_f7.mli: Cq Crpq Expansion Word

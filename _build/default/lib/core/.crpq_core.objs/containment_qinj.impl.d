@@ -1,0 +1,1 @@
+lib/core/containment_qinj.ml: Array Bytes Crpq Eval Expansion Hashtbl List Nfa Printf Queue Regex Semantics Stdlib String Word

@@ -1,0 +1,1 @@
+lib/core/containment_qinj.mli: Crpq Expansion Regex Word

@@ -1,0 +1,1 @@
+lib/core/cq.ml: Array Format Graph Hashtbl List Morphism Stdlib String Word

@@ -1,0 +1,1 @@
+lib/core/cq.mli: Format Graph Word

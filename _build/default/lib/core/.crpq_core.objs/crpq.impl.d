@@ -1,0 +1,1 @@
+lib/core/crpq.ml: Buffer Cq Format Hashtbl List Nfa Option Regex Stdlib String

@@ -1,0 +1,1 @@
+lib/core/crpq.mli: Cq Format Nfa Regex Word

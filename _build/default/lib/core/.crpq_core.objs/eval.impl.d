@@ -1,0 +1,1 @@
+lib/core/eval.ml: Array Cq Crpq Expansion Graph Hashtbl List Morphism Nfa Option Path Path_search Semantics String Word

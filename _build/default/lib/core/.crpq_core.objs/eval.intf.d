@@ -1,0 +1,1 @@
+lib/core/eval.mli: Crpq Expansion Graph Semantics

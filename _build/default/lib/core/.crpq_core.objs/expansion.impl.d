@@ -1,0 +1,1 @@
+lib/core/expansion.ml: Array Cq Crpq Format Hashtbl List Printf Regex Stdlib String Word

@@ -1,0 +1,1 @@
+lib/core/expansion.mli: Cq Crpq Format Graph Word

@@ -1,0 +1,1 @@
+lib/core/minimize.ml: Containment Crpq Dfa Lang_ops List Nfa Regex

@@ -1,0 +1,1 @@
+lib/core/minimize.mli: Crpq Semantics

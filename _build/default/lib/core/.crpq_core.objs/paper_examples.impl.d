@@ -1,0 +1,1 @@
+lib/core/paper_examples.ml: Crpq Expansion Graph Semantics

@@ -1,0 +1,1 @@
+lib/core/paper_examples.mli: Crpq Expansion Graph Semantics

@@ -1,0 +1,1 @@
+lib/core/rpq.ml: Array Crpq Dfa Graph Path_search Regex

@@ -1,0 +1,1 @@
+lib/core/rpq.mli: Crpq Graph Path Regex

@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Format

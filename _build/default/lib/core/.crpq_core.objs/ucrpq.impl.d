@@ -1,0 +1,1 @@
+lib/core/ucrpq.ml: Containment Containment_qinj Crpq Eval Expansion Format List Printf Regex Semantics

@@ -1,0 +1,1 @@
+lib/core/ucrpq.mli: Containment Crpq Format Graph Semantics

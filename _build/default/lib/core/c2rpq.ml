@@ -1,0 +1,59 @@
+let inverse a =
+  if String.length a > 0 && a.[0] = '~' then String.sub a 1 (String.length a - 1)
+  else "~" ^ a
+
+let is_inverse a = String.length a > 0 && a.[0] = '~'
+
+let augment g =
+  let inv_edges = List.map (fun (u, a, v) -> (v, inverse a, u)) (Graph.edges g) in
+  Graph.add_edges g inv_edges
+
+let is_two_way (q : Crpq.t) =
+  List.exists
+    (fun (a : Crpq.atom) -> List.exists is_inverse (Regex.alphabet a.Crpq.lang))
+    q.Crpq.atoms
+
+let eval sem q g = Eval.eval sem q (augment g)
+
+let check sem q g tuple = Eval.check sem q (augment g) tuple
+
+let eval_bool sem q g = Eval.eval_bool sem q (augment g)
+
+(* A regex is "pure-inverse" when every symbol is inverted: then the atom
+   equals the reversed atom over the uninverted reversed language. *)
+let rec uninvert_reverse = function
+  | Regex.Empty -> Some Regex.Empty
+  | Regex.Eps -> Some Regex.Eps
+  | Regex.Sym a -> if is_inverse a then Some (Regex.Sym (inverse a)) else None
+  | Regex.Seq (r, s) -> begin
+    match uninvert_reverse r, uninvert_reverse s with
+    | Some r', Some s' -> Some (Regex.seq s' r')
+    | _ -> None
+  end
+  | Regex.Alt (r, s) -> begin
+    match uninvert_reverse r, uninvert_reverse s with
+    | Some r', Some s' -> Some (Regex.alt r' s')
+    | _ -> None
+  end
+  | Regex.Star r -> Option.map Regex.star (uninvert_reverse r)
+  | Regex.Plus r -> Option.map Regex.plus (uninvert_reverse r)
+  | Regex.Opt r -> Option.map Regex.opt (uninvert_reverse r)
+
+let try_eliminate (q : Crpq.t) =
+  let convert (a : Crpq.atom) =
+    let letters = Regex.alphabet a.Crpq.lang in
+    if not (List.exists is_inverse letters) then Some a
+    else
+      match uninvert_reverse a.Crpq.lang with
+      | Some lang -> Some (Crpq.atom a.Crpq.dst lang a.Crpq.src)
+      | None -> None
+  in
+  let rec go acc = function
+    | [] -> Some (Crpq.make ~free:q.Crpq.free (List.rev acc))
+    | a :: rest -> begin
+      match convert a with
+      | Some a' -> go (a' :: acc) rest
+      | None -> None
+    end
+  in
+  go [] q.Crpq.atoms

@@ -1,0 +1,43 @@
+(** Two-way CRPQs (C2RPQs): regular expressions over the alphabet
+    {m \Sigma \cup \Sigma^-}, navigating edges in both directions — the
+    UC2RPQ extension direction named in Section 7.
+
+    An inverse symbol is written [~a]; evaluation interprets
+    {m x \xrightarrow{a^-} y} as traversing an {m a}-edge from head to
+    tail.  Operationally, a query is evaluated over the {e augmented}
+    database in which every edge {m u \xrightarrow{a} v} also appears as
+    {m v \xrightarrow{\sim a} u}.
+
+    Under the injective node semantics this yields the natural notion of
+    two-way simple paths (no repeated nodes, whichever direction each
+    step takes).  For the edge semantics, an edge and its inverse are
+    treated as {e distinct} edges (orientation-sensitive trails); the
+    alternative convention is noted in DESIGN.md. *)
+
+(** [inverse a] is the inverse symbol {m a^-}; involutive
+    ([inverse (inverse a) = a]). *)
+val inverse : Word.symbol -> Word.symbol
+
+val is_inverse : Word.symbol -> bool
+
+(** The two-way augmentation {m G^\pm}. *)
+val augment : Graph.t -> Graph.t
+
+(** Does the query mention an inverse symbol? *)
+val is_two_way : Crpq.t -> bool
+
+(** {1 Evaluation over the augmented database} *)
+
+val eval : Semantics.t -> Crpq.t -> Graph.t -> Graph.node list list
+
+val check : Semantics.t -> Crpq.t -> Graph.t -> Graph.node list -> bool
+
+val eval_bool : Semantics.t -> Crpq.t -> Graph.t -> bool
+
+(** {1 Syntactic elimination}
+
+    When every atom's language, after moving inverses outward, uses
+    inverse symbols only on whole atoms (e.g. {m x \xrightarrow{(a^-)^+}
+    y}), the query is equivalent to a plain CRPQ with the atom
+    reversed.  [try_eliminate] performs this rewriting when possible. *)
+val try_eliminate : Crpq.t -> Crpq.t option

@@ -1,0 +1,226 @@
+type witness = {
+  expansion : Expansion.expanded;
+  tuple : Graph.node list;
+}
+
+type verdict =
+  | Contained
+  | Not_contained of witness
+  | Unknown of string
+
+let verdict_bool = function
+  | Contained -> Some true
+  | Not_contained _ -> Some false
+  | Unknown _ -> None
+
+let pp_verdict ppf = function
+  | Contained -> Format.pp_print_string ppf "contained"
+  | Not_contained w ->
+    Format.fprintf ppf "not contained (counterexample: %a)" Cq.pp
+      w.expansion.Expansion.cq
+  | Unknown msg -> Format.fprintf ppf "unknown (%s)" msg
+
+let node_semantics_only sem =
+  match sem with
+  | Semantics.St | Semantics.A_inj | Semantics.Q_inj -> ()
+  | Semantics.A_edge_inj | Semantics.Q_edge_inj ->
+    invalid_arg "Containment: edge semantics not supported (Section 7)"
+
+let check_arity q1 q2 =
+  if List.length q1.Crpq.free <> List.length q2.Crpq.free then
+    invalid_arg "Containment: queries of different arities"
+
+let is_counterexample sem q2 (e : Expansion.expanded) =
+  let g, tuple = Expansion.to_graph e in
+  not (Eval.check sem q2 g tuple)
+
+(* ------------------------------------------------------------------ *)
+(* CQ/CQ: homomorphism tests                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cq_cq sem q1 q2 =
+  node_semantics_only sem;
+  if List.length q1.Cq.free <> List.length q2.Cq.free then
+    invalid_arg "Containment.cq_cq: queries of different arities";
+  match sem with
+  | Semantics.St -> Cq.hom_exists q2 q1
+  | Semantics.Q_inj -> Cq.inj_hom_exists q2 q1
+  | Semantics.A_inj -> Cq.non_contracting_hom_exists q2 q1
+  | Semantics.A_edge_inj | Semantics.Q_edge_inj -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Expansion-space search                                               *)
+(* ------------------------------------------------------------------ *)
+
+let search_expansions sem q2 expansions =
+  let rec go = function
+    | [] -> None
+    | e :: rest ->
+      if is_counterexample sem q2 e then
+        Some { expansion = e; tuple = snd (Expansion.to_graph e) }
+      else go rest
+  in
+  go expansions
+
+let finite_lhs sem q1 q2 =
+  node_semantics_only sem;
+  check_arity q1 q2;
+  let star_expansions q =
+    match sem with
+    | Semantics.St | Semantics.Q_inj -> Expansion.finite_expansions q
+    | Semantics.A_inj -> Expansion.finite_ainj_expansions q
+    | Semantics.A_edge_inj | Semantics.Q_edge_inj -> assert false
+  in
+  (* expansions are computed per ε-free disjunct to keep the space small
+     and because ε-atoms are already folded into disjuncts *)
+  let disjuncts = Crpq.epsilon_free_disjuncts q1 in
+  let rec go = function
+    | [] -> Contained
+    | d :: rest -> begin
+      match search_expansions sem q2 (star_expansions d) with
+      | Some w -> Not_contained w
+      | None -> go rest
+    end
+  in
+  go disjuncts
+
+let bounded sem ~max_len q1 q2 =
+  node_semantics_only sem;
+  check_arity q1 q2;
+  let star_expansions q =
+    match sem with
+    | Semantics.St | Semantics.Q_inj -> Expansion.expansions ~max_len q
+    | Semantics.A_inj -> Expansion.ainj_expansions ~max_len q
+    | Semantics.A_edge_inj | Semantics.Q_edge_inj -> assert false
+  in
+  let disjuncts = Crpq.epsilon_free_disjuncts q1 in
+  let rec go = function
+    | [] ->
+      Unknown
+        (Printf.sprintf "no counterexample with atom words of length <= %d"
+           max_len)
+    | d :: rest -> begin
+      match search_expansions sem q2 (star_expansions d) with
+      | Some w -> Not_contained w
+      | None -> go rest
+    end
+  in
+  go disjuncts
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type strategy =
+  | S_trivial
+  | S_cq_cq
+  | S_rpq
+  | S_finite_lhs
+  | S_qinj_abstraction
+  | S_f7
+  | S_bounded
+
+(* Binary RPQ shape Q(x, y) = x -[L]-> y: containment coincides with
+   language inclusion under all three semantics (the observation opening
+   Prop F.8: the free tuple pins the expansion endpoints, and a line
+   graph admits no folding, so the right word must equal the left one). *)
+let rpq_shape (q : Crpq.t) =
+  match q.Crpq.atoms, q.Crpq.free with
+  | [ a ], [ x; y ]
+    when x = a.Crpq.src && y = a.Crpq.dst && a.Crpq.src <> a.Crpq.dst ->
+    Some a.Crpq.lang
+  | _ -> None
+
+let pick_strategy sem q1 q2 =
+  if Crpq.epsilon_free_disjuncts q1 = [] then S_trivial
+  else if Crpq.is_cq q1 && Crpq.is_cq q2 then S_cq_cq
+  else if rpq_shape q1 <> None && rpq_shape q2 <> None then S_rpq
+  else if Crpq.is_finite q1 then S_finite_lhs
+  else if sem = Semantics.Q_inj then S_qinj_abstraction
+  else if sem = Semantics.St && Crpq.is_cq q2 then S_f7
+  else S_bounded
+
+let strategy_name sem q1 q2 =
+  match pick_strategy sem q1 q2 with
+  | S_trivial -> "trivial (unsatisfiable left query)"
+  | S_cq_cq -> "cq-homomorphism"
+  | S_rpq -> "regular-language inclusion (RPQ/RPQ)"
+  | S_finite_lhs -> "finite-expansion enumeration"
+  | S_qinj_abstraction -> "abstraction algorithm (Thm 5.1)"
+  | S_f7 -> "window algorithm (Prop F.7)"
+  | S_bounded -> "bounded counterexample search"
+
+let cq_fallback_witness sem q1 q2 =
+  (* produce a concrete counterexample for a CQ/CQ non-containment *)
+  match finite_lhs sem q1 q2 with
+  | Not_contained w -> Not_contained w
+  | Contained | Unknown _ ->
+    (* should not happen: cq_cq said not contained *)
+    assert false
+
+let decide ?(bound = 4) sem q1 q2 =
+  node_semantics_only sem;
+  check_arity q1 q2;
+  match pick_strategy sem q1 q2 with
+  | S_trivial -> Contained
+  | S_cq_cq ->
+    let c1 = Option.get (Crpq.to_cq q1) and c2 = Option.get (Crpq.to_cq q2) in
+    if cq_cq sem c1 c2 then Contained else cq_fallback_witness sem q1 q2
+  | S_rpq -> begin
+    let l1 = Option.get (rpq_shape q1) and l2 = Option.get (rpq_shape q2) in
+    if Dfa.included (Crpq.nfa l1) (Crpq.nfa l2) then Contained
+    else begin
+      (* a shortest word of L1 \ L2 gives the counterexample expansion *)
+      let alphabet =
+        List.sort_uniq String.compare (Regex.alphabet l1 @ Regex.alphabet l2)
+      in
+      let d1 = Dfa.of_nfa ~alphabet (Crpq.nfa l1) in
+      let d2 = Dfa.of_nfa ~alphabet (Crpq.nfa l2) in
+      match Dfa.shortest_word (Dfa.intersect d1 (Dfa.complement d2)) with
+      | None -> assert false
+      | Some w ->
+        let e = Expansion.expand q1 [| w |] in
+        Not_contained { expansion = e; tuple = snd (Expansion.to_graph e) }
+    end
+  end
+  | S_finite_lhs -> finite_lhs sem q1 q2
+  | S_qinj_abstraction -> begin
+    match Containment_qinj.decide q1 q2 with
+    | Containment_qinj.Qinj_contained -> Contained
+    | Containment_qinj.Qinj_not_contained e ->
+      Not_contained { expansion = e; tuple = snd (Expansion.to_graph e) }
+    | exception Containment_qinj.Unsupported msg ->
+      (match bounded sem ~max_len:bound q1 q2 with
+      | Unknown m -> Unknown (m ^ "; abstraction algorithm unsupported: " ^ msg)
+      | v -> v)
+  end
+  | S_f7 -> begin
+    match Containment_f7.decide_st q1 q2 with
+    | Containment_f7.F7_contained -> Contained
+    | Containment_f7.F7_not_contained e ->
+      Not_contained { expansion = e; tuple = snd (Expansion.to_graph e) }
+    | exception Containment_f7.Unsupported msg -> begin
+      match bounded sem ~max_len:bound q1 q2 with
+      | Unknown m -> Unknown (m ^ "; window algorithm unsupported: " ^ msg)
+      | v -> v
+    end
+  end
+  | S_bounded -> begin
+    (* For standard semantics, query-injective containment is a sound
+       sufficient condition (Prop 4.3 homs are in particular homs), and
+       the Theorem 5.1 algorithm decides it exactly: try it before the
+       bounded search. *)
+    let qinj_implies () =
+      match sem with
+      | Semantics.St -> begin
+        match Containment_qinj.decide q1 q2 with
+        | Containment_qinj.Qinj_contained -> true
+        | Containment_qinj.Qinj_not_contained _ -> false
+        | exception Containment_qinj.Unsupported _ -> false
+      end
+      | _ -> false
+    in
+    match bounded sem ~max_len:bound q1 q2 with
+    | Unknown _ as u -> if qinj_implies () then Contained else u
+    | v -> v
+  end

@@ -1,0 +1,61 @@
+(** The containment problem {m Q_1 \subseteq_\star Q_2} (Section 4).
+
+    Deciders, by query class (Figure 1):
+
+    - {b CQ/CQ}: exact for all three node semantics via homomorphism
+      tests — plain (standard, Chandra–Merlin), injective
+      (query-injective, Prop 4.3) and non-contracting (atom-injective,
+      Lemma F.3).  NP-complete.
+    - {b CRPQ{^ fin} left-hand side}: exact for all node semantics by
+      enumerating the finite set of ★-expansions of {m Q_1} and testing
+      {m \bar y \in Q_2(E_1)^\star} (Props 4.2, 4.3, 4.6; Prop F.10).
+    - {b query-injective, unrestricted}: exact via the abstraction
+      algorithm of Theorem 5.1 (see {!Containment_qinj}).
+    - {b everything else}: bounded counterexample search — sound and
+      complete for NOT-CONTAINED up to the expansion-length bound.  For
+      atom-injective CRPQ/CRPQ this is the theoretically best possible
+      behaviour: the problem is undecidable (Theorem 5.2).
+
+    Only the three node semantics are supported; the containment theory
+    for trail semantics is future work in the paper (Section 7). *)
+
+type witness = {
+  expansion : Expansion.expanded;
+      (** a ★-expansion of {m Q_1} that is a counterexample *)
+  tuple : Graph.node list;
+      (** the free tuple of the expansion, not returned by {m Q_2} *)
+}
+
+type verdict =
+  | Contained  (** proof of containment *)
+  | Not_contained of witness  (** counterexample found *)
+  | Unknown of string
+      (** bounded search exhausted without a counterexample *)
+
+val verdict_bool : verdict -> bool option
+(** [Some true] / [Some false] for exact verdicts, [None] for unknown. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** [is_counterexample sem q2 e] checks that the ★-expansion [e] (of the
+    left query) defeats [q2]: {m \bar y \notin Q_2(E)^\star}. *)
+val is_counterexample : Semantics.t -> Crpq.t -> Expansion.expanded -> bool
+
+(** Exact CQ/CQ containment.
+    @raise Invalid_argument on edge semantics or arity mismatch. *)
+val cq_cq : Semantics.t -> Cq.t -> Cq.t -> bool
+
+(** Exact containment when the left query is in CRPQ{^ fin}.
+    @raise Invalid_argument if it is not. *)
+val finite_lhs : Semantics.t -> Crpq.t -> Crpq.t -> verdict
+
+(** Bounded counterexample search over ★-expansions of the left query
+    with per-atom words of length at most [max_len]. *)
+val bounded : Semantics.t -> max_len:int -> Crpq.t -> Crpq.t -> verdict
+
+(** Dispatching decider; picks the best available procedure.  [bound]
+    (default 4) controls the fallback bounded search. *)
+val decide : ?bound:int -> Semantics.t -> Crpq.t -> Crpq.t -> verdict
+
+(** Name of the procedure {!decide} would use (for reporting). *)
+val strategy_name : Semantics.t -> Crpq.t -> Crpq.t -> string

@@ -1,0 +1,461 @@
+exception Unsupported of string
+
+type result =
+  | F7_contained
+  | F7_not_contained of Expansion.expanded
+
+(* ------------------------------------------------------------------ *)
+(* Line patterns of CQ components                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A connected CQ maps into the interior of a path expansion iff it is
+   line-shaped: BFS positions are consistent and each position carries at
+   most one letter.  The pattern is the letter-or-wildcard template. *)
+let line_pattern (c : Cq.t) =
+  let g, _names = Cq.to_graph c in
+  let n = Graph.nnodes g in
+  if n = 0 then None
+  else begin
+    let pos = Array.make n None in
+    let ok = ref true in
+    let queue = Queue.create () in
+    pos.(0) <- Some 0;
+    Queue.add 0 queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let pu = Option.get pos.(u) in
+      let visit v p =
+        match pos.(v) with
+        | None ->
+          pos.(v) <- Some p;
+          Queue.add v queue
+        | Some p' -> if p <> p' then ok := false
+      in
+      List.iter (fun (_, v) -> visit v (pu + 1)) (Graph.out g u);
+      List.iter (fun (_, v) -> visit v (pu - 1)) (Graph.in_ g u)
+    done;
+    if (not !ok) || Array.exists (fun p -> p = None) pos then None
+    else begin
+      let positions = Array.map Option.get pos in
+      let pmin = Array.fold_left min max_int positions in
+      let pmax = Array.fold_left max min_int positions in
+      let template = Array.make (max (pmax - pmin) 0) None in
+      let consistent = ref true in
+      List.iter
+        (fun (u, a, _) ->
+          let slot = positions.(u) - pmin in
+          match template.(slot) with
+          | None -> template.(slot) <- Some a
+          | Some b -> if not (String.equal a b) then consistent := false)
+        (Graph.edges g);
+      if !consistent && Array.length template > 0 then Some template else None
+    end
+  end
+
+(* NFA recognizing the words over [alphabet] containing NO occurrence of
+   the template (wildcards match any letter). *)
+let avoid_nfa ~alphabet template =
+  let sigma = Regex.alt_list (List.map Regex.sym alphabet) in
+  let body =
+    Regex.seq_list
+      (Array.to_list
+         (Array.map
+            (function Some a -> Regex.sym a | None -> sigma)
+            template))
+  in
+  let occ = Regex.seq_list [ Regex.star sigma; body; Regex.star sigma ] in
+  let d = Dfa.of_nfa ~alphabet (Nfa.of_regex occ) in
+  Lang_ops.nfa_of_dfa (Dfa.complement d)
+
+(* ------------------------------------------------------------------ *)
+(* Atom specs: exact short words, or (u, #, v) truncations              *)
+(* ------------------------------------------------------------------ *)
+
+type spec =
+  | Exact of Word.t
+  | Trunc of Word.t * Word.t
+
+(* all words of exactly [len] letters that leave the NFA alive, with the
+   surviving state set *)
+let live_prefixes nfa ~len ~cap =
+  let rec go acc frontier k =
+    if k = 0 then
+      List.rev_map (fun (w, s) -> (List.rev w, s)) frontier @ acc |> fun l -> l
+    else begin
+      let next =
+        List.concat_map
+          (fun (w, s) ->
+            let letters = Hashtbl.create 8 in
+            List.iter
+              (fun q ->
+                List.iter (fun (x, _) -> Hashtbl.replace letters x ()) nfa.Nfa.delta.(q))
+              s;
+            Hashtbl.fold
+              (fun x () acc ->
+                let s' = Nfa.next_set nfa s x in
+                if s' = [] then acc else (x :: w, s') :: acc)
+              letters [])
+          frontier
+      in
+      if List.length next > cap then
+        raise (Unsupported "too many window words in Prop F.7 enumeration");
+      go acc next (k - 1)
+    end
+  in
+  go [] [ ([], List.sort_uniq compare nfa.Nfa.initials) ] len
+
+(* states from which reading [v] reaches a final state *)
+let pre_word nfa v =
+  List.filter
+    (fun q -> List.exists (Nfa.is_final nfa) (List.fold_left (Nfa.next_set nfa) [ q ] v))
+    (List.init nfa.Nfa.nstates (fun q -> q))
+
+(* Is there a non-empty middle w with u·w·v ∈ L and (if given) u·w·v
+   avoiding the pattern?  Returns a witness middle. *)
+let middle_witness nfa ~u ~v ~avoid =
+  match avoid with
+  | None -> begin
+    (* plain: BFS from the u-states to the v-pre-states, >= 1 step *)
+    let start = List.fold_left (Nfa.next_set nfa) nfa.Nfa.initials u in
+    let targets = pre_word nfa v in
+    let n = nfa.Nfa.nstates in
+    let dist = Array.make (max n 1) None in
+    let q = Queue.create () in
+    List.iter
+      (fun s ->
+        if dist.(s) = None then begin
+          dist.(s) <- Some [];
+          Queue.add s q
+        end)
+      start;
+    let result = ref None in
+    (try
+       while not (Queue.is_empty q) do
+         let s = Queue.pop q in
+         let w = Option.get dist.(s) in
+         List.iter
+           (fun (x, s') ->
+             let w' = x :: w in
+             if List.mem s' targets then begin
+               result := Some (List.rev w');
+               raise Exit
+             end;
+             if dist.(s') = None then begin
+               dist.(s') <- Some w';
+               Queue.add s' q
+             end)
+           nfa.Nfa.delta.(s)
+       done
+     with Exit -> ());
+    !result
+  end
+  | Some (av : Nfa.t) -> begin
+    (* product with the avoid automaton, whole-word tracking: start after
+       reading u on both, accept when v completes both *)
+    let start_l = List.fold_left (Nfa.next_set nfa) nfa.Nfa.initials u in
+    let start_a = List.fold_left (Nfa.next_set av) av.Nfa.initials u in
+    (* deterministic avoid automaton: track its state set jointly *)
+    let accept_pair (ql, sa) =
+      let finals_l = List.fold_left (Nfa.next_set nfa) [ ql ] v in
+      let finals_a = List.fold_left (Nfa.next_set av) sa v in
+      List.exists (Nfa.is_final nfa) finals_l
+      && List.exists (Nfa.is_final av) finals_a
+    in
+    let seen = Hashtbl.create 256 in
+    let q = Queue.create () in
+    let push ql sa w =
+      let key = (ql, sa) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        Queue.add (ql, sa, w) q
+      end
+    in
+    List.iter (fun ql -> push ql start_a []) start_l;
+    let result = ref None in
+    (try
+       while not (Queue.is_empty q) do
+         let ql, sa, w = Queue.pop q in
+         List.iter
+           (fun (x, ql') ->
+             let sa' = Nfa.next_set av sa x in
+             if sa' <> [] then begin
+               let w' = x :: w in
+               if accept_pair (ql', sa') then begin
+                 result := Some (List.rev w');
+                 raise Exit
+               end;
+               push ql' sa' w'
+             end)
+           nfa.Nfa.delta.(ql)
+       done
+     with Exit -> ());
+    !result
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Components of the right-hand CQ                                     *)
+(* ------------------------------------------------------------------ *)
+
+type component = {
+  c_cq : Cq.t;  (** Boolean sub-CQ of the component's atoms *)
+  c_fixed_vars : (Cq.var * int) list;
+      (** free vars of the component, with the free-tuple position *)
+  c_pattern : Word.symbol option array option;
+      (** line pattern; [None] when it can never map inside a path
+          (also forced to [None] when the component has free vars, which
+          must land on query variables) *)
+}
+
+let components_of (q2 : Cq.t) =
+  let g, names = Cq.to_graph q2 in
+  let groups = Graph.components g in
+  List.filter_map
+    (fun group ->
+      let vars = List.map (fun i -> names.(i)) group in
+      let atoms =
+        List.filter (fun (a : Cq.atom) -> List.mem a.Cq.src vars) q2.Cq.atoms
+      in
+      let fixed_vars =
+        List.concat
+          (List.mapi
+             (fun pos x -> if List.mem x vars then [ (x, pos) ] else [])
+             q2.Cq.free)
+      in
+      if atoms = [] then None
+        (* an isolated variable always maps (subject to the global free
+           consistency check done separately) *)
+      else begin
+        let c_cq = Cq.make ~free:[] atoms in
+        let c_pattern = if fixed_vars = [] then line_pattern c_cq else None in
+        Some { c_cq; c_fixed_vars = fixed_vars; c_pattern }
+      end)
+    groups
+
+(* ------------------------------------------------------------------ *)
+(* The decision procedure                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_hash alphabet =
+  let rec go s = if List.mem s alphabet then go (s ^ "#") else s in
+  go "#"
+
+(* the truncated expansion E1# as a CQ, given per-atom specs *)
+let build_truncated (d1 : Crpq.t) specs ~hash =
+  let atoms = ref [] in
+  List.iteri
+    (fun i (a : Crpq.atom) ->
+      let path base_name x letters y =
+        let k = List.length letters in
+        let node j =
+          if j = 0 then x
+          else if j = k then y
+          else Printf.sprintf "%s%d.%d" base_name i j
+        in
+        List.iteri
+          (fun j sym -> atoms := Cq.atom (node j) sym (node (j + 1)) :: !atoms)
+          letters
+      in
+      match specs.(i) with
+      | Exact w -> path "$" a.Crpq.src w a.Crpq.dst
+      | Trunc (u, v) ->
+        path "$u" a.Crpq.src (u @ [ hash ]) (Printf.sprintf "$m%d" i);
+        path "$v" (Printf.sprintf "$m%d" i) v a.Crpq.dst)
+    d1.Crpq.atoms;
+  Cq.make ~free:d1.Crpq.free !atoms
+
+let component_maps comp (e1h : Cq.t) =
+  let pattern, pnames = Cq.to_graph comp.c_cq in
+  let pindex = Hashtbl.create 16 in
+  Array.iteri (fun i x -> Hashtbl.replace pindex x i) pnames;
+  let target, _ = Cq.to_graph e1h in
+  let free_nodes = Cq.free_nodes e1h in
+  match
+    List.map
+      (fun (x, pos) -> (Hashtbl.find pindex x, List.nth free_nodes pos))
+      comp.c_fixed_vars
+  with
+  | fixed -> Morphism.exists ~fixed ~pattern ~target ()
+  | exception Not_found -> false
+
+let decide_st ?(max_elements = 20000) (q1 : Crpq.t) (q2 : Crpq.t) =
+  if List.length q1.Crpq.free <> List.length q2.Crpq.free then
+    invalid_arg "Containment_f7.decide_st: queries of different arities";
+  let q2cq =
+    match Crpq.to_cq q2 with
+    | Some c -> c
+    | None -> invalid_arg "Containment_f7.decide_st: right query must be a CQ"
+  in
+  let n_window = max 1 (List.length q2cq.Cq.atoms) in
+  let comps = components_of q2cq in
+  let alphabet =
+    List.sort_uniq String.compare (Crpq.alphabet q1 @ Cq.alphabet q2cq)
+  in
+  let hash = fresh_hash alphabet in
+  (* avoid automata, one per line-shaped component *)
+  let comp_avoid =
+    List.map
+      (fun c ->
+        match c.c_pattern with
+        | Some template
+          when Array.for_all
+                 (function Some a -> List.mem a alphabet | None -> true)
+                 template ->
+          (c, Some (avoid_nfa ~alphabet template))
+        | Some _ | None -> (c, None))
+      comps
+  in
+  let verify_and_return d1 profile =
+    let e = Expansion.expand_unchecked d1 profile in
+    let g, tuple = Expansion.to_graph e in
+    if Eval.check Semantics.St q2 g tuple then
+      raise (Unsupported "internal: F7 witness failed re-verification")
+    else F7_not_contained e
+  in
+  let decide_disjunct (d1 : Crpq.t) =
+    (* global free-tuple consistency: a right variable demanded at two
+       distinct free nodes can never map *)
+    let e0 =
+      Expansion.expand_unchecked d1
+        (Array.of_list
+           (List.map
+              (fun (a : Crpq.atom) ->
+                match Regex.shortest_word a.Crpq.lang with
+                | Some w -> w
+                | None -> raise Exit)
+              d1.Crpq.atoms))
+    in
+    let _, tuple0 = Expansion.to_graph e0 in
+    let demands = Hashtbl.create 8 in
+    let conflict = ref false in
+    List.iteri
+      (fun pos x ->
+        let node = List.nth tuple0 pos in
+        match Hashtbl.find_opt demands x with
+        | Some n' -> if n' <> node then conflict := true
+        | None -> Hashtbl.replace demands x node)
+      q2cq.Cq.free;
+    if !conflict then Some (verify_and_return d1 e0.Expansion.profile)
+    else begin
+      (* per-atom specs *)
+      let atom_specs =
+        List.map
+          (fun (a : Crpq.atom) ->
+            let nfa = Crpq.nfa a.Crpq.lang in
+            let exact =
+              List.map (fun w -> Exact w) (Regex.enumerate ~max_len:(2 * n_window) a.Crpq.lang)
+            in
+            let truncs =
+              if Regex.is_finite a.Crpq.lang then
+                (* long exact words instead of truncation *)
+                List.filter_map
+                  (fun w ->
+                    if List.length w > 2 * n_window then Some (Exact w) else None)
+                  (Regex.words_of_finite a.Crpq.lang)
+              else begin
+                let prefixes = live_prefixes nfa ~len:n_window ~cap:max_elements in
+                let rev = Nfa.reverse nfa in
+                let suffixes =
+                  List.map
+                    (fun (w, _) -> List.rev w)
+                    (live_prefixes rev ~len:n_window ~cap:max_elements)
+                in
+                List.concat_map
+                  (fun (u, _) ->
+                    List.filter_map
+                      (fun v ->
+                        match middle_witness nfa ~u ~v ~avoid:None with
+                        | Some _ -> Some (Trunc (u, v))
+                        | None -> None)
+                      suffixes)
+                  prefixes
+              end
+            in
+            exact @ truncs)
+          d1.Crpq.atoms
+      in
+      let total =
+        List.fold_left (fun acc l -> acc * max 1 (List.length l)) 1 atom_specs
+      in
+      if total > max_elements then
+        raise
+          (Unsupported
+             (Printf.sprintf "F7 enumeration of %d truncated expansions" total));
+      (* enumerate the product *)
+      let specs_arr = Array.of_list atom_specs in
+      let natoms = Array.length specs_arr in
+      (* length exactly [natoms]: the atomless ε-collapse disjunct has an
+         empty profile *)
+      let current = Array.make natoms (Exact []) in
+      let found = ref None in
+      let rec enumerate i =
+        if !found <> None then ()
+        else if i = natoms then begin
+          let e1h = build_truncated d1 current ~hash in
+          (* a component that fails everywhere certifies non-containment *)
+          let certifies (comp, avoid) =
+            if component_maps comp e1h then None
+            else begin
+              (* find a middle avoiding the component for every truncated
+                 atom *)
+              let middles = Array.make natoms None in
+              let ok = ref true in
+              Array.iteri
+                (fun ai spec ->
+                  if !ok then
+                    match spec with
+                    | Exact _ -> ()
+                    | Trunc (u, v) -> begin
+                      let nfa =
+                        Crpq.nfa (List.nth d1.Crpq.atoms ai).Crpq.lang
+                      in
+                      match middle_witness nfa ~u ~v ~avoid with
+                      | Some w -> middles.(ai) <- Some w
+                      | None -> ok := false
+                    end)
+                current;
+              if !ok then Some middles else None
+            end
+          in
+          match List.find_map certifies comp_avoid with
+          | None -> ()
+          | Some middles ->
+            let profile =
+              Array.mapi
+                (fun ai spec ->
+                  match spec, middles.(ai) with
+                  | Exact w, _ -> w
+                  | Trunc (u, v), Some w -> u @ w @ v
+                  | Trunc (u, v), None -> begin
+                    (* untruncate with any middle *)
+                    let nfa = Crpq.nfa (List.nth d1.Crpq.atoms ai).Crpq.lang in
+                    match middle_witness nfa ~u ~v ~avoid:None with
+                    | Some w -> u @ w @ v
+                    | None -> assert false
+                  end)
+                current
+            in
+            found := Some (verify_and_return d1 profile)
+        end
+        else
+          List.iter
+            (fun spec ->
+              if !found = None then begin
+                current.(i) <- spec;
+                enumerate (i + 1)
+              end)
+            (List.nth atom_specs i)
+      in
+      enumerate 0;
+      !found
+    end
+  in
+  let rec run = function
+    | [] -> F7_contained
+    | d1 :: rest -> begin
+      match decide_disjunct d1 with
+      | Some r -> r
+      | None -> run rest
+      | exception Exit -> run rest (* unsatisfiable disjunct *)
+    end
+  in
+  run (Crpq.epsilon_free_disjuncts q1)

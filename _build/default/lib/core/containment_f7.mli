@@ -1,0 +1,39 @@
+(** Exact CRPQ/CQ containment under standard semantics: the window
+    algorithm of Proposition F.7.
+
+    For {m Q_1} a CRPQ and {m Q_2} a CQ with {m N} atoms, a connected
+    component {m \widehat Q_2} of {m Q_2} maps into an expansion
+    {m E_1} either within the {m N}-neighbourhood of a variable of
+    {m Q_1} or entirely inside one atom expansion.  Consequently
+    {m Q_1 \not\subseteq_{st} Q_2} iff there are a component
+    {m \widehat Q_2} and a {e truncated expansion} {m E_1^\#} — per
+    atom, either an exact word of length {m \leq 2N} or
+    {m u \,\#\, v} with {m |u| = |v| = N} and a non-empty middle
+    language — such that
+
+    + {m \widehat Q_2} has no homomorphism into {m E_1^\#} (the fresh
+      {m \#} blocks crossings), and
+    + for every truncated atom there is a middle {m w} with
+      {m u w v \in L} such that {m u w v} avoids every occurrence of
+      {m \widehat Q_2}'s line pattern (a regular-emptiness check; a
+      component that is not line-shaped never maps inside a path).
+
+    The procedure is exponential in {m |Q_2|} (the {m \Pi_2^p}
+    algorithm guesses what we enumerate) and exact; witnesses are
+    re-verified by direct evaluation.  {!Unsupported} is raised when the
+    enumeration caps are exceeded. *)
+
+exception Unsupported of string
+
+type result =
+  | F7_contained
+  | F7_not_contained of Expansion.expanded
+
+(** [decide_st q1 q2] decides {m Q_1 \subseteq_{st} Q_2}.
+    @raise Invalid_argument if [q2] is not a CQ or arities differ. *)
+val decide_st : ?max_elements:int -> Crpq.t -> Crpq.t -> result
+
+(** The line pattern of a connected CQ component: [Some template] (a
+    letter-or-wildcard array) when the component is line-shaped, [None]
+    otherwise.  Exposed for tests. *)
+val line_pattern : Cq.t -> Word.symbol option array option

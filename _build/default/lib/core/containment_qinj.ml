@@ -1,0 +1,888 @@
+exception Unsupported of string
+
+type result =
+  | Qinj_contained
+  | Qinj_not_contained of Expansion.expanded
+
+type stats = {
+  lhs_disjuncts : int;
+  rhs_disjuncts : int;
+  abstractions_checked : int;
+  morphism_types : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Square boolean relations over the states of A_Q2, as bytes           *)
+(* ------------------------------------------------------------------ *)
+
+module Rel = struct
+  type t = Bytes.t
+
+  let create n = Bytes.make (n * n) '0'
+
+  let identity n =
+    let r = create n in
+    for q = 0 to n - 1 do
+      Bytes.set r ((q * n) + q) '1'
+    done;
+    r
+
+  let get r n q q' = Bytes.get r ((q * n) + q') = '1'
+
+  let set r n q q' = Bytes.set r ((q * n) + q') '1'
+
+  (* r ∘ Δa where [succs.(q)] lists a-successors of q *)
+  let compose r n (succs : int list array) =
+    let out = create n in
+    for q = 0 to n - 1 do
+      for p = 0 to n - 1 do
+        if get r n q p then List.iter (fun p' -> set out n q p') succs.(p)
+      done
+    done;
+    out
+
+  let union r s =
+    let out = Bytes.copy r in
+    Bytes.iteri (fun i c -> if c = '1' then Bytes.set out i '1') s;
+    out
+
+  (* left × right: all pairs (q, q') with q in left, q' in right *)
+  let of_product n left right =
+    let out = create n in
+    List.iter (fun q -> List.iter (fun q' -> set out n q q') right) left;
+    out
+end
+
+(* ------------------------------------------------------------------ *)
+(* Language surgery for the Remark C.2 rewriting                       *)
+(* ------------------------------------------------------------------ *)
+
+(* L \ {a} for ε-free L: single letters of L other than a, plus all words
+   of length >= 2, via the derivative decomposition
+   L ∩ Σ^{>=2} = Σ_b b · ((b⁻¹L) \ ε). *)
+let remove_letter_word lang a =
+  let letters = Regex.alphabet lang in
+  let singles =
+    List.filter
+      (fun b -> (not (String.equal a b)) && Regex.nullable (Regex.derivative b lang))
+      letters
+  in
+  let longs =
+    List.map
+      (fun b -> Regex.seq (Regex.sym b) (Regex.remove_eps (Regex.derivative b lang)))
+      letters
+  in
+  Regex.alt (Regex.alt_words (List.map (fun b -> [ b ]) singles))
+    (Regex.alt_list longs)
+
+let single_letters lang =
+  List.filter
+    (fun b -> Regex.nullable (Regex.derivative b lang))
+    (Regex.alphabet lang)
+
+let rec remove_once x = function
+  | [] -> []
+  | y :: rest -> if y = x then rest else y :: remove_once x rest
+
+(* Remark C.1: concatenate away non-free (1,1)-variables. *)
+let normalize_concat q =
+  let rec go (q : Crpq.t) =
+    let vars = Crpq.vars q in
+    let incoming y = List.filter (fun (a : Crpq.atom) -> a.Crpq.dst = y) q.Crpq.atoms in
+    let outgoing y = List.filter (fun (a : Crpq.atom) -> a.Crpq.src = y) q.Crpq.atoms in
+    let candidate y =
+      if List.mem y q.Crpq.free then None
+      else
+        match incoming y, outgoing y with
+        | [ a ], [ b ] when a <> b && a.Crpq.src <> y && b.Crpq.dst <> y ->
+          Some (y, a, b)
+        | _ -> None
+    in
+    match List.find_map candidate vars with
+    | None -> q
+    | Some (_, a, b) ->
+      let others = remove_once a (remove_once b q.Crpq.atoms) in
+      let merged =
+        Crpq.atom a.Crpq.src (Regex.Seq (a.Crpq.lang, b.Crpq.lang)) b.Crpq.dst
+      in
+      go (Crpq.make ~free:q.Crpq.free (merged :: others))
+  in
+  go q
+
+(* Remark C.2 (ii): no two parallel atoms may share a single-letter word.
+   Split into a union: one of them gives up the letter, or both take it
+   and merge into a single-letter atom. *)
+let split_parallel_letters q =
+  let find_conflict (q : Crpq.t) =
+    let atoms = Array.of_list q.Crpq.atoms in
+    let n = Array.length atoms in
+    let rec scan i j =
+      if i >= n then None
+      else if j >= n then scan (i + 1) (i + 2)
+      else begin
+        let a = atoms.(i) and b = atoms.(j) in
+        if a.Crpq.src = b.Crpq.src && a.Crpq.dst = b.Crpq.dst then begin
+          let shared =
+            List.filter
+              (fun l -> List.mem l (single_letters b.Crpq.lang))
+              (single_letters a.Crpq.lang)
+          in
+          match shared with
+          | [] -> scan i (j + 1)
+          | l :: _ -> Some (a, b, l)
+        end
+        else scan i (j + 1)
+      end
+    in
+    scan 0 1
+  in
+  let rec go q =
+    match find_conflict q with
+    | None -> [ q ]
+    | Some (a, b, l) ->
+      let others = remove_once a (remove_once b q.Crpq.atoms) in
+      let variant atoms = Crpq.make ~free:q.Crpq.free atoms in
+      let without_empty qs =
+        List.filter (fun p -> not (Crpq.has_empty_language p)) qs
+      in
+      let v1 =
+        variant ({ a with Crpq.lang = remove_letter_word a.Crpq.lang l } :: b :: others)
+      in
+      let v2 =
+        variant (a :: { b with Crpq.lang = remove_letter_word b.Crpq.lang l } :: others)
+      in
+      let v3 =
+        variant (Crpq.atom a.Crpq.src (Regex.sym l) a.Crpq.dst :: others)
+      in
+      List.concat_map go (without_empty [ v1; v2; v3 ])
+  in
+  List.sort_uniq Stdlib.compare (go q)
+
+(* ------------------------------------------------------------------ *)
+(* The combined right-hand automaton A_Q2                              *)
+(* ------------------------------------------------------------------ *)
+
+type aq2 = {
+  n : int;  (** number of states *)
+  atoms : (int * Crpq.atom) array;  (** (disjunct id, atom) per atom id *)
+  ranges : (int * int) array;  (** state range [lo, hi) per atom id *)
+  initials : int list;  (** component initial states *)
+  finals : int list;  (** component final states *)
+  succs : (Word.symbol, int list array) Hashtbl.t;
+}
+
+let build_aq2 ~alphabet rhs_disjuncts =
+  let atoms =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun di (d : Crpq.t) -> List.map (fun a -> (di, a)) d.Crpq.atoms)
+            rhs_disjuncts))
+  in
+  if Array.length atoms = 0 then None
+  else begin
+    let nfas =
+      Array.to_list (Array.map (fun (_, a) -> Crpq.nfa a.Crpq.lang) atoms)
+    in
+    let combined, offsets = Nfa.union_list nfas in
+    let ranges =
+      Array.mapi
+        (fun i nfa_i ->
+          let lo = offsets.(i) in
+          (lo, lo + nfa_i.Nfa.nstates))
+        (Array.of_list nfas)
+    in
+    let initials = combined.Nfa.initials in
+    let finals = Nfa.final_states combined in
+    (* complete and co-complete over the common alphabet; the added sink
+       and source states are outside every component range *)
+    let completed = Nfa.co_complete ~alphabet (Nfa.complete ~alphabet combined) in
+    let n = completed.Nfa.nstates in
+    let succs = Hashtbl.create 16 in
+    List.iter
+      (fun letter ->
+        let arr = Array.make n [] in
+        for q = 0 to n - 1 do
+          arr.(q) <-
+            List.filter_map
+              (fun (x, q') -> if String.equal x letter then Some q' else None)
+              completed.Nfa.delta.(q)
+        done;
+        Hashtbl.replace succs letter arr)
+      alphabet;
+    Some { n; atoms; ranges; initials; finals; succs }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Tracker: achievable abstraction values of a left atom               *)
+(* ------------------------------------------------------------------ *)
+
+type track = {
+  lset : int list;  (** reached states of the atom's own NFA *)
+  rel : Rel.t;
+  plus : Rel.t;
+  gap : Rel.t;
+  infix : Rel.t;
+  preffinal : Bytes.t;  (** length n *)
+  sufrel : Rel.t;
+  nonempty : bool;
+}
+
+let track_key t =
+  String.concat "|"
+    [
+      String.concat "," (List.map string_of_int t.lset);
+      Bytes.to_string t.rel;
+      Bytes.to_string t.plus;
+      Bytes.to_string t.gap;
+      Bytes.to_string t.infix;
+      Bytes.to_string t.preffinal;
+      Bytes.to_string t.sufrel;
+      (if t.nonempty then "1" else "0");
+    ]
+
+let value_key t =
+  String.concat "|"
+    [
+      Bytes.to_string t.rel;
+      Bytes.to_string t.plus;
+      Bytes.to_string t.gap;
+      Bytes.to_string t.infix;
+    ]
+
+type abs_value = {
+  v_rel : Rel.t;
+  v_plus : Rel.t;
+  v_gap : Rel.t;
+  v_infix : Rel.t;
+  v_witness : Word.t;
+}
+
+(* All abstraction values achievable by words of L(A), with witnesses. *)
+let achievable_values ~max_tracker_states (aq : aq2) (lang : Regex.t) =
+  let lnfa = Crpq.nfa lang in
+  let n = aq.n in
+  let letters = Regex.alphabet lang in
+  let reach_final rel q =
+    List.exists (fun f -> Rel.get rel n q f) aq.finals
+  in
+  let init_track =
+    {
+      lset = List.sort_uniq compare lnfa.Nfa.initials;
+      rel = Rel.identity n;
+      plus = Rel.create n;
+      gap = Rel.create n;
+      infix = Rel.create n;
+      preffinal = Bytes.make n '0';
+      sufrel = Rel.create n;
+      nonempty = false;
+    }
+  in
+  let step t letter =
+    match Hashtbl.find_opt aq.succs letter with
+    | None -> None
+    | Some succs ->
+      let lset = Nfa.next_set lnfa t.lset letter in
+      if lset = [] then None
+      else begin
+        let img_init =
+          List.sort_uniq compare
+            (List.concat_map (fun i -> succs.(i)) aq.initials)
+        in
+        let rel' = Rel.compose t.rel n succs in
+        let reach_f = List.filter (reach_final t.rel) (List.init n (fun q -> q)) in
+        let plus' =
+          let base = Rel.compose t.plus n succs in
+          if t.nonempty then Rel.union base (Rel.of_product n reach_f img_init)
+          else base
+        in
+        let gap' =
+          let base = Rel.compose t.gap n succs in
+          let from_pref =
+            List.filter (fun q -> Bytes.get t.preffinal q = '1') (List.init n (fun q -> q))
+          in
+          Rel.union base (Rel.of_product n from_pref img_init)
+        in
+        let preffinal' =
+          let b = Bytes.copy t.preffinal in
+          if t.nonempty then List.iter (fun q -> Bytes.set b q '1') reach_f;
+          b
+        in
+        let delta_rel =
+          let r = Rel.create n in
+          Array.iteri (fun q qs -> List.iter (fun q' -> Rel.set r n q q') qs) succs;
+          r
+        in
+        let sufrel' =
+          let base = Rel.compose t.sufrel n succs in
+          if t.nonempty then Rel.union base delta_rel else base
+        in
+        let infix' = Rel.union t.infix t.sufrel in
+        Some
+          {
+            lset;
+            rel = rel';
+            plus = plus';
+            gap = gap';
+            infix = infix';
+            preffinal = preffinal';
+            sufrel = sufrel';
+            nonempty = true;
+          }
+      end
+  in
+  let seen = Hashtbl.create 1024 in
+  let values : (string, abs_value) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.replace seen (track_key init_track) ();
+  Queue.add (init_track, []) queue;
+  let explored = ref 0 in
+  while not (Queue.is_empty queue) do
+    incr explored;
+    if !explored > max_tracker_states then
+      raise
+        (Unsupported
+           (Printf.sprintf "tracker exceeded %d states on language %s"
+              max_tracker_states (Regex.to_string lang)));
+    let t, rev_word = Queue.pop queue in
+    if t.nonempty && List.exists (Nfa.is_final lnfa) t.lset then begin
+      let key = value_key t in
+      if not (Hashtbl.mem values key) then
+        Hashtbl.replace values key
+          {
+            v_rel = t.rel;
+            v_plus = t.plus;
+            v_gap = t.gap;
+            v_infix = t.infix;
+            v_witness = List.rev rev_word;
+          }
+    end;
+    List.iter
+      (fun letter ->
+        match step t letter with
+        | None -> ()
+        | Some t' ->
+          let key = track_key t' in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            Queue.add (t', letter :: rev_word) queue
+          end)
+      letters
+  done;
+  Hashtbl.fold (fun _ v acc -> v :: acc) values []
+
+(* ------------------------------------------------------------------ *)
+(* The tripled left-hand graph G                                       *)
+(* ------------------------------------------------------------------ *)
+
+type lhs = {
+  d1 : Crpq.t;
+  l_atoms : Crpq.atom array;
+  var_of_node : string array;  (** names of var nodes; [""] for interiors *)
+  node_of_var : (string, int) Hashtbl.t;
+  nnodes : int;
+  atom_path : int array array;  (** per atom: [|v0; i1; i2; v3|] *)
+  gsucc : int list array;
+  (* (u, v) -> (atom id, edge position 0..2) *)
+  owner : (int * int, int * int) Hashtbl.t;
+}
+
+let build_lhs (d1 : Crpq.t) =
+  let vars = Crpq.vars d1 in
+  let node_of_var = Hashtbl.create 16 in
+  List.iteri (fun i x -> Hashtbl.replace node_of_var x i) vars;
+  let nvars = List.length vars in
+  let l_atoms = Array.of_list d1.Crpq.atoms in
+  let natoms = Array.length l_atoms in
+  let nnodes = nvars + (2 * natoms) in
+  let var_of_node = Array.make nnodes "" in
+  List.iteri (fun i x -> var_of_node.(i) <- x) vars;
+  let atom_path =
+    Array.init natoms (fun i ->
+        let a = l_atoms.(i) in
+        [|
+          Hashtbl.find node_of_var a.Crpq.src;
+          nvars + (2 * i);
+          nvars + (2 * i) + 1;
+          Hashtbl.find node_of_var a.Crpq.dst;
+        |])
+  in
+  let gsucc = Array.make nnodes [] in
+  let owner = Hashtbl.create 32 in
+  Array.iteri
+    (fun i path ->
+      for pos = 0 to 2 do
+        let u = path.(pos) and v = path.(pos + 1) in
+        gsucc.(u) <- v :: gsucc.(u);
+        Hashtbl.replace owner (u, v) (i, pos)
+      done)
+    atom_path;
+  { d1; l_atoms; var_of_node; node_of_var; nnodes; atom_path; gsucc; owner }
+
+(* ------------------------------------------------------------------ *)
+(* Morphism types                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type rho = {
+  r_atom : int;  (** RHS global atom id *)
+  r_nodes : int array;  (** G nodes along the image path *)
+}
+
+type mtype = {
+  m_paths : rho list;
+  m_disjunct : int;
+}
+
+(* Enumerate the injective placements of disjunct [di] of the RHS into
+   the tripled graph.  [f] receives each completed placement. *)
+let iter_morphism_types lhs (aq : aq2) ~lhs_free ~(d2 : Crpq.t) ~di f =
+  let rhs_atom_ids =
+    Array.to_list
+      (Array.mapi (fun id (dj, a) -> (id, dj, a)) aq.atoms)
+    |> List.filter_map (fun (id, dj, a) -> if dj = di then Some (id, a) else None)
+  in
+  let varmap : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  (* owner of each G node: var name mapped there, or "" for path interior *)
+  let used = Array.make lhs.nnodes false in
+  (* seed free variables positionally *)
+  let ok = ref true in
+  List.iteri
+    (fun pos y ->
+      match List.nth_opt lhs_free pos with
+      | None -> ok := false
+      | Some target_node -> begin
+        match Hashtbl.find_opt varmap y with
+        | Some u -> if u <> target_node then ok := false
+        | None ->
+          if used.(target_node) then ok := false
+          else begin
+            Hashtbl.replace varmap y target_node;
+            used.(target_node) <- true
+          end
+      end)
+    d2.Crpq.free;
+  if !ok then begin
+    let assign_var y u k =
+      Hashtbl.replace varmap y u;
+      used.(u) <- true;
+      k ();
+      Hashtbl.remove varmap y;
+      used.(u) <- false
+    in
+    let with_var y k =
+      match Hashtbl.find_opt varmap y with
+      | Some u -> k u
+      | None ->
+        for u = 0 to lhs.nnodes - 1 do
+          if not used.(u) then assign_var y u (fun () -> k u)
+        done
+    in
+    (* simple paths (cycles when src = dst) from s to t over unused
+       interior nodes and unused edges; [k] receives the reversed node
+       list.  Edge-disjointness across the placed paths is required:
+       after the Remark C.2 rewrite, distinct right-hand atoms always
+       expand to distinct edges of E2, so their images cannot share an
+       edge of G. *)
+    let used_edge : (int * int, unit) Hashtbl.t = Hashtbl.create 32 in
+    let iter_paths s t k =
+      let rec go u rev_nodes =
+        List.iter
+          (fun v ->
+            if not (Hashtbl.mem used_edge (u, v)) then begin
+              if v = t then begin
+                Hashtbl.add used_edge (u, v) ();
+                k (v :: rev_nodes);
+                Hashtbl.remove used_edge (u, v)
+              end
+              else if not used.(v) then begin
+                Hashtbl.add used_edge (u, v) ();
+                used.(v) <- true;
+                go v (v :: rev_nodes);
+                used.(v) <- false;
+                Hashtbl.remove used_edge (u, v)
+              end
+            end)
+          lhs.gsucc.(u)
+      in
+      go s [ s ]
+    in
+    let rec place atoms acc =
+      match atoms with
+      | [] -> f { m_paths = List.rev acc; m_disjunct = di }
+      | (id, (a : Crpq.atom)) :: rest ->
+        with_var a.Crpq.src (fun s ->
+            with_var a.Crpq.dst (fun t ->
+                iter_paths s t (fun rev_nodes ->
+                    let nodes = Array.of_list (List.rev rev_nodes) in
+                    place rest ({ r_atom = id; r_nodes = nodes } :: acc))))
+    in
+    place rhs_atom_ids []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Compatibility: coverage analysis and templates                      *)
+(* ------------------------------------------------------------------ *)
+
+type sexpr =
+  | Lam of int  (** λ-variable id *)
+  | Init of int  (** an initial state of RHS atom [id] *)
+  | Fin of int  (** a final state of RHS atom [id] *)
+  | Any  (** existentially quantified state of A_Q2 *)
+
+type template = {
+  t_latom : int;  (** LHS atom the element must belong to *)
+  t_kind : [ `Rel | `Plus | `Gap | `Infix ];
+  t_s1 : sexpr;
+  t_s2 : sexpr;
+}
+
+exception Incompatible_structure
+
+(* Analyze one morphism type into λ-variables and templates. *)
+let templates_of_type lhs (aq : aq2) (m : mtype) =
+  let lam_ids : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let lam_domains = ref [] in
+  let lam_count = ref 0 in
+  let paths = Array.of_list m.m_paths in
+  (* coverage per (lhs atom, edge position) *)
+  let cover = Array.make_matrix (Array.length lhs.l_atoms) 3 None in
+  Array.iteri
+    (fun pi rho ->
+      let k = Array.length rho.r_nodes - 1 in
+      for j = 0 to k - 1 do
+        let u = rho.r_nodes.(j) and v = rho.r_nodes.(j + 1) in
+        match Hashtbl.find_opt lhs.owner (u, v) with
+        | None -> raise Incompatible_structure
+        | Some (ai, pos) -> cover.(ai).(pos) <- Some (pi, j)
+      done)
+    paths;
+  let lam_of pi node =
+    match Hashtbl.find_opt lam_ids (pi, node) with
+    | Some id -> Lam id
+    | None ->
+      let id = !lam_count in
+      incr lam_count;
+      Hashtbl.replace lam_ids (pi, node) id;
+      let lo, hi = aq.ranges.(paths.(pi).r_atom) in
+      lam_domains := (id, (lo, hi)) :: !lam_domains;
+      Lam id
+  in
+  (* state expression at the start of the edge (pi, j) *)
+  let state_at_start pi j =
+    if j = 0 then Init paths.(pi).r_atom
+    else begin
+      let node = paths.(pi).r_nodes.(j) in
+      if String.equal lhs.var_of_node.(node) "" then raise Incompatible_structure
+      else lam_of pi node
+    end
+  in
+  let state_at_end pi j =
+    let rho = paths.(pi) in
+    if j + 1 = Array.length rho.r_nodes - 1 then Fin rho.r_atom
+    else begin
+      let node = rho.r_nodes.(j + 1) in
+      if String.equal lhs.var_of_node.(node) "" then raise Incompatible_structure
+      else lam_of pi node
+    end
+  in
+  let templates = ref [] in
+  let add_template t = templates := t :: !templates in
+  Array.iteri
+    (fun ai cov ->
+      let c0 = cov.(0) and c1 = cov.(1) and c2 = cov.(2) in
+      (* junction between adjacent covered edges: different steps of the
+         same ρ that are not consecutive, or a ρ ending while another
+         (necessarily the same self-loop ρ) starts *)
+      let junction a b =
+        match a, b with
+        | Some (p1, j1), Some (p2, j2) ->
+          if p1 = p2 && j2 = j1 + 1 then false
+          else begin
+            (* must be: ρ1 ends after edge a, ρ2 starts at edge b *)
+            let last1 = j1 + 2 = Array.length paths.(p1).r_nodes in
+            if last1 && j2 = 0 then true else raise Incompatible_structure
+          end
+        | _ -> false
+      in
+      match c0, c1, c2 with
+      | None, None, None -> ()
+      | Some (p, j), Some _, Some (p', j') when not (junction c0 c1 || junction c1 c2)
+        ->
+        (* full span, single segment *)
+        add_template
+          { t_latom = ai; t_kind = `Rel; t_s1 = state_at_start p j;
+            t_s2 = state_at_end p' j' }
+      | Some (p, j), Some _, Some (p', j') ->
+        (* full span with one junction *)
+        if junction c0 c1 && junction c1 c2 then raise Incompatible_structure;
+        add_template
+          { t_latom = ai; t_kind = `Plus; t_s1 = state_at_start p j;
+            t_s2 = state_at_end p' j' }
+      | Some (p, j), Some (p', j'), None ->
+        if junction c0 c1 then raise Incompatible_structure;
+        (* covered prefix ending at i2: ρ must end there *)
+        if j' + 2 <> Array.length paths.(p').r_nodes then
+          raise Incompatible_structure;
+        add_template
+          { t_latom = ai; t_kind = `Plus; t_s1 = state_at_start p j; t_s2 = Any }
+      | Some (p, j), None, None ->
+        if j + 2 <> Array.length paths.(p).r_nodes then
+          raise Incompatible_structure;
+        add_template
+          { t_latom = ai; t_kind = `Plus; t_s1 = state_at_start p j; t_s2 = Any }
+      | None, Some (_p, j), Some (p', j') ->
+        if junction c1 c2 then raise Incompatible_structure;
+        if j <> 0 then raise Incompatible_structure;
+        add_template
+          { t_latom = ai; t_kind = `Plus; t_s1 = Any; t_s2 = state_at_end p' j' }
+      | None, None, Some (p, j) ->
+        if j <> 0 then raise Incompatible_structure;
+        add_template
+          { t_latom = ai; t_kind = `Plus; t_s1 = Any; t_s2 = state_at_end p j }
+      | None, Some (p, j), None ->
+        if j <> 0 || j + 2 <> Array.length paths.(p).r_nodes then
+          raise Incompatible_structure;
+        add_template
+          { t_latom = ai; t_kind = `Infix; t_s1 = Init paths.(p).r_atom;
+            t_s2 = Fin paths.(p).r_atom }
+      | Some (p, j), None, Some (p', j') ->
+        (* gap: prefix segment must end its ρ, suffix segment must start
+           its ρ *)
+        if j + 2 <> Array.length paths.(p).r_nodes then
+          raise Incompatible_structure;
+        if j' <> 0 then raise Incompatible_structure;
+        add_template
+          { t_latom = ai; t_kind = `Gap; t_s1 = state_at_start p j;
+            t_s2 = state_at_end p' j' })
+    cover;
+  (!templates, List.rev !lam_domains)
+
+(* ------------------------------------------------------------------ *)
+(* Compatibility of a type with an abstraction                         *)
+(* ------------------------------------------------------------------ *)
+
+let compatible lhs (aq : aq2) (alpha : abs_value array) templates lam_domains =
+  ignore lhs;
+  let n = aq.n in
+  let lam_val = Array.make (max (List.length lam_domains) 1) (-1) in
+  let matrix ai = function
+    | `Rel -> alpha.(ai).v_rel
+    | `Plus -> alpha.(ai).v_plus
+    | `Gap -> alpha.(ai).v_gap
+    | `Infix -> alpha.(ai).v_infix
+  in
+  let init_states id =
+    let lo, hi = aq.ranges.(id) in
+    List.filter (fun q -> q >= lo && q < hi) aq.initials
+  in
+  let fin_states id =
+    let lo, hi = aq.ranges.(id) in
+    List.filter (fun q -> q >= lo && q < hi) aq.finals
+  in
+  let candidates = function
+    | Lam i -> if lam_val.(i) >= 0 then [ lam_val.(i) ] else []
+    | Init id -> init_states id
+    | Fin id -> fin_states id
+    | Any -> List.init n (fun q -> q)
+  in
+  let lam_ready = function
+    | Lam i -> lam_val.(i) >= 0
+    | Init _ | Fin _ | Any -> true
+  in
+  let template_ok t =
+    let m = matrix t.t_latom t.t_kind in
+    List.exists
+      (fun q1 -> List.exists (fun q2 -> Rel.get m n q1 q2) (candidates t.t_s2))
+      (candidates t.t_s1)
+  in
+  let check_ready () =
+    List.for_all
+      (fun t -> (not (lam_ready t.t_s1 && lam_ready t.t_s2)) || template_ok t)
+      templates
+  in
+  let rec assign = function
+    | [] -> check_ready ()
+    | (id, (lo, hi)) :: rest ->
+      let rec try_q q =
+        if q >= hi then false
+        else begin
+          lam_val.(id) <- q;
+          let ok = check_ready () && assign rest in
+          lam_val.(id) <- -1;
+          if ok then true else try_q (q + 1)
+        end
+      in
+      try_q lo
+  in
+  assign lam_domains
+
+(* ------------------------------------------------------------------ *)
+(* Main decision procedure                                             *)
+(* ------------------------------------------------------------------ *)
+
+let shortest_expansion (d1 : Crpq.t) =
+  let words =
+    List.map
+      (fun (a : Crpq.atom) ->
+        match Regex.shortest_word (Regex.remove_eps a.Crpq.lang) with
+        | Some w -> w
+        | None -> raise (Unsupported "empty language in satisfiable disjunct"))
+      d1.Crpq.atoms
+  in
+  Expansion.expand_unchecked d1 (Array.of_list words)
+
+let counterexample_holds rhs_union (e : Expansion.expanded) =
+  let g, tuple = Expansion.to_graph e in
+  List.for_all (fun q2 -> not (Eval.check Semantics.Q_inj q2 g tuple)) rhs_union
+
+let decide_union_with_stats ?(max_tracker_states = 60000) ?(max_types = 50000)
+    ?(max_abstractions = 400000) lhs_union rhs_union =
+  let arity =
+    match lhs_union @ rhs_union with
+    | [] -> invalid_arg "Containment_qinj.decide_union: empty union"
+    | q :: _ -> List.length q.Crpq.free
+  in
+  List.iter
+    (fun (q : Crpq.t) ->
+      if List.length q.Crpq.free <> arity then
+        invalid_arg "Containment_qinj.decide: queries of different arities")
+    (lhs_union @ rhs_union);
+  let lhs_disjuncts =
+    List.concat_map
+      (fun q1 ->
+        List.concat_map split_parallel_letters (Crpq.epsilon_free_disjuncts q1))
+      lhs_union
+  in
+  let rhs_disjuncts =
+    List.concat_map
+      (fun q2 ->
+        Crpq.epsilon_free_disjuncts q2
+        |> List.map normalize_concat
+        |> List.concat_map split_parallel_letters
+        |> List.filter (fun d -> not (Crpq.has_empty_language d)))
+      rhs_union
+  in
+  let alphabet =
+    List.sort_uniq String.compare
+      (List.concat_map Crpq.alphabet (lhs_disjuncts @ rhs_disjuncts))
+  in
+  let aq2_opt = build_aq2 ~alphabet rhs_disjuncts in
+  let abstractions_checked = ref 0 in
+  let morphism_types = ref 0 in
+  let decide_one (d1 : Crpq.t) =
+    (* returns Some counterexample / None if this disjunct is contained *)
+    if Crpq.has_empty_language d1 then None
+    else if d1.Crpq.atoms = [] then begin
+      let e = Expansion.expand_unchecked d1 [||] in
+      if counterexample_holds rhs_union e then Some e else None
+    end
+    else begin
+      match aq2_opt with
+      | None ->
+        (* RHS has no satisfiable disjunct with atoms: Q2 can only be
+           satisfied by an atomless disjunct; test the shortest expansion
+           directly (its verdict is representative only if none exists,
+           otherwise evaluation decides). *)
+        let e = shortest_expansion d1 in
+        if counterexample_holds rhs_union e then Some e else None
+      | Some aq ->
+        let lhs = build_lhs d1 in
+        let values_per_atom =
+          Array.map
+            (fun (a : Crpq.atom) ->
+              Array.of_list (achievable_values ~max_tracker_states aq a.Crpq.lang))
+            lhs.l_atoms
+        in
+        if Array.exists (fun vs -> Array.length vs = 0) values_per_atom then
+          None (* some language empty: disjunct unsatisfiable *)
+        else begin
+          let lhs_free =
+            List.map (fun x -> Hashtbl.find lhs.node_of_var x) d1.Crpq.free
+          in
+          (* enumerate morphism types, pre-analyzed into templates *)
+          let analyzed = ref [] in
+          List.iteri
+            (fun di d2 ->
+              iter_morphism_types lhs aq ~lhs_free ~d2 ~di (fun m ->
+                  incr morphism_types;
+                  if !morphism_types > max_types then
+                    raise
+                      (Unsupported
+                         (Printf.sprintf "more than %d morphism types" max_types));
+                  match templates_of_type lhs aq m with
+                  | templates, lam_domains ->
+                    analyzed := (templates, lam_domains) :: !analyzed
+                  | exception Incompatible_structure -> ()))
+            rhs_disjuncts;
+          let analyzed = !analyzed in
+          (* search the abstraction product for one with no compatible
+             type *)
+          let natoms = Array.length lhs.l_atoms in
+          let alpha = Array.make natoms values_per_atom.(0).(0) in
+          let found = ref None in
+          let rec search ai =
+            if !found <> None then ()
+            else if ai = natoms then begin
+              incr abstractions_checked;
+              if !abstractions_checked > max_abstractions then
+                raise
+                  (Unsupported
+                     (Printf.sprintf "more than %d abstractions" max_abstractions));
+              let some_compatible =
+                List.exists
+                  (fun (templates, lam_domains) ->
+                    compatible lhs aq alpha templates lam_domains)
+                  analyzed
+              in
+              if not some_compatible then begin
+                let words = Array.map (fun v -> v.v_witness) alpha in
+                found := Some (Expansion.expand_unchecked d1 words)
+              end
+            end
+            else
+              Array.iter
+                (fun v ->
+                  if !found = None then begin
+                    alpha.(ai) <- v;
+                    search (ai + 1)
+                  end)
+                values_per_atom.(ai)
+          in
+          search 0;
+          !found
+        end
+    end
+  in
+  let rec run = function
+    | [] -> Qinj_contained
+    | d1 :: rest -> begin
+      match decide_one d1 with
+      | Some e ->
+        if counterexample_holds rhs_union e then Qinj_not_contained e
+        else
+          raise
+            (Unsupported
+               "internal: abstraction counterexample failed re-verification")
+      | None -> run rest
+    end
+  in
+  let result = run lhs_disjuncts in
+  ( result,
+    {
+      lhs_disjuncts = List.length lhs_disjuncts;
+      rhs_disjuncts = List.length rhs_disjuncts;
+      abstractions_checked = !abstractions_checked;
+      morphism_types = !morphism_types;
+    } )
+
+let decide_union ?max_tracker_states ?max_types ?max_abstractions lhs rhs =
+  fst
+    (decide_union_with_stats ?max_tracker_states ?max_types ?max_abstractions
+       lhs rhs)
+
+let decide_with_stats ?max_tracker_states ?max_types ?max_abstractions q1 q2 =
+  decide_union_with_stats ?max_tracker_states ?max_types ?max_abstractions
+    [ q1 ] [ q2 ]
+
+let decide ?max_tracker_states ?max_types ?max_abstractions q1 q2 =
+  fst (decide_with_stats ?max_tracker_states ?max_types ?max_abstractions q1 q2)

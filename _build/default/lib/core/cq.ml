@@ -1,0 +1,144 @@
+type var = string
+
+type atom = { src : var; lbl : Word.symbol; dst : var }
+
+type t = { atoms : atom list; free : var list }
+
+let atom src lbl dst = { src; lbl; dst }
+
+let make ~free atoms = { atoms = List.sort_uniq Stdlib.compare atoms; free }
+
+let vars q =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      Hashtbl.replace tbl a.src ();
+      Hashtbl.replace tbl a.dst ())
+    q.atoms;
+  List.iter (fun x -> Hashtbl.replace tbl x ()) q.free;
+  List.sort String.compare (Hashtbl.fold (fun x () l -> x :: l) tbl [])
+
+let nvars q = List.length (vars q)
+
+let is_boolean q = q.free = []
+
+let alphabet q =
+  List.sort_uniq String.compare (List.map (fun a -> a.lbl) q.atoms)
+
+let equal q1 q2 = q1.atoms = q2.atoms && q1.free = q2.free
+
+let to_graph q =
+  let names = Array.of_list (vars q) in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i x -> Hashtbl.replace index x i) names;
+  let edges =
+    List.map
+      (fun a -> (Hashtbl.find index a.src, a.lbl, Hashtbl.find index a.dst))
+      q.atoms
+  in
+  (Graph.make ~nnodes:(Array.length names) edges, names)
+
+let var_node q x =
+  let rec go i = function
+    | [] -> invalid_arg ("Cq.var_node: unknown variable " ^ x)
+    | y :: rest -> if String.equal x y then i else go (i + 1) rest
+  in
+  go 0 (vars q)
+
+let free_nodes q = List.map (var_node q) q.free
+
+let of_graph ?(free = []) g =
+  let name i = "v" ^ string_of_int i in
+  let atoms = List.map (fun (u, a, v) -> atom (name u) a (name v)) (Graph.edges g) in
+  (* keep isolated nodes as variables by mentioning them in atoms or free;
+     isolated non-free nodes are semantically irrelevant for Boolean CQs
+     but we preserve them via a harmless trick: they simply disappear,
+     which matches CQ-as-set-of-atoms semantics. *)
+  make ~free:(List.map name free) atoms
+
+(* Homomorphism search via the generic graph engine, fixing free
+   variables positionally. *)
+let hom_generic ?(distinct_of_pattern = fun _ -> []) ?(injective = false) q1 q2 =
+  if List.length q1.free <> List.length q2.free then false
+  else begin
+    let pattern, pnames = to_graph q1 in
+    let target, _ = to_graph q2 in
+    let pindex = Hashtbl.create 16 in
+    Array.iteri (fun i x -> Hashtbl.replace pindex x i) pnames;
+    let fixed =
+      List.map2
+        (fun x y -> (Hashtbl.find pindex x, var_node q2 y))
+        q1.free q2.free
+    in
+    let distinct_pairs = distinct_of_pattern (pattern, pnames) in
+    Morphism.exists ~fixed ~distinct_pairs ~injective ~pattern ~target ()
+  end
+
+let hom_exists q1 q2 = hom_generic q1 q2
+
+let inj_hom_exists q1 q2 = hom_generic ~injective:true q1 q2
+
+let non_contracting_hom_exists q1 q2 =
+  let distinct (pattern, _) =
+    List.filter_map
+      (fun (u, _, v) -> if u <> v then Some (u, v) else None)
+      (Graph.edges pattern)
+  in
+  hom_generic ~distinct_of_pattern:distinct q1 q2
+
+type with_eq = { base : t; eqs : (var * var) list }
+
+(* union-find over variable names *)
+let classes_of q =
+  let parent = Hashtbl.create 16 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None -> x
+    | Some p ->
+      let r = find p in
+      Hashtbl.replace parent x r;
+      r
+  in
+  let union x y =
+    let rx = find x and ry = find y in
+    if rx <> ry then begin
+      (* keep the smaller name as representative for determinism *)
+      if String.compare rx ry <= 0 then Hashtbl.replace parent ry rx
+      else Hashtbl.replace parent rx ry
+    end
+  in
+  List.iter (fun (x, y) -> union x y) q.eqs;
+  find
+
+let collapse q =
+  let find = classes_of q in
+  let rename x = find x in
+  let atoms =
+    List.map (fun a -> { src = find a.src; lbl = a.lbl; dst = find a.dst }) q.base.atoms
+  in
+  let free = List.map find q.base.free in
+  (make ~free atoms, rename)
+
+let eq_related q x y =
+  let find = classes_of q in
+  String.equal (find x) (find y)
+
+let pp ppf q =
+  let pp_free ppf = function
+    | [] -> Format.pp_print_string ppf "()"
+    | free ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Format.pp_print_string)
+        free
+  in
+  Format.fprintf ppf "Q%a :- " pp_free q.free;
+  if q.atoms = [] then Format.pp_print_string ppf "true"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ∧ ")
+      (fun ppf a -> Format.fprintf ppf "%s -%a-> %s" a.src Word.pp_symbol a.lbl a.dst)
+      ppf q.atoms
+
+let to_string q = Format.asprintf "%a" pp q

@@ -1,0 +1,76 @@
+(** Conjunctive queries over graph databases (Section 2).
+
+    A CQ is a set of atoms {m x \xrightarrow{a} y} with a tuple of free
+    variables (possibly repeated, possibly isolated).  Every CQ can be
+    seen as a graph database; {!to_graph} realizes that view.
+
+    CQs with equality atoms and their canonical collapse {m Q^\equiv}
+    (with the renaming {m \Phi}) implement the machinery used to define
+    expansions and a-inj-expansions. *)
+
+type var = string
+
+type atom = { src : var; lbl : Word.symbol; dst : var }
+
+type t = private { atoms : atom list; free : var list }
+(** [atoms] is duplicate-free and sorted (set semantics). *)
+
+(** [make ~free atoms] builds a CQ; duplicate atoms are removed. *)
+val make : free:var list -> atom list -> t
+
+val atom : var -> Word.symbol -> var -> atom
+
+(** All variables: those of the atoms plus the free ones, sorted. *)
+val vars : t -> var list
+
+val nvars : t -> int
+
+val is_boolean : t -> bool
+
+val alphabet : t -> Word.symbol list
+
+val equal : t -> t -> bool
+
+(** {1 The graph-database view} *)
+
+(** [to_graph q] is the graph of [q] together with the variable of each
+    node ([names.(i)] is the variable of node [i]). *)
+val to_graph : t -> Graph.t * var array
+
+(** Index of a variable in the node numbering of {!to_graph}. *)
+val var_node : t -> var -> int
+
+(** Node tuple of the free variables in the numbering of {!to_graph}. *)
+val free_nodes : t -> int list
+
+(** [of_graph ?free g] names node [i] as ["v<i>"]. *)
+val of_graph : ?free:Graph.node list -> Graph.t -> t
+
+(** {1 Homomorphisms between CQs}
+
+    [h : Q1 → Q2] maps free variables to free variables positionally. *)
+
+val hom_exists : t -> t -> bool
+
+val inj_hom_exists : t -> t -> bool
+
+(** Non-contracting homomorphism (Lemma F.3): no atom between distinct
+    variables is collapsed. *)
+val non_contracting_hom_exists : t -> t -> bool
+
+(** {1 CQs with equality atoms} *)
+
+type with_eq = { base : t; eqs : (var * var) list }
+
+(** [collapse q] computes {m Q^\equiv} and the canonical renaming
+    {m \Phi} (represented as a function on variables; identity on
+    variables not in [q]). *)
+val collapse : with_eq -> t * (var -> var)
+
+(** [x =_Q y]: does the reflexive-symmetric-transitive closure of the
+    equality atoms relate [x] and [y]? *)
+val eq_related : with_eq -> var -> var -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,234 @@
+type var = string
+
+type atom = { src : var; lang : Regex.t; dst : var }
+
+type t = { atoms : atom list; free : var list }
+
+(* Atoms are kept sorted but NOT deduplicated: under query-injective
+   semantics two syntactically identical atoms demand two internally
+   disjoint paths, so duplicates are not idempotent (unlike CQ atoms,
+   which denote single edges). *)
+let make ~free atoms = { atoms = List.sort Stdlib.compare atoms; free }
+
+let atom src lang dst = { src; lang; dst }
+
+let atom' src re dst = { src; lang = Regex.parse re; dst }
+
+let vars q =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      Hashtbl.replace tbl a.src ();
+      Hashtbl.replace tbl a.dst ())
+    q.atoms;
+  List.iter (fun x -> Hashtbl.replace tbl x ()) q.free;
+  List.sort String.compare (Hashtbl.fold (fun x () l -> x :: l) tbl [])
+
+let is_boolean q = q.free = []
+
+let alphabet q =
+  List.sort_uniq String.compare
+    (List.concat_map (fun a -> Regex.alphabet a.lang) q.atoms)
+
+let size q = List.length q.atoms
+
+type cls = Class_cq | Class_fin | Class_crpq
+
+let atom_is_symbol a =
+  match a.lang with
+  | Regex.Sym _ -> true
+  | _ -> false
+
+let classify q =
+  if List.for_all atom_is_symbol q.atoms then Class_cq
+  else if List.for_all (fun a -> Regex.is_finite a.lang) q.atoms then Class_fin
+  else Class_crpq
+
+let is_cq q = classify q = Class_cq
+
+let is_finite q = classify q <> Class_crpq
+
+let of_cq (cq : Cq.t) =
+  make ~free:cq.Cq.free
+    (List.map
+       (fun (a : Cq.atom) -> { src = a.Cq.src; lang = Regex.sym a.Cq.lbl; dst = a.Cq.dst })
+       cq.Cq.atoms)
+
+let to_cq q =
+  let convert a =
+    match Regex.words_of_finite a.lang with
+    | [ [ x ] ] -> Some (Cq.atom a.src x a.dst)
+    | _ | (exception Invalid_argument _) -> None
+  in
+  let rec go acc = function
+    | [] -> Some (Cq.make ~free:q.free (List.rev acc))
+    | a :: rest -> begin
+      match convert a with
+      | Some ca -> go (ca :: acc) rest
+      | None -> None
+    end
+  in
+  go [] q.atoms
+
+let nfa_cache : (Regex.t, Nfa.t) Hashtbl.t = Hashtbl.create 64
+
+let nfa lang =
+  match Hashtbl.find_opt nfa_cache lang with
+  | Some n -> n
+  | None ->
+    let n = Nfa.of_regex lang in
+    Hashtbl.add nfa_cache lang n;
+    n
+
+let has_empty_language q =
+  List.exists (fun a -> Regex.is_empty_lang a.lang) q.atoms
+
+(* ------------------------------------------------------------------ *)
+(* Epsilon elimination                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let substitute_var q ~from ~into =
+  let sub x = if String.equal x from then into else x in
+  {
+    atoms = List.map (fun a -> { a with src = sub a.src; dst = sub a.dst }) q.atoms;
+    free = List.map sub q.free;
+  }
+
+let rec remove_once x = function
+  | [] -> []
+  | y :: rest -> if y = x then rest else y :: remove_once x rest
+
+let epsilon_free_disjuncts q =
+  let rec go q =
+    if has_empty_language q then []
+    else begin
+      match List.find_opt (fun a -> Regex.nullable a.lang) q.atoms with
+      | None -> [ make ~free:q.free q.atoms ]
+      | Some a ->
+        let others = remove_once a q.atoms in
+        (* choice 1: the atom takes a non-empty word *)
+        let keep =
+          go { q with atoms = { a with lang = Regex.remove_eps a.lang } :: others }
+        in
+        (* choice 2: the atom takes ε, collapsing its endpoints *)
+        let collapsed =
+          if String.equal a.src a.dst then go { q with atoms = others }
+          else go (substitute_var { q with atoms = others } ~from:a.src ~into:a.dst)
+        in
+        keep @ collapsed
+    end
+  in
+  (* deduplicate structurally *)
+  List.sort_uniq Stdlib.compare (go q)
+
+(* ------------------------------------------------------------------ *)
+(* Concrete syntax                                                      *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let parse str =
+  let fail msg = raise (Parse_error (msg ^ " in " ^ String.escaped str)) in
+  let body, free =
+    match String.index_opt str ':' with
+    | Some i
+      when i + 1 < String.length str
+           && str.[i + 1] = '-'
+           && String.index_opt str '(' <> None
+           && Option.get (String.index_opt str '(') < i -> begin
+      (* head present: Q(x, y) :- body *)
+      let head = String.sub str 0 i in
+      let body = String.sub str (i + 2) (String.length str - i - 2) in
+      match String.index_opt head '(', String.index_opt head ')' with
+      | Some l, Some r when l < r ->
+        let inner = String.sub head (l + 1) (r - l - 1) in
+        let free =
+          String.split_on_char ',' inner
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        in
+        (body, free)
+      | _ -> fail "malformed head"
+    end
+    | _ -> (str, [])
+  in
+  let parse_atom s =
+    let s = String.trim s in
+    (* x -[re]-> y *)
+    match String.index_opt s '[' with
+    | None -> fail ("expected '-[' in atom " ^ s)
+    | Some l ->
+      let rec find_close i depth =
+        if i >= String.length s then fail "unterminated '['"
+        else
+          match s.[i] with
+          | '[' -> find_close (i + 1) (depth + 1)
+          | ']' -> if depth = 0 then i else find_close (i + 1) (depth - 1)
+          | _ -> find_close (i + 1) depth
+      in
+      let r = find_close (l + 1) 0 in
+      let src = String.trim (String.sub s 0 l) in
+      let src =
+        if String.length src > 0 && src.[String.length src - 1] = '-' then
+          String.trim (String.sub src 0 (String.length src - 1))
+        else src
+      in
+      let rest = String.trim (String.sub s (r + 1) (String.length s - r - 1)) in
+      let dst =
+        if String.length rest >= 2 && String.sub rest 0 2 = "->" then
+          String.trim (String.sub rest 2 (String.length rest - 2))
+        else fail ("expected ']->' in atom " ^ s)
+      in
+      if src = "" || dst = "" then fail ("missing variable in atom " ^ s);
+      { src; lang = Regex.parse (String.sub s (l + 1) (r - l - 1)); dst }
+  in
+  (* split the body on commas that are not inside regex brackets *)
+  let split_atoms body =
+    let parts = ref [] in
+    let buf = Buffer.create 32 in
+    let depth = ref 0 in
+    String.iter
+      (fun c ->
+        match c with
+        | '[' ->
+          incr depth;
+          Buffer.add_char buf c
+        | ']' ->
+          decr depth;
+          Buffer.add_char buf c
+        | ',' when !depth = 0 ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+        | c -> Buffer.add_char buf c)
+      body;
+    parts := Buffer.contents buf :: !parts;
+    List.rev !parts
+  in
+  let body = String.trim body in
+  let atoms =
+    if body = "" || body = "true" then []
+    else List.map parse_atom (split_atoms body)
+  in
+  make ~free atoms
+
+let pp ppf q =
+  let pp_free ppf = function
+    | [] -> Format.pp_print_string ppf "()"
+    | free ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Format.pp_print_string)
+        free
+  in
+  Format.fprintf ppf "Q%a :- " pp_free q.free;
+  if q.atoms = [] then Format.pp_print_string ppf "true"
+  else
+    (* comma-separated so that the output re-parses *)
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      (fun ppf a ->
+        Format.fprintf ppf "%s -[%s]-> %s" a.src (Regex.to_string a.lang) a.dst)
+      ppf q.atoms
+
+let to_string q = Format.asprintf "%a" pp q

@@ -1,0 +1,76 @@
+(** Conjunctive regular path queries (Section 2).
+
+    A CRPQ is a conjunction of atoms {m x \xrightarrow{L} y} with
+    regular-expression languages, plus a tuple of (not necessarily
+    distinct) free variables.  The classes of the paper:
+
+    - [CQ]: every language a single symbol;
+    - [CRPQfin]: every language finite (no Kleene star / plus);
+    - [CRPQ]: unrestricted. *)
+
+type var = string
+
+type atom = { src : var; lang : Regex.t; dst : var }
+
+type t = private { atoms : atom list; free : var list }
+(** [atoms] is sorted but may contain duplicates: under query-injective
+    semantics two identical atoms demand two internally disjoint paths,
+    so duplicate atoms are not idempotent. *)
+
+val make : free:var list -> atom list -> t
+
+val atom : var -> Regex.t -> var -> atom
+
+(** Convenience: [atom'] parses the regular expression. *)
+val atom' : var -> string -> var -> atom
+
+val vars : t -> var list
+
+val is_boolean : t -> bool
+
+val alphabet : t -> Word.symbol list
+
+(** Number of atoms. *)
+val size : t -> int
+
+type cls = Class_cq | Class_fin | Class_crpq
+
+val classify : t -> cls
+
+val is_cq : t -> bool
+
+val is_finite : t -> bool
+
+(** Injection of CQs into CRPQs. *)
+val of_cq : Cq.t -> t
+
+(** Partial inverse of {!of_cq}: succeeds when every language is
+    equivalent to a single symbol. *)
+val to_cq : t -> Cq.t option
+
+(** Memoized NFA of an atom's language. *)
+val nfa : Regex.t -> Nfa.t
+
+(** Does some atom denote the empty language (query unsatisfiable)? *)
+val has_empty_language : t -> bool
+
+(** {1 Epsilon elimination}
+
+    Every CRPQ is equivalent (under all semantics, Section 2.1) to a
+    union of {m \varepsilon}-free CRPQs: for each atom whose language
+    contains {m \varepsilon}, either remove {m \varepsilon} from the
+    language or collapse the atom's endpoints.  Unsatisfiable disjuncts
+    (an atom with empty language) are dropped. *)
+val epsilon_free_disjuncts : t -> t list
+
+(** {1 Concrete syntax}
+
+    [Q(x, y) :- x -[(ab)*]-> y, y -[c*]-> x]; the head is optional
+    (Boolean query).  Regular expressions use the {!Regex.parse}
+    syntax. *)
+
+val parse : string -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,45 @@
+(** The evaluation problem (Section 3): is {m \bar v \in Q(G)^\star}?
+
+    Direct evaluators:
+
+    - standard semantics: one reachability relation per atom computed by
+      BFS over the product of the graph with the atom's NFA, then a
+      backtracking join — polynomial per candidate assignment, matching
+      the NL/NP-completeness landscape;
+    - atom-injective: same join over per-atom simple-path relations
+      (each relation entry is an NP witness search);
+    - query-injective: global backtracking that assigns variables
+      injectively and threads pairwise internally-disjoint simple paths;
+    - the two trail semantics (Section 7) replace node- by
+      edge-disjointness.
+
+    The expansion-based evaluators implement Propositions 2.2 / 2.3
+    literally and serve as independent oracles in the test suite. *)
+
+(** [check sem q g tuple] decides {m \bar v \in Q(G)^\star}.
+    @raise Invalid_argument if the tuple arity differs from the number of
+    free variables. *)
+val check : Semantics.t -> Crpq.t -> Graph.t -> Graph.node list -> bool
+
+(** All answer tuples (deduplicated, sorted). *)
+val eval : Semantics.t -> Crpq.t -> Graph.t -> Graph.node list list
+
+(** Boolean evaluation: is the answer set non-empty?  (For a Boolean
+    query this is [check sem q g []].) *)
+val eval_bool : Semantics.t -> Crpq.t -> Graph.t -> bool
+
+(** {1 Expansion-based reference semantics (Props 2.2, 2.3 and their
+    edge-injective analogues)}
+
+    Exponential, meant for small instances and cross-validation. *)
+
+val check_via_expansions :
+  Semantics.t -> Crpq.t -> Graph.t -> Graph.node list -> bool
+
+(** [hom_from_expansion sem e g tuple] decides whether the expansion [e]
+    maps to [(G, tuple)] via a homomorphism of the kind matching [sem]:
+    arbitrary (St), injective (Q_inj), atom-injective (A_inj),
+    per-atom edge-injective (A_edge_inj) or globally edge-injective
+    (Q_edge_inj). *)
+val hom_from_expansion :
+  Semantics.t -> Expansion.expanded -> Graph.t -> Graph.node list -> bool

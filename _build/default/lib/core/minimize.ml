@@ -1,0 +1,53 @@
+let equivalent ?bound sem q1 q2 =
+  match
+    ( Containment.verdict_bool (Containment.decide ?bound sem q1 q2),
+      Containment.verdict_bool (Containment.decide ?bound sem q2 q1) )
+  with
+  | Some a, Some b -> Some (a && b)
+  | _ -> None
+
+let rec remove_once x = function
+  | [] -> []
+  | y :: rest -> if y = x then rest else y :: remove_once x rest
+
+let drop_redundant_atoms ?bound sem q =
+  let rec go (q : Crpq.t) =
+    let try_drop a =
+      let q' = Crpq.make ~free:q.Crpq.free (remove_once a q.Crpq.atoms) in
+      (* dropping an atom can only grow the answer set, so only the
+         backward containment (q' ⊆ q) needs certifying; still check both
+         to stay robust to future semantics *)
+      match equivalent ?bound sem q q' with
+      | Some true -> Some q'
+      | _ -> None
+    in
+    if List.length q.Crpq.atoms <= 1 then q
+    else
+      match List.find_map try_drop q.Crpq.atoms with
+      | Some q' -> go q'
+      | None -> q
+  in
+  go q
+
+let is_satisfiable q = Crpq.epsilon_free_disjuncts q <> []
+
+let prune_languages (q : Crpq.t) =
+  let simplify lang =
+    if Regex.is_empty_lang lang then Regex.empty
+    else begin
+      (* try the state-eliminated regex of the minimal DFA; keep the
+         smaller of the two *)
+      let alphabet = Regex.alphabet lang in
+      match alphabet with
+      | [] -> if Regex.nullable lang then Regex.eps else Regex.empty
+      | _ ->
+        let candidate =
+          Lang_ops.of_nfa
+            (Lang_ops.nfa_of_dfa
+               (Dfa.minimize (Dfa.of_nfa ~alphabet (Nfa.of_regex lang))))
+        in
+        if Regex.size candidate < Regex.size lang then candidate else lang
+    end
+  in
+  Crpq.make ~free:q.Crpq.free
+    (List.map (fun (a : Crpq.atom) -> { a with Crpq.lang = simplify a.Crpq.lang }) q.Crpq.atoms)

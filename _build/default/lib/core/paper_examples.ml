@@ -1,0 +1,51 @@
+let example_21_query = Crpq.parse "Q(x, y) :- x -[(ab)*]-> y, y -[c*]-> x"
+
+(* u = 0, m = 1, w = 2 *)
+let example_21_g =
+  Graph.make ~nnodes:3 [ (0, "a", 1); (1, "b", 2); (2, "c", 1); (1, "c", 0) ]
+
+let example_21_g_tuple = [ 0; 2 ]
+
+(* component 1 (st \ a-inj): u' = 0, s = 1, t = 2, v' = 3; every
+   (ab)*-path from u' to v' must take the b-self-loop at s, repeating s.
+   component 2 (a-inj \ q-inj): a shifted copy of G at nodes 4..6. *)
+let example_21_g' =
+  Graph.make ~nnodes:7
+    [
+      (0, "a", 1);
+      (1, "b", 1);
+      (1, "a", 2);
+      (2, "b", 3);
+      (3, "c", 0);
+      (4, "a", 5);
+      (5, "b", 6);
+      (6, "c", 5);
+      (5, "c", 4);
+    ]
+
+let example_21_g'_tuple_st = [ 0; 3 ]
+
+let example_21_g'_tuple_ainj = [ 4; 6 ]
+
+let example_22_e1 = Expansion.expand example_21_query [| [ "a"; "b" ]; [] |]
+
+let example_22_e2 =
+  Expansion.expand example_21_query [| [ "a"; "b" ]; [ "c" ] |]
+
+let example_47_q1 = Crpq.parse "x -[a]-> y, y -[b]-> z"
+
+let example_47_q2 = Crpq.parse "x -[ab]-> y"
+
+let example_47_q1' = Crpq.parse "x -[a]-> y, x -[b]-> y"
+
+let example_47_q2' = Crpq.parse "x -[a]-> y, u -[b]-> v"
+
+let example_47_expectations =
+  [
+    ("Q1 ⊆ Q2", Semantics.St, example_47_q1, example_47_q2, true);
+    ("Q1 ⊆ Q2", Semantics.Q_inj, example_47_q1, example_47_q2, true);
+    ("Q1 ⊆ Q2", Semantics.A_inj, example_47_q1, example_47_q2, false);
+    ("Q1' ⊆ Q2'", Semantics.St, example_47_q1', example_47_q2', true);
+    ("Q1' ⊆ Q2'", Semantics.A_inj, example_47_q1', example_47_q2', true);
+    ("Q1' ⊆ Q2'", Semantics.Q_inj, example_47_q1', example_47_q2', false);
+  ]

@@ -1,0 +1,56 @@
+(** The running examples of the paper, as executable artefacts.
+
+    These are used by the test suite and by the benchmark harness to
+    regenerate the paper's figures. *)
+
+(** {1 Example 2.1 / Figure 2} *)
+
+(** {m Q(x,y) = x \xrightarrow{(ab)^*} y \wedge y \xrightarrow{c^*} x}. *)
+val example_21_query : Crpq.t
+
+(** The database G: nodes [u=0], [m=1], [w=2]; the {m ab}-path from [u]
+    to [w] and the {m cc}-path back share the internal node [m], so
+    {m (u,w) \in Q(G)^{a\text{-}inj} \setminus Q(G)^{q\text{-}inj}} while
+    {m Q(G)^{st} = Q(G)^{a\text{-}inj}}. *)
+val example_21_g : Graph.t
+
+val example_21_g_tuple : Graph.node list
+
+(** The database G′ separating all three semantics: it contains a
+    component where every {m (ab)^*}-path from [u'] to [v'] repeats a
+    node (a forced {m b}-self-loop), so
+    {m (u',v') \in Q(G')^{st} \setminus Q(G')^{a\text{-}inj}}, and a copy
+    of G for the a-inj/q-inj separation. *)
+val example_21_g' : Graph.t
+
+(** The tuple witnessing {m st \setminus a\text{-}inj} in G′. *)
+val example_21_g'_tuple_st : Graph.node list
+
+(** The tuple witnessing {m a\text{-}inj \setminus q\text{-}inj} in G′. *)
+val example_21_g'_tuple_ainj : Graph.node list
+
+(** {1 Section 2.2: expansions of the running query} *)
+
+(** The expansion {m E_1(x,x) = x \xrightarrow{a} z \wedge z
+    \xrightarrow{b} x} (profile {m ab, \varepsilon}). *)
+val example_22_e1 : Expansion.expanded
+
+(** The expansion {m E_2(x,y) = x \xrightarrow{a} z \wedge z
+    \xrightarrow{b} y \wedge y \xrightarrow{c} x} (profile {m ab, c}). *)
+val example_22_e2 : Expansion.expanded
+
+(** {1 Example 4.7: incomparability of the containment relations} *)
+
+val example_47_q1 : Crpq.t  (** {m x \xrightarrow{a} y \wedge y \xrightarrow{b} z} *)
+
+val example_47_q2 : Crpq.t  (** {m x \xrightarrow{ab} y} *)
+
+val example_47_q1' : Crpq.t  (** {m x \xrightarrow{a} y \wedge x \xrightarrow{b} y} *)
+
+val example_47_q2' : Crpq.t
+(** {m x \xrightarrow{a} y \wedge x' \xrightarrow{b} y'} *)
+
+(** The eight verdicts of Example 4.7 as (name, semantics, lhs, rhs,
+    expected) tuples. *)
+val example_47_expectations :
+  (string * Semantics.t * Crpq.t * Crpq.t * bool) list

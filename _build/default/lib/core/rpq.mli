@@ -1,0 +1,34 @@
+(** Regular path queries: the single-atom fragment
+    {m Q(x,y) = x \xrightarrow{L} y}.
+
+    Under simple-path semantics these are the classic regular simple path
+    queries of Mendelzon–Wood; under standard semantics they are
+    polynomial.  The containment problem for RPQs coincides for all
+    three semantics with regular-language inclusion (observation opening
+    the proof of Proposition F.8). *)
+
+type t = Regex.t
+
+val to_crpq : t -> Crpq.t
+
+(** Pairs {m (u,v)} linked by a path with label in {m L}. *)
+val eval_standard : t -> Graph.t -> (Graph.node * Graph.node) list
+
+(** Pairs linked by a simple path (simple cycle on the diagonal). *)
+val eval_simple_path : t -> Graph.t -> (Graph.node * Graph.node) list
+
+(** Pairs linked by a trail. *)
+val eval_trail : t -> Graph.t -> (Graph.node * Graph.node) list
+
+val check_standard : t -> Graph.t -> Graph.node -> Graph.node -> bool
+
+val check_simple_path : t -> Graph.t -> Graph.node -> Graph.node -> bool
+
+val check_trail : t -> Graph.t -> Graph.node -> Graph.node -> bool
+
+(** A witness simple path, if any. *)
+val witness_simple_path : t -> Graph.t -> Graph.node -> Graph.node -> Path.t option
+
+(** RPQ containment, identical under all five semantics: language
+    inclusion {m L_1 \subseteq L_2}. *)
+val contained : t -> t -> bool

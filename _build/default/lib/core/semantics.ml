@@ -1,0 +1,36 @@
+type t =
+  | St
+  | A_inj
+  | Q_inj
+  | A_edge_inj
+  | Q_edge_inj
+
+let node_semantics = [ St; A_inj; Q_inj ]
+
+let all = [ St; A_inj; Q_inj; A_edge_inj; Q_edge_inj ]
+
+let leq s1 s2 =
+  match s1, s2 with
+  | x, y when x = y -> true
+  | Q_inj, (A_inj | St) | A_inj, St -> true
+  | Q_edge_inj, (A_edge_inj | St) | A_edge_inj, St -> true
+  (* node-injectivity implies edge-injectivity on the same level *)
+  | Q_inj, (A_edge_inj | Q_edge_inj) | A_inj, A_edge_inj -> true
+  | _ -> false
+
+let to_string = function
+  | St -> "st"
+  | A_inj -> "a-inj"
+  | Q_inj -> "q-inj"
+  | A_edge_inj -> "a-edge-inj"
+  | Q_edge_inj -> "q-edge-inj"
+
+let of_string = function
+  | "st" | "standard" -> Some St
+  | "a-inj" | "atom-injective" -> Some A_inj
+  | "q-inj" | "query-injective" -> Some Q_inj
+  | "a-edge-inj" | "atom-trail" -> Some A_edge_inj
+  | "q-edge-inj" | "query-trail" -> Some Q_edge_inj
+  | _ -> None
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)

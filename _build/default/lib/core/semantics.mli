@@ -1,0 +1,32 @@
+(** The CRPQ semantics studied in the paper.
+
+    Section 2.1 defines standard, atom-injective and query-injective
+    semantics; Section 7 sketches the two trail (edge-injective)
+    variants, which this library also implements. *)
+
+type t =
+  | St  (** standard semantics: arbitrary paths, arbitrary mapping *)
+  | A_inj
+      (** atom-injective: each atom mapped to a simple path (simple cycle
+          for {m x \xrightarrow{L} x}); no cross-atom constraint *)
+  | Q_inj
+      (** query-injective: atom-injective plus an injective variable
+          mapping and pairwise internally-disjoint paths *)
+  | A_edge_inj  (** trail per atom (Section 7) *)
+  | Q_edge_inj  (** pairwise edge-disjoint trails (Section 7) *)
+
+(** The three node semantics of the main development. *)
+val node_semantics : t list
+
+val all : t list
+
+(** [leq s1 s2] holds when semantics [s1] is at least as restrictive as
+    [s2] pointwise on every query and database (Remark 2.1's hierarchy:
+    [Q_inj] ⊑ [A_inj] ⊑ [St], and likewise for the edge variants). *)
+val leq : t -> t -> bool
+
+val to_string : t -> string
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit

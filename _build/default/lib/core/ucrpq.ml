@@ -1,0 +1,138 @@
+type t = {
+  disjuncts : Crpq.t list;
+  arity : int;
+}
+
+let make disjuncts =
+  match disjuncts with
+  | [] -> invalid_arg "Ucrpq.make: empty union"
+  | q :: rest ->
+    let arity = List.length q.Crpq.free in
+    List.iter
+      (fun (p : Crpq.t) ->
+        if List.length p.Crpq.free <> arity then
+          invalid_arg "Ucrpq.make: disjuncts of different arities")
+      rest;
+    { disjuncts; arity }
+
+let of_crpq q = make [ q ]
+
+let empty ~arity =
+  let vars = List.init (max arity 1) (fun i -> Printf.sprintf "x%d" i) in
+  let free = List.init arity (fun i -> List.nth vars (min i (List.length vars - 1))) in
+  (* a single unsatisfiable disjunct *)
+  make [ Crpq.make ~free [ Crpq.atom (List.hd vars) Regex.empty (List.hd vars) ] ]
+
+let union u1 u2 =
+  if u1.arity <> u2.arity then invalid_arg "Ucrpq.union: arity mismatch";
+  { disjuncts = u1.disjuncts @ u2.disjuncts; arity = u1.arity }
+
+let classify u =
+  List.fold_left
+    (fun acc q ->
+      match acc, Crpq.classify q with
+      | Crpq.Class_crpq, _ | _, Crpq.Class_crpq -> Crpq.Class_crpq
+      | Crpq.Class_fin, _ | _, Crpq.Class_fin -> Crpq.Class_fin
+      | Crpq.Class_cq, Crpq.Class_cq -> Crpq.Class_cq)
+    Crpq.Class_cq u.disjuncts
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let eval sem u g =
+  List.sort_uniq compare (List.concat_map (fun q -> Eval.eval sem q g) u.disjuncts)
+
+let check sem u g tuple = List.exists (fun q -> Eval.check sem q g tuple) u.disjuncts
+
+let eval_bool sem u g = List.exists (fun q -> Eval.eval_bool sem q g) u.disjuncts
+
+(* ------------------------------------------------------------------ *)
+(* Containment                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let is_counterexample_union sem rhs (e : Expansion.expanded) =
+  let g, tuple = Expansion.to_graph e in
+  List.for_all (fun r -> not (Eval.check sem r g tuple)) rhs
+
+(* search the ★-expansion space of one left disjunct for a counterexample
+   defeating every right disjunct *)
+let search_disjunct sem ~star_expansions rhs d1 =
+  let rec go = function
+    | [] -> None
+    | e :: more ->
+      if is_counterexample_union sem rhs e then
+        Some
+          {
+            Containment.expansion = e;
+            tuple = snd (Expansion.to_graph e);
+          }
+      else go more
+  in
+  go (star_expansions d1)
+
+let expansion_space sem max_len_opt q =
+  match sem, max_len_opt with
+  | (Semantics.St | Semantics.Q_inj), None -> Expansion.finite_expansions q
+  | Semantics.A_inj, None -> Expansion.finite_ainj_expansions q
+  | (Semantics.St | Semantics.Q_inj), Some max_len ->
+    Expansion.expansions ~max_len q
+  | Semantics.A_inj, Some max_len -> Expansion.ainj_expansions ~max_len q
+  | (Semantics.A_edge_inj | Semantics.Q_edge_inj), _ ->
+    invalid_arg "Ucrpq.contained: edge semantics not supported (Section 7)"
+
+let contained ?(bound = 4) sem u1 u2 =
+  if u1.arity <> u2.arity then
+    invalid_arg "Ucrpq.contained: unions of different arities";
+  (match sem with
+  | Semantics.St | Semantics.A_inj | Semantics.Q_inj -> ()
+  | Semantics.A_edge_inj | Semantics.Q_edge_inj ->
+    invalid_arg "Ucrpq.contained: edge semantics not supported (Section 7)");
+  let lhs = u1.disjuncts and rhs = u2.disjuncts in
+  let all_finite = List.for_all Crpq.is_finite lhs in
+  if sem = Semantics.Q_inj && not all_finite then begin
+    match Containment_qinj.decide_union lhs rhs with
+    | Containment_qinj.Qinj_contained -> Containment.Contained
+    | Containment_qinj.Qinj_not_contained e ->
+      Containment.Not_contained
+        { Containment.expansion = e; tuple = snd (Expansion.to_graph e) }
+    | exception Containment_qinj.Unsupported msg ->
+      Containment.Unknown ("abstraction algorithm unsupported: " ^ msg)
+  end
+  else begin
+    let max_len_opt = if all_finite then None else Some bound in
+    let star_expansions q =
+      List.concat_map
+        (expansion_space sem max_len_opt)
+        (Crpq.epsilon_free_disjuncts q)
+    in
+    let rec go = function
+      | [] ->
+        if all_finite then Containment.Contained
+        else
+          Containment.Unknown
+            (Printf.sprintf "no counterexample with atom words of length <= %d"
+               bound)
+      | d1 :: rest -> begin
+        match search_disjunct sem ~star_expansions rhs d1 with
+        | Some w -> Containment.Not_contained w
+        | None -> go rest
+      end
+    in
+    go lhs
+  end
+
+let equivalent ?bound sem u1 u2 =
+  match
+    ( Containment.verdict_bool (contained ?bound sem u1 u2),
+      Containment.verdict_bool (contained ?bound sem u2 u1) )
+  with
+  | Some a, Some b -> Some (a && b)
+  | _ -> None
+
+let pp ppf u =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "  ∨  ")
+    Crpq.pp ppf u.disjuncts
+
+let to_string u = Format.asprintf "%a" pp u

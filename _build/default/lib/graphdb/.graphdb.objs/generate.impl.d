@@ -1,0 +1,1 @@
+lib/graphdb/generate.ml: Array Graph List Random

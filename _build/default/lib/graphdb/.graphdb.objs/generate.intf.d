@@ -1,0 +1,1 @@
+lib/graphdb/generate.mli: Graph Random Word

@@ -1,0 +1,1 @@
+lib/graphdb/graph.ml: Array Buffer Format Hashtbl List Printf Stdlib String Word

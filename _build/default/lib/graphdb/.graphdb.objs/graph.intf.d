@@ -1,0 +1,1 @@
+lib/graphdb/graph.mli: Format Word

@@ -1,0 +1,1 @@
+lib/graphdb/graph_io.ml: Buffer Graph List Printf String

@@ -1,0 +1,1 @@
+lib/graphdb/graph_io.mli: Graph

@@ -1,0 +1,1 @@
+lib/graphdb/morphism.ml: Array Graph List Queue String

@@ -1,0 +1,1 @@
+lib/graphdb/morphism.mli: Graph

@@ -1,0 +1,1 @@
+lib/graphdb/path.ml: Format Graph List Stdlib Word

@@ -1,0 +1,1 @@
+lib/graphdb/path.mli: Format Graph Word

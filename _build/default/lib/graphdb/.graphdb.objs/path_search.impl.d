@@ -1,0 +1,1 @@
+lib/graphdb/path_search.ml: Array Graph Hashtbl List Nfa Path Queue String

@@ -1,0 +1,1 @@
+lib/graphdb/path_search.mli: Graph Nfa Path

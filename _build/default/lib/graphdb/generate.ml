@@ -1,0 +1,79 @@
+let line w =
+  let n = List.length w + 1 in
+  let edges = List.mapi (fun i a -> (i, a, i + 1)) w in
+  Graph.make ~nnodes:n edges
+
+let cycle w =
+  match w with
+  | [] -> Graph.make ~nnodes:1 []
+  | _ ->
+    let n = List.length w in
+    let edges = List.mapi (fun i a -> (i, a, (i + 1) mod n)) w in
+    Graph.make ~nnodes:n edges
+
+let gnp ~rng ~nodes ~labels ~p =
+  let edges = ref [] in
+  for u = 0 to nodes - 1 do
+    for v = 0 to nodes - 1 do
+      List.iter
+        (fun a -> if Random.State.float rng 1.0 < p then edges := (u, a, v) :: !edges)
+        labels
+    done
+  done;
+  Graph.make ~nnodes:nodes !edges
+
+let layered ~rng ~width ~depth ~labels =
+  let nodes = width * depth in
+  let labels = Array.of_list labels in
+  let pick_label () = labels.(Random.State.int rng (Array.length labels)) in
+  let edges = ref [] in
+  for layer = 0 to depth - 2 do
+    for i = 0 to width - 1 do
+      let u = (layer * width) + i in
+      let fanout = 1 + Random.State.int rng 3 in
+      for _ = 1 to fanout do
+        let v = ((layer + 1) * width) + Random.State.int rng width in
+        edges := (u, pick_label (), v) :: !edges
+      done
+    done
+  done;
+  Graph.make ~nnodes:(max nodes 1) !edges
+
+let lollipop ~handle ~cycle_len ~label =
+  let n = handle + cycle_len in
+  let edges = ref [] in
+  for i = 0 to handle - 1 do
+    edges := (i, label, i + 1) :: !edges
+  done;
+  for i = 0 to cycle_len - 1 do
+    let u = handle + i in
+    let v = handle + ((i + 1) mod cycle_len) in
+    edges := (u, label, v) :: !edges
+  done;
+  (* connect handle end into the cycle *)
+  let edges = if handle > 0 then (handle - 1, label, handle) :: !edges else !edges in
+  Graph.make ~nnodes:(max n 1) edges
+
+let clique ~nodes ~label =
+  let edges = ref [] in
+  for u = 0 to nodes - 1 do
+    for v = 0 to nodes - 1 do
+      if u <> v then edges := (u, label, v) :: !edges
+    done
+  done;
+  Graph.make ~nnodes:(max nodes 1) !edges
+
+let grid ~rows ~cols ~right ~down =
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, right, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, down, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.make ~nnodes:(max (rows * cols) 1) !edges
+
+let random_word ~rng ~labels ~len =
+  let labels = Array.of_list labels in
+  List.init len (fun _ -> labels.(Random.State.int rng (Array.length labels)))

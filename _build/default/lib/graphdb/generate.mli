@@ -1,0 +1,41 @@
+(** Synthetic graph database generators for tests, examples and the
+    benchmark workloads. *)
+
+(** Directed path whose edge labels spell the given word; node [0] is the
+    source, node [|w|] the target. *)
+val line : Word.t -> Graph.t
+
+(** Directed cycle spelling the word; node [0] is both source and
+    target.  The empty word gives a single node with no edges. *)
+val cycle : Word.t -> Graph.t
+
+(** [gnp ~rng ~nodes ~labels ~p] draws each labelled edge (including
+    self-loops) independently with probability [p]. *)
+val gnp :
+  rng:Random.State.t -> nodes:int -> labels:Word.symbol list -> p:float -> Graph.t
+
+(** [layered ~rng ~width ~depth ~labels] generates a layered DAG: every
+    node of layer [i] points to 1–3 random nodes of layer [i+1] with
+    random labels.  Useful for acyclic workloads. *)
+val layered :
+  rng:Random.State.t ->
+  width:int ->
+  depth:int ->
+  labels:Word.symbol list ->
+  Graph.t
+
+(** [lollipop ~handle ~cycle_len ~label] is a path of length [handle]
+    feeding a directed cycle of length [cycle_len], all edges with the
+    same label: the classic hard family for simple-path semantics. *)
+val lollipop : handle:int -> cycle_len:int -> label:Word.symbol -> Graph.t
+
+(** [clique ~nodes ~label] has a [label] edge between every ordered pair
+    of distinct nodes. *)
+val clique : nodes:int -> label:Word.symbol -> Graph.t
+
+(** [grid ~rows ~cols ~right ~down] rectangular grid with [right] edges
+    across a row and [down] edges down a column. *)
+val grid : rows:int -> cols:int -> right:Word.symbol -> down:Word.symbol -> Graph.t
+
+(** A random word over the given labels. *)
+val random_word : rng:Random.State.t -> labels:Word.symbol list -> len:int -> Word.t

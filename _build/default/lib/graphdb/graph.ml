@@ -1,0 +1,134 @@
+type node = int
+
+type edge = node * Word.symbol * node
+
+type t = {
+  nnodes : int;
+  edges : edge list;
+  out : (Word.symbol * node) list array;
+  in_ : (Word.symbol * node) list array;
+}
+
+let make ~nnodes edge_list =
+  let edges = List.sort_uniq Stdlib.compare edge_list in
+  List.iter
+    (fun (u, _, v) ->
+      if u < 0 || u >= nnodes || v < 0 || v >= nnodes then
+        invalid_arg "Graph.make: node out of range")
+    edges;
+  let out = Array.make (max nnodes 1) [] in
+  let in_ = Array.make (max nnodes 1) [] in
+  List.iter
+    (fun (u, a, v) ->
+      out.(u) <- (a, v) :: out.(u);
+      in_.(v) <- (a, u) :: in_.(v))
+    edges;
+  { nnodes; edges; out; in_ }
+
+let of_edges edge_list =
+  let nnodes =
+    List.fold_left (fun m (u, _, v) -> max m (max u v + 1)) 0 edge_list
+  in
+  make ~nnodes edge_list
+
+let empty = make ~nnodes:0 []
+
+let nnodes g = g.nnodes
+
+let nedges g = List.length g.edges
+
+let nodes g = List.init g.nnodes (fun i -> i)
+
+let edges g = g.edges
+
+let out g u = if u < 0 || u >= g.nnodes then [] else g.out.(u)
+
+let in_ g v = if v < 0 || v >= g.nnodes then [] else g.in_.(v)
+
+let mem_edge g u a v =
+  List.exists (fun (b, w) -> String.equal a b && w = v) (out g u)
+
+let out_degree g u = List.length (out g u)
+
+let in_degree g u = List.length (in_ g u)
+
+let succ g u a =
+  List.filter_map (fun (b, v) -> if String.equal a b then Some v else None) (out g u)
+
+let alphabet g =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (_, a, _) -> Hashtbl.replace tbl a ()) g.edges;
+  List.sort String.compare (Hashtbl.fold (fun a () l -> a :: l) tbl [])
+
+let add_edges g new_edges =
+  let nnodes =
+    List.fold_left (fun m (u, _, v) -> max m (max u v + 1)) g.nnodes new_edges
+  in
+  make ~nnodes (new_edges @ g.edges)
+
+let disjoint_union g h =
+  let shift = g.nnodes in
+  let shifted = List.map (fun (u, a, v) -> (u + shift, a, v + shift)) h.edges in
+  (make ~nnodes:(g.nnodes + h.nnodes) (g.edges @ shifted), shift)
+
+let induced g keep =
+  let remap = Array.make (max g.nnodes 1) (-1) in
+  let count = ref 0 in
+  for u = 0 to g.nnodes - 1 do
+    if keep u then begin
+      remap.(u) <- !count;
+      incr count
+    end
+  done;
+  let edges =
+    List.filter_map
+      (fun (u, a, v) ->
+        if keep u && keep v then Some (remap.(u), a, remap.(v)) else None)
+      g.edges
+  in
+  (make ~nnodes:!count edges, remap)
+
+let components g =
+  let seen = Array.make (max g.nnodes 1) false in
+  let comp u0 =
+    let acc = ref [] in
+    let rec go u =
+      if not seen.(u) then begin
+        seen.(u) <- true;
+        acc := u :: !acc;
+        List.iter (fun (_, v) -> go v) g.out.(u);
+        List.iter (fun (_, v) -> go v) g.in_.(u)
+      end
+    in
+    go u0;
+    List.rev !acc
+  in
+  let res = ref [] in
+  for u = 0 to g.nnodes - 1 do
+    if not seen.(u) then res := comp u :: !res
+  done;
+  List.rev !res
+
+let is_connected g = List.length (components g) <= 1
+
+let equal g h = g.nnodes = h.nnodes && g.edges = h.edges
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph: %d nodes@," g.nnodes;
+  List.iter
+    (fun (u, a, v) -> Format.fprintf ppf "%d -%a-> %d@," u Word.pp_symbol a v)
+    g.edges;
+  Format.fprintf ppf "@]"
+
+let to_dot ?(name = "G") g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  List.iter
+    (fun u -> Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%d\"];\n" u u))
+    (nodes g);
+  List.iter
+    (fun (u, a, v) ->
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d [label=\"%s\"];\n" u v a))
+    g.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

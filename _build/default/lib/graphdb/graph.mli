@@ -1,0 +1,72 @@
+(** Graph databases: finite edge-labeled directed graphs {m G = (V, E)}
+    over a finite alphabet, the data model of the paper (Section 2).
+
+    Nodes are integers [0 .. nnodes-1].  Edges are triples
+    {m u \xrightarrow{a} v}; the edge set is a set (no duplicates). *)
+
+type node = int
+
+type edge = node * Word.symbol * node
+
+type t
+
+(** [make ~nnodes edges] builds a graph with nodes [0..nnodes-1].
+    Duplicate edges are removed.
+    @raise Invalid_argument if an edge mentions a node out of range. *)
+val make : nnodes:int -> edge list -> t
+
+(** [of_edges edges] uses [1 + max node] as the node count. *)
+val of_edges : edge list -> t
+
+val empty : t
+
+val nnodes : t -> int
+
+val nedges : t -> int
+
+val nodes : t -> node list
+
+val edges : t -> edge list
+
+val mem_edge : t -> node -> Word.symbol -> node -> bool
+
+(** Outgoing [(label, successor)] pairs. *)
+val out : t -> node -> (Word.symbol * node) list
+
+(** Incoming [(label, predecessor)] pairs. *)
+val in_ : t -> node -> (Word.symbol * node) list
+
+val out_degree : t -> node -> int
+
+val in_degree : t -> node -> int
+
+(** Successors of a node on a given label. *)
+val succ : t -> node -> Word.symbol -> node list
+
+val alphabet : t -> Word.symbol list
+
+(** [add_edges g edges] returns a graph extended with the given edges
+    (growing the node count if needed). *)
+val add_edges : t -> edge list -> t
+
+(** [disjoint_union g h] shifts the nodes of [h] by [nnodes g]; returns
+    the union and the shift. *)
+val disjoint_union : t -> t -> t * int
+
+(** Subgraph induced by the nodes satisfying the predicate, with nodes
+    renumbered; returns the graph and the old-to-new node mapping
+    ([-1] when dropped). *)
+val induced : t -> (node -> bool) -> t * int array
+
+(** Undirected connectivity of the underlying graph. *)
+val is_connected : t -> bool
+
+(** Weakly-connected components as node lists. *)
+val components : t -> node list list
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** GraphViz dot output. *)
+val to_dot : ?name:string -> t -> string

@@ -1,0 +1,46 @@
+let of_string text =
+  let edges = ref [] in
+  let lineno = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         incr lineno;
+         let line = String.trim line in
+         if line <> "" && line.[0] <> '#' then begin
+           match
+             String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+           with
+           | [ u; lbl; v ] -> begin
+             match int_of_string_opt u, int_of_string_opt v with
+             | Some u, Some v -> edges := (u, lbl, v) :: !edges
+             | _ ->
+               invalid_arg
+                 (Printf.sprintf "Graph_io: bad node id on line %d" !lineno)
+           end
+           | _ ->
+             invalid_arg
+               (Printf.sprintf "Graph_io: expected 'src label dst' on line %d"
+                  !lineno)
+         end);
+  Graph.of_edges (List.rev !edges)
+
+let to_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "# graph database: %d nodes, %d edges\n" (Graph.nnodes g)
+       (Graph.nedges g));
+  List.iter
+    (fun (u, a, v) -> Buffer.add_string buf (Printf.sprintf "%d %s %d\n" u a v))
+    (Graph.edges g);
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s
+
+let save path g =
+  let oc = open_out path in
+  output_string oc (to_string g);
+  close_out oc

@@ -1,0 +1,13 @@
+(** Plain-text serialization of graph databases.
+
+    Format: one edge per line, [src label dst] separated by whitespace;
+    blank lines and lines starting with [#] are ignored.  Node ids are
+    non-negative integers; labels follow the {!Word} symbol syntax. *)
+
+val of_string : string -> Graph.t
+
+val to_string : Graph.t -> string
+
+val load : string -> Graph.t
+
+val save : string -> Graph.t -> unit

@@ -1,0 +1,81 @@
+(** Homomorphisms between edge-labeled graphs.
+
+    The paper's characterizations reduce evaluation and containment to
+    the existence of homomorphisms with various injectivity constraints:
+
+    - plain homomorphisms (standard semantics, Prop 4.2);
+    - injective homomorphisms (query-injective semantics, Props 2.2 and
+      4.3; NP-complete as subgraph isomorphism);
+    - homomorphisms injective on a given set of pairs — this captures
+      both atom-injective homomorphisms (injective on φ-atom-related
+      pairs, Section 2.2) and non-contracting homomorphisms (Lemma F.3).
+
+    The search is a backtracking CSP with label-profile filtering and
+    forward constraint checking, over a [pattern] graph mapped into a
+    [target] graph. *)
+
+type mapping = int array
+(** [mapping.(x)] is the image of pattern node [x]. *)
+
+(** [iter ~pattern ~target f] calls [f] on every homomorphism.
+
+    @param fixed pre-assigned pattern→target pairs (free variables).
+    @param distinct_pairs pattern node pairs that must receive distinct
+    images.
+    @param distinct_edge_groups groups of pattern edges; within each
+    group, distinct pattern edges must map to distinct target edges
+    (edge-injective homomorphisms: one group per atom expansion for
+    atom-trail semantics, a single group of all edges for query-trail
+    semantics).
+    @param injective require global injectivity. *)
+val iter :
+  ?fixed:(int * int) list ->
+  ?distinct_pairs:(int * int) list ->
+  ?distinct_edge_groups:Graph.edge list list ->
+  ?injective:bool ->
+  pattern:Graph.t ->
+  target:Graph.t ->
+  (mapping -> unit) ->
+  unit
+
+val find :
+  ?fixed:(int * int) list ->
+  ?distinct_pairs:(int * int) list ->
+  ?distinct_edge_groups:Graph.edge list list ->
+  ?injective:bool ->
+  pattern:Graph.t ->
+  target:Graph.t ->
+  unit ->
+  mapping option
+
+val exists :
+  ?fixed:(int * int) list ->
+  ?distinct_pairs:(int * int) list ->
+  ?distinct_edge_groups:Graph.edge list list ->
+  ?injective:bool ->
+  pattern:Graph.t ->
+  target:Graph.t ->
+  unit ->
+  bool
+
+(** Count all homomorphisms (for tests and statistics). *)
+val count :
+  ?fixed:(int * int) list ->
+  ?distinct_pairs:(int * int) list ->
+  ?distinct_edge_groups:Graph.edge list list ->
+  ?injective:bool ->
+  pattern:Graph.t ->
+  target:Graph.t ->
+  unit ->
+  int
+
+(** [is_homomorphism ~pattern ~target m] checks the defining property
+    pointwise (used as an oracle in tests). *)
+val is_homomorphism : pattern:Graph.t -> target:Graph.t -> mapping -> bool
+
+(** Subgraph isomorphism: injective homomorphism existence. *)
+val subgraph_iso : pattern:Graph.t -> target:Graph.t -> bool
+
+(** Non-contracting homomorphism: no edge of the pattern between two
+    distinct nodes is collapsed (Lemma F.3). *)
+val exists_non_contracting : pattern:Graph.t -> target:Graph.t -> bool

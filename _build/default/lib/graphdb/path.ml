@@ -1,0 +1,64 @@
+type t = {
+  src : Graph.node;
+  steps : (Word.symbol * Graph.node) list;
+}
+
+let empty src = { src; steps = [] }
+
+let src p = p.src
+
+let tgt p =
+  match List.rev p.steps with
+  | [] -> p.src
+  | (_, v) :: _ -> v
+
+let length p = List.length p.steps
+
+let label p = List.map fst p.steps
+
+let nodes p = p.src :: List.map snd p.steps
+
+let internal_nodes p =
+  match p.steps with
+  | [] -> []
+  | steps ->
+    let rec drop_last = function
+      | [] | [ _ ] -> []
+      | x :: rest -> x :: drop_last rest
+    in
+    List.map snd (drop_last steps)
+
+let edges p =
+  let rec go u = function
+    | [] -> []
+    | (a, v) :: rest -> (u, a, v) :: go v rest
+  in
+  go p.src p.steps
+
+let all_distinct l =
+  let sorted = List.sort Stdlib.compare l in
+  let rec go = function
+    | a :: (b :: _ as rest) -> a <> b && go rest
+    | _ -> true
+  in
+  go sorted
+
+let is_simple p = all_distinct (nodes p)
+
+let is_simple_cycle p =
+  match p.steps with
+  | [] -> true
+  | _ ->
+    tgt p = p.src
+    && all_distinct (p.src :: internal_nodes p)
+
+let is_trail p = all_distinct (edges p)
+
+let append p a v = { p with steps = p.steps @ [ (a, v) ] }
+
+let valid_in g p =
+  List.for_all (fun (u, a, v) -> Graph.mem_edge g u a v) (edges p)
+
+let pp ppf p =
+  Format.fprintf ppf "%d" p.src;
+  List.iter (fun (a, v) -> Format.fprintf ppf " -%a-> %d" Word.pp_symbol a v) p.steps

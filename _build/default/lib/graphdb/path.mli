@@ -1,0 +1,44 @@
+(** Paths in a graph database (Section 2: a possibly empty sequence of
+    edges {m v_0 \xrightarrow{a_1} v_1, \dots}). *)
+
+type t = {
+  src : Graph.node;
+  steps : (Word.symbol * Graph.node) list;  (** consecutive edges *)
+}
+
+val empty : Graph.node -> t
+
+val src : t -> Graph.node
+
+val tgt : t -> Graph.node
+
+val length : t -> int
+
+(** The label {m a_1 \cdots a_k}; [ε] for the empty path. *)
+val label : t -> Word.t
+
+(** All visited nodes, in order: {m v_0, \dots, v_k}. *)
+val nodes : t -> Graph.node list
+
+(** Strictly internal nodes {m v_1, \dots, v_{k-1}}. *)
+val internal_nodes : t -> Graph.node list
+
+val edges : t -> Graph.edge list
+
+(** All {m v_i} pairwise distinct. *)
+val is_simple : t -> bool
+
+(** {m v_0 = v_k} and {m v_0, \dots, v_{k-1}} pairwise distinct
+    (the empty path is a simple cycle). *)
+val is_simple_cycle : t -> bool
+
+(** No repeated edges. *)
+val is_trail : t -> bool
+
+(** [append p a v] extends the path with an edge {m tgt(p) \xrightarrow{a} v}. *)
+val append : t -> Word.symbol -> Graph.node -> t
+
+(** Does every edge of the path exist in the graph? *)
+val valid_in : Graph.t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,230 @@
+type node = Graph.node
+
+exception Found
+
+(* ------------------------------------------------------------------ *)
+(* Standard semantics: BFS over the product graph × automaton.         *)
+(* ------------------------------------------------------------------ *)
+
+(* Product states are coded as [u * nstates + q]. *)
+let product_bfs g nfa srcs =
+  let n = Graph.nnodes g in
+  let m = nfa.Nfa.nstates in
+  let seen = Array.make (max (n * m) 1) false in
+  let queue = Queue.create () in
+  let push u q =
+    let c = (u * m) + q in
+    if not seen.(c) then begin
+      seen.(c) <- true;
+      Queue.add (u, q) queue
+    end
+  in
+  List.iter (fun (u, q) -> push u q) srcs;
+  while not (Queue.is_empty queue) do
+    let u, q = Queue.pop queue in
+    List.iter
+      (fun (a, v) ->
+        List.iter
+          (fun (b, q') -> if String.equal a b then push v q')
+          nfa.Nfa.delta.(q))
+      (Graph.out g u)
+  done;
+  seen
+
+let reachable g nfa src =
+  let m = nfa.Nfa.nstates in
+  let starts = List.map (fun q -> (src, q)) nfa.Nfa.initials in
+  let seen = product_bfs g nfa starts in
+  List.filter
+    (fun v ->
+      List.exists (fun q -> nfa.Nfa.finals.(q) && seen.((v * m) + q)) (List.init m (fun i -> i)))
+    (Graph.nodes g)
+
+let reach_relation g nfa =
+  let n = Graph.nnodes g in
+  let rel = Array.make_matrix (max n 1) (max n 1) false in
+  List.iter
+    (fun u -> List.iter (fun v -> rel.(u).(v) <- true) (reachable g nfa u))
+    (Graph.nodes g);
+  rel
+
+let exists_path g nfa ~src ~dst =
+  List.mem dst (reachable g nfa src)
+
+let find_path g nfa ~src ~dst =
+  (* BFS with parent pointers over the product. *)
+  let m = nfa.Nfa.nstates in
+  let n = Graph.nnodes g in
+  if n = 0 then None
+  else begin
+    let parent = Array.make (n * m) None in
+    let seen = Array.make (n * m) false in
+    let queue = Queue.create () in
+    let push u q from =
+      let c = (u * m) + q in
+      if not seen.(c) then begin
+        seen.(c) <- true;
+        parent.(c) <- from;
+        Queue.add (u, q) queue
+      end
+    in
+    List.iter (fun q -> push src q None) nfa.Nfa.initials;
+    let goal = ref None in
+    while (not (Queue.is_empty queue)) && !goal = None do
+      let u, q = Queue.pop queue in
+      if u = dst && nfa.Nfa.finals.(q) then goal := Some (u, q)
+      else
+        List.iter
+          (fun (a, v) ->
+            List.iter
+              (fun (b, q') -> if String.equal a b then push v q' (Some (u, q, a)))
+              nfa.Nfa.delta.(q))
+          (Graph.out g u)
+    done;
+    match !goal with
+    | None -> None
+    | Some (u0, q0) ->
+      let rec build u q acc =
+        match parent.((u * m) + q) with
+        | None -> { Path.src = u; steps = acc }
+        | Some (pu, pq, a) -> build pu pq ((a, u) :: acc)
+      in
+      Some (build u0 q0 [])
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Simple paths: backtracking with product-reachability pruning.       *)
+(* ------------------------------------------------------------------ *)
+
+(* Backward product reachability towards (dst, some final state): a
+   necessary condition for the pruned forward search. *)
+let co_reach g nfa dst =
+  let m = nfa.Nfa.nstates in
+  let n = Graph.nnodes g in
+  let seen = Array.make (max (n * m) 1) false in
+  let queue = Queue.create () in
+  let push u q =
+    let c = (u * m) + q in
+    if not seen.(c) then begin
+      seen.(c) <- true;
+      Queue.add (u, q) queue
+    end
+  in
+  Array.iteri (fun q f -> if f then push dst q) nfa.Nfa.finals;
+  (* backward edges of the product *)
+  while not (Queue.is_empty queue) do
+    let v, q' = Queue.pop queue in
+    List.iter
+      (fun (a, u) ->
+        for q = 0 to m - 1 do
+          if List.exists (fun (b, t) -> t = q' && String.equal a b) nfa.Nfa.delta.(q)
+          then push u q
+        done)
+      (Graph.in_ g v)
+  done;
+  seen
+
+let iter_simple ?(avoid_internal = fun _ -> false) g nfa ~src ~dst f =
+  let n = Graph.nnodes g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then ()
+  else begin
+    if src = dst && Nfa.accepts_eps nfa then f (Path.empty src);
+    let m = nfa.Nfa.nstates in
+    let coreach = co_reach g nfa dst in
+    let visited = Array.make n false in
+    visited.(src) <- true;
+    let rec go u states rev_steps =
+      List.iter
+        (fun (a, v) ->
+          let states' = Nfa.next_set nfa states a in
+          if states' <> [] then begin
+            if v = dst then begin
+              if List.exists (Nfa.is_final nfa) states' then begin
+                let steps = List.rev ((a, v) :: rev_steps) in
+                f { Path.src; steps }
+              end
+            end
+            else if
+              (not visited.(v))
+              && (not (avoid_internal v))
+              && List.exists (fun q -> coreach.((v * m) + q)) states'
+            then begin
+              visited.(v) <- true;
+              go v states' ((a, v) :: rev_steps);
+              visited.(v) <- false
+            end
+          end)
+        (Graph.out g u)
+    in
+    go src nfa.Nfa.initials []
+  end
+
+let find_simple ?avoid_internal g nfa ~src ~dst =
+  let result = ref None in
+  (try
+     iter_simple ?avoid_internal g nfa ~src ~dst (fun p ->
+         result := Some p;
+         raise Found)
+   with Found -> ());
+  !result
+
+let exists_simple ?avoid_internal g nfa ~src ~dst =
+  find_simple ?avoid_internal g nfa ~src ~dst <> None
+
+let all_simple g nfa ~src ~dst =
+  let acc = ref [] in
+  iter_simple g nfa ~src ~dst (fun p -> acc := p :: !acc);
+  List.rev !acc
+
+let simple_reach_relation g nfa =
+  let n = Graph.nnodes g in
+  let rel = Array.make_matrix (max n 1) (max n 1) false in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      rel.(u).(v) <- exists_simple g nfa ~src:u ~dst:v
+    done
+  done;
+  rel
+
+(* ------------------------------------------------------------------ *)
+(* Trails: backtracking over unused edges.                             *)
+(* ------------------------------------------------------------------ *)
+
+let iter_trail ?(avoid_edge = fun _ -> false) g nfa ~src ~dst f =
+  let n = Graph.nnodes g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then ()
+  else begin
+    if src = dst && Nfa.accepts_eps nfa then f (Path.empty src);
+    let used = Hashtbl.create 16 in
+    let rec go u states rev_steps =
+      List.iter
+        (fun (a, v) ->
+          let e = (u, a, v) in
+          if (not (Hashtbl.mem used e)) && not (avoid_edge e) then begin
+            let states' = Nfa.next_set nfa states a in
+            if states' <> [] then begin
+              Hashtbl.add used e ();
+              if v = dst && List.exists (Nfa.is_final nfa) states' then begin
+                let steps = List.rev ((a, v) :: rev_steps) in
+                f { Path.src; steps }
+              end;
+              go v states' ((a, v) :: rev_steps);
+              Hashtbl.remove used e
+            end
+          end)
+        (Graph.out g u)
+    in
+    go src nfa.Nfa.initials []
+  end
+
+let find_trail ?avoid_edge g nfa ~src ~dst =
+  let result = ref None in
+  (try
+     iter_trail ?avoid_edge g nfa ~src ~dst (fun p ->
+         result := Some p;
+         raise Found)
+   with Found -> ());
+  !result
+
+let exists_trail ?avoid_edge g nfa ~src ~dst =
+  find_trail ?avoid_edge g nfa ~src ~dst <> None

@@ -1,0 +1,94 @@
+(** Path queries over graph databases.
+
+    Three path regimes, matching the three RPQ semantics of the paper:
+
+    - arbitrary paths (standard semantics): decidable in polynomial time
+      by BFS over the product of the graph with the NFA;
+    - simple paths / simple cycles (simple-path semantics, the basis of
+      both injective semantics): NP-complete in general
+      (Mendelzon–Wood), implemented as pruned backtracking over the
+      product;
+    - trails (edge-injective semantics, Section 7).
+
+    Conventions for source = target: the empty path counts iff the
+    automaton accepts {m \varepsilon}; otherwise a simple cycle (resp.
+    non-empty trail) is required. *)
+
+type node = Graph.node
+
+(** {1 Arbitrary paths (standard semantics)} *)
+
+(** Nodes reachable from [src] by a path whose label is accepted. *)
+val reachable : Graph.t -> Nfa.t -> node -> node list
+
+(** [reach_relation g nfa].(u).(v) iff some path from [u] to [v] has an
+    accepted label. *)
+val reach_relation : Graph.t -> Nfa.t -> bool array array
+
+val exists_path : Graph.t -> Nfa.t -> src:node -> dst:node -> bool
+
+val find_path : Graph.t -> Nfa.t -> src:node -> dst:node -> Path.t option
+
+(** {1 Simple paths and simple cycles} *)
+
+(** Iterate over all simple paths from [src] to [dst] (simple cycles when
+    [src = dst]) whose label is accepted.  Internal nodes satisfying
+    [avoid_internal] are never used. *)
+val iter_simple :
+  ?avoid_internal:(node -> bool) ->
+  Graph.t ->
+  Nfa.t ->
+  src:node ->
+  dst:node ->
+  (Path.t -> unit) ->
+  unit
+
+val find_simple :
+  ?avoid_internal:(node -> bool) ->
+  Graph.t ->
+  Nfa.t ->
+  src:node ->
+  dst:node ->
+  Path.t option
+
+val exists_simple :
+  ?avoid_internal:(node -> bool) ->
+  Graph.t ->
+  Nfa.t ->
+  src:node ->
+  dst:node ->
+  bool
+
+(** All accepted simple paths (naive enumeration; for tests/oracles). *)
+val all_simple : Graph.t -> Nfa.t -> src:node -> dst:node -> Path.t list
+
+(** [simple_reach_relation g nfa].(u).(v) iff an accepted simple path
+    (simple cycle when [u = v]) links [u] to [v]. *)
+val simple_reach_relation : Graph.t -> Nfa.t -> bool array array
+
+(** {1 Trails} *)
+
+val iter_trail :
+  ?avoid_edge:(Graph.edge -> bool) ->
+  Graph.t ->
+  Nfa.t ->
+  src:node ->
+  dst:node ->
+  (Path.t -> unit) ->
+  unit
+
+val find_trail :
+  ?avoid_edge:(Graph.edge -> bool) ->
+  Graph.t ->
+  Nfa.t ->
+  src:node ->
+  dst:node ->
+  Path.t option
+
+val exists_trail :
+  ?avoid_edge:(Graph.edge -> bool) ->
+  Graph.t ->
+  Nfa.t ->
+  src:node ->
+  dst:node ->
+  bool

@@ -1,0 +1,1 @@
+lib/logic/gcp.ml: Array Format List Printf Random String

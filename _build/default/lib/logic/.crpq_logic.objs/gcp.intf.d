@@ -1,0 +1,1 @@
+lib/logic/gcp.mli: Format Random

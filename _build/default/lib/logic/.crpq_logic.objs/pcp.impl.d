@@ -1,0 +1,1 @@
+lib/logic/pcp.ml: Array Char Format Hashtbl List Printf Queue String

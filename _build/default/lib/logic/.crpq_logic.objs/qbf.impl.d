@@ -1,0 +1,1 @@
+lib/logic/qbf.ml: Array Format List Random

@@ -1,0 +1,1 @@
+lib/logic/qbf.mli: Format Random

@@ -1,0 +1,35 @@
+let coloring ~k ~nvertices edges =
+  let adj = Array.make nvertices [] in
+  List.iter
+    (fun (u, v) ->
+      if u <> v then begin
+        adj.(u) <- v :: adj.(u);
+        adj.(v) <- u :: adj.(v)
+      end)
+    edges;
+  let colors = Array.make nvertices (-1) in
+  let rec go v =
+    if v = nvertices then true
+    else begin
+      let rec try_color c =
+        if c = k then false
+        else if List.for_all (fun u -> colors.(u) <> c) adj.(v) then begin
+          colors.(v) <- c;
+          if go (v + 1) then true
+          else begin
+            colors.(v) <- -1;
+            try_color (c + 1)
+          end
+        end
+        else try_color (c + 1)
+      in
+      try_color 0
+    end
+  in
+  if go 0 then Some colors else None
+
+let k_colorable ~k ~nvertices edges = coloring ~k ~nvertices edges <> None
+
+let odd_cycle m =
+  let m = if m mod 2 = 0 then m + 1 else m in
+  List.init m (fun i -> (i, (i + 1) mod m))

@@ -1,0 +1,12 @@
+(** Graph coloring, the classic source of NP-hardness for CQ containment
+    (Chandra–Merlin, used for the lower bounds cited in Figure 1). *)
+
+(** [k_colorable ~k ~nvertices edges] decides proper {m k}-colorability
+    of the undirected graph. *)
+val k_colorable : k:int -> nvertices:int -> (int * int) list -> bool
+
+(** A witnessing coloring, if any. *)
+val coloring : k:int -> nvertices:int -> (int * int) list -> int array option
+
+(** Odd cycle (not 2-colorable), useful sample. *)
+val odd_cycle : int -> (int * int) list

@@ -1,0 +1,98 @@
+type t = {
+  nvertices : int;
+  edges : (int * int) list;
+  n : int;
+}
+
+let make ~nvertices ~n edges =
+  if n < 2 then invalid_arg "Gcp.make: clique size must be >= 2";
+  let norm (u, v) = if u <= v then (u, v) else (v, u) in
+  let edges =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (u, v) ->
+           if u < 0 || v < 0 || u >= nvertices || v >= nvertices then
+             invalid_arg "Gcp.make: vertex out of range"
+           else if u = v then None
+           else Some (norm (u, v)))
+         edges)
+  in
+  { nvertices; edges; n }
+
+let adjacent t =
+  let adj = Array.make_matrix t.nvertices t.nvertices false in
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(v) <- true;
+      adj.(v).(u) <- true)
+    t.edges;
+  adj
+
+(* does the predicate-selected vertex set contain an n-clique? *)
+let has_clique t keep =
+  let adj = adjacent t in
+  let vertices =
+    List.filter keep (List.init t.nvertices (fun v -> v))
+  in
+  let rec extend clique candidates =
+    if List.length clique = t.n then true
+    else
+      match candidates with
+      | [] -> false
+      | v :: rest ->
+        (* take v if it connects to the whole clique *)
+        (List.for_all (fun u -> adj.(u).(v)) clique
+        && extend (v :: clique) rest)
+        || extend clique rest
+  in
+  extend [] vertices
+
+let side_ok t keep = not (has_clique t keep)
+
+let witness t =
+  let mask = Array.make t.nvertices false in
+  let rec go v =
+    if v = t.nvertices then
+      if side_ok t (fun u -> mask.(u)) && side_ok t (fun u -> not mask.(u)) then
+        Some (Array.copy mask)
+      else None
+    else begin
+      mask.(v) <- false;
+      match go (v + 1) with
+      | Some m -> Some m
+      | None ->
+        mask.(v) <- true;
+        let r = go (v + 1) in
+        mask.(v) <- false;
+        r
+    end
+  in
+  go 0
+
+let decide t = witness t <> None
+
+let complete m ~n =
+  let edges = ref [] in
+  for u = 0 to m - 1 do
+    for v = u + 1 to m - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  make ~nvertices:m ~n !edges
+
+let cycle m ~n =
+  make ~nvertices:m ~n (List.init m (fun i -> (i, (i + 1) mod m)))
+
+let random ~rng ~nvertices ~p ~n =
+  let edges = ref [] in
+  for u = 0 to nvertices - 1 do
+    for v = u + 1 to nvertices - 1 do
+      if Random.State.float rng 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  make ~nvertices ~n !edges
+
+let pp ppf t =
+  Format.fprintf ppf "GCP2(n=%d, %d vertices, edges: %s)" t.n t.nvertices
+    (String.concat ", "
+       (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) t.edges))

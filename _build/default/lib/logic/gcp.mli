@@ -1,0 +1,34 @@
+(** The Generalized Two-Coloring Problem (GCP₂) of Rutenburg, used in the
+    {m \Pi_2^p}-hardness reduction of Theorem 6.1.
+
+    Given an undirected graph {m G} and {m n \in \mathbb N}: is there a
+    partition {m V_1 \mathbin{\dot\cup} V_2 = V(G)} such that neither
+    induced subgraph contains an {m n}-vertex clique? *)
+
+type t = {
+  nvertices : int;
+  edges : (int * int) list;  (** undirected, vertices 0-based *)
+  n : int;  (** forbidden clique size, {m \geq 2} *)
+}
+
+val make : nvertices:int -> n:int -> (int * int) list -> t
+
+(** Does the vertex set (as a predicate) induce an [n]-clique-free
+    subgraph? *)
+val side_ok : t -> (int -> bool) -> bool
+
+(** Brute-force decision over all {m 2^{|V|}} partitions. *)
+val decide : t -> bool
+
+(** A witnessing partition, as the membership mask of {m V_1}. *)
+val witness : t -> bool array option
+
+(** Complete graph {m K_m}. *)
+val complete : int -> n:int -> t
+
+(** Cycle graph {m C_m}. *)
+val cycle : int -> n:int -> t
+
+val random : rng:Random.State.t -> nvertices:int -> p:float -> n:int -> t
+
+val pp : Format.formatter -> t -> unit

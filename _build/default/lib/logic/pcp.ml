@@ -1,0 +1,115 @@
+type t = { pairs : (string * string) list }
+
+let make pairs =
+  if pairs = [] then invalid_arg "Pcp.make: empty instance";
+  List.iter
+    (fun (u, v) ->
+      if u = "" || v = "" then invalid_arg "Pcp.make: empty word in pair")
+    pairs;
+  { pairs }
+
+let alphabet t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v) ->
+      String.iter (fun c -> Hashtbl.replace tbl c ()) u;
+      String.iter (fun c -> Hashtbl.replace tbl c ()) v)
+    t.pairs;
+  List.sort Char.compare (Hashtbl.fold (fun c () l -> c :: l) tbl [])
+
+let check t indices =
+  indices <> []
+  && List.for_all (fun i -> i >= 1 && i <= List.length t.pairs) indices
+  &&
+  let u =
+    String.concat "" (List.map (fun i -> fst (List.nth t.pairs (i - 1))) indices)
+  in
+  let v =
+    String.concat "" (List.map (fun i -> snd (List.nth t.pairs (i - 1))) indices)
+  in
+  String.equal u v
+
+(* BFS over configurations: the outstanding difference between the two
+   concatenations, which is always a suffix of one side. *)
+let solve ~max_len t =
+  let pairs = Array.of_list t.pairs in
+  let ell = Array.length pairs in
+  (* configuration: (side, overhang): side = `U means the u-side is ahead
+     by [overhang] *)
+  let extend (side, overhang) i =
+    let u, v = pairs.(i) in
+    (* the side that is behind reads the overhang first *)
+    let ahead, behind = match side with `U -> (u, v) | `V -> (v, u) in
+    let total_ahead = overhang ^ ahead in
+    ignore total_ahead;
+    (* combined: ahead side word appended after overhang on the ahead
+       stream; we match the behind word against overhang ^ ahead *)
+    let stream = overhang ^ ahead in
+    let lb = String.length behind and ls = String.length stream in
+    if lb <= ls then
+      if String.sub stream 0 lb = behind then
+        Some (side, String.sub stream lb (ls - lb))
+      else None
+    else if String.sub behind 0 ls = stream then
+      Some ((match side with `U -> `V | `V -> `U), String.sub behind ls (lb - ls))
+    else None
+  in
+  let start i =
+    let u, v = pairs.(i) in
+    let lu = String.length u and lv = String.length v in
+    if lu <= lv then
+      if String.sub v 0 lu = u then Some (`V, String.sub v lu (lv - lu)) else None
+    else if String.sub u 0 lv = v then Some (`U, String.sub u lv (lu - lv))
+    else None
+  in
+  let seen = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let push cfg trail =
+    let key = (fst cfg, snd cfg) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      Queue.add (cfg, trail) queue
+    end
+  in
+  let solution = ref None in
+  for i = 0 to ell - 1 do
+    if !solution = None then
+      match start i with
+      | Some (_, "") -> solution := Some [ i + 1 ]
+      | Some cfg -> push cfg [ i + 1 ]
+      | None -> ()
+  done;
+  (try
+     while (not (Queue.is_empty queue)) && !solution = None do
+       let cfg, trail = Queue.pop queue in
+       if List.length trail < max_len then
+         for i = 0 to ell - 1 do
+           if !solution = None then
+             match extend cfg i with
+             | Some (_, "") -> solution := Some (List.rev ((i + 1) :: trail))
+             | Some cfg' -> push cfg' ((i + 1) :: trail)
+             | None -> ()
+         done
+     done
+   with Exit -> ());
+  match !solution with
+  | Some s when check t s -> Some s
+  | Some _ -> None
+  | None -> None
+
+let is_solvable ~max_len t = solve ~max_len t <> None
+
+let solvable_small = make [ ("a", "ab"); ("bb", "b") ]
+
+let solvable_medium = make [ ("a", "baa"); ("ab", "aa"); ("bba", "bb") ]
+
+let solvable_long = make [ ("abb", "a"); ("b", "abb"); ("a", "bb") ]
+
+let unsolvable_small = make [ ("ab", "ba") ]
+
+let unsolvable_medium = make [ ("ab", "aa"); ("ba", "bb") ]
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat "; "
+       (List.map (fun (u, v) -> Printf.sprintf "(%s,%s)" u v) t.pairs))

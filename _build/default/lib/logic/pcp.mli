@@ -1,0 +1,48 @@
+(** Post Correspondence Problem instances, the source of the
+    undecidability reduction of Theorem 5.2.
+
+    An instance is a sequence of pairs {m (u_1,v_1),\dots,(u_\ell,v_\ell)}
+    of non-empty words over {m \Sigma}; a solution is a non-empty index
+    sequence {m i_1 \dots i_k} with
+    {m u_{i_1}\cdots u_{i_k} = v_{i_1}\cdots v_{i_k}}. *)
+
+type t = {
+  pairs : (string * string) list;  (** (u_i, v_i), both non-empty *)
+}
+
+val make : (string * string) list -> t
+
+(** Alphabet {m \Sigma}: all characters occurring in the pairs. *)
+val alphabet : t -> char list
+
+(** [check inst indices] tests whether the (1-based) index sequence is a
+    solution. *)
+val check : t -> int list -> bool
+
+(** Exhaustive solver: shortest solution of length at most [max_len], in
+    index count. *)
+val solve : max_len:int -> t -> int list option
+
+val is_solvable : max_len:int -> t -> bool
+
+(** {1 A small instance library} *)
+
+(** [(a, ab), (bb, b)]: solvable with 1,2 ({m a\cdot bb = ab\cdot b}). *)
+val solvable_small : t
+
+(** The textbook instance [(a, baa), (ab, aa), (bba, bb)]: solvable with
+    3, 2, 3, 1 ({m bba\,ab\,bba\,a = bb\,aa\,bb\,baa}). *)
+val solvable_medium : t
+
+(** [(abb, a), (b, abb), (a, bb)]: a classic solvable instance with a
+    longer minimal solution. *)
+val solvable_long : t
+
+(** [(ab, ba)]: trivially unsolvable (different first letters are
+    preserved forever). *)
+val unsolvable_small : t
+
+(** [(ab, aa), (ba, bb)]: unsolvable (length argument). *)
+val unsolvable_medium : t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+type lit =
+  | X of int * bool
+  | Y of int * bool
+
+type clause = lit list
+
+type t = {
+  n_x : int;
+  n_y : int;
+  clauses : clause list;
+}
+
+let make ~n_x ~n_y clauses =
+  let check_lit = function
+    | X (i, _) ->
+      if i < 1 || i > n_x then invalid_arg "Qbf.make: universal index out of range"
+    | Y (j, _) ->
+      if j < 1 || j > n_y then invalid_arg "Qbf.make: existential index out of range"
+  in
+  List.iter
+    (fun c ->
+      if c = [] || List.length c > 3 then
+        invalid_arg "Qbf.make: clauses must have 1-3 literals";
+      List.iter check_lit c)
+    clauses;
+  { n_x; n_y; clauses }
+
+let eval_matrix t xs ys =
+  let sat_lit = function
+    | X (i, pos) -> xs.(i) = pos
+    | Y (j, pos) -> ys.(j) = pos
+  in
+  List.for_all (fun c -> List.exists sat_lit c) t.clauses
+
+let is_valid t =
+  let xs = Array.make (t.n_x + 1) false in
+  let ys = Array.make (t.n_y + 1) false in
+  let rec forall i =
+    if i > t.n_x then exists 1
+    else begin
+      xs.(i) <- false;
+      let a = forall (i + 1) in
+      xs.(i) <- true;
+      let b = forall (i + 1) in
+      a && b
+    end
+  and exists j =
+    if j > t.n_y then eval_matrix t xs ys
+    else begin
+      ys.(j) <- false;
+      let a = exists (j + 1) in
+      if a then true
+      else begin
+        ys.(j) <- true;
+        exists (j + 1)
+      end
+    end
+  in
+  forall 1
+
+let random ~rng ~n_x ~n_y ~n_clauses =
+  let lit () =
+    let pos = Random.State.bool rng in
+    if n_y = 0 || (n_x > 0 && Random.State.bool rng) then
+      X (1 + Random.State.int rng n_x, pos)
+    else Y (1 + Random.State.int rng n_y, pos)
+  in
+  let clause () = [ lit (); lit (); lit () ] in
+  make ~n_x ~n_y (List.init n_clauses (fun _ -> clause ()))
+
+let pp_lit ppf = function
+  | X (i, true) -> Format.fprintf ppf "x%d" i
+  | X (i, false) -> Format.fprintf ppf "¬x%d" i
+  | Y (j, true) -> Format.fprintf ppf "y%d" j
+  | Y (j, false) -> Format.fprintf ppf "¬y%d" j
+
+let pp ppf t =
+  Format.fprintf ppf "∀x1..x%d ∃y1..y%d " t.n_x t.n_y;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ∨ ")
+           pp_lit)
+        c)
+    t.clauses
+
+let valid_small =
+  make ~n_x:1 ~n_y:1 [ [ X (1, true); Y (1, true) ]; [ X (1, false); Y (1, false) ] ]
+
+let invalid_small =
+  make ~n_x:1 ~n_y:1 [ [ X (1, true); Y (1, true) ]; [ X (1, true); Y (1, false) ] ]

@@ -1,0 +1,41 @@
+(** {m \forall\exists}-QBF with 3-CNF matrix: the source problem of the
+    {m \Pi_2^p}-hardness reduction of Theorem 6.2.
+
+    {m \Phi = \forall x_1 \dots x_n\, \exists y_1 \dots y_\ell\,
+    \varphi(\bar x, \bar y)} with {m \varphi} quantifier-free in 3-CNF. *)
+
+type lit =
+  | X of int * bool  (** universal variable (1-based), sign *)
+  | Y of int * bool  (** existential variable (1-based), sign *)
+
+type clause = lit list  (** up to 3 literals *)
+
+type t = {
+  n_x : int;
+  n_y : int;
+  clauses : clause list;
+}
+
+val make : n_x:int -> n_y:int -> clause list -> t
+
+(** Brute-force validity: for every assignment of the {m x_i} there is an
+    assignment of the {m y_j} satisfying every clause. *)
+val is_valid : t -> bool
+
+(** Evaluate the matrix under full assignments (arrays are 1-based with a
+    dummy slot 0). *)
+val eval_matrix : t -> bool array -> bool array -> bool
+
+val random :
+  rng:Random.State.t -> n_x:int -> n_y:int -> n_clauses:int -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Samples} *)
+
+(** {m \forall x\,\exists y\,(x \vee y)(\neg x \vee \neg y)}: valid. *)
+val valid_small : t
+
+(** {m \forall x\,\exists y\,(x \vee y)(x \vee \neg y)}: invalid
+    (take {m x} false). *)
+val invalid_small : t

@@ -1,0 +1,1 @@
+lib/reductions/gcp_to_qinj.ml: Array Containment Crpq Expansion Gcp List Printf Regex Semantics String

@@ -1,0 +1,1 @@
+lib/reductions/gcp_to_qinj.mli: Crpq Expansion Gcp

@@ -1,0 +1,1 @@
+lib/reductions/pcp_to_ainj.ml: Array Containment Crpq Eval Expansion List Pcp Printf Regex Semantics String Word

@@ -1,0 +1,1 @@
+lib/reductions/pcp_to_ainj.mli: Crpq Expansion Pcp Word

@@ -1,0 +1,1 @@
+lib/reductions/qbf_to_ainj.ml: Array Containment Crpq Expansion List Printf Qbf Regex Semantics String

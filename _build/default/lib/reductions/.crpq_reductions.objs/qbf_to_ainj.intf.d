@@ -1,0 +1,1 @@
+lib/reductions/qbf_to_ainj.mli: Crpq Expansion Qbf

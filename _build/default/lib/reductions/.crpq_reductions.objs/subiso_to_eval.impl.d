@@ -1,0 +1,1 @@
+lib/reductions/subiso_to_eval.ml: Cq Crpq Eval Graph List Morphism Regex Semantics

@@ -1,0 +1,1 @@
+lib/reductions/subiso_to_eval.mli: Cq Crpq Graph Word

@@ -1,0 +1,1 @@
+lib/reductions/threecol_to_cq.mli: Cq

@@ -1,0 +1,92 @@
+type encoding = {
+  q1 : Crpq.t;
+  q2 : Crpq.t;
+  instance : Gcp.t;
+}
+
+(* both-direction E-atoms of an undirected graph over a variable prefix *)
+let graph_atoms prefix edges =
+  List.concat_map
+    (fun (u, v) ->
+      let x = Printf.sprintf "%s%d" prefix u and y = Printf.sprintf "%s%d" prefix v in
+      [ Crpq.atom x (Regex.sym "E") y; Crpq.atom y (Regex.sym "E") x ])
+    edges
+
+let clique_edges n = List.concat (List.init n (fun u -> List.init u (fun v -> (u, v))))
+
+let vars_of prefix count = List.init count (fun i -> Printf.sprintf "%s%d" prefix i)
+
+let loop_atoms lang vars = List.map (fun x -> Crpq.atom x lang x) vars
+
+(* all-pairs #-atoms from every source variable to every target variable *)
+let hash_atoms srcs dsts =
+  List.concat_map (fun x -> List.map (fun y -> Crpq.atom x (Regex.sym "#") y) dsts) srcs
+
+let encode (instance : Gcp.t) =
+  let n = instance.Gcp.n in
+  let kn = clique_edges n in
+  (* Q1: (12)-ext(K_n) -#-> (1+2)-ext(Q_G) -#-> (12)-ext(K_n) *)
+  let left_vars = vars_of "l" n in
+  let mid_vars = vars_of "g" instance.Gcp.nvertices in
+  let right_vars = vars_of "r" n in
+  let one_or_two = Regex.alt (Regex.sym "1") (Regex.sym "2") in
+  let q1_atoms =
+    graph_atoms "l" kn
+    @ loop_atoms (Regex.sym "1") left_vars
+    @ loop_atoms (Regex.sym "2") left_vars
+    @ graph_atoms "g" instance.Gcp.edges
+    @ loop_atoms one_or_two mid_vars
+    @ graph_atoms "r" kn
+    @ loop_atoms (Regex.sym "1") right_vars
+    @ loop_atoms (Regex.sym "2") right_vars
+    @ hash_atoms left_vars mid_vars
+    @ hash_atoms mid_vars right_vars
+  in
+  (* Q2: 1-ext(K_n) -#-> 2-ext(K_n), a CQ *)
+  let a_vars = vars_of "A" n in
+  let b_vars = vars_of "B" n in
+  let q2_atoms =
+    graph_atoms "A" kn
+    @ loop_atoms (Regex.sym "1") a_vars
+    @ graph_atoms "B" kn
+    @ loop_atoms (Regex.sym "2") b_vars
+    @ hash_atoms a_vars b_vars
+  in
+  {
+    q1 = Crpq.make ~free:[] q1_atoms;
+    q2 = Crpq.make ~free:[] q2_atoms;
+    instance;
+  }
+
+let expansion_of_partition enc mask =
+  let q1 = enc.q1 in
+  let profile =
+    Array.of_list
+      (List.map
+         (fun (a : Crpq.atom) ->
+           match a.Crpq.lang with
+           | Regex.Alt (Regex.Sym "1", Regex.Sym "2") ->
+             (* a middle-gadget loop g<i>: pick by the mask *)
+             let i =
+               int_of_string
+                 (String.sub a.Crpq.src 1 (String.length a.Crpq.src - 1))
+             in
+             if mask.(i) then [ "1" ] else [ "2" ]
+           | lang -> begin
+             match Regex.words_of_finite lang with
+             | [ w ] -> w
+             | _ -> invalid_arg "Gcp_to_qinj: unexpected atom language"
+           end)
+         q1.Crpq.atoms)
+  in
+  Expansion.expand q1 profile
+
+let verify instance =
+  let enc = encode instance in
+  let via_queries =
+    match Containment.decide Semantics.Q_inj enc.q1 enc.q2 with
+    | Containment.Contained -> false (* contained: no valid partition *)
+    | Containment.Not_contained _ -> true
+    | Containment.Unknown _ -> invalid_arg "Gcp_to_qinj.verify: undecided"
+  in
+  (via_queries, Gcp.decide instance)

@@ -1,0 +1,39 @@
+(** The reduction of Theorem 6.1: GCP₂ to CRPQ{^ fin}/CQ
+    {e non}-containment under query-injective semantics (Figure 6).
+
+    Over the alphabet {m \{E, 1, 2, \#\}}:
+
+    - {m Q_G} is the CQ of the input graph with an {m E}-atom in both
+      directions per undirected edge, and {m K_n} the CQ of the
+      {m n}-clique;
+    - {m i\text{-}ext(Q)} adds a loop {m x \xrightarrow{i} x} to every
+      variable; {m (1{+}2)\text{-}ext} adds {m x \xrightarrow{1+2} x};
+      {m (12)\text{-}ext} adds both loops;
+    - {m Q_1} chains (with all-pairs {m \#}-atoms between consecutive
+      blocks) {m (12)\text{-}ext(K_n) \to (1{+}2)\text{-}ext(Q_G) \to
+      (12)\text{-}ext(K_n)}: its expansions choose an {m i}-loop per
+      vertex of {m G}, i.e. a partition {m V_1 \dot\cup V_2};
+    - {m Q_2 = 1\text{-}ext(K_n) \to 2\text{-}ext(K_n)} (a CQ): it maps
+      injectively into an expansion iff some {m i\text{-}ext(K_n)} maps
+      into the middle gadget, i.e. iff {m G|_{V_i}} contains an
+      {m n}-clique.
+
+    Hence {m Q_1 \not\subseteq_{q\text{-}inj} Q_2} iff the GCP₂ instance
+    is positive. *)
+
+type encoding = {
+  q1 : Crpq.t;  (** CRPQ{^ fin}; languages are unions of single letters *)
+  q2 : Crpq.t;  (** a CQ *)
+  instance : Gcp.t;
+}
+
+val encode : Gcp.t -> encoding
+
+(** The expansion of [q1] selecting loop [1] exactly on the vertices in
+    the mask (i.e. the partition {m V_1} = mask). *)
+val expansion_of_partition : encoding -> bool array -> Expansion.expanded
+
+(** End-to-end check on one instance: decides the GCP₂ instance through
+    the query containment problem and returns (via queries, via brute
+    force). *)
+val verify : Gcp.t -> bool * bool

@@ -1,0 +1,424 @@
+type encoding = {
+  q1 : Crpq.t;
+  q2 : Crpq.t;
+  q2_cycle : Crpq.t;
+  q2_path : Crpq.t;
+  instance : Pcp.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Symbols                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let idx i = Printf.sprintf "I%d" i
+
+let hash = "#"
+
+let hash_inf = "#oo"
+
+let box = "box"
+
+let dollar = "$"
+
+let dollar' = "$'"
+
+let dollar_inf = "$oo"
+
+let blk = "blk"
+
+let blk' = "blk'"
+
+let h = Word.hat
+
+let sym = Regex.sym
+
+let alt_syms syms = Regex.alt_list (List.map sym syms)
+
+let rec power e n = if n <= 0 then Regex.eps else Regex.seq e (power e (n - 1))
+
+let power_range e lo hi =
+  Regex.alt_list (List.init (hi - lo + 1) (fun i -> power e (lo + i)))
+
+(* ------------------------------------------------------------------ *)
+(* The words U_i, V_i                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let letters_of_string s = List.init (String.length s) (fun i -> String.make 1 s.[i])
+
+let u_word (inst : Pcp.t) i =
+  let u = fst (List.nth inst.Pcp.pairs (i - 1)) in
+  let letters = letters_of_string u in
+  let k = List.length letters in
+  List.concat
+    (List.mapi
+       (fun j a -> if j = k - 1 then [ a; dollar'; blk' ] else [ a; dollar; blk ])
+       letters)
+
+let v_word (inst : Pcp.t) i =
+  let v = snd (List.nth inst.Pcp.pairs (i - 1)) in
+  let letters = List.rev (letters_of_string v) in
+  (* first letter of the reversed word gets ■' $'; the rest get ■ $ *)
+  List.concat
+    (List.mapi
+       (fun j a ->
+         if j = 0 then [ h blk'; h dollar'; h a ] else [ h blk; h dollar; h a ])
+       letters)
+
+let u_tilde inst i =
+  match List.rev (u_word inst i) with
+  | last :: rev_rest when last = blk' -> List.rev rev_rest
+  | _ -> assert false
+
+let v_tilde inst i =
+  match v_word inst i with
+  | first :: rest when first = h blk' -> rest
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let encode (inst : Pcp.t) =
+  List.iter
+    (fun c ->
+      if not (c >= 'a' && c <= 'z') then
+        invalid_arg "Pcp_to_ainj.encode: PCP alphabet must be lowercase letters")
+    (Pcp.alphabet inst);
+  let ell = List.length inst.Pcp.pairs in
+  let indices = List.init ell (fun i -> i + 1) in
+  let i_syms = List.map idx indices in
+  let sigma = List.map (String.make 1) (Pcp.alphabet inst) in
+  let cI = alt_syms i_syms in
+  let cIh = alt_syms (List.map h i_syms) in
+  let cS = alt_syms sigma in
+  let cSh = alt_syms (List.map h sigma) in
+  let u_words = List.map (u_word inst) indices in
+  let v_words = List.map (v_word inst) indices in
+  let u_tildes = List.map (u_tilde inst) indices in
+  let v_tildes = List.map (v_tilde inst) indices in
+  let n_max = List.fold_left (fun m w -> max m (List.length w)) 1 u_words in
+  (* Q1 languages *)
+  let l_i = Regex.plus (Regex.seq_list [ sym box; sym hash; cI ]) in
+  let l_i_hat = Regex.plus (Regex.seq_list [ cIh; sym (h hash); sym (h box) ]) in
+  let l_a = Regex.plus (Regex.alt_list (List.map Regex.word u_words)) in
+  let l_a_hat = Regex.plus (Regex.alt_list (List.map Regex.word v_words)) in
+  let q1 =
+    Crpq.make ~free:[]
+      [
+        Crpq.atom "y1" l_i "x";
+        Crpq.atom "y2" l_a_hat "x";
+        Crpq.atom "x" l_i_hat "z1";
+        Crpq.atom "x" l_a "z2";
+        Crpq.atom "x" (sym box) "x'";
+        Crpq.atom "x" (sym (h blk)) "x'";
+        Crpq.atom "x'" (sym (h box)) "x";
+        Crpq.atom "x'" (sym blk) "x";
+        Crpq.atom "y1'" (sym hash_inf) "y1";
+        Crpq.atom "y2'" (sym (h dollar_inf)) "y2";
+        Crpq.atom "z1" (sym (h hash_inf)) "z1'";
+        Crpq.atom "z2" (sym dollar_inf) "z2'";
+      ]
+  in
+  (* forbidden-pattern languages (Claim D.1) *)
+  let sum_pairs f =
+    Regex.alt_list
+      (List.concat_map
+         (fun i -> List.filter_map (fun j -> if i <> j then Some (f i j) else None) indices)
+         indices)
+  in
+  let k_ii =
+    Regex.alt_list
+      [
+        Regex.seq cI cIh;
+        Regex.seq (sym hash_inf) cIh;
+        Regex.seq cI (sym (h hash_inf));
+      ]
+  in
+  (* Repaired M_IÎ (see DESIGN.md): the paper's two ladder-enforcing
+     detectors # I Î #̂ and □ □̂ presuppose the condition-(1) merges,
+     which close an inconsistent cycle in the merge-constraint graph; in
+     the repaired system index agreement at depth 1 is detected directly
+     and deeper agreement flows through the letter ladder. *)
+  let m_ii =
+    Regex.alt_list
+      [
+        sum_pairs (fun i j -> Regex.word [ idx i; h (idx j) ]);
+        Regex.seq cIh (sym hash);
+        Regex.seq (sym (h hash)) cI;
+        Regex.seq (sym hash_inf) cIh;
+        Regex.seq cI (sym (h hash_inf));
+      ]
+  in
+  let k_ia =
+    Regex.alt_list
+      [
+        Regex.seq cI cS;
+        Regex.seq (sym hash_inf) cS;
+        Regex.seq cI (sym dollar_inf);
+      ]
+  in
+  let m_ia =
+    let mix = Regex.alt_list [ cS; sym dollar; sym dollar'; sym blk ] in
+    let mix_no_d' = Regex.alt_list [ cS; sym dollar; sym blk ] in
+    Regex.alt_list
+      [
+        Regex.seq mix cI;
+        Regex.seq (power_range mix_no_d' 1 n_max) (sym hash);
+        sum_pairs (fun i j ->
+            Regex.seq (sym (idx i)) (Regex.word (List.nth u_tildes (j - 1))));
+        Regex.seq_list
+          [ sym hash; cI; Regex.alt_list (List.map Regex.word u_tildes) ];
+        Regex.word [ box; blk' ];
+        Regex.seq (sym hash_inf) cS;
+        Regex.seq cI (sym dollar_inf);
+      ]
+  in
+  let k_ai =
+    Regex.alt_list
+      [
+        Regex.seq cSh cIh;
+        Regex.seq (sym (h dollar_inf)) cIh;
+        Regex.seq cSh (sym (h hash_inf));
+      ]
+  in
+  let m_ai =
+    let mixh = Regex.alt_list [ cSh; sym (h dollar); sym (h dollar'); sym (h blk) ] in
+    let mixh_no_d' = Regex.alt_list [ cSh; sym (h dollar); sym (h blk) ] in
+    Regex.alt_list
+      [
+        Regex.seq cIh mixh;
+        Regex.seq (sym (h hash)) cSh;
+        Regex.seq_list [ cIh; sym (h hash); mixh_no_d' ];
+        sum_pairs (fun i j ->
+            Regex.seq (Regex.word (List.nth v_tildes (j - 1))) (sym (h (idx i))));
+        Regex.seq_list
+          [ Regex.alt_list (List.map Regex.word v_tildes); cIh; sym (h hash) ];
+        Regex.word [ h blk'; h box ];
+        Regex.seq (sym (h dollar_inf)) cIh;
+        Regex.seq cSh (sym (h hash_inf));
+      ]
+  in
+  let k_aa =
+    Regex.alt_list
+      [
+        Regex.seq cSh cS;
+        Regex.seq (sym (h dollar_inf)) cS;
+        Regex.seq cSh (sym dollar_inf);
+      ]
+  in
+  let m_aa =
+    let dollars = Regex.alt (sym dollar) (sym dollar') in
+    let dollars_h = Regex.alt (sym (h dollar)) (sym (h dollar')) in
+    let blks = Regex.alt (sym blk) (sym blk') in
+    let blks_h = Regex.alt (sym (h blk)) (sym (h blk')) in
+    let mismatched =
+      Regex.alt_list
+        (List.concat_map
+           (fun a ->
+             List.filter_map
+               (fun b -> if a <> b then Some (Regex.word [ h a; b ]) else None)
+               sigma)
+           sigma)
+    in
+    Regex.alt_list
+      [
+        mismatched;
+        Regex.seq cS dollars_h;
+        Regex.seq dollars cSh;
+        Regex.seq_list [ dollars_h; cSh; cS; dollars ];
+        Regex.seq blks_h blks;
+        Regex.seq (sym (h dollar_inf)) cS;
+        Regex.seq cSh (sym dollar_inf);
+      ]
+  in
+  let k_circ = Regex.alt_list [ k_ii; k_ia; k_ai; k_aa ] in
+  let m_arrow = Regex.alt_list [ m_ii; m_ia; m_ai; m_aa ] in
+  let k_dummy =
+    Regex.seq
+      (Regex.alt_list [ sym box; sym (h blk); sym (h blk') ])
+      (Regex.alt_list [ sym (h box); sym blk; sym blk' ])
+  in
+  let m_dummy = Regex.alt_list [ sym (h hash); sym dollar; sym dollar' ] in
+  let l_lang =
+    let mix = Regex.alt_list [ cS; sym dollar; sym dollar'; sym blk ] in
+    let dollars = Regex.alt (sym dollar) (sym dollar') in
+    let dollars_h = Regex.alt (sym (h dollar)) (sym (h dollar')) in
+    let blks_h = Regex.alt (sym (h blk)) (sym (h blk')) in
+    let v_tilde_alt = Regex.alt_list (List.map Regex.word v_tildes) in
+    Regex.alt_list
+      [
+        Regex.eps;
+        cI;
+        Regex.seq (sym hash) cI;
+        Regex.seq (sym (h hash)) cI;
+        Regex.seq_list [ sym box; sym hash; cI ];
+        sym hash_inf;
+        Regex.seq mix cI;
+        cSh;
+        Regex.seq (sym (h hash)) cSh;
+        v_tilde_alt;
+        Regex.seq (sym (h blk')) v_tilde_alt;
+        sym (h dollar_inf);
+        Regex.seq dollars cSh;
+        Regex.seq dollars_h cSh;
+        Regex.seq_list [ blks_h; dollars_h; cSh ];
+      ]
+  in
+  let q2 =
+    Crpq.make ~free:[]
+      [
+        Crpq.atom "x" (Regex.alt k_circ k_dummy) "x";
+        Crpq.atom "y" l_lang "x";
+        Crpq.atom "y" (Regex.alt m_arrow m_dummy) "z";
+      ]
+  in
+  let q2_cycle = Crpq.make ~free:[] [ Crpq.atom "x" k_circ "x" ] in
+  let q2_path = Crpq.make ~free:[] [ Crpq.atom "y" m_arrow "z" ] in
+  { q1; q2; q2_cycle; q2_path; instance = inst }
+
+(* ------------------------------------------------------------------ *)
+(* Expansions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let solution_words inst seq =
+  let w_i =
+    List.concat (List.rev_map (fun i -> [ box; hash; idx i ]) seq)
+  in
+  let w_i_hat =
+    List.concat (List.map (fun i -> [ h (idx i); h hash; h box ]) seq)
+  in
+  let w_a = List.concat (List.map (u_word inst) seq) in
+  let w_a_hat = List.concat (List.rev_map (v_word inst) seq) in
+  (w_i, w_a_hat, w_i_hat, w_a)
+
+(* positions of the four long atoms inside the (sorted) atom list *)
+let long_atom_indices (q1 : Crpq.t) =
+  let find src dst =
+    let rec go i = function
+      | [] -> invalid_arg "Pcp_to_ainj: atom not found"
+      | (a : Crpq.atom) :: rest ->
+        if a.Crpq.src = src && a.Crpq.dst = dst && not (Regex.is_finite a.Crpq.lang)
+        then i
+        else go (i + 1) rest
+    in
+    go 0 q1.Crpq.atoms
+  in
+  (find "y1" "x", find "y2" "x", find "x" "z1", find "x" "z2")
+
+let base_expansion enc seq =
+  let w_i, w_a_hat, w_i_hat, w_a = solution_words enc.instance seq in
+  let profile =
+    Array.of_list
+      (List.map
+         (fun (a : Crpq.atom) ->
+           if Regex.is_finite a.Crpq.lang then begin
+             match Regex.words_of_finite a.Crpq.lang with
+             | [ w ] -> w
+             | _ -> invalid_arg "Pcp_to_ainj: unexpected guard language"
+           end
+           else
+             match a.Crpq.src, a.Crpq.dst with
+             | "y1", "x" -> w_i
+             | "y2", "x" -> w_a_hat
+             | "x", "z1" -> w_i_hat
+             | "x", "z2" -> w_a
+             | _ -> invalid_arg "Pcp_to_ainj: unexpected long atom")
+         enc.q1.Crpq.atoms)
+  in
+  Expansion.expand enc.q1 profile
+
+let unmerged_expansion enc seq = base_expansion enc seq
+
+let pos_var (q1 : Crpq.t) profile ai p =
+  let a = List.nth q1.Crpq.atoms ai in
+  let w = profile.(ai) in
+  if p = 0 then a.Crpq.src
+  else if p = List.length w then a.Crpq.dst
+  else Expansion.internal_var ai p
+
+let well_formed_expansion enc seq =
+  let e = base_expansion enc seq in
+  let q1 = enc.q1 in
+  let profile = e.Expansion.profile in
+  let ai_i, ai_ah, ai_ih, ai_a = long_atom_indices q1 in
+  let k = List.length seq in
+  let var = pos_var q1 profile in
+  let eqs = ref [] in
+  let add a b = eqs := (a, b) :: !eqs in
+  (* NOTE (documented in DESIGN.md): Appendix D additionally merges the
+     I-ladder with the Î-ladder (condition 1).  Together with conditions
+     2-4 this closes a cycle in the constraint graph that identifies two
+     internal variables of the same letter atom whenever the u/v prefix
+     lengths of the solution differ, which atom-injectivity forbids.  We
+     therefore keep the acyclic part: block ties (conditions 2, 3) and
+     the letter ladder (condition 4). *)
+  ignore k;
+  (* I-a condition: block boundaries of w_a *)
+  let u_lens = List.map (fun i -> List.length (u_word enc.instance i)) seq in
+  let offsets =
+    (* cumulative block end positions in w_a *)
+    List.rev
+      (snd
+         (List.fold_left (fun (acc, l) len -> (acc + len, (acc + len) :: l)) (0, []) u_lens))
+  in
+  List.iteri
+    (fun j0 off_end ->
+      let j = j0 + 1 in
+      (* s'_j just before the trailing blk', r'_j at the block end *)
+      add (var ai_i ((3 * (k - j)) + 1)) (var ai_a (off_end - 1));
+      add (var ai_i (3 * (k - j))) (var ai_a off_end))
+    offsets;
+  (* â-Î condition: blocks of ŵ_a, reading order i_k .. i_1 *)
+  let v_lens_rev = List.rev_map (fun i -> List.length (v_word enc.instance i)) seq in
+  (* blockstart_j for j = k down to 1 *)
+  let blockstarts =
+    (* reading order is j = k, k-1, ..., 1 *)
+    let rec go acc start = function
+      | [] -> acc
+      | len :: rest -> go ((start, len) :: acc) (start + len) rest
+    in
+    (* returns list for j = 1 .. k *)
+    go [] 0 v_lens_rev
+  in
+  List.iteri
+    (fun j0 (start, len) ->
+      let j = j0 + 1 in
+      (* s_j after the leading ^blk' of block j; r_j at the block start *)
+      add (var ai_ah (start + 1)) (var ai_ih ((3 * (j - 1)) + 2));
+      add (var ai_ah start) (var ai_ih (3 * j));
+      ignore len)
+    blockstarts;
+  (* â-a condition: letter-level triples *)
+  let n = List.length profile.(ai_a) / 3 in
+  for m = 1 to n do
+    add (var ai_ah ((3 * (n - m)) + 1)) (var ai_a ((3 * (m - 1)) + 2));
+    add (var ai_ah (3 * (n - m))) (var ai_a (3 * m))
+  done;
+  Expansion.merge e !eqs
+
+let mismatched_expansion enc seq1 seq2 =
+  if List.length seq1 <> List.length seq2 then
+    invalid_arg "Pcp_to_ainj.mismatched_expansion: sequences of equal length expected";
+  let e1 = base_expansion enc seq1 in
+  let e2 = base_expansion enc seq2 in
+  let ai_i, _, ai_ih, _ = long_atom_indices enc.q1 in
+  let profile = Array.copy e1.Expansion.profile in
+  profile.(ai_ih) <- e2.Expansion.profile.(ai_ih);
+  ignore ai_i;
+  Expansion.expand enc.q1 profile
+
+let is_counterexample enc e = Containment.is_counterexample Semantics.A_inj enc.q2 e
+
+let union_agrees enc e =
+  let g, _ = Expansion.to_graph e in
+  let via_q2 = Eval.eval_bool Semantics.A_inj enc.q2 g in
+  let via_union =
+    Eval.eval_bool Semantics.A_inj enc.q2_cycle g
+    || Eval.eval_bool Semantics.A_inj enc.q2_path g
+  in
+  via_q2 = via_union
+
+let verify_candidate inst seq =
+  let enc = encode inst in
+  let e = well_formed_expansion enc seq in
+  (is_counterexample enc e, Pcp.check inst seq)

@@ -1,0 +1,77 @@
+(** The undecidability reduction of Theorem 5.2 (Appendix D): PCP to
+    CRPQ/CRPQ{^ fin} containment under atom-injective semantics.
+
+    For a PCP instance {m (u_1,v_1),\dots,(u_\ell,v_\ell)} over
+    {m \Sigma}, Boolean CRPQs {m Q_1} and {m Q_2} over the alphabet
+    {m \mathbb A \cup \widehat{\mathbb A}} are built (Figure 11) such
+    that the instance has a solution iff
+    {m Q_1 \not\subseteq_{a\text{-}inj} Q_2}.
+
+    {m Q_1} carries four long atoms around a middle variable {m x} —
+    index words ({m L_I}, {m \widehat L_I}) and letter words
+    ({m L_a}, {m \widehat L_a} built from the blocks {m U_i, V_i}) —
+    plus guard atoms.  The {e well-formed} a-inj-expansions of {m Q_1}
+    are exactly the encodings of PCP solutions: four words agreeing on
+    the index sequence, on the induced letter sequences, and on the
+    final {m \Sigma}-word, with the merge pattern of Figure 12
+    ({m s_j = s'_j}, {m r_j = r'_j}, {m t_j \neq t'_j}).
+
+    {m Q_2} (a CRPQ{^ fin}) detects every violation of well-formedness
+    by a simple cycle with label in {m K} or a simple path with label in
+    {m M} (Claim D.1); the single query
+    {m Q_2 = x \xrightarrow{K} x \wedge y \xrightarrow{L} x \wedge
+    y \xrightarrow{M} z} simulates the union
+    {m Q_2^\circlearrowleft \vee Q_2^\to} (Claim D.3). *)
+
+type encoding = {
+  q1 : Crpq.t;
+  q2 : Crpq.t;  (** the single right-hand query of Figure 11 *)
+  q2_cycle : Crpq.t;  (** {m Q_2^\circlearrowleft = x \xrightarrow{K^\circlearrowleft} x} *)
+  q2_path : Crpq.t;  (** {m Q_2^\to = y \xrightarrow{M^\to} z} *)
+  instance : Pcp.t;
+}
+
+(** @raise Invalid_argument if the instance alphabet is not made of
+    lowercase letters. *)
+val encode : Pcp.t -> encoding
+
+(** {1 Words of the encoding} *)
+
+(** {m U_i} (1-based index): {m a_1 \$ ■ \cdots a_k \$' ■'}. *)
+val u_word : Pcp.t -> int -> Word.t
+
+(** {m V_i}: {m ■' \$' \hat a_k \cdots ■ \$ \hat a_1} (hatted). *)
+val v_word : Pcp.t -> int -> Word.t
+
+(** The four main words of the expansion encoding an index sequence:
+    {m (w_I, \widehat w_a, \widehat w_I, w_a)}. *)
+val solution_words : Pcp.t -> int list -> Word.t * Word.t * Word.t * Word.t
+
+(** {1 Expansions} *)
+
+(** The well-formed a-inj-expansion encoding a solution candidate (the
+    index sequence need not actually solve the instance — well-formed
+    expansions of non-solutions do not exist as counterexamples, which
+    is checked by the tests). *)
+val well_formed_expansion : encoding -> int list -> Expansion.expanded
+
+(** The same expansion without any merges (ill-formed: {m Q_2} must map
+    into it). *)
+val unmerged_expansion : encoding -> int list -> Expansion.expanded
+
+(** An ill-formed expansion pairing two different index sequences on the
+    {m L_I} / {m \widehat L_I} atoms. *)
+val mismatched_expansion : encoding -> int list -> int list -> Expansion.expanded
+
+(** [is_counterexample enc e]: does the expansion defeat [q2]
+    (atom-injective semantics)? *)
+val is_counterexample : encoding -> Expansion.expanded -> bool
+
+(** Claim D.3 cross-check: [q2] accepts iff the union
+    {m Q_2^\circlearrowleft \vee Q_2^\to} accepts. *)
+val union_agrees : encoding -> Expansion.expanded -> bool
+
+(** End-to-end demonstration: encodes the instance, tests the expansion
+    of the candidate solution, and returns (is counterexample, candidate
+    really solves the instance). *)
+val verify_candidate : Pcp.t -> int list -> bool * bool

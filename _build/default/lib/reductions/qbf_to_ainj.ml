@@ -1,0 +1,207 @@
+type encoding = {
+  q1 : Crpq.t;
+  q2 : Crpq.t;
+  instance : Qbf.t;
+}
+
+let xlbl i = Printf.sprintf "x%d" i
+
+let ylbl j = Printf.sprintf "y%d" j
+
+let sym = Regex.sym
+
+(* D-gadget variable names *)
+let d_ i = Printf.sprintf "D.d%d" i
+
+let m_pos i = Printf.sprintf "D.m%d" i
+
+let w_pos i = Printf.sprintf "D.w%d" i
+
+let m_neg i = Printf.sprintf "D.m'%d" i
+
+let w_neg i = Printf.sprintf "D.w'%d" i
+
+let yt j = Printf.sprintf "Yt%d" j
+
+let yf j = Printf.sprintf "Yf%d" j
+
+let encode (instance : Qbf.t) =
+  let n = instance.Qbf.n_x and l = instance.Qbf.n_y in
+  let spine = List.init 5 (fun i -> Printf.sprintf "p%d" i) in
+  let spine_atoms =
+    List.map2
+      (fun p p' -> Crpq.atom p (sym "a") p')
+      [ "p0"; "p1"; "p2"; "p3"; "p4" ]
+      [ "p1"; "p2"; "p3"; "p4"; "p4" ]
+    |> List.filteri (fun i _ -> i < 4)
+  in
+  (* E-gadget anchored at [root], with fresh prefix [pfx] *)
+  let e_gadget pfx root =
+    let xpart =
+      List.concat
+        (List.init n (fun i0 ->
+             let i = i0 + 1 in
+             let a = Printf.sprintf "%s.a%d" pfx i in
+             let b = Printf.sprintf "%s.b%d" pfx i in
+             let c = Printf.sprintf "%s.c%d" pfx i in
+             let b' = Printf.sprintf "%s.b'%d" pfx i in
+             let c' = Printf.sprintf "%s.c'%d" pfx i in
+             [
+               Crpq.atom root (sym (xlbl i)) a;
+               Crpq.atom a (sym "t") b;
+               Crpq.atom b (sym "t") c;
+               Crpq.atom a (sym "f") b';
+               Crpq.atom b' (sym "f") c';
+             ]))
+    in
+    let ypart =
+      List.concat
+        (List.init l (fun j0 ->
+             let j = j0 + 1 in
+             let g = Printf.sprintf "%s.g%d" pfx j in
+             [
+               Crpq.atom root (sym (ylbl j)) g;
+               Crpq.atom g (sym "t") (yt j);
+               Crpq.atom g (sym "f") (yt j);
+               Crpq.atom g (sym "t") (yf j);
+               Crpq.atom g (sym "f") (yf j);
+             ]))
+    in
+    xpart @ ypart
+  in
+  let d_gadget root =
+    let xpart =
+      List.concat
+        (List.init n (fun i0 ->
+             let i = i0 + 1 in
+             [
+               Crpq.atom root (sym (xlbl i)) (d_ i);
+               Crpq.atom (d_ i) (sym "t") (m_pos i);
+               Crpq.atom (m_pos i) (sym "t") (w_pos i);
+               Crpq.atom (d_ i) (sym "f") (m_neg i);
+               Crpq.atom (m_neg i) (sym "f") (w_neg i);
+             ]))
+    in
+    let ypart =
+      List.concat
+        (List.init l (fun j0 ->
+             let j = j0 + 1 in
+             let h = Printf.sprintf "D.h%d" j in
+             [
+               Crpq.atom root (sym (ylbl j)) h;
+               Crpq.atom h (sym "t") (yt j);
+               Crpq.atom h (sym "f") (yf j);
+             ]))
+    in
+    xpart @ ypart
+  in
+  let base_atoms =
+    spine_atoms
+    @ e_gadget "E0" "p0"
+    @ e_gadget "E1" "p1"
+    @ d_gadget "p2"
+    @ e_gadget "E3" "p3"
+    @ e_gadget "E4" "p4"
+  in
+  ignore spine;
+  (* r-saturation: r-atoms between all ordered pairs of distinct
+     variables except the two allowed merge pairs per universal
+     variable *)
+  let base_q = Crpq.make ~free:[] base_atoms in
+  let vars = Crpq.vars base_q in
+  let allowed =
+    List.concat
+      (List.init n (fun i0 ->
+           let i = i0 + 1 in
+           [ (d_ i, w_pos i); (d_ i, w_neg i) ]))
+  in
+  let allowed_pair x y = List.mem (x, y) allowed || List.mem (y, x) allowed in
+  let r_atoms =
+    List.concat_map
+      (fun x ->
+        List.filter_map
+          (fun y ->
+            if String.compare x y < 0 && not (allowed_pair x y) then
+              Some (Crpq.atom x (sym "r") y)
+            else None)
+          vars)
+      vars
+  in
+  let q1 = Crpq.make ~free:[] (base_atoms @ r_atoms) in
+  (* Q2: one DAG per clause *)
+  (* the windows of the length-4 spine force one literal of a
+     three-literal chain into the D-gadget; pad shorter clauses by
+     repeating their last literal *)
+  let pad clause =
+    match clause with
+    | [ l ] -> [ l; l; l ]
+    | [ l1; l2 ] -> [ l1; l2; l2 ]
+    | _ -> clause
+  in
+  let q2_atoms =
+    List.concat
+      (List.mapi
+         (fun ci clause ->
+           let clause = pad clause in
+           let root j = Printf.sprintf "c%d.%d" ci j in
+           let chain =
+             List.init
+               (List.length clause - 1)
+               (fun j -> Crpq.atom (root j) (sym "a") (root (j + 1)))
+           in
+           let lits =
+             List.concat
+               (List.mapi
+                  (fun j lit ->
+                    let v1 = Printf.sprintf "c%d.%dv" ci j in
+                    match lit with
+                    | Qbf.X (k, positive) ->
+                      let v2 = Printf.sprintf "c%d.%dw" ci j in
+                      let w = if positive then [ "t"; "t" ] else [ "f"; "f" ] in
+                      [
+                        Crpq.atom (root j) (sym (xlbl k)) v1;
+                        Crpq.atom v1 (Regex.word w) v2;
+                      ]
+                    | Qbf.Y (k, positive) ->
+                      let lbl = if positive then "t" else "f" in
+                      [
+                        Crpq.atom (root j) (sym (ylbl k)) v1;
+                        Crpq.atom v1 (sym lbl) (Printf.sprintf "ytf%d" k);
+                      ])
+                  clause)
+           in
+           chain @ lits)
+         instance.Qbf.clauses)
+  in
+  let q2 = Crpq.make ~free:[] q2_atoms in
+  { q1; q2; instance }
+
+let expansion_of_assignment enc assignment =
+  let q1 = enc.q1 in
+  let profile =
+    Array.of_list
+      (List.map
+         (fun (a : Crpq.atom) ->
+           match Regex.words_of_finite a.Crpq.lang with
+           | [ w ] -> w
+           | _ -> invalid_arg "Qbf_to_ainj: unexpected language")
+         q1.Crpq.atoms)
+  in
+  let e = Expansion.expand q1 profile in
+  let n = enc.instance.Qbf.n_x in
+  let eqs =
+    List.init n (fun i0 ->
+        let i = i0 + 1 in
+        if assignment.(i) then (d_ i, w_neg i) else (d_ i, w_pos i))
+  in
+  Expansion.merge e eqs
+
+let verify instance =
+  let enc = encode instance in
+  let via_queries =
+    match Containment.decide Semantics.A_inj enc.q1 enc.q2 with
+    | Containment.Contained -> true
+    | Containment.Not_contained _ -> false
+    | Containment.Unknown _ -> invalid_arg "Qbf_to_ainj.verify: undecided"
+  in
+  (via_queries, Qbf.is_valid instance)

@@ -1,0 +1,43 @@
+(** The reduction of Theorem 6.2 (Appendix E, Figure 13):
+    {m \forall\exists}-QBF to CQ/CRPQ{^ fin} containment under
+    atom-injective semantics.
+
+    Structure (over labels {m a, t, f, r}, the {m x_i}, the {m y_j}):
+
+    - {m Q_1} (a CQ) has an {m a}-spine {m p_0 \to \dots \to p_4}, an
+      E-gadget on {m p_0, p_1, p_3, p_4} and the D-gadget on {m p_2}.
+      In D, every universal {m x_i} owns a positive chain
+      {m d_i \xrightarrow{t} m_i \xrightarrow{t} w_i} and a negative
+      chain {m d_i \xrightarrow{f} m'_i \xrightarrow{f} w'_i}.
+      {m r}-atoms saturate all variable pairs {e except}
+      {m (d_i, w_i)} and {m (d_i, w'_i)}: the a-inj-expansions of
+      {m Q_1} may merge exactly these, and merging {m (d_i,w_i)}
+      [resp. {m (d_i,w'_i)}] destroys the {e simple} {m tt}-path
+      [resp. {m ff}-path], i.e. sets {m x_i} false [resp. true].
+      Existential {m y_j} targets are the two global nodes
+      {m Y_t^j, Y_f^j}; the D-gadget reaches them with matching labels
+      only, the E-gadgets with both labels.
+    - {m Q_2} (CRPQ{^ fin}, word languages of length ≤ 2) has one DAG
+      per clause: three literal gadgets chained by {m a}-atoms, where a
+      positive [x] literal is {m \cdot \xrightarrow{x_k} \cdot
+      \xrightarrow{tt} \cdot}, a negative one uses {m ff}, and {m y}
+      literals end in the clause-shared variable {m y_{k,tf}}.
+
+    Then {m Q_1 \subseteq_{a\text{-}inj} Q_2} iff {m \Phi} is valid. *)
+
+type encoding = {
+  q1 : Crpq.t;  (** a CQ (every language a single letter) *)
+  q2 : Crpq.t;  (** CRPQ{^ fin} with word languages of length ≤ 2 *)
+  instance : Qbf.t;
+}
+
+val encode : Qbf.t -> encoding
+
+(** The a-inj-expansion of [q1] encoding a universal assignment:
+    [assignment.(i)] (1-based) merges {m (d_i, w'_i)} when true
+    ({m x_i} true) and {m (d_i, w_i)} when false. *)
+val expansion_of_assignment : encoding -> bool array -> Expansion.expanded
+
+(** Decide the QBF through the containment problem and through brute
+    force: (via queries, via brute force). *)
+val verify : Qbf.t -> bool * bool

@@ -1,0 +1,33 @@
+let r_symbol = "R"
+
+let saturate_query (q : Cq.t) =
+  if List.mem r_symbol (Cq.alphabet q) then
+    invalid_arg "Subiso_to_eval.saturate_query: query already uses R";
+  let vars = Cq.vars q in
+  let r_atoms =
+    List.concat_map
+      (fun x ->
+        List.filter_map
+          (fun y -> if x <> y then Some (Crpq.atom x (Regex.sym r_symbol) y) else None)
+          vars)
+      vars
+  in
+  let base = (Crpq.of_cq q).Crpq.atoms in
+  Crpq.make ~free:q.Cq.free (base @ r_atoms)
+
+let saturate_graph g =
+  let nodes = Graph.nodes g in
+  let r_edges =
+    List.concat_map
+      (fun u ->
+        List.filter_map (fun v -> if u <> v then Some (u, r_symbol, v) else None) nodes)
+      nodes
+  in
+  Graph.add_edges g r_edges
+
+let verify q g =
+  let pattern, _ = Cq.to_graph q in
+  let subiso = Morphism.subgraph_iso ~pattern ~target:g in
+  let qinj = Eval.eval_bool Semantics.Q_inj (Crpq.of_cq q) g in
+  let ainj = Eval.eval_bool Semantics.A_inj (saturate_query q) (saturate_graph g) in
+  (subiso, qinj, ainj)

@@ -1,0 +1,23 @@
+(** The lower-bound construction of Proposition 3.1: subgraph isomorphism
+    reduces to CRPQ evaluation under both injective semantics.
+
+    For a Boolean CQ {m Q} and a database {m G}:
+    {m Q \xrightarrow{inj} G} iff {m Q(G)^{q\text{-}inj} \neq \emptyset}
+    iff {m Q^+(G^+)^{a\text{-}inj} \neq \emptyset}, where {m Q^+}
+    [resp. {m G^+}] adds, for a fresh symbol {m R}, an {m R}-atom
+    [edge] between every ordered pair of distinct variables
+    [vertices]. *)
+
+(** Fresh symbol used for the saturation. *)
+val r_symbol : Word.symbol
+
+(** [saturate_query q] is {m Q^+}.
+    @raise Invalid_argument if [q] already uses {!r_symbol}. *)
+val saturate_query : Cq.t -> Crpq.t
+
+(** [saturate_graph g] is {m G^+}. *)
+val saturate_graph : Graph.t -> Graph.t
+
+(** The three equivalent decisions of Prop 3.1, for cross-checking:
+    (subgraph-iso, q-inj evaluation, saturated a-inj evaluation). *)
+val verify : Cq.t -> Graph.t -> bool * bool * bool

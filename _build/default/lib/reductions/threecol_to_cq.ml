@@ -1,0 +1,22 @@
+let cq_of_undirected prefix edges =
+  let atoms =
+    List.concat_map
+      (fun (u, v) ->
+        let x = Printf.sprintf "%s%d" prefix u
+        and y = Printf.sprintf "%s%d" prefix v in
+        [ Cq.atom x "e" y; Cq.atom y "e" x ])
+      edges
+  in
+  Cq.make ~free:[] atoms
+
+let k3_edges = [ (0, 1); (0, 2); (1, 2) ]
+
+let queries ~nvertices edges =
+  ignore nvertices;
+  (cq_of_undirected "k" k3_edges, cq_of_undirected "v" edges)
+
+let verify ~nvertices edges =
+  let qk3, qg = queries ~nvertices edges in
+  let via_containment = Containment.cq_cq Semantics.St qk3 qg in
+  let via_coloring = Coloring.k_colorable ~k:3 ~nvertices edges in
+  (via_containment, via_coloring)

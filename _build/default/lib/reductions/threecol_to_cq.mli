@@ -1,0 +1,11 @@
+(** The Chandra–Merlin NP-hardness of CQ/CQ containment via
+    3-colorability (used for the lower bounds in Figure 1's CQ/CQ
+    cells): an undirected graph {m G} is 3-colorable iff
+    {m Q_{K_3} \subseteq_{st} Q_G}, where both CQs have an {m e}-atom in
+    each direction per edge. *)
+
+(** [queries ~nvertices edges] is the pair {m (Q_{K_3}, Q_G)}. *)
+val queries : nvertices:int -> (int * int) list -> Cq.t * Cq.t
+
+(** (via containment, via brute-force coloring). *)
+val verify : nvertices:int -> (int * int) list -> bool * bool

@@ -1,0 +1,1 @@
+lib/workload/qgen.ml: Crpq List Printf Random Regex

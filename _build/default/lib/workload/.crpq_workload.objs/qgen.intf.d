@@ -1,0 +1,1 @@
+lib/workload/qgen.mli: Cq Crpq Random Regex Word

@@ -1,0 +1,1 @@
+lib/workload/suite.ml: Crpq Gcp Generate Graph List Pcp Qbf Qgen Random Semantics

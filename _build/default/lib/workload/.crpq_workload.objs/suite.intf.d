@@ -1,0 +1,1 @@
+lib/workload/suite.mli: Crpq Gcp Graph Pcp Qbf Semantics

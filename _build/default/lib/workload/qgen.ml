@@ -1,0 +1,89 @@
+type shape =
+  | Chain
+  | Cycle
+  | Star
+  | Random
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+let rec random_regex ~rng ~labels ~depth ~cls =
+  let leaf () = Regex.sym (pick rng labels) in
+  if depth <= 0 then leaf ()
+  else begin
+    let sub () = random_regex ~rng ~labels ~depth:(depth - 1) ~cls in
+    match cls with
+    | Crpq.Class_cq -> leaf ()
+    | Crpq.Class_fin -> begin
+      match Random.State.int rng 4 with
+      | 0 -> leaf ()
+      | 1 -> Regex.seq (sub ()) (sub ())
+      | 2 -> Regex.alt (sub ()) (sub ())
+      | _ -> Regex.opt (sub ())
+    end
+    | Crpq.Class_crpq -> begin
+      match Random.State.int rng 6 with
+      | 0 -> leaf ()
+      | 1 -> Regex.seq (sub ()) (sub ())
+      | 2 -> Regex.alt (sub ()) (sub ())
+      | 3 -> Regex.opt (sub ())
+      | 4 -> Regex.star (sub ())
+      | _ -> Regex.plus (sub ())
+    end
+  end
+
+let random_crpq ~rng ?(shape = Random) ~labels ~nvars ~natoms ~arity ~cls () =
+  let var i = Printf.sprintf "v%d" i in
+  let endpoint_pairs =
+    List.init natoms (fun i ->
+        match shape with
+        | Chain -> (var (i mod nvars), var ((i + 1) mod nvars))
+        | Cycle -> (var (i mod nvars), var ((i + 1) mod nvars))
+        | Star ->
+          if Random.State.bool rng then (var 0, var (1 + (i mod (max 1 (nvars - 1)))))
+          else (var (1 + (i mod (max 1 (nvars - 1)))), var 0)
+        | Random ->
+          (var (Random.State.int rng nvars), var (Random.State.int rng nvars)))
+  in
+  let atoms =
+    List.map
+      (fun (s, t) ->
+        let lang =
+          (* avoid empty languages; retry a few times *)
+          let rec gen n =
+            let r = random_regex ~rng ~labels ~depth:2 ~cls in
+            if Regex.is_empty_lang r && n > 0 then gen (n - 1) else r
+          in
+          gen 3
+        in
+        Crpq.atom s lang t)
+      endpoint_pairs
+  in
+  let free = List.init arity (fun i -> var (i mod nvars)) in
+  Crpq.make ~free atoms
+
+let random_cq ~rng ~labels ~nvars ~natoms ~arity () =
+  let q = random_crpq ~rng ~labels ~nvars ~natoms ~arity ~cls:Crpq.Class_cq () in
+  match Crpq.to_cq q with
+  | Some cq -> cq
+  | None -> assert false
+
+let contained_pair ~rng ~labels ~nvars ~natoms ~cls () =
+  let q1 = random_crpq ~rng ~labels ~nvars ~natoms ~arity:0 ~cls () in
+  (* q2: drop some atoms and relax some languages of q1 *)
+  let q2_atoms =
+    List.filter_map
+      (fun (a : Crpq.atom) ->
+        if Random.State.int rng 4 = 0 && List.length q1.Crpq.atoms > 1 then None
+        else begin
+          let lang =
+            match Random.State.int rng 3 with
+            | 0 when cls = Crpq.Class_crpq -> Regex.plus a.Crpq.lang
+            | 1 when cls <> Crpq.Class_cq ->
+              Regex.alt a.Crpq.lang (Regex.sym (pick rng labels))
+            | _ -> a.Crpq.lang
+          in
+          Some { a with Crpq.lang }
+        end)
+      q1.Crpq.atoms
+  in
+  (q1, Crpq.make ~free:[] q2_atoms)

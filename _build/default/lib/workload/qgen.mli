@@ -1,0 +1,51 @@
+(** Random query generators for tests and benchmark workloads. *)
+
+type shape =
+  | Chain  (** {m x_0 \to x_1 \to \dots} *)
+  | Cycle
+  | Star  (** all atoms share a central variable *)
+  | Random  (** uniformly random endpoints *)
+
+(** Random regular expression over [labels] with at most [depth] nested
+    operators; [cls] restricts the class. *)
+val random_regex :
+  rng:Random.State.t ->
+  labels:Word.symbol list ->
+  depth:int ->
+  cls:Crpq.cls ->
+  Regex.t
+
+(** Random CRPQ of a given class.  [nvars] variables, [natoms] atoms,
+    [arity] free variables. *)
+val random_crpq :
+  rng:Random.State.t ->
+  ?shape:shape ->
+  labels:Word.symbol list ->
+  nvars:int ->
+  natoms:int ->
+  arity:int ->
+  cls:Crpq.cls ->
+  unit ->
+  Crpq.t
+
+(** Random CQ (through {!random_crpq} with [Class_cq]). *)
+val random_cq :
+  rng:Random.State.t ->
+  labels:Word.symbol list ->
+  nvars:int ->
+  natoms:int ->
+  arity:int ->
+  unit ->
+  Cq.t
+
+(** A pair [(q1, q2)] biased towards containment: [q2] is derived from
+    [q1] by deleting atoms and relaxing languages, so that
+    {m Q_1 \subseteq_{st} Q_2} often holds. *)
+val contained_pair :
+  rng:Random.State.t ->
+  labels:Word.symbol list ->
+  nvars:int ->
+  natoms:int ->
+  cls:Crpq.cls ->
+  unit ->
+  Crpq.t * Crpq.t

@@ -1,0 +1,135 @@
+let labels = [ "a"; "b"; "c" ]
+
+let fig1_cells ~seed ~per_cell =
+  let rng = Random.State.make [| seed |] in
+  let cells =
+    [
+      ("CQ/CQ", Crpq.Class_cq, Crpq.Class_cq);
+      ("CQ/CRPQfin", Crpq.Class_cq, Crpq.Class_fin);
+      ("CQ/CRPQ", Crpq.Class_cq, Crpq.Class_crpq);
+      ("CRPQfin/CQ", Crpq.Class_fin, Crpq.Class_cq);
+      ("CRPQfin/CRPQfin", Crpq.Class_fin, Crpq.Class_fin);
+      ("CRPQfin/CRPQ", Crpq.Class_fin, Crpq.Class_crpq);
+      ("CRPQ/CQ", Crpq.Class_crpq, Crpq.Class_cq);
+      ("CRPQ/CRPQfin", Crpq.Class_crpq, Crpq.Class_fin);
+      ("CRPQ/CRPQ", Crpq.Class_crpq, Crpq.Class_crpq);
+    ]
+  in
+  List.concat_map
+    (fun (name, c1, c2) ->
+      List.map
+        (fun sem ->
+          let pairs =
+            List.init per_cell (fun _ ->
+                let q1 =
+                  Qgen.random_crpq ~rng ~labels ~nvars:3 ~natoms:2 ~arity:0
+                    ~cls:c1 ()
+                in
+                let q2 =
+                  Qgen.random_crpq ~rng ~labels ~nvars:3 ~natoms:2 ~arity:0
+                    ~cls:c2 ()
+                in
+                (q1, q2))
+          in
+          (name, sem, c1, c2, pairs))
+        Semantics.node_semantics)
+    cells
+
+let eval_scaling ~seed ~sizes =
+  let rng = Random.State.make [| seed |] in
+  let q = Crpq.parse "Q(x, y) :- x -[(ab)+]-> y, y -[c+]-> x" in
+  let graphs =
+    List.map (fun n -> Generate.gnp ~rng ~nodes:n ~labels ~p:(2.5 /. float_of_int n)) sizes
+  in
+  ("eval-scaling", q, graphs)
+
+let hard_simple_path ~sizes =
+  List.map
+    (fun n -> (n, Generate.lollipop ~handle:(n / 2) ~cycle_len:(n - (n / 2)) ~label:"a"))
+    sizes
+
+let knowledge_graph ~seed ~entities =
+  let rng = Random.State.make [| seed |] in
+  (* three entity bands: people [0, p), works [p, w), places [w, n) *)
+  let n = max entities 9 in
+  let p = n / 3 and w = 2 * n / 3 in
+  let edges = ref [] in
+  let add u lbl v = edges := (u, lbl, v) :: !edges in
+  for person = 0 to p - 1 do
+    (* influence chains between people *)
+    if person + 1 < p && Random.State.int rng 3 > 0 then
+      add person "influencedBy" (person + 1);
+    if Random.State.int rng 2 = 0 && p > 1 then
+      add person "studentOf" (Random.State.int rng p);
+    (* creations *)
+    for _ = 1 to 1 + Random.State.int rng 2 do
+      add person "creatorOf" (p + Random.State.int rng (max 1 (w - p)))
+    done;
+    add person "bornIn" (w + Random.State.int rng (max 1 (n - w)))
+  done;
+  for work = p to w - 1 do
+    if Random.State.int rng 2 = 0 && work + 1 < w then
+      add work "basedOn" (work + 1);
+    add work "publishedIn" (w + Random.State.int rng (max 1 (n - w)))
+  done;
+  for place = w to n - 1 do
+    if place + 1 < n then add place "partOf" (place + 1)
+  done;
+  let g = Graph.make ~nnodes:n !edges in
+  let queries =
+    [
+      ( "influence chain",
+        Crpq.parse "Q(x, y) :- x -[<influencedBy>+]-> y" );
+      ( "creative lineage",
+        Crpq.parse
+          "Q(x, y) :- x -[(<influencedBy>|<studentOf>)+]-> y, x \
+           -[<creatorOf>]-> w, y -[<creatorOf>]-> v" );
+      ( "colocated works",
+        Crpq.parse
+          "Q(w1, w2) :- w1 -[<publishedIn><partOf>*]-> pl, w2 \
+           -[<publishedIn><partOf>*]-> pl" );
+      ( "derived work of a compatriot",
+        Crpq.parse
+          "Q(x, y) :- x -[<creatorOf><basedOn>+]-> d, y -[<creatorOf>]-> d, \
+           x -[<bornIn><partOf>*]-> pl, y -[<bornIn><partOf>*]-> pl" );
+    ]
+  in
+  (g, queries)
+
+let pcp_instances =
+  [
+    ("solvable-small", Pcp.solvable_small, Some [ 1; 2 ]);
+    ("solvable-medium", Pcp.solvable_medium, Some [ 3; 2; 3; 1 ]);
+    ("unsolvable-small", Pcp.unsolvable_small, None);
+    ("unsolvable-medium", Pcp.unsolvable_medium, None);
+  ]
+
+let gcp_instances =
+  [
+    ("K4-n3", Gcp.complete 4 ~n:3);
+    ("K4-n2", Gcp.complete 4 ~n:2);
+    ("C5-n2", Gcp.cycle 5 ~n:2);
+    ("C4-n2", Gcp.cycle 4 ~n:2);
+    ("C6-n2", Gcp.cycle 6 ~n:2);
+  ]
+
+let qbf_instances ~seed =
+  let rng = Random.State.make [| seed |] in
+  [
+    ("valid-small", Qbf.valid_small);
+    ("invalid-small", Qbf.invalid_small);
+    ("random-1", Qbf.random ~rng ~n_x:1 ~n_y:1 ~n_clauses:2);
+    ("random-2", Qbf.random ~rng ~n_x:2 ~n_y:1 ~n_clauses:2);
+  ]
+
+let qinj_scaling ~seed ~sizes =
+  let rng = Random.State.make [| seed |] in
+  List.map
+    (fun natoms ->
+      let pairs =
+        List.init 3 (fun _ ->
+            Qgen.contained_pair ~rng ~labels:[ "a"; "b" ] ~nvars:3 ~natoms
+              ~cls:Crpq.Class_crpq ())
+      in
+      (natoms, pairs))
+    sizes

@@ -1,0 +1,36 @@
+(** Named workload families for the benchmark harness: one entry point
+    per experiment of DESIGN.md / EXPERIMENTS.md. *)
+
+(** Containment workloads per Figure-1 cell: list of
+    (name, semantics, lhs class, rhs class, query pairs). *)
+val fig1_cells :
+  seed:int ->
+  per_cell:int ->
+  (string * Semantics.t * Crpq.cls * Crpq.cls * (Crpq.t * Crpq.t) list) list
+
+(** Evaluation workloads (Prop 3.1/3.2): graphs of growing size with a
+    fixed query: (name, query, graphs). *)
+val eval_scaling : seed:int -> sizes:int list -> string * Crpq.t * Graph.t list
+
+(** The lollipop family on which simple-path search explodes while
+    standard reachability stays polynomial. *)
+val hard_simple_path : sizes:int list -> (int * Graph.t) list
+
+(** A Wikidata-flavoured workload (the paper's motivating queries, §1):
+    a synthetic knowledge graph with typed entities (people, works,
+    places) and property-path queries in the shapes the Wikidata query
+    logs exhibit (chains and stars of [p+]-style paths).  Returns the
+    graph and named queries. *)
+val knowledge_graph : seed:int -> entities:int -> Graph.t * (string * Crpq.t) list
+
+(** PCP instances with expected solvability. *)
+val pcp_instances : (string * Pcp.t * int list option) list
+
+(** GCP₂ instances (small enough for the exact decider). *)
+val gcp_instances : (string * Gcp.t) list
+
+(** ∀∃-QBF instances (small enough for the exact decider). *)
+val qbf_instances : seed:int -> (string * Qbf.t) list
+
+(** Query pairs for the Theorem 5.1 scaling series, by size parameter. *)
+val qinj_scaling : seed:int -> sizes:int list -> (int * (Crpq.t * Crpq.t) list) list

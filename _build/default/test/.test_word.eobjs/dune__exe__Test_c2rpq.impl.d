@@ -1,0 +1,1 @@
+test/test_c2rpq.ml: Alcotest C2rpq Crpq Eval Generate Graph List QCheck2 Regex Semantics Testutil Word

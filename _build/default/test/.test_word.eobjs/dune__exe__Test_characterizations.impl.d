@@ -1,0 +1,1 @@
+test/test_characterizations.ml: Alcotest Array Containment Cq Crpq Eval Expansion Graph Hashtbl List Morphism QCheck2 Semantics Testutil

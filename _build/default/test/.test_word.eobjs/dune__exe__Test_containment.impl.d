@@ -1,0 +1,1 @@
+test/test_containment.ml: Alcotest Containment Cq Crpq Eval Graph List Option Paper_examples Printf QCheck2 Semantics Testutil

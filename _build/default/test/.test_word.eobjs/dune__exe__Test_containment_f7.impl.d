@@ -1,0 +1,1 @@
+test/test_containment_f7.ml: Alcotest Array Containment Containment_f7 Cq Crpq Eval Expansion Option Qgen Random Semantics

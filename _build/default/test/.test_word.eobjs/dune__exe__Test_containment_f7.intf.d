@@ -1,0 +1,1 @@
+test/test_containment_f7.mli:

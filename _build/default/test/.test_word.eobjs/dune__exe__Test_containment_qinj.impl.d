@@ -1,0 +1,1 @@
+test/test_containment_qinj.ml: Alcotest Array Containment Containment_qinj Cq Crpq Eval Expansion List Printf QCheck2 Random Regex Semantics Testutil

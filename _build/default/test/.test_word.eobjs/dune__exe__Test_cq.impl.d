@@ -1,0 +1,1 @@
+test/test_cq.ml: Alcotest Array Cq Graph List QCheck2 Testutil

@@ -1,0 +1,1 @@
+test/test_crpq.ml: Alcotest Cq Crpq Eval List QCheck2 Regex Semantics Testutil

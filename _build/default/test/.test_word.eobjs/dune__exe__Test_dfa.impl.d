@@ -1,0 +1,1 @@
+test/test_dfa.ml: Alcotest Dfa List Nfa Printf QCheck2 Regex Testutil

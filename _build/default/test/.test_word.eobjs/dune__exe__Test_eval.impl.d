@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Crpq Eval Generate Graph List Paper_examples QCheck2 Semantics Testutil Word

@@ -1,0 +1,1 @@
+test/test_expansion.ml: Alcotest Array Cq Crpq Expansion Graph List Paper_examples Regex Testutil Word

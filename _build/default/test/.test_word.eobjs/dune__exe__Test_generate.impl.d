@@ -1,0 +1,1 @@
+test/test_generate.ml: Alcotest Generate Graph Graph_io List Random Word

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Graph List String Testutil

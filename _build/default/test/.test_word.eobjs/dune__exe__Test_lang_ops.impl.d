@@ -1,0 +1,1 @@
+test/test_lang_ops.ml: Alcotest Dfa Lang_ops List Nfa QCheck2 Regex Testutil

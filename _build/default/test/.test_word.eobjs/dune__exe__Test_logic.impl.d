@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Coloring Gcp List Pcp QCheck2 Qbf Random Testutil

@@ -1,0 +1,1 @@
+test/test_minimize.ml: Alcotest Crpq Dfa Eval List Minimize QCheck2 Regex Semantics Testutil

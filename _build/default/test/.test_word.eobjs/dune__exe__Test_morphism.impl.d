@@ -1,0 +1,1 @@
+test/test_morphism.ml: Alcotest Array Graph List Morphism QCheck2 Testutil

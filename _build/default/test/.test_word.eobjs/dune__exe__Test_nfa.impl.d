@@ -1,0 +1,1 @@
+test/test_nfa.ml: Alcotest Array Hashtbl List Nfa QCheck2 Regex String Testutil

@@ -1,0 +1,1 @@
+test/test_path.ml: Alcotest Graph List Path

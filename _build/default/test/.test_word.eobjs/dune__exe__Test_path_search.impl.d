@@ -1,0 +1,1 @@
+test/test_path_search.ml: Alcotest Array Generate Graph List Nfa Path Path_search QCheck2 Regex Testutil Word

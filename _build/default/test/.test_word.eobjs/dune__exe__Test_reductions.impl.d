@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Coloring Containment Cq Crpq Gcp Gcp_to_qinj Graph List Pcp Pcp_to_ainj QCheck2 Qbf Qbf_to_ainj Random Regex Semantics Subiso_to_eval Testutil Threecol_to_cq

@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest List QCheck2 Regex Testutil Word

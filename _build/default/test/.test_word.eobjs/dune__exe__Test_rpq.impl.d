@@ -1,0 +1,1 @@
+test/test_rpq.ml: Alcotest Containment Generate List Path QCheck2 Regex Rpq Semantics Testutil Word

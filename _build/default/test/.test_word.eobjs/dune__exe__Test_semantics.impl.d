@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Eval List QCheck2 Semantics Testutil

@@ -1,0 +1,1 @@
+test/test_ucrpq.ml: Alcotest Containment Crpq Graph List QCheck2 Semantics Testutil Ucrpq

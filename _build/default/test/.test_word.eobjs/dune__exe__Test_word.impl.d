@@ -1,0 +1,1 @@
+test/test_word.ml: Alcotest List Word

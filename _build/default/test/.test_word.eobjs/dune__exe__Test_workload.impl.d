@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Containment Crpq Eval Graph List Pcp Qgen Random Regex Semantics Suite

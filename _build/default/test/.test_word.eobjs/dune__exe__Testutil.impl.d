@@ -1,0 +1,1 @@
+test/testutil.ml: Crpq Format Graph List Printf QCheck2 QCheck_alcotest Regex

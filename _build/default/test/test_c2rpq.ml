@@ -1,0 +1,87 @@
+let check = Alcotest.check
+
+let test_inverse () =
+  check Alcotest.string "inverse" "~a" (C2rpq.inverse "a");
+  check Alcotest.string "involutive" "a" (C2rpq.inverse (C2rpq.inverse "a"));
+  check Alcotest.bool "is_inverse" true (C2rpq.is_inverse "~a");
+  check Alcotest.bool "plain" false (C2rpq.is_inverse "a")
+
+let test_augment () =
+  let g = Graph.make ~nnodes:2 [ (0, "a", 1) ] in
+  let g' = C2rpq.augment g in
+  check Alcotest.bool "forward kept" true (Graph.mem_edge g' 0 "a" 1);
+  check Alcotest.bool "inverse added" true (Graph.mem_edge g' 1 "~a" 0);
+  check Alcotest.int "edge count" 2 (Graph.nedges g')
+
+let test_two_way_eval () =
+  (* a "sibling" query: two nodes with a common a-parent *)
+  let g = Graph.make ~nnodes:3 [ (2, "a", 0); (2, "a", 1) ] in
+  let q = Crpq.parse "Q(x, y) :- x -[<~a>a]-> y" in
+  check Alcotest.bool "two-way query" true (C2rpq.is_two_way q);
+  check Alcotest.bool "siblings found (st)" true
+    (C2rpq.check Semantics.St q g [ 0; 1 ]);
+  (* under q-inj the two-step path up-down must not revisit: x -~a-> p -a-> y
+     with x, p, y pairwise distinct *)
+  check Alcotest.bool "siblings found (q-inj)" true
+    (C2rpq.check Semantics.Q_inj q g [ 0; 1 ]);
+  check Alcotest.bool "self-sibling rejected (q-inj)" false
+    (C2rpq.check Semantics.Q_inj q g [ 0; 0 ]);
+  check Alcotest.bool "self-sibling accepted (st)" true
+    (C2rpq.check Semantics.St q g [ 0; 0 ])
+
+let test_eliminate () =
+  (* a pure-inverse atom is a reversed atom *)
+  let q = Crpq.parse "Q(x, y) :- x -[<~a>+]-> y" in
+  (match C2rpq.try_eliminate q with
+  | None -> Alcotest.fail "expected elimination"
+  | Some q' ->
+    check Alcotest.bool "no inverses left" false (C2rpq.is_two_way q');
+    (* semantics agree on a sample graph *)
+    let g = Generate.line (Word.of_string "aaa") in
+    List.iter
+      (fun sem ->
+        check Alcotest.bool "same answers" true
+          (C2rpq.eval sem q g = Eval.eval sem q' g))
+      Semantics.node_semantics);
+  (* mixed-direction languages cannot be eliminated this way *)
+  check Alcotest.bool "mixed not eliminable" true
+    (C2rpq.try_eliminate (Crpq.parse "x -[<~a>a]-> y") = None);
+  (* one-way queries pass through unchanged *)
+  let oneway = Crpq.parse "x -[ab]-> y" in
+  check Alcotest.bool "one-way unchanged" true
+    (C2rpq.try_eliminate oneway = Some oneway)
+
+let prop_hierarchy_two_way =
+  Testutil.qtest ~count:30 "the semantics hierarchy survives two-way navigation"
+    (QCheck2.Gen.pair
+       (Testutil.gen_crpq ~max_atoms:2 ~arity:1 ())
+       (Testutil.gen_graph ~max_nodes:3 ()))
+    (fun (q, g) ->
+      (* invert a symbol in the query to make it two-way *)
+      let q =
+        Crpq.make ~free:q.Crpq.free
+          (List.mapi
+             (fun i (a : Crpq.atom) ->
+               if i = 0 then
+                 { a with Crpq.lang = Regex.seq (Regex.sym "~a") a.Crpq.lang }
+               else a)
+             q.Crpq.atoms)
+      in
+      let subset l1 l2 = List.for_all (fun x -> List.mem x l2) l1 in
+      let qi = C2rpq.eval Semantics.Q_inj q g in
+      let ai = C2rpq.eval Semantics.A_inj q g in
+      let st = C2rpq.eval Semantics.St q g in
+      subset qi ai && subset ai st)
+
+let () =
+  Alcotest.run "c2rpq"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "inverse" `Quick test_inverse;
+          Alcotest.test_case "augment" `Quick test_augment;
+          Alcotest.test_case "two-way eval" `Quick test_two_way_eval;
+          Alcotest.test_case "eliminate" `Quick test_eliminate;
+        ] );
+      ("properties", [ prop_hierarchy_two_way ]);
+    ]

@@ -1,0 +1,146 @@
+(* The containment/evaluation characterizations of Section 4.1, tested
+   as logical equivalences on randomized finite instances:
+
+   - Lemma 4.4:  ∃E ∈ Exp(Q).  E --a-inj--> (G, v̄)
+              ⟺ ∃F ∈ Exp^a-inj(Q).  F --inj--> (G, v̄)
+   - Prop 4.2 (st)   : Q1 ⊆ Q2 ⟺ ∀E1 ∃E2. E2 ---> E1
+   - Prop 4.3 (q-inj): Q1 ⊆ Q2 ⟺ ∀E1 ∃E2. E2 --inj--> E1
+   - Prop 4.6 (a-inj): Q1 ⊆ Q2 ⟺ ∀F1 ∃E2. E2 --a-inj--> F1
+                              ⟺ ∀F1 ∃F2. F2 --inj--> F1 *)
+
+let inj_hom_to_expansion (e2 : Expansion.expanded) (f1 : Expansion.expanded) =
+  (* F2 --inj--> F1 with positional free mapping *)
+  let pattern, names = Cq.to_graph e2.Expansion.cq in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i x -> Hashtbl.replace index x i) names;
+  let target, _ = Cq.to_graph f1.Expansion.cq in
+  let f1_free = Cq.free_nodes f1.Expansion.cq in
+  if List.length e2.Expansion.cq.Cq.free <> List.length f1_free then false
+  else begin
+    let fixed =
+      List.map2
+        (fun x u -> (Hashtbl.find index x, u))
+        e2.Expansion.cq.Cq.free f1_free
+    in
+    Morphism.exists ~fixed ~injective:true ~pattern ~target ()
+  end
+
+let gen_small_fin = Testutil.gen_crpq ~cls:Crpq.Class_fin ~max_atoms:2 ~max_vars:2
+
+let test_lemma_44 =
+  Testutil.qtest ~count:40 "Lemma 4.4: a-inj homs = injective homs from merges"
+    (QCheck2.Gen.pair (gen_small_fin ~arity:1 ()) (Testutil.gen_graph ~max_nodes:3 ()))
+    (fun (q, g) ->
+      List.for_all
+        (fun v ->
+          let tuple = [ v ] in
+          let lhs =
+            List.exists
+              (fun e -> Eval.hom_from_expansion Semantics.A_inj e g tuple)
+              (Expansion.finite_expansions q)
+          in
+          let rhs =
+            List.exists
+              (fun f ->
+                (* F --inj--> (G, v̄) *)
+                let pattern, names = Cq.to_graph f.Expansion.cq in
+                let index = Hashtbl.create 16 in
+                Array.iteri (fun i x -> Hashtbl.replace index x i) names;
+                List.length f.Expansion.cq.Cq.free = List.length tuple
+                &&
+                let fixed =
+                  List.map2
+                    (fun x u -> (Hashtbl.find index x, u))
+                    f.Expansion.cq.Cq.free tuple
+                in
+                Morphism.exists ~fixed ~injective:true ~pattern ~target:g ())
+              (Expansion.finite_ainj_expansions q)
+          in
+          lhs = rhs)
+        (Graph.nodes g))
+
+let counterexample_free sem hom_check q1 q2 star_exp_q1 =
+  (* ∀E1 ∈ star_exp(Q1). ∃E2 matching via hom_check — compared against
+     the containment decider *)
+  let chars =
+    List.for_all (fun e1 -> hom_check q2 e1) (star_exp_q1 q1)
+  in
+  let decided =
+    match Containment.verdict_bool (Containment.finite_lhs sem q1 q2) with
+    | Some b -> b
+    | None -> false
+  in
+  chars = decided
+
+let eps_free_expansions q =
+  List.concat_map
+    (fun d -> Expansion.finite_expansions d)
+    (Crpq.epsilon_free_disjuncts q)
+
+let eps_free_ainj_expansions q =
+  List.concat_map
+    (fun d -> Expansion.finite_ainj_expansions d)
+    (Crpq.epsilon_free_disjuncts q)
+
+let gen_pair =
+  QCheck2.Gen.pair (gen_small_fin ~arity:0 ()) (gen_small_fin ~arity:0 ())
+
+let test_prop_42 =
+  Testutil.qtest ~count:40 "Prop 4.2: st containment via homs between expansions"
+    gen_pair
+    (fun (q1, q2) ->
+      counterexample_free Semantics.St
+        (fun q2 e1 ->
+          let g, tuple = Expansion.to_graph e1 in
+          List.exists
+            (fun e2 -> Eval.hom_from_expansion Semantics.St e2 g tuple)
+            (eps_free_expansions q2))
+        q1 q2 eps_free_expansions)
+
+let test_prop_43 =
+  Testutil.qtest ~count:40
+    "Prop 4.3: q-inj containment via injective homs between expansions" gen_pair
+    (fun (q1, q2) ->
+      counterexample_free Semantics.Q_inj
+        (fun q2 e1 ->
+          let g, tuple = Expansion.to_graph e1 in
+          List.exists
+            (fun e2 -> Eval.hom_from_expansion Semantics.Q_inj e2 g tuple)
+            (eps_free_expansions q2))
+        q1 q2 eps_free_expansions)
+
+let test_prop_46_item2 =
+  Testutil.qtest ~count:30
+    "Prop 4.6 (2): a-inj containment via a-inj homs to merged expansions"
+    gen_pair
+    (fun (q1, q2) ->
+      counterexample_free Semantics.A_inj
+        (fun q2 f1 ->
+          let g, tuple = Expansion.to_graph f1 in
+          List.exists
+            (fun e2 -> Eval.hom_from_expansion Semantics.A_inj e2 g tuple)
+            (eps_free_expansions q2))
+        q1 q2 eps_free_ainj_expansions)
+
+let test_prop_46_item3 =
+  Testutil.qtest ~count:30
+    "Prop 4.6 (3): a-inj containment via injective homs between merged expansions"
+    gen_pair
+    (fun (q1, q2) ->
+      counterexample_free Semantics.A_inj
+        (fun q2 f1 ->
+          List.exists (fun f2 -> inj_hom_to_expansion f2 f1) (eps_free_ainj_expansions q2))
+        q1 q2 eps_free_ainj_expansions)
+
+let () =
+  Alcotest.run "characterizations"
+    [
+      ( "section 4.1",
+        [
+          test_lemma_44;
+          test_prop_42;
+          test_prop_43;
+          test_prop_46_item2;
+          test_prop_46_item3;
+        ] );
+    ]

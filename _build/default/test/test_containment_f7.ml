@@ -1,0 +1,115 @@
+let check = Alcotest.check
+
+let decide q1 q2 = Containment_f7.decide_st (Crpq.parse q1) (Crpq.parse q2)
+
+let expect name expected q1 q2 =
+  match decide q1 q2 with
+  | Containment_f7.F7_contained -> check Alcotest.bool name expected true
+  | Containment_f7.F7_not_contained _ -> check Alcotest.bool name expected false
+
+let test_line_pattern () =
+  let pat q =
+    Containment_f7.line_pattern (Option.get (Crpq.to_cq (Crpq.parse q)))
+  in
+  (match pat "x -[a]-> y, y -[b]-> z" with
+  | Some t ->
+    check Alcotest.int "length 2" 2 (Array.length t);
+    check Alcotest.bool "letters" true (t.(0) = Some "a" && t.(1) = Some "b")
+  | None -> Alcotest.fail "expected a pattern");
+  (* forks with the same letter are still line-shaped *)
+  (match pat "x -[a]-> y, x -[a]-> z" with
+  | Some t -> check Alcotest.int "fork length 1" 1 (Array.length t)
+  | None -> Alcotest.fail "expected a pattern");
+  (* a letter conflict is not *)
+  check Alcotest.bool "conflict" true (pat "x -[a]-> y, x -[b]-> z" = None);
+  (* a cycle is not *)
+  check Alcotest.bool "cycle" true (pat "x -[a]-> y, y -[a]-> x" = None)
+
+let test_exact_verdicts () =
+  (* the b-edge exists somewhere in every long-enough a*ba* word *)
+  expect "a*ba* contains a b-edge" true "x -[a*ba*]-> y" "u -[b]-> v";
+  expect "a* need not contain b" false "x -[a*]-> y" "u -[b]-> v";
+  (* two-letter pattern inside a starred language *)
+  expect "(ab)+ contains ab" true "x -[(ab)+]-> y" "u -[a]-> v, v -[b]-> w";
+  expect "(ab)+ never contains ba... wrong: abab does" true
+    "x -[(ab)+ab]-> y" "u -[b]-> v, v -[a]-> w";
+  expect "(a|b)+ can avoid ab" false "x -[(a|b)+]-> y" "u -[a]-> v, v -[b]-> w";
+  (* multiple components: all must map *)
+  expect "both letters forced" true "x -[(ab)+ba]-> y"
+    "u -[a]-> v, s -[b]-> t";
+  expect "second component can fail" false "x -[a+]-> y"
+    "u -[a]-> v, s -[b]-> t"
+
+let test_window_cases () =
+  (* mapping near the query variables (windows) *)
+  expect "prefix forced" true "Q(x, y) :- x -[ab*]-> y" "Q(u, v) :- u -[a]-> w";
+  expect "suffix forced" true "Q(x, y) :- x -[b*a]-> y" "Q(u, v) :- w -[a]-> v";
+  expect "wrong suffix" false "Q(x, y) :- x -[ab*]-> y" "Q(u, v) :- w -[a]-> v";
+  (* spanning a shared variable of Q1 *)
+  expect "span two atoms" true "x -[a*c]-> y, y -[db*]-> z"
+    "u -[c]-> v, v -[d]-> w"
+
+let test_free_variables () =
+  expect "free vars aligned" true "Q(x) :- x -[ab*]-> y" "Q(x) :- x -[a]-> z";
+  expect "free vars misaligned" false "Q(x) :- y -[b*a]-> x" "Q(x) :- x -[a]-> z";
+  (* repeated free tuple demands *)
+  expect "conflicting demands" false "Q(x, y) :- x -[a+]-> y"
+    "Q(u, u) :- u -[a]-> w"
+
+let test_agrees_with_bounded () =
+  (* the window algorithm must agree with bounded search whenever the
+     latter finds a counterexample, and with finite enumeration on
+     finite queries *)
+  let rng = Random.State.make [| 123 |] in
+  for _ = 1 to 40 do
+    let q1 =
+      Qgen.random_crpq ~rng ~labels:[ "a"; "b" ] ~nvars:2 ~natoms:1 ~arity:0
+        ~cls:Crpq.Class_crpq ()
+    in
+    let q2 =
+      Qgen.random_crpq ~rng ~labels:[ "a"; "b" ] ~nvars:3 ~natoms:2 ~arity:0
+        ~cls:Crpq.Class_cq ()
+    in
+    match Containment_f7.decide_st q1 q2 with
+    | exception Containment_f7.Unsupported _ -> ()
+    | Containment_f7.F7_not_contained e ->
+      (* witnesses are verified internally; double-check *)
+      let g, t = Expansion.to_graph e in
+      if Eval.check Semantics.St q2 g t then
+        Alcotest.failf "bad witness for %s ⊆ %s" (Crpq.to_string q1)
+          (Crpq.to_string q2)
+    | Containment_f7.F7_contained -> begin
+      match Containment.bounded Semantics.St ~max_len:6 q1 q2 with
+      | Containment.Not_contained w ->
+        Alcotest.failf "F7 says contained, bounded refutes: %s ⊆ %s (ce %s)"
+          (Crpq.to_string q1) (Crpq.to_string q2)
+          (Cq.to_string w.Containment.expansion.Expansion.cq)
+      | _ -> ()
+    end
+  done
+
+let test_dispatcher_uses_f7 () =
+  check Alcotest.string "strategy" "window algorithm (Prop F.7)"
+    (Containment.strategy_name Semantics.St (Crpq.parse "x -[a+]-> y")
+       (Crpq.parse "u -[a]-> v"));
+  (* end to end through the dispatcher *)
+  match
+    Containment.decide Semantics.St (Crpq.parse "x -[a+]-> y")
+      (Crpq.parse "u -[a]-> v")
+  with
+  | Containment.Contained -> ()
+  | _ -> Alcotest.fail "expected exact containment"
+
+let () =
+  Alcotest.run "containment_f7"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "line patterns" `Quick test_line_pattern;
+          Alcotest.test_case "exact verdicts" `Quick test_exact_verdicts;
+          Alcotest.test_case "windows" `Quick test_window_cases;
+          Alcotest.test_case "free variables" `Quick test_free_variables;
+          Alcotest.test_case "dispatcher" `Quick test_dispatcher_uses_f7;
+          Alcotest.test_case "fuzz vs bounded" `Slow test_agrees_with_bounded;
+        ] );
+    ]

@@ -1,0 +1,192 @@
+let check = Alcotest.check
+
+let decide q1 q2 = Containment_qinj.decide (Crpq.parse q1) (Crpq.parse q2)
+
+let expect name expected q1 q2 =
+  match decide q1 q2 with
+  | Containment_qinj.Qinj_contained -> check Alcotest.bool name expected true
+  | Containment_qinj.Qinj_not_contained _ -> check Alcotest.bool name expected false
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic cases for the abstraction algorithm                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_atom_cases () =
+  expect "a+ in a*" true "x -[a+]-> y" "x -[a*]-> y";
+  expect "a* not in a+" false "x -[a*]-> y" "x -[a+]-> y";
+  expect "a+ not in (aa)+" false "x -[a+]-> y" "x -[(aa)+]-> y";
+  expect "(aa)+ in a+" true "x -[(aa)+]-> y" "x -[a+]-> y";
+  expect "(ab)+ in (ab)+" true "x -[(ab)+]-> y" "x -[(ab)+]-> y";
+  expect "(ab)+ in (a|b)+" true "x -[(ab)+]-> y" "x -[(a|b)+]-> y";
+  expect "(a|b)+ not in (ab)+" false "x -[(a|b)+]-> y" "x -[(ab)+]-> y"
+
+let test_multi_atom_cases () =
+  expect "drop atom" true "x -[a+]-> y, y -[b]-> z" "x -[a+]-> y";
+  expect "cannot invent atom" false "x -[a+]-> y" "x -[a+]-> y, y -[b]-> z";
+  (* Example 4.7 lifted with a star: Q1' ⊄q-inj Q2' stays *)
+  expect "47-style" false "x -[a+]-> y, x -[b]-> y" "x -[a+]-> y, u -[b]-> v";
+  (* splitting a path needs an internal variable of Q1 *)
+  (* Remark C.1: concatenation at a non-free (1,1) variable is an
+     equivalence, in both directions *)
+  expect "composition" true "x -[a]-> y, y -[b+]-> z" "x -[ab+]-> z";
+  expect "decomposition" true "x -[ab+]-> z" "x -[a]-> y, y -[b+]-> z"
+
+let test_free_variable_cases () =
+  expect "frees aligned" true "Q(x, y) :- x -[a+]-> y" "Q(x, y) :- x -[a+]-> y";
+  expect "frees crossed" false "Q(x, y) :- x -[a+]-> y" "Q(y, x) :- x -[a+]-> y";
+  (* boolean projection of the same pair is contained *)
+  expect "boolean" true "x -[a+]-> y" "x -[a+]-> y"
+
+let test_self_loops_and_duplicates () =
+  (* self-loop atoms expand to simple cycles *)
+  expect "loop refl" true "x -[a+]-> x" "x -[a+]-> x";
+  expect "loop relax" true "x -[(ab)+]-> x" "x -[(a|b)+]-> x";
+  expect "loop not path" false "x -[a+]-> x" "x -[a+]-> y";
+  (* a path query is NOT contained in a loop query *)
+  expect "path not loop" false "x -[a+]-> y" "x -[a+]-> x";
+  (* duplicate atoms demand internally disjoint paths *)
+  expect "duplicates imply single" true "x -[a+]-> y, x -[a+]-> y" "x -[a+]-> y";
+  (* Boolean right side: both duplicated atoms may land on a single edge
+     somewhere inside the expansion (both paths coincide, no internal
+     nodes), so the containment HOLDS for the Boolean queries... *)
+  expect "boolean single implies duplicates" true "x -[a+]-> y"
+    "x -[a+]-> y, x -[a+]-> y";
+  (* ...but pinning the endpoints with free variables forces the two
+     paths across the whole expansion, which a single long path cannot
+     provide *)
+  expect "pinned single does not imply duplicates" false
+    "Q(x, y) :- x -[a+]-> y" "Q(x, y) :- x -[a+]-> y, x -[a+]-> y";
+  expect "pinned duplicates refl" true
+    "Q(x, y) :- x -[a+]-> y, x -[a+]-> y"
+    "Q(x, y) :- x -[a+]-> y, x -[a+]-> y"
+
+let test_eps_cases () =
+  expect "a* in a*" true "x -[a*]-> y" "x -[a*]-> y";
+  expect "a* in a?|aa*" true "x -[a*]-> y" "x -[a?|aa*]-> y";
+  expect "eps only" true "x -[%]-> y" "x -[a*]-> y"
+
+let test_stats () =
+  let _, stats =
+    Containment_qinj.decide_with_stats (Crpq.parse "x -[a+]-> y")
+      (Crpq.parse "x -[a*]-> y")
+  in
+  check Alcotest.bool "some abstractions" true (stats.Containment_qinj.abstractions_checked > 0);
+  check Alcotest.bool "some types" true (stats.Containment_qinj.morphism_types > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Preprocessing pieces                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_normalize_concat () =
+  let q = Crpq.parse "x -[a+]-> y, y -[b]-> z" in
+  let n = Containment_qinj.normalize_concat q in
+  check Alcotest.int "one atom" 1 (Crpq.size n);
+  (* free variables block the concatenation *)
+  let qf = Crpq.parse "Q(y) :- x -[a+]-> y, y -[b]-> z" in
+  check Alcotest.int "free var kept" 2 (Crpq.size (Containment_qinj.normalize_concat qf));
+  (* higher-degree variables stay *)
+  let q3 = Crpq.parse "x -[a]-> y, y -[b]-> z, y -[c]-> w" in
+  check Alcotest.int "degree 3 kept" 3 (Crpq.size (Containment_qinj.normalize_concat q3))
+
+let prop_normalize_preserves_semantics =
+  Testutil.qtest ~count:40 "normalize_concat preserves q-inj evaluation"
+    (QCheck2.Gen.pair
+       (Testutil.gen_crpq ~max_atoms:3 ~max_vars:3 ())
+       (Testutil.gen_graph ~max_nodes:4 ()))
+    (fun (q, g) ->
+      let n = Containment_qinj.normalize_concat q in
+      Eval.eval Semantics.Q_inj q g = Eval.eval Semantics.Q_inj n g)
+
+let prop_remove_letter_word =
+  Testutil.qtest ~count:60 "remove_letter_word removes exactly that word"
+    QCheck2.Gen.(
+      triple (Testutil.gen_regex ~max_depth:2 ()) Testutil.gen_symbol
+        (Testutil.gen_word ~max_len:3 ()))
+    (fun (r, a, w) ->
+      let r = Regex.remove_eps r in
+      let r' = Containment_qinj.remove_letter_word r a in
+      if w = [ a ] then not (Regex.matches r' w)
+      else Regex.matches r' w = Regex.matches r w)
+
+let prop_split_parallel_union =
+  Testutil.qtest ~count:40 "split_parallel_letters preserves the expansion space"
+    (QCheck2.Gen.pair
+       (Testutil.gen_crpq ~max_atoms:2 ~max_vars:2 ())
+       (Testutil.gen_graph ~max_nodes:3 ()))
+    (fun (q, g) ->
+      QCheck2.assume (not (Crpq.has_empty_language q));
+      (* the rewrite is defined on ε-free queries (it is applied after
+         epsilon elimination inside the decider) *)
+      QCheck2.assume
+        (List.for_all (fun (a : Crpq.atom) -> not (Regex.nullable a.Crpq.lang)) q.Crpq.atoms);
+      let qs = Containment_qinj.split_parallel_letters q in
+      let union_eval sem =
+        List.sort_uniq compare (List.concat_map (fun p -> Eval.eval sem p g) qs)
+      in
+      Eval.eval Semantics.Q_inj q g = union_eval Semantics.Q_inj
+      && Eval.eval Semantics.St q g = union_eval Semantics.St)
+
+(* ------------------------------------------------------------------ *)
+(* The main cross-validation: abstraction algorithm vs bounded oracle  *)
+(* ------------------------------------------------------------------ *)
+
+let langs =
+  [| "a"; "b"; "ab"; "a+"; "a*"; "(ab)+"; "a|b"; "(a|b)+"; "ab*"; "ba"; "aa";
+     "(aa)+"; "a|bb"; "b+"; "ab|ba"; "a?b"; "(ab)*"; "a?" |]
+
+let rand_query rng ~arity =
+  let nvars = 2 + Random.State.int rng 2 in
+  let vars = Array.init nvars (fun i -> Printf.sprintf "v%d" i) in
+  let natoms = 1 + Random.State.int rng 2 in
+  let atoms =
+    List.init natoms (fun _ ->
+        let s = vars.(Random.State.int rng nvars) in
+        let t = vars.(Random.State.int rng nvars) in
+        Crpq.atom' s langs.(Random.State.int rng (Array.length langs)) t)
+  in
+  let free = List.init arity (fun i -> vars.(i mod nvars)) in
+  Crpq.make ~free atoms
+
+let test_fuzz_vs_oracle () =
+  let rng = Random.State.make [| 2024 |] in
+  for i = 1 to 120 do
+    let arity = Random.State.int rng 2 in
+    let q1 = rand_query rng ~arity and q2 = rand_query rng ~arity in
+    match Containment_qinj.decide q1 q2 with
+    | exception Containment_qinj.Unsupported _ -> ()
+    | Containment_qinj.Qinj_contained -> begin
+      match Containment.bounded Semantics.Q_inj ~max_len:4 q1 q2 with
+      | Containment.Not_contained w ->
+        Alcotest.failf "case %d: algorithm says contained, oracle refutes\nQ1=%s\nQ2=%s\nce=%s"
+          i (Crpq.to_string q1) (Crpq.to_string q2)
+          (Cq.to_string w.Containment.expansion.Expansion.cq)
+      | _ -> ()
+    end
+    | Containment_qinj.Qinj_not_contained e ->
+      let g, t = Expansion.to_graph e in
+      if Eval.check Semantics.Q_inj q2 g t then
+        Alcotest.failf "case %d: returned counterexample does not refute" i
+  done
+
+let () =
+  Alcotest.run "containment_qinj"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "single atom" `Quick test_single_atom_cases;
+          Alcotest.test_case "multi atom" `Quick test_multi_atom_cases;
+          Alcotest.test_case "self loops and duplicates" `Quick
+            test_self_loops_and_duplicates;
+          Alcotest.test_case "free variables" `Quick test_free_variable_cases;
+          Alcotest.test_case "epsilon" `Quick test_eps_cases;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "normalize_concat" `Quick test_normalize_concat;
+          Alcotest.test_case "fuzz vs oracle" `Slow test_fuzz_vs_oracle;
+        ] );
+      ( "properties",
+        [
+          prop_normalize_preserves_semantics;
+          prop_remove_letter_word;
+          prop_split_parallel_union;
+        ] );
+    ]

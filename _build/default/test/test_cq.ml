@@ -1,0 +1,112 @@
+let check = Alcotest.check
+
+let q_path = Cq.make ~free:[] [ Cq.atom "x" "a" "y"; Cq.atom "y" "b" "z" ]
+
+let test_make_dedup () =
+  let q = Cq.make ~free:[] [ Cq.atom "x" "a" "y"; Cq.atom "x" "a" "y" ] in
+  check Alcotest.int "atoms deduped" 1 (List.length q.Cq.atoms)
+
+let test_vars () =
+  check (Alcotest.list Alcotest.string) "vars" [ "x"; "y"; "z" ] (Cq.vars q_path);
+  let q = Cq.make ~free:[ "w" ] [ Cq.atom "x" "a" "y" ] in
+  check (Alcotest.list Alcotest.string) "isolated free var counted"
+    [ "w"; "x"; "y" ] (Cq.vars q);
+  check Alcotest.bool "boolean" true (Cq.is_boolean q_path);
+  check Alcotest.bool "not boolean" false (Cq.is_boolean q)
+
+let test_to_graph () =
+  let g, names = Cq.to_graph q_path in
+  check Alcotest.int "3 nodes" 3 (Graph.nnodes g);
+  check Alcotest.int "2 edges" 2 (Graph.nedges g);
+  check Alcotest.string "first name" "x" names.(0);
+  check Alcotest.int "var_node" 1 (Cq.var_node q_path "y");
+  check Alcotest.bool "edge present" true
+    (Graph.mem_edge g (Cq.var_node q_path "x") "a" (Cq.var_node q_path "y"))
+
+let test_free_nodes () =
+  let q = Cq.make ~free:[ "z"; "x"; "x" ] q_path.Cq.atoms in
+  check (Alcotest.list Alcotest.int) "free nodes positional"
+    [ Cq.var_node q "z"; Cq.var_node q "x"; Cq.var_node q "x" ]
+    (Cq.free_nodes q)
+
+let test_of_graph_roundtrip () =
+  let g, _ = Cq.to_graph q_path in
+  let q' = Cq.of_graph g in
+  let g', _ = Cq.to_graph q' in
+  check Alcotest.bool "graph preserved" true (Graph.equal g g')
+
+let test_collapse () =
+  let weq = { Cq.base = q_path; eqs = [ ("x", "z") ] } in
+  let collapsed, rename = Cq.collapse weq in
+  check Alcotest.int "two vars" 2 (Cq.nvars collapsed);
+  check Alcotest.string "x and z merged" (rename "x") (rename "z");
+  check Alcotest.bool "y untouched" true (rename "y" = "y");
+  (* transitivity *)
+  let weq2 = { Cq.base = q_path; eqs = [ ("x", "y"); ("y", "z") ] } in
+  check Alcotest.bool "transitive" true (Cq.eq_related weq2 "x" "z");
+  check Alcotest.bool "reflexive" true (Cq.eq_related weq "y" "y");
+  check Alcotest.bool "unrelated" false (Cq.eq_related weq "x" "y")
+
+let test_collapse_free () =
+  let q = Cq.make ~free:[ "x"; "z" ] q_path.Cq.atoms in
+  let collapsed, _ = Cq.collapse { Cq.base = q; eqs = [ ("x", "z") ] } in
+  check Alcotest.int "free tuple arity kept" 2 (List.length collapsed.Cq.free);
+  check Alcotest.bool "free entries merged" true
+    (List.nth collapsed.Cq.free 0 = List.nth collapsed.Cq.free 1)
+
+(* homomorphisms between CQs, Example 4.7 ingredients *)
+let q47_1 = Cq.make ~free:[] [ Cq.atom "x" "a" "y"; Cq.atom "y" "b" "z" ]
+
+let q47_2' = Cq.make ~free:[] [ Cq.atom "x" "a" "y"; Cq.atom "u" "b" "v" ]
+
+let q47_1' = Cq.make ~free:[] [ Cq.atom "x" "a" "y"; Cq.atom "x" "b" "y" ]
+
+let test_homs () =
+  check Alcotest.bool "Q2' -> Q1' (hom)" true (Cq.hom_exists q47_2' q47_1');
+  check Alcotest.bool "Q2' -> Q1' non-contracting" true
+    (Cq.non_contracting_hom_exists q47_2' q47_1');
+  check Alcotest.bool "Q2' -> Q1' not injective" false
+    (Cq.inj_hom_exists q47_2' q47_1');
+  (* Q2' has four variables, Q1 only three: no injective hom *)
+  check Alcotest.bool "Q2' -> Q1 not injective (too many vars)" false
+    (Cq.inj_hom_exists q47_2' q47_1);
+  check Alcotest.bool "Q2' -> Q1 hom" true (Cq.hom_exists q47_2' q47_1);
+  (* arity mismatch *)
+  let unary = Cq.make ~free:[ "x" ] [ Cq.atom "x" "a" "y" ] in
+  check Alcotest.bool "arity mismatch" false (Cq.hom_exists unary q47_1)
+
+let test_free_positional_homs () =
+  let q1 = Cq.make ~free:[ "x" ] [ Cq.atom "x" "a" "y" ] in
+  let q2 = Cq.make ~free:[ "y" ] [ Cq.atom "x" "a" "y" ] in
+  (* q1's free var is the source, q2's the target: no hom fixing frees *)
+  check Alcotest.bool "source vs target frees" false (Cq.hom_exists q1 q2);
+  check Alcotest.bool "same frees" true (Cq.hom_exists q1 q1)
+
+let prop_hom_reflexive =
+  Testutil.qtest "hom_exists is reflexive" (Testutil.gen_cq ()) (fun q ->
+      Cq.hom_exists q q)
+
+let prop_inj_implies_hom =
+  Testutil.qtest ~count:80 "injective hom implies hom and non-contracting"
+    (QCheck2.Gen.pair (Testutil.gen_cq ~max_atoms:3 ()) (Testutil.gen_cq ~max_atoms:3 ()))
+    (fun (q1, q2) ->
+      (not (Cq.inj_hom_exists q1 q2))
+      || (Cq.hom_exists q1 q2 && Cq.non_contracting_hom_exists q1 q2))
+
+let () =
+  Alcotest.run "cq"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "dedup" `Quick test_make_dedup;
+          Alcotest.test_case "vars" `Quick test_vars;
+          Alcotest.test_case "to_graph" `Quick test_to_graph;
+          Alcotest.test_case "free nodes" `Quick test_free_nodes;
+          Alcotest.test_case "of_graph" `Quick test_of_graph_roundtrip;
+          Alcotest.test_case "collapse" `Quick test_collapse;
+          Alcotest.test_case "collapse free" `Quick test_collapse_free;
+          Alcotest.test_case "homs" `Quick test_homs;
+          Alcotest.test_case "positional frees" `Quick test_free_positional_homs;
+        ] );
+      ("properties", [ prop_hom_reflexive; prop_inj_implies_hom ]);
+    ]

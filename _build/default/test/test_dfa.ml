@@ -1,0 +1,96 @@
+let gen_rw = QCheck2.Gen.pair (Testutil.gen_regex ()) (Testutil.gen_word ())
+
+let test_accepts =
+  Testutil.qtest ~count:150 "DFA accepts iff regex matches" gen_rw (fun (r, w) ->
+      Dfa.accepts (Dfa.of_nfa (Nfa.of_regex r)) w = Regex.matches r w)
+
+let test_complement =
+  Testutil.qtest "complement flips membership over its alphabet"
+    QCheck2.Gen.(pair (Testutil.gen_regex ()) (Testutil.gen_word ~max_len:4 ()))
+    (fun (r, w) ->
+      let d = Dfa.of_nfa ~alphabet:[ "a"; "b"; "c" ] (Nfa.of_regex r) in
+      Dfa.accepts (Dfa.complement d) w = not (Dfa.accepts d w))
+
+let test_minimize =
+  Testutil.qtest ~count:100 "minimize preserves the language" gen_rw
+    (fun (r, w) ->
+      let d = Dfa.of_nfa ~alphabet:[ "a"; "b"; "c" ] (Nfa.of_regex r) in
+      let m = Dfa.minimize d in
+      m.Dfa.nstates <= d.Dfa.nstates && Dfa.accepts m w = Dfa.accepts d w)
+
+let test_included_sound =
+  Testutil.qtest ~count:80 "included implies no short separating word"
+    QCheck2.Gen.(
+      pair (Testutil.gen_regex ~max_depth:2 ()) (Testutil.gen_regex ~max_depth:2 ()))
+    (fun (r, s) ->
+      let inc = Dfa.regex_included r s in
+      let short_counterexample =
+        List.exists
+          (fun w -> not (Regex.matches s w))
+          (Regex.enumerate ~max_len:4 r)
+      in
+      (not inc) || not short_counterexample)
+
+let test_included_reflexive =
+  Testutil.qtest "inclusion is reflexive" (Testutil.gen_regex ()) (fun r ->
+      Dfa.regex_included r r)
+
+let test_included_union =
+  Testutil.qtest ~count:80 "r included in r|s"
+    QCheck2.Gen.(
+      pair (Testutil.gen_regex ~max_depth:2 ()) (Testutil.gen_regex ~max_depth:2 ()))
+    (fun (r, s) ->
+      Dfa.regex_included r (Regex.Alt (r, s))
+      && Dfa.regex_included s (Regex.Alt (r, s)))
+
+let test_equiv_identities () =
+  let cases =
+    [
+      ("(ab)*", "%|ab(ab)*", true);
+      ("a*", "%|aa*", true);
+      ("a|b", "b|a", true);
+      ("(a|b)*", "(a*b*)*", true);
+      ("a+", "a*", false);
+      ("ab", "ba", false);
+      ("a?", "%|a", true);
+    ]
+  in
+  List.iter
+    (fun (r, s, expected) ->
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "%s = %s" r s)
+        expected
+        (Dfa.regex_equivalent (Regex.parse r) (Regex.parse s)))
+    cases
+
+let test_shortest () =
+  let d = Dfa.of_nfa (Nfa.of_regex (Regex.parse "aab|ba")) in
+  match Dfa.shortest_word d with
+  | Some w -> Alcotest.check Alcotest.int "len 2" 2 (List.length w)
+  | None -> Alcotest.fail "expected a word"
+
+let test_empty () =
+  let d = Dfa.of_nfa ~alphabet:[ "a" ] (Nfa.of_regex Regex.Empty) in
+  Alcotest.check Alcotest.bool "empty" true (Dfa.is_empty d);
+  Alcotest.check Alcotest.bool "complement nonempty" false
+    (Dfa.is_empty (Dfa.complement d))
+
+let () =
+  Alcotest.run "dfa"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "equivalences" `Quick test_equiv_identities;
+          Alcotest.test_case "shortest" `Quick test_shortest;
+          Alcotest.test_case "empty" `Quick test_empty;
+        ] );
+      ( "properties",
+        [
+          test_accepts;
+          test_complement;
+          test_minimize;
+          test_included_sound;
+          test_included_reflexive;
+          test_included_union;
+        ] );
+    ]

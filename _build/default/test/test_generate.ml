@@ -1,0 +1,98 @@
+let check = Alcotest.check
+
+let rng () = Random.State.make [| 17 |]
+
+let test_line () =
+  let g = Generate.line (Word.of_string "abc") in
+  check Alcotest.int "nodes" 4 (Graph.nnodes g);
+  check Alcotest.int "edges" 3 (Graph.nedges g);
+  check Alcotest.bool "spells the word" true
+    (Graph.mem_edge g 0 "a" 1 && Graph.mem_edge g 1 "b" 2 && Graph.mem_edge g 2 "c" 3);
+  let e = Generate.line [] in
+  check Alcotest.int "empty word" 1 (Graph.nnodes e)
+
+let test_cycle () =
+  let g = Generate.cycle (Word.of_string "ab") in
+  check Alcotest.int "nodes" 2 (Graph.nnodes g);
+  check Alcotest.bool "wraps" true (Graph.mem_edge g 1 "b" 0);
+  let single = Generate.cycle [ "a" ] in
+  check Alcotest.bool "self loop" true (Graph.mem_edge single 0 "a" 0)
+
+let test_clique () =
+  let g = Generate.clique ~nodes:4 ~label:"e" in
+  check Alcotest.int "edges" 12 (Graph.nedges g);
+  check Alcotest.bool "no self loops" true
+    (List.for_all (fun (u, _, v) -> u <> v) (Graph.edges g))
+
+let test_grid () =
+  let g = Generate.grid ~rows:2 ~cols:3 ~right:"r" ~down:"d" in
+  check Alcotest.int "nodes" 6 (Graph.nnodes g);
+  (* 2*(3-1) right + 3*(2-1) down *)
+  check Alcotest.int "edges" 7 (Graph.nedges g);
+  check Alcotest.bool "right edge" true (Graph.mem_edge g 0 "r" 1);
+  check Alcotest.bool "down edge" true (Graph.mem_edge g 0 "d" 3)
+
+let test_lollipop () =
+  let g = Generate.lollipop ~handle:2 ~cycle_len:3 ~label:"a" in
+  check Alcotest.int "nodes" 5 (Graph.nnodes g);
+  (* the cycle is reachable and closes *)
+  check Alcotest.bool "handle" true (Graph.mem_edge g 0 "a" 1);
+  check Alcotest.bool "cycle closes" true (Graph.mem_edge g 4 "a" 2)
+
+let test_gnp_bounds () =
+  let rng = rng () in
+  let g = Generate.gnp ~rng ~nodes:5 ~labels:[ "a"; "b" ] ~p:1.0 in
+  (* p = 1: every labelled pair, including self-loops *)
+  check Alcotest.int "complete" (5 * 5 * 2) (Graph.nedges g);
+  let empty = Generate.gnp ~rng ~nodes:5 ~labels:[ "a" ] ~p:0.0 in
+  check Alcotest.int "empty" 0 (Graph.nedges empty)
+
+let test_layered_is_dag () =
+  let rng = rng () in
+  let g = Generate.layered ~rng ~width:3 ~depth:4 ~labels:[ "a" ] in
+  check Alcotest.bool "edges go forward" true
+    (List.for_all (fun (u, _, v) -> v / 3 = (u / 3) + 1) (Graph.edges g))
+
+let test_random_word () =
+  let rng = rng () in
+  let w = Generate.random_word ~rng ~labels:[ "x"; "y" ] ~len:10 in
+  check Alcotest.int "length" 10 (List.length w);
+  check Alcotest.bool "labels only" true
+    (List.for_all (fun s -> s = "x" || s = "y") w)
+
+let test_graph_io_roundtrip () =
+  let g = Graph.make ~nnodes:4 [ (0, "a", 1); (1, "I1", 2); (3, "b", 3) ] in
+  let g' = Graph_io.of_string (Graph_io.to_string g) in
+  check Alcotest.bool "roundtrip" true (Graph.equal g g');
+  (* comments and blank lines *)
+  let g2 = Graph_io.of_string "# header\n\n0 a 1\n  1 b 2  \n" in
+  check Alcotest.int "parsed edges" 2 (Graph.nedges g2)
+
+let test_graph_io_errors () =
+  (match Graph_io.of_string "0 a" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected parse error");
+  match Graph_io.of_string "x a 1" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected bad node id error"
+
+let () =
+  Alcotest.run "generate"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "line" `Quick test_line;
+          Alcotest.test_case "cycle" `Quick test_cycle;
+          Alcotest.test_case "clique" `Quick test_clique;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "lollipop" `Quick test_lollipop;
+          Alcotest.test_case "gnp bounds" `Quick test_gnp_bounds;
+          Alcotest.test_case "layered dag" `Quick test_layered_is_dag;
+          Alcotest.test_case "random word" `Quick test_random_word;
+        ] );
+      ( "graph_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_graph_io_roundtrip;
+          Alcotest.test_case "errors" `Quick test_graph_io_errors;
+        ] );
+    ]

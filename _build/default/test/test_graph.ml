@@ -1,0 +1,101 @@
+let check = Alcotest.check
+
+let g0 = Graph.make ~nnodes:4 [ (0, "a", 1); (1, "b", 2); (2, "a", 0); (3, "c", 3) ]
+
+let test_basics () =
+  check Alcotest.int "nnodes" 4 (Graph.nnodes g0);
+  check Alcotest.int "nedges" 4 (Graph.nedges g0);
+  check Alcotest.bool "mem_edge" true (Graph.mem_edge g0 0 "a" 1);
+  check Alcotest.bool "mem_edge label" false (Graph.mem_edge g0 0 "b" 1);
+  check Alcotest.bool "self loop" true (Graph.mem_edge g0 3 "c" 3);
+  check (Alcotest.list Alcotest.int) "succ" [ 1 ] (Graph.succ g0 0 "a");
+  check Alcotest.int "out_degree" 1 (Graph.out_degree g0 0);
+  check Alcotest.int "in_degree" 1 (Graph.in_degree g0 0);
+  check (Alcotest.list Alcotest.string) "alphabet" [ "a"; "b"; "c" ]
+    (Graph.alphabet g0)
+
+let test_dedup () =
+  let g = Graph.make ~nnodes:2 [ (0, "a", 1); (0, "a", 1) ] in
+  check Alcotest.int "duplicate edges removed" 1 (Graph.nedges g)
+
+let test_out_of_range () =
+  Alcotest.check_raises "out of range" (Invalid_argument "Graph.make: node out of range")
+    (fun () -> ignore (Graph.make ~nnodes:2 [ (0, "a", 5) ]))
+
+let test_of_edges () =
+  let g = Graph.of_edges [ (0, "a", 7) ] in
+  check Alcotest.int "nnodes inferred" 8 (Graph.nnodes g)
+
+let test_components () =
+  check Alcotest.int "two components" 2 (List.length (Graph.components g0));
+  check Alcotest.bool "not connected" false (Graph.is_connected g0);
+  let g = Graph.make ~nnodes:3 [ (0, "a", 1); (2, "a", 1) ] in
+  check Alcotest.bool "weakly connected" true (Graph.is_connected g)
+
+let test_induced () =
+  let sub, remap = Graph.induced g0 (fun v -> v < 3) in
+  check Alcotest.int "induced nodes" 3 (Graph.nnodes sub);
+  check Alcotest.int "induced edges" 3 (Graph.nedges sub);
+  check Alcotest.int "node 3 dropped" (-1) remap.(3)
+
+let test_disjoint_union () =
+  let u, shift = Graph.disjoint_union g0 g0 in
+  check Alcotest.int "nodes doubled" 8 (Graph.nnodes u);
+  check Alcotest.int "edges doubled" 8 (Graph.nedges u);
+  check Alcotest.int "shift" 4 shift;
+  check Alcotest.bool "shifted edge" true (Graph.mem_edge u 4 "a" 5)
+
+let test_add_edges () =
+  let g = Graph.add_edges g0 [ (0, "z", 5) ] in
+  check Alcotest.int "grown" 6 (Graph.nnodes g);
+  check Alcotest.bool "old edge kept" true (Graph.mem_edge g 0 "a" 1)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_to_dot () =
+  let dot = Graph.to_dot g0 in
+  check Alcotest.bool "mentions edge" true (contains ~needle:"n0 -> n1" dot);
+  check Alcotest.bool "mentions label" true (contains ~needle:"label=\"a\"" dot)
+
+let prop_in_out_consistent =
+  Testutil.qtest "in/out edge views agree" (Testutil.gen_graph ()) (fun g ->
+      List.for_all
+        (fun (u, a, v) ->
+          List.mem (a, v) (Graph.out g u) && List.mem (a, u) (Graph.in_ g v))
+        (Graph.edges g))
+
+let prop_degree_sum =
+  Testutil.qtest "degree sums equal edge count" (Testutil.gen_graph ()) (fun g ->
+      let nodes = Graph.nodes g in
+      List.fold_left (fun acc u -> acc + Graph.out_degree g u) 0 nodes
+      = Graph.nedges g
+      && List.fold_left (fun acc u -> acc + Graph.in_degree g u) 0 nodes
+         = Graph.nedges g)
+
+let prop_components_partition =
+  Testutil.qtest "components partition the nodes" (Testutil.gen_graph ())
+    (fun g ->
+      let comps = Graph.components g in
+      List.sort compare (List.concat comps) = Graph.nodes g)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "dedup" `Quick test_dedup;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "of_edges" `Quick test_of_edges;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "induced" `Quick test_induced;
+          Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
+          Alcotest.test_case "add edges" `Quick test_add_edges;
+          Alcotest.test_case "dot" `Quick test_to_dot;
+        ] );
+      ( "properties",
+        [ prop_in_out_consistent; prop_degree_sum; prop_components_partition ] );
+    ]

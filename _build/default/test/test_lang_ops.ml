@@ -1,0 +1,69 @@
+let gen_rw = QCheck2.Gen.pair (Testutil.gen_regex ~max_depth:2 ()) (Testutil.gen_word ())
+
+let prop_of_nfa_roundtrip =
+  Testutil.qtest ~count:120 "state elimination preserves the language" gen_rw
+    (fun (r, w) ->
+      let r' = Lang_ops.of_nfa (Nfa.of_regex r) in
+      Regex.matches r' w = Regex.matches r w)
+
+let prop_intersect =
+  Testutil.qtest ~count:80 "intersection"
+    QCheck2.Gen.(
+      triple (Testutil.gen_regex ~max_depth:2 ()) (Testutil.gen_regex ~max_depth:2 ())
+        (Testutil.gen_word ~max_len:4 ()))
+    (fun (r, s, w) ->
+      Regex.matches (Lang_ops.intersect r s) w
+      = (Regex.matches r w && Regex.matches s w))
+
+let prop_complement =
+  Testutil.qtest ~count:80 "complement"
+    QCheck2.Gen.(pair (Testutil.gen_regex ~max_depth:2 ()) (Testutil.gen_word ~max_len:4 ()))
+    (fun (r, w) ->
+      Regex.matches (Lang_ops.complement ~alphabet:[ "a"; "b"; "c" ] r) w
+      = not (Regex.matches r w))
+
+let prop_difference =
+  Testutil.qtest ~count:80 "difference"
+    QCheck2.Gen.(
+      triple (Testutil.gen_regex ~max_depth:2 ()) (Testutil.gen_regex ~max_depth:2 ())
+        (Testutil.gen_word ~max_len:4 ()))
+    (fun (r, s, w) ->
+      Regex.matches (Lang_ops.difference r s) w
+      = (Regex.matches r w && not (Regex.matches s w)))
+
+let prop_min_length =
+  Testutil.qtest ~count:60 "restrict_min_length"
+    QCheck2.Gen.(
+      triple (Testutil.gen_regex ~max_depth:2 ()) (int_range 0 3)
+        (Testutil.gen_word ~max_len:4 ()))
+    (fun (r, n, w) ->
+      Regex.matches (Lang_ops.restrict_min_length r n) w
+      = (Regex.matches r w && List.length w >= n))
+
+let test_units () =
+  let eq r s = Dfa.regex_equivalent r s in
+  Alcotest.check Alcotest.bool "empty of_nfa" true
+    (Regex.is_empty_lang (Lang_ops.of_nfa (Nfa.of_regex Regex.Empty)));
+  Alcotest.check Alcotest.bool "a* ∩ (aa)* = (aa)*" true
+    (eq (Lang_ops.intersect (Regex.parse "a*") (Regex.parse "(aa)*")) (Regex.parse "(aa)*"));
+  Alcotest.check Alcotest.bool "a* \\ a+ = ε" true
+    (eq (Lang_ops.difference (Regex.parse "a*") (Regex.parse "a+")) Regex.Eps);
+  Alcotest.check Alcotest.bool "double complement" true
+    (eq
+       (Lang_ops.complement ~alphabet:[ "a"; "b" ]
+          (Lang_ops.complement ~alphabet:[ "a"; "b" ] (Regex.parse "(ab)*")))
+       (Regex.parse "(ab)*"))
+
+let () =
+  Alcotest.run "lang_ops"
+    [
+      ("unit", [ Alcotest.test_case "identities" `Quick test_units ]);
+      ( "properties",
+        [
+          prop_of_nfa_roundtrip;
+          prop_intersect;
+          prop_complement;
+          prop_difference;
+          prop_min_length;
+        ] );
+    ]

@@ -1,0 +1,136 @@
+let check = Alcotest.check
+
+(* ---------------- PCP ---------------- *)
+
+let test_pcp_check () =
+  check Alcotest.bool "1,2 solves small" true (Pcp.check Pcp.solvable_small [ 1; 2 ]);
+  check Alcotest.bool "1 does not" false (Pcp.check Pcp.solvable_small [ 1 ]);
+  check Alcotest.bool "empty is no solution" false (Pcp.check Pcp.solvable_small []);
+  check Alcotest.bool "out of range" false (Pcp.check Pcp.solvable_small [ 5 ])
+
+let test_pcp_solve () =
+  (match Pcp.solve ~max_len:6 Pcp.solvable_small with
+  | Some s -> check Alcotest.bool "solution checks" true (Pcp.check Pcp.solvable_small s)
+  | None -> Alcotest.fail "expected a solution");
+  (match Pcp.solve ~max_len:8 Pcp.solvable_medium with
+  | Some s ->
+    check Alcotest.bool "medium solution checks" true (Pcp.check Pcp.solvable_medium s)
+  | None -> Alcotest.fail "expected a solution");
+  check Alcotest.bool "long solvable" true (Pcp.is_solvable ~max_len:10 Pcp.solvable_long);
+  check Alcotest.bool "unsolvable small" false
+    (Pcp.is_solvable ~max_len:10 Pcp.unsolvable_small);
+  check Alcotest.bool "unsolvable medium" false
+    (Pcp.is_solvable ~max_len:10 Pcp.unsolvable_medium)
+
+let test_pcp_alphabet () =
+  check (Alcotest.list Alcotest.char) "alphabet" [ 'a'; 'b' ]
+    (Pcp.alphabet Pcp.solvable_small)
+
+let test_pcp_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Pcp.make: empty instance") (fun () ->
+      ignore (Pcp.make []));
+  Alcotest.check_raises "empty word" (Invalid_argument "Pcp.make: empty word in pair")
+    (fun () -> ignore (Pcp.make [ ("a", "") ]))
+
+(* ---------------- QBF ---------------- *)
+
+let test_qbf_validity () =
+  check Alcotest.bool "valid" true (Qbf.is_valid Qbf.valid_small);
+  check Alcotest.bool "invalid" false (Qbf.is_valid Qbf.invalid_small);
+  (* tautological clause *)
+  let t = Qbf.make ~n_x:1 ~n_y:0 [ [ Qbf.X (1, true); Qbf.X (1, false) ] ] in
+  check Alcotest.bool "tautology" true (Qbf.is_valid t);
+  (* unsatisfiable matrix *)
+  let f = Qbf.make ~n_x:0 ~n_y:1 [ [ Qbf.Y (1, true) ]; [ Qbf.Y (1, false) ] ] in
+  check Alcotest.bool "contradiction" false (Qbf.is_valid f)
+
+let test_qbf_matrix () =
+  (* invalid_small = (x ∨ y)(x ∨ ¬y) *)
+  check Alcotest.bool "x=f y=f falsifies clause 1" false
+    (Qbf.eval_matrix Qbf.invalid_small [| false; false |] [| false; false |]);
+  check Alcotest.bool "x=f y=t falsifies clause 2" false
+    (Qbf.eval_matrix Qbf.invalid_small [| false; false |] [| false; true |]);
+  check Alcotest.bool "x=t satisfies" true
+    (Qbf.eval_matrix Qbf.invalid_small [| false; true |] [| false; true |])
+
+let test_qbf_random () =
+  let rng = Random.State.make [| 3 |] in
+  let q = Qbf.random ~rng ~n_x:2 ~n_y:2 ~n_clauses:3 in
+  check Alcotest.int "clause count" 3 (List.length q.Qbf.clauses);
+  (* decidable either way, just must not crash *)
+  ignore (Qbf.is_valid q)
+
+(* ---------------- GCP₂ ---------------- *)
+
+let test_gcp_known () =
+  check Alcotest.bool "K4 n=3" true (Gcp.decide (Gcp.complete 4 ~n:3));
+  check Alcotest.bool "K4 n=2" false (Gcp.decide (Gcp.complete 4 ~n:2));
+  check Alcotest.bool "K5 n=3" false (Gcp.decide (Gcp.complete 5 ~n:3));
+  check Alcotest.bool "C5 n=2" false (Gcp.decide (Gcp.cycle 5 ~n:2));
+  check Alcotest.bool "C4 n=2" true (Gcp.decide (Gcp.cycle 4 ~n:2));
+  check Alcotest.bool "C6 n=2" true (Gcp.decide (Gcp.cycle 6 ~n:2))
+
+let test_gcp_witness () =
+  match Gcp.witness (Gcp.cycle 4 ~n:2) with
+  | None -> Alcotest.fail "expected witness"
+  | Some mask ->
+    let t = Gcp.cycle 4 ~n:2 in
+    check Alcotest.bool "side 1 ok" true (Gcp.side_ok t (fun v -> mask.(v)));
+    check Alcotest.bool "side 2 ok" true (Gcp.side_ok t (fun v -> not mask.(v)))
+
+let test_gcp_side_ok () =
+  let k3 = Gcp.complete 3 ~n:3 in
+  check Alcotest.bool "whole K3 has triangle" false (Gcp.side_ok k3 (fun _ -> true));
+  check Alcotest.bool "two vertices fine" true (Gcp.side_ok k3 (fun v -> v < 2))
+
+(* ---------------- coloring ---------------- *)
+
+let test_coloring () =
+  check Alcotest.bool "C5 3-colorable" true
+    (Coloring.k_colorable ~k:3 ~nvertices:5 (Coloring.odd_cycle 5));
+  check Alcotest.bool "C5 not 2-colorable" false
+    (Coloring.k_colorable ~k:2 ~nvertices:5 (Coloring.odd_cycle 5));
+  let k4 = [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ] in
+  check Alcotest.bool "K4 not 3-colorable" false
+    (Coloring.k_colorable ~k:3 ~nvertices:4 k4);
+  check Alcotest.bool "K4 4-colorable" true (Coloring.k_colorable ~k:4 ~nvertices:4 k4);
+  match Coloring.coloring ~k:3 ~nvertices:5 (Coloring.odd_cycle 5) with
+  | None -> Alcotest.fail "expected coloring"
+  | Some c ->
+    check Alcotest.bool "proper" true
+      (List.for_all (fun (u, v) -> c.(u) <> c.(v)) (Coloring.odd_cycle 5))
+
+let prop_gcp_monotone_n =
+  Testutil.qtest ~count:25 "GCP₂ positivity is monotone in n"
+    QCheck2.Gen.(int_range 0 100)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let t = Gcp.random ~rng ~nvertices:5 ~p:0.5 ~n:2 in
+      (* if a partition avoids 2-cliques it avoids 3-cliques *)
+      (not (Gcp.decide t)) || Gcp.decide { t with Gcp.n = 3 })
+
+let () =
+  Alcotest.run "logic"
+    [
+      ( "pcp",
+        [
+          Alcotest.test_case "check" `Quick test_pcp_check;
+          Alcotest.test_case "solve" `Quick test_pcp_solve;
+          Alcotest.test_case "alphabet" `Quick test_pcp_alphabet;
+          Alcotest.test_case "invalid" `Quick test_pcp_invalid;
+        ] );
+      ( "qbf",
+        [
+          Alcotest.test_case "validity" `Quick test_qbf_validity;
+          Alcotest.test_case "matrix" `Quick test_qbf_matrix;
+          Alcotest.test_case "random" `Quick test_qbf_random;
+        ] );
+      ( "gcp",
+        [
+          Alcotest.test_case "known" `Quick test_gcp_known;
+          Alcotest.test_case "witness" `Quick test_gcp_witness;
+          Alcotest.test_case "side_ok" `Quick test_gcp_side_ok;
+        ] );
+      ("coloring", [ Alcotest.test_case "coloring" `Quick test_coloring ]);
+      ("properties", [ prop_gcp_monotone_n ]);
+    ]

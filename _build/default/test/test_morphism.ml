@@ -1,0 +1,137 @@
+let check = Alcotest.check
+
+let path2 = Graph.make ~nnodes:3 [ (0, "a", 1); (1, "a", 2) ]
+
+let loop1 = Graph.make ~nnodes:1 [ (0, "a", 0) ]
+
+let cycle3 = Graph.make ~nnodes:3 [ (0, "a", 1); (1, "a", 2); (2, "a", 0) ]
+
+let test_hom_basic () =
+  (* path of length 2 folds onto a self loop *)
+  check Alcotest.bool "fold onto loop" true
+    (Morphism.exists ~pattern:path2 ~target:loop1 ());
+  check Alcotest.bool "no injective fold" false
+    (Morphism.exists ~injective:true ~pattern:path2 ~target:loop1 ());
+  check Alcotest.bool "path into cycle" true
+    (Morphism.exists ~injective:true ~pattern:path2 ~target:cycle3 ());
+  (* cycle3 does not map into path2 *)
+  check Alcotest.bool "cycle into path" false
+    (Morphism.exists ~pattern:cycle3 ~target:path2 ())
+
+let test_labels_matter () =
+  let pb = Graph.make ~nnodes:2 [ (0, "b", 1) ] in
+  check Alcotest.bool "b-edge into a-graph" false
+    (Morphism.exists ~pattern:pb ~target:cycle3 ())
+
+let test_fixed () =
+  check Alcotest.bool "fix endpoint ok" true
+    (Morphism.exists ~fixed:[ (0, 1) ] ~pattern:path2 ~target:cycle3 ());
+  (* fixing two pattern nodes to the same target breaks injectivity *)
+  check Alcotest.bool "conflicting fix" false
+    (Morphism.exists
+       ~fixed:[ (0, 0); (2, 0) ]
+       ~injective:true ~pattern:path2 ~target:cycle3 ());
+  check Alcotest.bool "same fix non-injective ok" true
+    (Morphism.exists ~fixed:[ (0, 0); (2, 2) ] ~pattern:path2 ~target:cycle3 ())
+
+let test_distinct_pairs () =
+  (* path2 folds onto loop1 unless endpoints must differ *)
+  check Alcotest.bool "distinct endpoints blocked on loop" false
+    (Morphism.exists ~distinct_pairs:[ (0, 2) ] ~pattern:path2 ~target:loop1 ());
+  check Alcotest.bool "distinct endpoints ok on cycle" true
+    (Morphism.exists ~distinct_pairs:[ (0, 2) ] ~pattern:path2 ~target:cycle3 ());
+  (* a reflexive distinctness constraint is unsatisfiable *)
+  check Alcotest.bool "reflexive distinct pair" false
+    (Morphism.exists ~distinct_pairs:[ (1, 1) ] ~pattern:path2 ~target:cycle3 ())
+
+let test_count () =
+  (* path of 2 a-edges into cycle3: 3 rotations *)
+  check Alcotest.int "three embeddings" 3
+    (Morphism.count ~injective:true ~pattern:path2 ~target:cycle3 ());
+  (* non-injective also allows... cycle3 is deterministic: still 3 *)
+  check Alcotest.int "three homs" 3 (Morphism.count ~pattern:path2 ~target:cycle3 ())
+
+let test_empty_pattern () =
+  check Alcotest.bool "empty pattern maps" true
+    (Morphism.exists ~pattern:Graph.empty ~target:cycle3 ())
+
+let test_subgraph_iso () =
+  let k3 = Graph.make ~nnodes:3 [ (0,"e",1);(1,"e",0);(0,"e",2);(2,"e",0);(1,"e",2);(2,"e",1) ] in
+  let k4 =
+    Graph.make ~nnodes:4
+      (List.concat_map (fun u -> List.filter_map (fun v -> if u <> v then Some (u,"e",v) else None) [0;1;2;3]) [0;1;2;3])
+  in
+  check Alcotest.bool "K3 in K4" true (Morphism.subgraph_iso ~pattern:k3 ~target:k4);
+  check Alcotest.bool "K4 not in K3" false (Morphism.subgraph_iso ~pattern:k4 ~target:k3)
+
+let test_non_contracting () =
+  check Alcotest.bool "non-contracting blocked on loop" false
+    (Morphism.exists_non_contracting ~pattern:path2 ~target:loop1);
+  check Alcotest.bool "non-contracting on cycle" true
+    (Morphism.exists_non_contracting ~pattern:path2 ~target:cycle3)
+
+let gen_pair =
+  QCheck2.Gen.pair (Testutil.gen_graph ~max_nodes:3 ()) (Testutil.gen_graph ~max_nodes:4 ())
+
+let prop_found_is_hom =
+  Testutil.qtest ~count:150 "every reported mapping is a homomorphism" gen_pair
+    (fun (pattern, target) ->
+      let ok = ref true in
+      Morphism.iter ~pattern ~target (fun m ->
+          if not (Morphism.is_homomorphism ~pattern ~target m) then ok := false);
+      !ok)
+
+let prop_injective_injective =
+  Testutil.qtest ~count:150 "injective mappings are injective" gen_pair
+    (fun (pattern, target) ->
+      let ok = ref true in
+      Morphism.iter ~injective:true ~pattern ~target (fun m ->
+          let img = List.sort compare (Array.to_list m) in
+          if List.length (List.sort_uniq compare img) <> List.length img then
+            ok := false);
+      !ok)
+
+let prop_count_brute =
+  Testutil.qtest ~count:80 "count agrees with brute-force enumeration"
+    (QCheck2.Gen.pair (Testutil.gen_graph ~max_nodes:3 ()) (Testutil.gen_graph ~max_nodes:3 ()))
+    (fun (pattern, target) ->
+      let np = Graph.nnodes pattern and nt = Graph.nnodes target in
+      (* enumerate all |T|^|P| mappings *)
+      let count = ref 0 in
+      let m = Array.make np 0 in
+      let rec go i =
+        if i = np then begin
+          if Morphism.is_homomorphism ~pattern ~target m then incr count
+        end
+        else
+          for u = 0 to nt - 1 do
+            m.(i) <- u;
+            go (i + 1)
+          done
+      in
+      if np > 0 && nt = 0 then ()
+      else go 0;
+      Morphism.count ~pattern ~target () = !count)
+
+let prop_identity =
+  Testutil.qtest "identity is always found on self" (Testutil.gen_graph ())
+    (fun g ->
+      Graph.nnodes g = 0 || Morphism.exists ~injective:true ~pattern:g ~target:g ())
+
+let () =
+  Alcotest.run "morphism"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic" `Quick test_hom_basic;
+          Alcotest.test_case "labels" `Quick test_labels_matter;
+          Alcotest.test_case "fixed" `Quick test_fixed;
+          Alcotest.test_case "distinct pairs" `Quick test_distinct_pairs;
+          Alcotest.test_case "count" `Quick test_count;
+          Alcotest.test_case "empty pattern" `Quick test_empty_pattern;
+          Alcotest.test_case "subgraph iso" `Quick test_subgraph_iso;
+          Alcotest.test_case "non-contracting" `Quick test_non_contracting;
+        ] );
+      ( "properties",
+        [ prop_found_is_hom; prop_injective_injective; prop_count_brute; prop_identity ] );
+    ]

@@ -1,0 +1,58 @@
+let check = Alcotest.check
+
+let p_simple = { Path.src = 0; steps = [ ("a", 1); ("b", 2) ] }
+
+let p_cycle = { Path.src = 0; steps = [ ("a", 1); ("b", 0) ] }
+
+let p_repeat = { Path.src = 0; steps = [ ("a", 1); ("b", 0); ("a", 1) ] }
+
+let test_accessors () =
+  check Alcotest.int "src" 0 (Path.src p_simple);
+  check Alcotest.int "tgt" 2 (Path.tgt p_simple);
+  check Alcotest.int "tgt cycle" 0 (Path.tgt p_cycle);
+  check Alcotest.int "length" 2 (Path.length p_simple);
+  check Alcotest.int "empty tgt" 7 (Path.tgt (Path.empty 7));
+  check (Alcotest.list Alcotest.string) "label" [ "a"; "b" ] (Path.label p_simple);
+  check (Alcotest.list Alcotest.int) "nodes" [ 0; 1; 2 ] (Path.nodes p_simple);
+  check (Alcotest.list Alcotest.int) "internal" [ 1 ]
+    (Path.internal_nodes p_simple);
+  check (Alcotest.list Alcotest.int) "internal of cycle" [ 1 ]
+    (Path.internal_nodes p_cycle)
+
+let test_predicates () =
+  check Alcotest.bool "simple" true (Path.is_simple p_simple);
+  check Alcotest.bool "cycle not simple" false (Path.is_simple p_cycle);
+  check Alcotest.bool "cycle is simple cycle" true (Path.is_simple_cycle p_cycle);
+  check Alcotest.bool "repeat not simple cycle" false (Path.is_simple_cycle p_repeat);
+  check Alcotest.bool "empty is simple" true (Path.is_simple (Path.empty 0));
+  check Alcotest.bool "empty is simple cycle" true
+    (Path.is_simple_cycle (Path.empty 0));
+  check Alcotest.bool "trail" true (Path.is_trail p_cycle);
+  check Alcotest.bool "repeated edge not trail" false
+    (Path.is_trail { Path.src = 0; steps = [ ("a", 0); ("a", 0) ] })
+
+let test_edges_append () =
+  let p = Path.append (Path.empty 3) "x" 4 in
+  check Alcotest.int "appended tgt" 4 (Path.tgt p);
+  check Alcotest.int "edges" 1 (List.length (Path.edges p));
+  let g = Graph.make ~nnodes:5 [ (3, "x", 4) ] in
+  check Alcotest.bool "valid" true (Path.valid_in g p);
+  check Alcotest.bool "invalid" false
+    (Path.valid_in g (Path.append p "y" 0))
+
+let test_self_loop_cycle () =
+  let p = { Path.src = 0; steps = [ ("a", 0) ] } in
+  check Alcotest.bool "self loop is simple cycle" true (Path.is_simple_cycle p);
+  check Alcotest.bool "self loop is not simple path" false (Path.is_simple p)
+
+let () =
+  Alcotest.run "path"
+    [
+      ( "path",
+        [
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "predicates" `Quick test_predicates;
+          Alcotest.test_case "edges/append" `Quick test_edges_append;
+          Alcotest.test_case "self loop" `Quick test_self_loop_cycle;
+        ] );
+    ]

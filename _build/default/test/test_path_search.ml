@@ -1,0 +1,176 @@
+(* Brute-force oracles: enumerate all paths up to a length bound. *)
+
+let all_paths g ~src ~max_len =
+  let rec extend p acc len =
+    let acc = p :: acc in
+    if len >= max_len then acc
+    else
+      List.fold_left
+        (fun acc (a, v) -> extend (Path.append p a v) acc (len + 1))
+        acc
+        (Graph.out g (Path.tgt p))
+  in
+  extend (Path.empty src) [] 0
+
+let brute_exists g nfa ~src ~dst ~pred ~max_len =
+  List.exists
+    (fun p -> Path.tgt p = dst && pred p && Nfa.accepts nfa (Path.label p))
+    (all_paths g ~src ~max_len)
+
+let gen_case =
+  QCheck2.Gen.(
+    let* g = Testutil.gen_graph ~max_nodes:4 () in
+    let* r = Testutil.gen_regex ~max_depth:2 () in
+    let* src = int_bound (Graph.nnodes g - 1) in
+    let* dst = int_bound (Graph.nnodes g - 1) in
+    return (g, r, src, dst))
+
+let prop_reachable =
+  Testutil.qtest ~count:150 "standard reachability agrees with bounded brute force"
+    gen_case
+    (fun (g, r, src, dst) ->
+      let nfa = Nfa.of_regex r in
+      let direct = Path_search.exists_path g nfa ~src ~dst in
+      let brute =
+        brute_exists g nfa ~src ~dst ~pred:(fun _ -> true)
+          ~max_len:(Graph.nnodes g * max nfa.Nfa.nstates 1)
+      in
+      direct = brute)
+
+let prop_simple =
+  Testutil.qtest ~count:150 "simple-path search agrees with brute force" gen_case
+    (fun (g, r, src, dst) ->
+      let nfa = Nfa.of_regex r in
+      let direct = Path_search.exists_simple g nfa ~src ~dst in
+      let pred p = if src = dst then Path.is_simple_cycle p else Path.is_simple p in
+      let brute = brute_exists g nfa ~src ~dst ~pred ~max_len:(Graph.nnodes g) in
+      direct = brute)
+
+let prop_trail =
+  Testutil.qtest ~count:100 "trail search agrees with brute force" gen_case
+    (fun (g, r, src, dst) ->
+      let nfa = Nfa.of_regex r in
+      let direct = Path_search.exists_trail g nfa ~src ~dst in
+      let brute =
+        brute_exists g nfa ~src ~dst ~pred:Path.is_trail ~max_len:(Graph.nedges g)
+      in
+      direct = brute)
+
+let prop_find_simple_valid =
+  Testutil.qtest ~count:150 "found simple paths are valid witnesses" gen_case
+    (fun (g, r, src, dst) ->
+      let nfa = Nfa.of_regex r in
+      match Path_search.find_simple g nfa ~src ~dst with
+      | None -> true
+      | Some p ->
+        Path.valid_in g p && Path.src p = src && Path.tgt p = dst
+        && Nfa.accepts nfa (Path.label p)
+        && (if src = dst then Path.is_simple_cycle p else Path.is_simple p))
+
+let prop_find_path_valid =
+  Testutil.qtest ~count:150 "found standard paths are valid witnesses" gen_case
+    (fun (g, r, src, dst) ->
+      let nfa = Nfa.of_regex r in
+      match Path_search.find_path g nfa ~src ~dst with
+      | None -> not (Path_search.exists_path g nfa ~src ~dst)
+      | Some p ->
+        Path.valid_in g p && Path.src p = src && Path.tgt p = dst
+        && Nfa.accepts nfa (Path.label p))
+
+let prop_relations_agree =
+  Testutil.qtest ~count:60 "relation matrices agree with point queries"
+    QCheck2.Gen.(
+      pair (Testutil.gen_graph ~max_nodes:4 ()) (Testutil.gen_regex ~max_depth:2 ()))
+    (fun (g, r) ->
+      let nfa = Nfa.of_regex r in
+      let reach = Path_search.reach_relation g nfa in
+      let simple = Path_search.simple_reach_relation g nfa in
+      List.for_all
+        (fun u ->
+          List.for_all
+            (fun v ->
+              reach.(u).(v) = Path_search.exists_path g nfa ~src:u ~dst:v
+              && simple.(u).(v) = Path_search.exists_simple g nfa ~src:u ~dst:v)
+            (Graph.nodes g))
+        (Graph.nodes g))
+
+(* deterministic scenarios *)
+
+let test_lollipop () =
+  (* the only a^5-path from the handle start revisits the cycle *)
+  let g = Generate.lollipop ~handle:2 ~cycle_len:3 ~label:"a" in
+  let nfa_exact n = Nfa.of_regex (Regex.word (List.init n (fun _ -> "a"))) in
+  (* standard: arbitrarily long words fine (cycle length 3) *)
+  Alcotest.check Alcotest.bool "standard a^9 exists" true
+    (Path_search.exists_path g (nfa_exact 9) ~src:0 ~dst:3);
+  (* simple: longest simple path has length nnodes-1 = 4 *)
+  Alcotest.check Alcotest.bool "no simple a^9" false
+    (Path_search.exists_simple g (nfa_exact 9) ~src:0 ~dst:3);
+  Alcotest.check Alcotest.bool "simple a^3 exists" true
+    (Path_search.exists_simple g (nfa_exact 3) ~src:0 ~dst:3)
+
+let test_simple_cycle_semantics () =
+  let g = Generate.cycle (Word.of_string "ab") in
+  let nfa = Nfa.of_regex (Regex.parse "ab") in
+  Alcotest.check Alcotest.bool "cycle at 0" true
+    (Path_search.exists_simple g nfa ~src:0 ~dst:0);
+  let eps_nfa = Nfa.of_regex (Regex.parse "%|ab") in
+  Alcotest.check Alcotest.bool "empty path counts with eps" true
+    (Path_search.exists_simple g eps_nfa ~src:0 ~dst:0)
+
+let test_avoid_internal () =
+  (* two internally-disjoint ab-paths 0->3; block one internal node *)
+  let g =
+    Graph.make ~nnodes:4 [ (0, "a", 1); (1, "b", 3); (0, "a", 2); (2, "b", 3) ]
+  in
+  let nfa = Nfa.of_regex (Regex.parse "ab") in
+  Alcotest.check Alcotest.bool "exists initially" true
+    (Path_search.exists_simple g nfa ~src:0 ~dst:3);
+  Alcotest.check Alcotest.bool "exists avoiding node 1" true
+    (Path_search.exists_simple ~avoid_internal:(fun v -> v = 1) g nfa ~src:0 ~dst:3);
+  Alcotest.check Alcotest.bool "blocked avoiding both" false
+    (Path_search.exists_simple
+       ~avoid_internal:(fun v -> v = 1 || v = 2)
+       g nfa ~src:0 ~dst:3)
+
+let test_trail_vs_simple () =
+  (* figure-eight: trail exists but simple path does not *)
+  let g =
+    Graph.make ~nnodes:4
+      [ (0, "a", 1); (1, "a", 2); (2, "a", 1); (1, "a", 3) ]
+  in
+  let n4 = Nfa.of_regex (Regex.parse "aaaa") in
+  Alcotest.check Alcotest.bool "trail aaaa" true
+    (Path_search.exists_trail g n4 ~src:0 ~dst:3);
+  Alcotest.check Alcotest.bool "no simple aaaa" false
+    (Path_search.exists_simple g n4 ~src:0 ~dst:3)
+
+let test_all_simple () =
+  let g =
+    Graph.make ~nnodes:4 [ (0, "a", 1); (1, "b", 3); (0, "a", 2); (2, "b", 3) ]
+  in
+  let nfa = Nfa.of_regex (Regex.parse "ab") in
+  Alcotest.check Alcotest.int "two witnesses" 2
+    (List.length (Path_search.all_simple g nfa ~src:0 ~dst:3))
+
+let () =
+  Alcotest.run "path_search"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "lollipop" `Quick test_lollipop;
+          Alcotest.test_case "simple cycles" `Quick test_simple_cycle_semantics;
+          Alcotest.test_case "avoid_internal" `Quick test_avoid_internal;
+          Alcotest.test_case "trail vs simple" `Quick test_trail_vs_simple;
+          Alcotest.test_case "all_simple" `Quick test_all_simple;
+        ] );
+      ( "properties",
+        [
+          prop_reachable;
+          prop_simple;
+          prop_trail;
+          prop_find_simple_valid;
+          prop_find_path_valid;
+          prop_relations_agree;
+        ] );
+    ]

@@ -1,0 +1,231 @@
+let check = Alcotest.check
+
+(* ---------------- 3-colorability → CQ/CQ (Chandra–Merlin) ---------- *)
+
+let test_threecol () =
+  let cases =
+    [
+      ("C5", 5, Coloring.odd_cycle 5);
+      ("C7", 7, Coloring.odd_cycle 7);
+      ("K4", 4, [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]);
+      ("path", 4, [ (0, 1); (1, 2); (2, 3) ]);
+      ("triangle", 3, [ (0, 1); (1, 2); (2, 0) ]);
+    ]
+  in
+  List.iter
+    (fun (name, n, edges) ->
+      let via_q, via_c = Threecol_to_cq.verify ~nvertices:n edges in
+      check Alcotest.bool name via_c via_q)
+    cases
+
+(* ---------------- subgraph iso → evaluation (Prop 3.1) ------------- *)
+
+let test_subiso_known () =
+  let q = Cq.make ~free:[] [ Cq.atom "x" "e" "y"; Cq.atom "y" "e" "x" ] in
+  let yes = Graph.make ~nnodes:2 [ (0, "e", 1); (1, "e", 0) ] in
+  let no = Graph.make ~nnodes:2 [ (0, "e", 1) ] in
+  let s1, q1, a1 = Subiso_to_eval.verify q yes in
+  check Alcotest.bool "yes all equal" true (s1 && q1 && a1);
+  let s2, q2, a2 = Subiso_to_eval.verify q no in
+  check Alcotest.bool "no all equal" true ((not s2) && (not q2) && not a2)
+
+let prop_subiso_equivalences =
+  Testutil.qtest ~count:30 "Prop 3.1: the three decisions coincide"
+    (QCheck2.Gen.pair
+       (Testutil.gen_cq ~max_atoms:2 ~max_vars:2 ())
+       (Testutil.gen_graph ~max_nodes:3 ~labels:[ "a"; "b" ] ()))
+    (fun (q, g) ->
+      let s, qi, ai = Subiso_to_eval.verify q g in
+      s = qi && qi = ai)
+
+let test_saturate_rejects_r () =
+  let q = Cq.make ~free:[] [ Cq.atom "x" "R" "y" ] in
+  Alcotest.check_raises "R in use"
+    (Invalid_argument "Subiso_to_eval.saturate_query: query already uses R")
+    (fun () -> ignore (Subiso_to_eval.saturate_query q))
+
+(* ---------------- GCP₂ → q-inj containment (Thm 6.1) -------------- *)
+
+let test_gcp_reduction () =
+  List.iter
+    (fun (name, inst) ->
+      let via_q, via_b = Gcp_to_qinj.verify inst in
+      check Alcotest.bool name via_b via_q)
+    [
+      ("K4-n3", Gcp.complete 4 ~n:3);
+      ("K4-n2", Gcp.complete 4 ~n:2);
+      ("C4-n2", Gcp.cycle 4 ~n:2);
+      ("C5-n2", Gcp.cycle 5 ~n:2);
+    ]
+
+let test_gcp_shapes () =
+  let enc = Gcp_to_qinj.encode (Gcp.cycle 4 ~n:2) in
+  check Alcotest.bool "q2 is a CQ" true (Crpq.is_cq enc.Gcp_to_qinj.q2);
+  check Alcotest.bool "q1 is CRPQfin" true (Crpq.is_finite enc.Gcp_to_qinj.q1);
+  check Alcotest.bool "q1 not a CQ" false (Crpq.is_cq enc.Gcp_to_qinj.q1)
+
+let test_gcp_partition_expansions () =
+  let inst = Gcp.cycle 4 ~n:2 in
+  let enc = Gcp_to_qinj.encode inst in
+  (* a proper 2-coloring of C4 gives a counterexample expansion *)
+  let good = [| true; false; true; false |] in
+  let e_good = Gcp_to_qinj.expansion_of_partition enc good in
+  check Alcotest.bool "good partition defeats q2" true
+    (Containment.is_counterexample Semantics.Q_inj enc.Gcp_to_qinj.q2 e_good);
+  (* putting everything on one side leaves an edge (2-clique) in V1 *)
+  let bad = [| true; true; true; true |] in
+  let e_bad = Gcp_to_qinj.expansion_of_partition enc bad in
+  check Alcotest.bool "bad partition is matched by q2" false
+    (Containment.is_counterexample Semantics.Q_inj enc.Gcp_to_qinj.q2 e_bad)
+
+(* ---------------- QBF → a-inj containment (Thm 6.2) --------------- *)
+
+let test_qbf_reduction_known () =
+  List.iter
+    (fun (name, inst) ->
+      let via_q, via_b = Qbf_to_ainj.verify inst in
+      check Alcotest.bool name via_b via_q)
+    [ ("valid", Qbf.valid_small); ("invalid", Qbf.invalid_small) ]
+
+let test_qbf_reduction_random () =
+  let rng = Random.State.make [| 11 |] in
+  for _ = 1 to 4 do
+    let inst = Qbf.random ~rng ~n_x:1 ~n_y:1 ~n_clauses:2 in
+    let via_q, via_b = Qbf_to_ainj.verify inst in
+    check Alcotest.bool "random instance agrees" via_b via_q
+  done
+
+let test_qbf_shapes () =
+  let enc = Qbf_to_ainj.encode Qbf.valid_small in
+  check Alcotest.bool "q1 is a CQ" true (Crpq.is_cq enc.Qbf_to_ainj.q1);
+  check Alcotest.bool "q2 is CRPQfin" true (Crpq.is_finite enc.Qbf_to_ainj.q2);
+  (* q2's word languages have length at most 2 *)
+  check Alcotest.bool "q2 words short" true
+    (List.for_all
+       (fun (a : Crpq.atom) ->
+         List.for_all
+           (fun w -> List.length w <= 2)
+           (Regex.words_of_finite a.Crpq.lang))
+       enc.Qbf_to_ainj.q2.Crpq.atoms)
+
+let test_qbf_assignment_expansions () =
+  let enc = Qbf_to_ainj.encode Qbf.invalid_small in
+  (* x1 = false falsifies the instance: its expansion defeats q2 *)
+  let e_false = Qbf_to_ainj.expansion_of_assignment enc [| false; false |] in
+  check Alcotest.bool "x=false is a counterexample" true
+    (Containment.is_counterexample Semantics.A_inj enc.Qbf_to_ainj.q2 e_false);
+  let e_true = Qbf_to_ainj.expansion_of_assignment enc [| false; true |] in
+  check Alcotest.bool "x=true is matched" false
+    (Containment.is_counterexample Semantics.A_inj enc.Qbf_to_ainj.q2 e_true)
+
+(* ---------------- PCP → a-inj containment (Thm 5.2) --------------- *)
+
+let test_pcp_words () =
+  let inst = Pcp.solvable_small in
+  (* U_1 for u_1 = "a" *)
+  check (Alcotest.list Alcotest.string) "U1" [ "a"; "$'"; "blk'" ]
+    (Pcp_to_ainj.u_word inst 1);
+  (* U_2 for u_2 = "bb" *)
+  check (Alcotest.list Alcotest.string) "U2" [ "b"; "$"; "blk"; "b"; "$'"; "blk'" ]
+    (Pcp_to_ainj.u_word inst 2);
+  (* V_1 for v_1 = "ab": reversed with hats *)
+  check (Alcotest.list Alcotest.string) "V1"
+    [ "^blk'"; "^$'"; "^b"; "^blk"; "^$"; "^a" ]
+    (Pcp_to_ainj.v_word inst 1)
+
+let test_pcp_shapes () =
+  let enc = Pcp_to_ainj.encode Pcp.solvable_small in
+  check Alcotest.bool "q2 is CRPQfin" true (Crpq.is_finite enc.Pcp_to_ainj.q2);
+  check Alcotest.bool "q1 has infinite languages" false
+    (Crpq.is_finite enc.Pcp_to_ainj.q1);
+  check Alcotest.int "q2 has three atoms" 3 (Crpq.size enc.Pcp_to_ainj.q2)
+
+let test_pcp_solvable () =
+  let inst = Pcp.solvable_small in
+  let ce, sol = Pcp_to_ainj.verify_candidate inst [ 1; 2 ] in
+  check Alcotest.bool "real solution" true sol;
+  check Alcotest.bool "well-formed expansion is a counterexample" true ce
+
+let test_pcp_illformed () =
+  let inst = Pcp.solvable_small in
+  let enc = Pcp_to_ainj.encode inst in
+  let um = Pcp_to_ainj.unmerged_expansion enc [ 1; 2 ] in
+  check Alcotest.bool "unmerged is matched by q2" false
+    (Pcp_to_ainj.is_counterexample enc um);
+  let mm = Pcp_to_ainj.mismatched_expansion enc [ 1; 2 ] [ 2; 1 ] in
+  check Alcotest.bool "mismatched sequences are matched" false
+    (Pcp_to_ainj.is_counterexample enc mm);
+  (* a candidate that is not a solution: detected by the letter ladder *)
+  let bad = Pcp_to_ainj.well_formed_expansion enc [ 1; 1 ] in
+  check Alcotest.bool "non-solution candidate is matched" false
+    (Pcp_to_ainj.is_counterexample enc bad)
+
+let test_pcp_unsolvable () =
+  let enc = Pcp_to_ainj.encode Pcp.unsolvable_small in
+  List.iter
+    (fun seq ->
+      let e = Pcp_to_ainj.well_formed_expansion enc seq in
+      check Alcotest.bool "never a counterexample" false
+        (Pcp_to_ainj.is_counterexample enc e))
+    [ [ 1 ]; [ 1; 1 ] ]
+
+let test_pcp_union_simulation () =
+  (* Claim D.3: the single query agrees with the union *)
+  let enc = Pcp_to_ainj.encode Pcp.solvable_small in
+  List.iter
+    (fun e ->
+      check Alcotest.bool "union agrees" true (Pcp_to_ainj.union_agrees enc e))
+    [
+      Pcp_to_ainj.well_formed_expansion enc [ 1; 2 ];
+      Pcp_to_ainj.unmerged_expansion enc [ 1; 2 ];
+      Pcp_to_ainj.mismatched_expansion enc [ 1; 2 ] [ 2; 1 ];
+    ]
+
+let test_pcp_medium () =
+  (* the textbook instance with solution 3,2,3,1 *)
+  let inst = Pcp.solvable_medium in
+  let ce, sol = Pcp_to_ainj.verify_candidate inst [ 3; 2; 3; 1 ] in
+  check Alcotest.bool "real solution" true sol;
+  check Alcotest.bool "counterexample" true ce
+
+let test_pcp_rejects_bad_alphabet () =
+  Alcotest.check_raises "uppercase rejected"
+    (Invalid_argument "Pcp_to_ainj.encode: PCP alphabet must be lowercase letters")
+    (fun () -> ignore (Pcp_to_ainj.encode (Pcp.make [ ("A", "AB") ])))
+
+let () =
+  Alcotest.run "reductions"
+    [
+      ( "threecol",
+        [ Alcotest.test_case "verify" `Quick test_threecol ] );
+      ( "subiso",
+        [
+          Alcotest.test_case "known" `Quick test_subiso_known;
+          Alcotest.test_case "rejects R" `Quick test_saturate_rejects_r;
+          prop_subiso_equivalences;
+        ] );
+      ( "gcp",
+        [
+          Alcotest.test_case "verify" `Quick test_gcp_reduction;
+          Alcotest.test_case "shapes" `Quick test_gcp_shapes;
+          Alcotest.test_case "partitions" `Quick test_gcp_partition_expansions;
+        ] );
+      ( "qbf",
+        [
+          Alcotest.test_case "known" `Quick test_qbf_reduction_known;
+          Alcotest.test_case "random" `Slow test_qbf_reduction_random;
+          Alcotest.test_case "shapes" `Quick test_qbf_shapes;
+          Alcotest.test_case "assignments" `Quick test_qbf_assignment_expansions;
+        ] );
+      ( "pcp",
+        [
+          Alcotest.test_case "words" `Quick test_pcp_words;
+          Alcotest.test_case "shapes" `Quick test_pcp_shapes;
+          Alcotest.test_case "solvable" `Quick test_pcp_solvable;
+          Alcotest.test_case "ill-formed" `Quick test_pcp_illformed;
+          Alcotest.test_case "unsolvable" `Quick test_pcp_unsolvable;
+          Alcotest.test_case "union simulation" `Quick test_pcp_union_simulation;
+          Alcotest.test_case "medium instance" `Slow test_pcp_medium;
+          Alcotest.test_case "alphabet guard" `Quick test_pcp_rejects_bad_alphabet;
+        ] );
+    ]

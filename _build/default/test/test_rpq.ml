@@ -1,0 +1,81 @@
+let check = Alcotest.check
+
+let pair = Alcotest.pair Alcotest.int Alcotest.int
+
+let test_standard_vs_simple () =
+  let g = Generate.lollipop ~handle:2 ~cycle_len:3 ~label:"a" in
+  let l9 = Regex.word (List.init 9 (fun _ -> "a")) in
+  check Alcotest.bool "standard a^9" true (Rpq.check_standard l9 g 0 3);
+  check Alcotest.bool "simple a^9 fails" false (Rpq.check_simple_path l9 g 0 3);
+  check Alcotest.bool "trail a^9 fails too" false (Rpq.check_trail l9 g 0 3)
+
+let test_eval_sets () =
+  let g = Generate.line (Word.of_string "ab") in
+  let l = Regex.parse "ab" in
+  check (Alcotest.list pair) "standard" [ (0, 2) ] (Rpq.eval_standard l g);
+  check (Alcotest.list pair) "simple" [ (0, 2) ] (Rpq.eval_simple_path l g);
+  check (Alcotest.list pair) "trail" [ (0, 2) ] (Rpq.eval_trail l g)
+
+let test_diagonal_cycles () =
+  let g = Generate.cycle (Word.of_string "ab") in
+  let l = Regex.parse "(ab)+" in
+  check Alcotest.bool "simple cycle found" true (Rpq.check_simple_path l g 0 0);
+  check Alcotest.bool "standard too" true (Rpq.check_standard l g 0 0)
+
+let test_witness () =
+  let g = Generate.line (Word.of_string "aab") in
+  match Rpq.witness_simple_path (Regex.parse "aab") g 0 3 with
+  | Some p ->
+    check Alcotest.bool "valid witness" true (Path.valid_in g p && Path.is_simple p)
+  | None -> Alcotest.fail "expected witness"
+
+let test_containment_is_language_inclusion () =
+  check Alcotest.bool "a+ in a*" true (Rpq.contained (Regex.parse "a+") (Regex.parse "a*"));
+  check Alcotest.bool "a* not in a+" false
+    (Rpq.contained (Regex.parse "a*") (Regex.parse "a+"));
+  check Alcotest.bool "(ab)+ in (ab)*" true
+    (Rpq.contained (Regex.parse "(ab)+") (Regex.parse "(ab)*"))
+
+(* the RPQ/RPQ containment coincides with CRPQ containment under each
+   semantics (observation of Prop F.8) *)
+let prop_rpq_containment_coincides =
+  Testutil.qtest ~count:25 "RPQ containment = CRPQ containment, all semantics"
+    QCheck2.Gen.(
+      pair (Testutil.gen_regex ~max_depth:2 ()) (Testutil.gen_regex ~max_depth:2 ()))
+    (fun (l1, l2) ->
+      QCheck2.assume (not (Regex.is_empty_lang l1));
+      QCheck2.assume (not (Regex.is_empty_lang l2));
+      let lang_inc = Rpq.contained l1 l2 in
+      let q1 = Rpq.to_crpq l1 and q2 = Rpq.to_crpq l2 in
+      List.for_all
+        (fun sem ->
+          match Containment.decide ~bound:4 sem q1 q2 with
+          | Containment.Contained -> lang_inc
+          | Containment.Not_contained _ -> not lang_inc
+          | Containment.Unknown _ ->
+            (* bounded fallback exhausted: no conclusion *)
+            true)
+        Semantics.node_semantics)
+
+let prop_simple_subset_standard =
+  Testutil.qtest ~count:60 "simple-path answers are standard answers"
+    QCheck2.Gen.(pair (Testutil.gen_regex ~max_depth:2 ()) (Testutil.gen_graph ()))
+    (fun (l, g) ->
+      let st = Rpq.eval_standard l g in
+      List.for_all (fun p -> List.mem p st) (Rpq.eval_simple_path l g)
+      && List.for_all (fun p -> List.mem p st) (Rpq.eval_trail l g))
+
+let () =
+  Alcotest.run "rpq"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "standard vs simple" `Quick test_standard_vs_simple;
+          Alcotest.test_case "eval sets" `Quick test_eval_sets;
+          Alcotest.test_case "diagonal" `Quick test_diagonal_cycles;
+          Alcotest.test_case "witness" `Quick test_witness;
+          Alcotest.test_case "containment" `Quick test_containment_is_language_inclusion;
+        ] );
+      ( "properties",
+        [ prop_rpq_containment_coincides; prop_simple_subset_standard ] );
+    ]

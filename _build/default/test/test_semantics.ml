@@ -1,0 +1,75 @@
+let check = Alcotest.check
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s ->
+      check Alcotest.bool "roundtrip" true
+        (Semantics.of_string (Semantics.to_string s) = Some s))
+    Semantics.all;
+  check Alcotest.bool "aliases" true
+    (Semantics.of_string "standard" = Some Semantics.St
+    && Semantics.of_string "atom-injective" = Some Semantics.A_inj
+    && Semantics.of_string "query-injective" = Some Semantics.Q_inj);
+  check Alcotest.bool "unknown" true (Semantics.of_string "bogus" = None)
+
+let test_leq_order () =
+  (* reflexive *)
+  List.iter
+    (fun s -> check Alcotest.bool "refl" true (Semantics.leq s s))
+    Semantics.all;
+  (* the Remark 2.1 chain *)
+  check Alcotest.bool "q-inj ⊑ a-inj" true (Semantics.leq Semantics.Q_inj Semantics.A_inj);
+  check Alcotest.bool "a-inj ⊑ st" true (Semantics.leq Semantics.A_inj Semantics.St);
+  check Alcotest.bool "st not ⊑ a-inj" false (Semantics.leq Semantics.St Semantics.A_inj);
+  (* node implies edge at the same level *)
+  check Alcotest.bool "q-inj ⊑ q-edge" true
+    (Semantics.leq Semantics.Q_inj Semantics.Q_edge_inj);
+  check Alcotest.bool "a-inj ⊑ a-edge" true
+    (Semantics.leq Semantics.A_inj Semantics.A_edge_inj);
+  (* edge does not imply node *)
+  check Alcotest.bool "a-edge not ⊑ a-inj" false
+    (Semantics.leq Semantics.A_edge_inj Semantics.A_inj)
+
+(* leq is sound w.r.t. evaluation: s1 ⊑ s2 means every s1-answer is an
+   s2-answer *)
+let prop_leq_sound =
+  Testutil.qtest ~count:30 "leq is pointwise sound for evaluation"
+    (QCheck2.Gen.pair
+       (Testutil.gen_crpq ~max_atoms:2 ~arity:1 ())
+       (Testutil.gen_graph ~max_nodes:3 ()))
+    (fun (q, g) ->
+      List.for_all
+        (fun s1 ->
+          List.for_all
+            (fun s2 ->
+              (not (Semantics.leq s1 s2))
+              || List.for_all
+                   (fun t -> List.mem t (Eval.eval s2 q g))
+                   (Eval.eval s1 q g))
+            Semantics.all)
+        Semantics.all)
+
+let test_transitivity () =
+  List.iter
+    (fun s1 ->
+      List.iter
+        (fun s2 ->
+          List.iter
+            (fun s3 ->
+              if Semantics.leq s1 s2 && Semantics.leq s2 s3 then
+                check Alcotest.bool "transitive" true (Semantics.leq s1 s3))
+            Semantics.all)
+        Semantics.all)
+    Semantics.all
+
+let () =
+  Alcotest.run "semantics"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "order" `Quick test_leq_order;
+          Alcotest.test_case "transitivity" `Quick test_transitivity;
+        ] );
+      ("properties", [ prop_leq_sound ]);
+    ]

@@ -1,0 +1,57 @@
+let check = Alcotest.check
+
+let test_of_string () =
+  check (Alcotest.list Alcotest.string) "single chars" [ "a"; "b"; "c" ]
+    (Word.of_string "abc");
+  check (Alcotest.list Alcotest.string) "angle brackets" [ "a"; "I1"; "b" ]
+    (Word.of_string "a<I1>b");
+  check (Alcotest.list Alcotest.string) "empty" [] (Word.of_string "");
+  check (Alcotest.list Alcotest.string) "only bracket" [ "xyz" ]
+    (Word.of_string "<xyz>")
+
+let test_roundtrip () =
+  let words = [ []; [ "a" ]; [ "a"; "b" ]; [ "I1"; "a" ]; [ "#oo"; "b" ] ] in
+  List.iter
+    (fun w ->
+      check (Alcotest.list Alcotest.string) "roundtrip" w
+        (Word.of_string (Word.to_string w)))
+    words
+
+let test_unterminated () =
+  Alcotest.check_raises "unterminated" (Invalid_argument "Word.of_string: unterminated '<'")
+    (fun () -> ignore (Word.of_string "a<oops"))
+
+let test_hat () =
+  check Alcotest.string "hat" "^a" (Word.hat "a");
+  check Alcotest.string "unhat" "a" (Word.unhat (Word.hat "a"));
+  check Alcotest.string "unhat id" "a" (Word.unhat "a");
+  check Alcotest.bool "is_hatted" true (Word.is_hatted "^a");
+  check Alcotest.bool "not hatted" false (Word.is_hatted "a");
+  check Alcotest.string "double hat" "^^a" (Word.hat (Word.hat "a"))
+
+let test_ops () =
+  check Alcotest.int "length" 3 (Word.length [ "a"; "b"; "c" ]);
+  check Alcotest.bool "equal" true (Word.equal [ "a" ] [ "a" ]);
+  check Alcotest.bool "not equal" false (Word.equal [ "a" ] [ "b" ]);
+  check (Alcotest.list Alcotest.string) "concat" [ "a"; "b" ]
+    (Word.concat [ "a" ] [ "b" ]);
+  check (Alcotest.list Alcotest.string) "concat eps" [ "a" ]
+    (Word.concat Word.epsilon [ "a" ])
+
+let test_compare_order () =
+  check Alcotest.bool "lex" true (Word.compare [ "a" ] [ "b" ] < 0);
+  check Alcotest.bool "eq" true (Word.compare [ "a"; "b" ] [ "a"; "b" ] = 0)
+
+let () =
+  Alcotest.run "word"
+    [
+      ( "word",
+        [
+          Alcotest.test_case "of_string" `Quick test_of_string;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "unterminated" `Quick test_unterminated;
+          Alcotest.test_case "hat" `Quick test_hat;
+          Alcotest.test_case "ops" `Quick test_ops;
+          Alcotest.test_case "compare" `Quick test_compare_order;
+        ] );
+    ]

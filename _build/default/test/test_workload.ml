@@ -1,0 +1,122 @@
+let check = Alcotest.check
+
+let rng () = Random.State.make [| 7 |]
+
+let test_random_crpq_class () =
+  let rng = rng () in
+  List.iter
+    (fun cls ->
+      for _ = 1 to 20 do
+        let q =
+          Qgen.random_crpq ~rng ~labels:[ "a"; "b" ] ~nvars:3 ~natoms:2 ~arity:1
+            ~cls ()
+        in
+        let got = Crpq.classify q in
+        (* classes are upward compatible: a random CQ is also fin *)
+        let ok =
+          match cls with
+          | Crpq.Class_cq -> got = Crpq.Class_cq
+          | Crpq.Class_fin -> got <> Crpq.Class_crpq
+          | Crpq.Class_crpq -> true
+        in
+        check Alcotest.bool "class respected" true ok;
+        check Alcotest.int "arity" 1 (List.length q.Crpq.free)
+      done)
+    [ Crpq.Class_cq; Crpq.Class_fin; Crpq.Class_crpq ]
+
+let test_random_regex_nonempty_mostly () =
+  let rng = rng () in
+  let nonempty = ref 0 in
+  for _ = 1 to 50 do
+    let r = Qgen.random_regex ~rng ~labels:[ "a" ] ~depth:2 ~cls:Crpq.Class_crpq in
+    if not (Regex.is_empty_lang r) then incr nonempty
+  done;
+  check Alcotest.bool "mostly nonempty" true (!nonempty > 40)
+
+let test_contained_pair_is_contained () =
+  let rng = rng () in
+  for _ = 1 to 15 do
+    let q1, q2 =
+      Qgen.contained_pair ~rng ~labels:[ "a"; "b" ] ~nvars:3 ~natoms:2
+        ~cls:Crpq.Class_fin ()
+    in
+    match Containment.decide Semantics.St q1 q2 with
+    | Containment.Contained -> ()
+    | Containment.Not_contained _ -> Alcotest.failf "pair not contained"
+    | Containment.Unknown _ -> Alcotest.fail "undecided finite pair"
+  done
+
+let test_suite_shapes () =
+  let cells = Suite.fig1_cells ~seed:1 ~per_cell:2 in
+  check Alcotest.int "27 cells" 27 (List.length cells);
+  List.iter
+    (fun (_, _, c1, c2, pairs) ->
+      check Alcotest.int "per cell" 2 (List.length pairs);
+      List.iter
+        (fun ((q1 : Crpq.t), (q2 : Crpq.t)) ->
+          let le a b =
+            match a, b with
+            | Crpq.Class_cq, _ -> true
+            | Crpq.Class_fin, (Crpq.Class_fin | Crpq.Class_crpq) -> true
+            | Crpq.Class_crpq, Crpq.Class_crpq -> true
+            | _ -> false
+          in
+          check Alcotest.bool "lhs class" true (le (Crpq.classify q1) c1);
+          check Alcotest.bool "rhs class" true (le (Crpq.classify q2) c2))
+        pairs)
+    cells
+
+let test_suite_instances () =
+  check Alcotest.int "pcp instances" 4 (List.length Suite.pcp_instances);
+  List.iter
+    (fun (_, inst, sol) ->
+      match sol with
+      | Some s -> check Alcotest.bool "announced solution checks" true (Pcp.check inst s)
+      | None -> check Alcotest.bool "announced unsolvable" false
+                  (Pcp.is_solvable ~max_len:8 inst))
+    Suite.pcp_instances;
+  check Alcotest.bool "gcp instances" true (List.length Suite.gcp_instances >= 4);
+  check Alcotest.bool "qbf instances" true
+    (List.length (Suite.qbf_instances ~seed:3) >= 3)
+
+let test_hard_simple_path () =
+  List.iter
+    (fun (n, g) -> check Alcotest.int "node count" n (Graph.nnodes g))
+    (Suite.hard_simple_path ~sizes:[ 6; 10 ])
+
+let test_knowledge_graph () =
+  let g, queries = Suite.knowledge_graph ~seed:8 ~entities:15 in
+  check Alcotest.bool "nonempty graph" true (Graph.nedges g > 0);
+  check Alcotest.int "four queries" 4 (List.length queries);
+  (* every query evaluates without error and respects the hierarchy *)
+  List.iter
+    (fun (_, q) ->
+      let st = Eval.eval Semantics.St q g in
+      let ai = Eval.eval Semantics.A_inj q g in
+      check Alcotest.bool "a-inj ⊆ st" true
+        (List.for_all (fun t -> List.mem t st) ai))
+    queries
+
+let test_eval_scaling () =
+  let _, q, graphs = Suite.eval_scaling ~seed:2 ~sizes:[ 4; 8 ] in
+  check Alcotest.int "two graphs" 2 (List.length graphs);
+  check Alcotest.int "arity two" 2 (List.length q.Crpq.free)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "qgen",
+        [
+          Alcotest.test_case "classes" `Quick test_random_crpq_class;
+          Alcotest.test_case "nonempty" `Quick test_random_regex_nonempty_mostly;
+          Alcotest.test_case "contained pairs" `Quick test_contained_pair_is_contained;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "fig1 shapes" `Quick test_suite_shapes;
+          Alcotest.test_case "instances" `Quick test_suite_instances;
+          Alcotest.test_case "hard simple path" `Quick test_hard_simple_path;
+          Alcotest.test_case "knowledge graph" `Quick test_knowledge_graph;
+          Alcotest.test_case "eval scaling" `Quick test_eval_scaling;
+        ] );
+    ]

@@ -1,0 +1,88 @@
+(* Shared generators and helpers for the test suite. *)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---------------- regex generators ---------------- *)
+
+let gen_symbol = QCheck2.Gen.oneofl [ "a"; "b"; "c" ]
+
+let gen_regex ?(max_depth = 3) ?(cls = Crpq.Class_crpq) () =
+  let open QCheck2.Gen in
+  let rec go depth =
+    if depth = 0 || cls = Crpq.Class_cq then map Regex.sym gen_symbol
+    else begin
+      let sub = go (depth - 1) in
+      let base =
+        [
+          (3, map Regex.sym gen_symbol);
+          (2, map2 Regex.seq sub sub);
+          (2, map2 Regex.alt sub sub);
+          (1, map Regex.opt sub);
+          (1, return Regex.eps);
+        ]
+      in
+      let starred =
+        match cls with
+        | Crpq.Class_crpq ->
+          [ (1, map Regex.star sub); (1, map Regex.plus sub) ]
+        | Crpq.Class_fin | Crpq.Class_cq -> []
+      in
+      frequency (base @ starred)
+    end
+  in
+  go max_depth
+
+let gen_word ?(max_len = 6) () =
+  QCheck2.Gen.(list_size (int_bound max_len) gen_symbol)
+
+(* ---------------- graph generators ---------------- *)
+
+let gen_graph ?(max_nodes = 5) ?(labels = [ "a"; "b"; "c" ]) () =
+  let open QCheck2.Gen in
+  let* n = int_range 1 max_nodes in
+  let gen_edge =
+    let* u = int_bound (n - 1) in
+    let* v = int_bound (n - 1) in
+    let* l = oneofl labels in
+    return (u, l, v)
+  in
+  let* edges = list_size (int_bound (3 * n)) gen_edge in
+  return (Graph.make ~nnodes:n edges)
+
+(* ---------------- query generators ---------------- *)
+
+let gen_crpq ?(cls = Crpq.Class_crpq) ?(max_atoms = 3) ?(max_vars = 3)
+    ?(arity = 0) () =
+  let open QCheck2.Gen in
+  let* nvars = int_range 2 max_vars in
+  let var i = Printf.sprintf "v%d" i in
+  let gen_atom =
+    let* s = int_bound (nvars - 1) in
+    let* t = int_bound (nvars - 1) in
+    let* lang = gen_regex ~max_depth:2 ~cls () in
+    return (Crpq.atom (var s) lang (var t))
+  in
+  let* natoms = int_range 1 max_atoms in
+  let* atoms = list_repeat natoms gen_atom in
+  let free = List.init arity (fun i -> var (i mod nvars)) in
+  return (Crpq.make ~free atoms)
+
+let gen_cq ?(max_atoms = 4) ?(max_vars = 4) ?(arity = 0) () =
+  let open QCheck2.Gen in
+  let* q = gen_crpq ~cls:Crpq.Class_cq ~max_atoms ~max_vars ~arity () in
+  match Crpq.to_cq q with
+  | Some cq -> return cq
+  | None -> assert false
+
+(* ---------------- pretty-printers for qcheck messages ------------- *)
+
+let print_regex = Regex.to_string
+
+let print_graph g = Format.asprintf "%a" Graph.pp g
+
+let print_crpq = Crpq.to_string
+
+let print_pair_crpq (q1, q2) =
+  Printf.sprintf "Q1 = %s ; Q2 = %s" (Crpq.to_string q1) (Crpq.to_string q2)

@@ -20,9 +20,12 @@ let semantics_conv =
 
 let query_conv =
   let parse s =
-    match Crpq.parse s with
-    | q -> Ok q
-    | exception e -> Error (`Msg (Printexc.to_string e))
+    match Crpq.parse_result s with
+    | Ok q -> Ok q
+    | Error e ->
+      Error
+        (`Msg
+           (Printf.sprintf "cannot parse query: %s" (Crpq.string_of_parse_error e)))
   in
   Arg.conv (parse, fun ppf q -> Format.pp_print_string ppf (Crpq.to_string q))
 
@@ -219,6 +222,121 @@ let equiv_cmd =
       $ query_arg [ "rhs" ] "Second query."
       $ bound_arg)
 
+(* ------------------------------ lint ------------------------------ *)
+
+let lint_cmd =
+  let run sem queries file json no_redundancy no_nfa bound =
+    let from_file =
+      match file with
+      | None -> []
+      | Some path ->
+        let ic =
+          try open_in path
+          with Sys_error msg ->
+            Format.eprintf "lint: cannot open query file: %s@." msg;
+            exit 2
+        in
+        let rec go acc lineno =
+          match input_line ic with
+          | line ->
+            let trimmed = String.trim line in
+            if trimmed = "" || trimmed.[0] = '#' then go acc (lineno + 1)
+            else begin
+              match Crpq.parse_result trimmed with
+              | Ok q -> go ((Printf.sprintf "%s:%d" path lineno, q) :: acc) (lineno + 1)
+              | Error e ->
+                close_in ic;
+                Format.eprintf "%s:%d: cannot parse query: %s@." path lineno
+                  (Crpq.string_of_parse_error e);
+                exit 2
+            end
+          | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+        in
+        go [] 1
+    in
+    let named_queries =
+      List.mapi (fun i q -> (Printf.sprintf "query %d" i, q)) queries @ from_file
+    in
+    if named_queries = [] then begin
+      Format.eprintf "lint: nothing to check (use --query or --file)@.";
+      exit 2
+    end;
+    let any_errors = ref false in
+    let results =
+      List.map
+        (fun (name, q) ->
+          let ds =
+            Analysis.lint ~sem ~redundancy:(not no_redundancy) ~bound
+              ~nfa_hygiene:(not no_nfa) q
+          in
+          if Diagnostic.has_errors ds then any_errors := true;
+          (name, q, ds))
+        named_queries
+    in
+    if json then
+      (* one JSON array over all queries, tagging each diagnostic list *)
+      Format.printf "[%s]@."
+        (String.concat ","
+           (List.map
+              (fun (name, q, ds) ->
+                Printf.sprintf {|{"name":"%s","query":"%s","diagnostics":%s}|}
+                  (Diagnostic.json_escape name)
+                  (Diagnostic.json_escape (Crpq.to_string q))
+                  (Diagnostic.list_to_json ds))
+              results))
+    else
+      List.iter
+        (fun (name, q, ds) ->
+          Format.printf "%s: %s@." name (Crpq.to_string q);
+          if ds = [] then Format.printf "  clean (no diagnostics)@."
+          else List.iter (fun d -> Format.printf "  %s@." (Diagnostic.to_string d)) ds)
+        results;
+    if !any_errors then exit 1
+  in
+  let queries_arg =
+    Arg.(
+      value
+      & opt_all query_conv []
+      & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"A CRPQ to lint (repeatable).")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE"
+          ~doc:"Lint every query in $(docv) (one per line; blank lines and # comments skipped).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
+  let no_redundancy_arg =
+    Arg.(
+      value & flag
+      & info [ "no-redundancy" ]
+          ~doc:"Skip the containment-backed redundant-atom pass (I006), the only \
+                expensive one.")
+  in
+  let no_nfa_arg =
+    Arg.(
+      value & flag
+      & info [ "no-nfa-hygiene" ] ~doc:"Skip the per-atom NFA hygiene summary.")
+  in
+  let bound_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "b"; "bound" ] ~docv:"N"
+          ~doc:"Containment search bound for the redundancy pass.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the static-analysis passes over queries (exit 1 on errors, 2 on \
+             usage problems).")
+    Term.(
+      const run $ sem_arg $ queries_arg $ file_arg $ json_arg $ no_redundancy_arg
+      $ no_nfa_arg $ bound_arg)
+
 (* ------------------------------ demo ------------------------------ *)
 
 let demo_cmd =
@@ -256,6 +374,7 @@ let () =
             contain_cmd;
             expand_cmd;
             classify_cmd;
+            lint_cmd;
             minimize_cmd;
             equiv_cmd;
             reduce_cmd;

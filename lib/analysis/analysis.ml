@@ -1,0 +1,34 @@
+let lint ?(sem = Semantics.Q_inj) ?(redundancy = true) ?(bound = 4)
+    ?(nfa_hygiene = true) q =
+  let passes =
+    [
+      Lint_query.empty_atoms q;
+      Lint_query.eps_only_atoms q;
+      Lint_query.duplicate_atoms ~sem q;
+      Lint_query.disconnected_vars q;
+      Lint_query.unused_free_vars q;
+      (if redundancy then Lint_query.redundant_atoms ~bound ~sem q else []);
+      (if nfa_hygiene then Lint_nfa.atom_diagnostics q else []);
+    ]
+  in
+  Diagnostic.sort (List.concat passes)
+
+let lint_ucrpq ?sem ?redundancy ?bound ?nfa_hygiene (u : Ucrpq.t) =
+  Diagnostic.sort
+    (List.concat
+       (List.mapi
+          (fun i q ->
+            List.map
+              (fun d ->
+                {
+                  d with
+                  Diagnostic.message =
+                    Printf.sprintf "disjunct %d: %s" i d.Diagnostic.message;
+                })
+              (lint ?sem ?redundancy ?bound ?nfa_hygiene q))
+          u.Ucrpq.disjuncts))
+
+let degenerate q =
+  Lint_query.empty_atoms q <> []
+  || Lint_query.eps_only_atoms q <> []
+  || Crpq.epsilon_free_disjuncts q = []

@@ -1,0 +1,41 @@
+(** Top-level lint driver: runs every query-level pass of
+    {!Lint_query} plus the NFA-hygiene summary of {!Lint_nfa} and
+    returns the diagnostics sorted by severity.
+
+    This is what [injcrpq lint] and the {!Suite} workload pre-check
+    consume; the individual passes remain available for callers that
+    want finer control. *)
+
+(** [lint ?sem ?redundancy ?bound q]:
+
+    - [sem] (default [Q_inj], the paper's central semantics) drives the
+      semantics-dependent passes (duplicate severity, redundancy);
+    - [redundancy] (default [true]) toggles the containment-backed
+      [I006] pass, the only expensive one;
+    - [bound] is its containment search bound (default 4);
+    - [nfa_hygiene] (default [true]) toggles the [W101]/[W102]/[W103]
+      summary over atom NFAs. *)
+val lint :
+  ?sem:Semantics.t ->
+  ?redundancy:bool ->
+  ?bound:int ->
+  ?nfa_hygiene:bool ->
+  Crpq.t ->
+  Diagnostic.t list
+
+(** Disjunct-wise {!lint}; messages are prefixed with the disjunct
+    index. *)
+val lint_ucrpq :
+  ?sem:Semantics.t ->
+  ?redundancy:bool ->
+  ?bound:int ->
+  ?nfa_hygiene:bool ->
+  Ucrpq.t ->
+  Diagnostic.t list
+
+(** Cheap degeneracy test for generated workload queries: true when the
+    query has an empty-language atom, an ε-only atom, or no
+    ε-free disjunct at all (unsatisfiable).  Such queries make every
+    containment/evaluation benchmark trivially fast and pollute
+    measured series. *)
+val degenerate : Crpq.t -> bool

@@ -1,0 +1,249 @@
+type severity = Error | Warning | Info
+
+type location = Query | Atom of int | Var of string | State of int
+
+type t = {
+  code : string;
+  severity : severity;
+  location : location;
+  message : string;
+}
+
+let make ~code ~severity ~location message = { code; severity; location; message }
+
+let equal = Stdlib.( = )
+
+let compare = Stdlib.compare
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let location_to_string = function
+  | Query -> "query"
+  | Atom i -> Printf.sprintf "atom:%d" i
+  | Var x -> "var:" ^ x
+  | State q -> Printf.sprintf "state:%d" q
+
+let location_of_string s =
+  match String.index_opt s ':' with
+  | None -> if s = "query" then Some Query else None
+  | Some i -> begin
+    let kind = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match kind with
+    | "atom" -> Option.map (fun n -> Atom n) (int_of_string_opt rest)
+    | "state" -> Option.map (fun n -> State n) (int_of_string_opt rest)
+    | "var" -> Some (Var rest)
+    | _ -> None
+  end
+
+let pp_location ppf = function
+  | Query -> Format.pp_print_string ppf "query"
+  | Atom i -> Format.fprintf ppf "atom %d" i
+  | Var x -> Format.fprintf ppf "var %s" x
+  | State q -> Format.fprintf ppf "state %d" q
+
+let pp ppf d =
+  Format.fprintf ppf "%s %s [%a]: %s" d.code
+    (severity_to_string d.severity)
+    pp_location d.location d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let sort ds =
+  List.stable_sort (fun a b -> Stdlib.compare (severity_rank a.severity) (severity_rank b.severity)) ds
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering and parsing                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The machine-readable format is deliberately tiny: flat objects with
+   string fields only, so that a self-contained renderer/parser pair
+   round-trips without an external JSON dependency. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    {|{"code":"%s","severity":"%s","location":"%s","message":"%s"}|}
+    (json_escape d.code)
+    (severity_to_string d.severity)
+    (json_escape (location_to_string d.location))
+    (json_escape d.message)
+
+let list_to_json ds = "[" ^ String.concat "," (List.map to_json ds) ^ "]"
+
+(* A recursive-descent parser for the fragment of JSON the renderer
+   emits: arrays of flat objects whose fields are strings. *)
+
+exception Json_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> raise (Json_error (Printf.sprintf "expected %C, found %C at %d" ch x c.pos))
+  | None -> raise (Json_error (Printf.sprintf "expected %C, found end of input" ch))
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> raise (Json_error "unterminated string")
+    | Some '"' -> advance c
+    | Some '\\' -> begin
+      advance c;
+      (match peek c with
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '/' -> Buffer.add_char buf '/'
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'b' -> Buffer.add_char buf '\b'
+      | Some 'f' -> Buffer.add_char buf '\012'
+      | Some 'u' ->
+        if c.pos + 4 >= String.length c.src then raise (Json_error "truncated \\u escape");
+        let hex = String.sub c.src (c.pos + 1) 4 in
+        let code =
+          match int_of_string_opt ("0x" ^ hex) with
+          | Some n -> n
+          | None -> raise (Json_error ("bad \\u escape " ^ hex))
+        in
+        (* the renderer only emits \u for control characters *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else raise (Json_error "unsupported non-ASCII \\u escape");
+        c.pos <- c.pos + 4
+      | _ -> raise (Json_error "bad escape"));
+      advance c;
+      go ()
+    end
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_object c =
+  skip_ws c;
+  expect c '{';
+  let fields = ref [] in
+  skip_ws c;
+  (match peek c with
+  | Some '}' -> advance c
+  | _ ->
+    let rec members () =
+      skip_ws c;
+      let key = parse_string c in
+      skip_ws c;
+      expect c ':';
+      skip_ws c;
+      let value = parse_string c in
+      fields := (key, value) :: !fields;
+      skip_ws c;
+      match peek c with
+      | Some ',' ->
+        advance c;
+        members ()
+      | _ -> expect c '}'
+    in
+    members ());
+  List.rev !fields
+
+let diagnostic_of_fields fields =
+  let get k =
+    match List.assoc_opt k fields with
+    | Some v -> v
+    | None -> raise (Json_error ("missing field " ^ k))
+  in
+  let severity =
+    match severity_of_string (get "severity") with
+    | Some s -> s
+    | None -> raise (Json_error ("bad severity " ^ get "severity"))
+  in
+  let location =
+    match location_of_string (get "location") with
+    | Some l -> l
+    | None -> raise (Json_error ("bad location " ^ get "location"))
+  in
+  { code = get "code"; severity; location; message = get "message" }
+
+let wrap f s =
+  let c = { src = s; pos = 0 } in
+  match f c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length s then Stdlib.Error "trailing input after JSON value"
+    else Stdlib.Ok v
+  | exception Json_error msg -> Stdlib.Error msg
+
+let of_json = wrap (fun c -> diagnostic_of_fields (parse_object c))
+
+let list_of_json =
+  wrap (fun c ->
+      skip_ws c;
+      expect c '[';
+      skip_ws c;
+      match peek c with
+      | Some ']' ->
+        advance c;
+        []
+      | _ ->
+        let acc = ref [] in
+        let rec elements () =
+          acc := diagnostic_of_fields (parse_object c) :: !acc;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+            advance c;
+            skip_ws c;
+            elements ()
+          | _ -> expect c ']'
+        in
+        elements ();
+        List.rev !acc)

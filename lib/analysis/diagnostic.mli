@@ -1,0 +1,72 @@
+(** Diagnostics produced by the static-analysis passes.
+
+    A diagnostic carries a stable code (e.g. [E001]), a severity, a
+    source location inside the analysed object (an atom index in the
+    sorted atom list of a {!Crpq.t}, a variable name, an NFA state, or
+    the whole query) and a human-readable message.
+
+    The catalogue of codes lives with the passes that emit them
+    ({!Lint_query}, {!Lint_nfa}, {!Validate}); README.md and DESIGN.md
+    document the full table. *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Query  (** the query (or automaton / encoding) as a whole *)
+  | Atom of int  (** 0-based index into the sorted atom list *)
+  | Var of string  (** a query variable *)
+  | State of int  (** an NFA state *)
+
+type t = {
+  code : string;  (** stable, e.g. ["E001"] *)
+  severity : severity;
+  location : location;
+  message : string;
+}
+
+val make : code:string -> severity:severity -> location:location -> string -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val severity_to_string : severity -> string
+
+val severity_of_string : string -> severity option
+
+(** ["query"], ["atom:2"], ["var:x"], ["state:5"]. *)
+val location_to_string : location -> string
+
+val location_of_string : string -> location option
+
+(** One line: [E001 error [atom 2]: message]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Severity aggregation} *)
+
+val has_errors : t list -> bool
+
+(** Errors first, then warnings, then infos; stable within a severity. *)
+val sort : t list -> t list
+
+(** {1 Machine-readable rendering}
+
+    A diagnostic renders as a flat JSON object
+    [{"code":…,"severity":…,"location":…,"message":…}], a list as a
+    JSON array of such objects.  [of_json] / [list_of_json] parse
+    exactly what [to_json] / [list_to_json] produce (plus whitespace),
+    so rendering round-trips. *)
+
+(** JSON string-literal escaping, for callers embedding diagnostics in
+    a larger JSON document. *)
+val json_escape : string -> string
+
+val to_json : t -> string
+
+val of_json : string -> (t, string) result
+
+val list_to_json : t list -> string
+
+val list_of_json : string -> (t list, string) result

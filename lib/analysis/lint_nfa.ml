@@ -1,0 +1,84 @@
+type report = {
+  unreachable : Nfa.state list;
+  dead : Nfa.state list;
+  unproductive : (Nfa.state * Word.symbol * Nfa.state) list;
+}
+
+let analyze (a : Nfa.t) =
+  let n = a.Nfa.nstates in
+  let fwd = Array.make n false in
+  let rec go q =
+    if not fwd.(q) then begin
+      fwd.(q) <- true;
+      List.iter (fun (_, q') -> go q') a.Nfa.delta.(q)
+    end
+  in
+  List.iter go a.Nfa.initials;
+  (* co-reachability over reversed edges *)
+  let pred = Array.make n [] in
+  Array.iteri
+    (fun q out -> List.iter (fun (_, q') -> pred.(q') <- q :: pred.(q')) out)
+    a.Nfa.delta;
+  let bwd = Array.make n false in
+  let rec gob q =
+    if not bwd.(q) then begin
+      bwd.(q) <- true;
+      List.iter gob pred.(q)
+    end
+  in
+  Array.iteri (fun q final -> if final then gob q) a.Nfa.finals;
+  let unreachable = ref [] and dead = ref [] in
+  for q = n - 1 downto 0 do
+    if not fwd.(q) then unreachable := q :: !unreachable
+    else if not bwd.(q) then dead := q :: !dead
+  done;
+  let unproductive = ref [] in
+  Array.iteri
+    (fun q out ->
+      if fwd.(q) && bwd.(q) then
+        List.iter
+          (fun (x, q') ->
+            if not (fwd.(q') && bwd.(q')) then unproductive := (q, x, q') :: !unproductive)
+          out)
+    a.Nfa.delta;
+  { unreachable = !unreachable; dead = !dead; unproductive = List.rev !unproductive }
+
+let is_clean r = r.unreachable = [] && r.dead = [] && r.unproductive = []
+
+let diagnostics a =
+  let r = analyze a in
+  let per_state code what q =
+    Diagnostic.make ~code ~severity:Diagnostic.Warning ~location:(Diagnostic.State q)
+      (Printf.sprintf "state %d is %s; Nfa.trim would remove it" q what)
+  in
+  List.map (per_state "W101" "unreachable from the initial states") r.unreachable
+  @ List.map (per_state "W102" "dead (cannot reach a final state)") r.dead
+  @ List.map
+      (fun (q, x, q') ->
+        Diagnostic.make ~code:"W103" ~severity:Diagnostic.Warning
+          ~location:(Diagnostic.State q)
+          (Printf.sprintf
+             "transition %d -%s-> %d enters an unproductive state and contributes \
+              no accepted word"
+             q x q'))
+      r.unproductive
+
+let atom_diagnostics (q : Crpq.t) =
+  List.concat
+    (List.mapi
+       (fun i (a : Crpq.atom) ->
+         let r = analyze (Crpq.nfa a.Crpq.lang) in
+         if is_clean r then []
+         else
+           [
+             Diagnostic.make ~code:"W102" ~severity:Diagnostic.Info
+               ~location:(Diagnostic.Atom i)
+               (Printf.sprintf
+                  "the NFA of [%s] has %d unreachable state(s), %d dead state(s) and \
+                   %d unproductive transition(s); products built from it (path \
+                   search, containment, Lang_ops) carry the waste along"
+                  (Regex.to_string a.Crpq.lang)
+                  (List.length r.unreachable) (List.length r.dead)
+                  (List.length r.unproductive));
+           ])
+       q.Crpq.atoms)

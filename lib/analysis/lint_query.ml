@@ -1,0 +1,149 @@
+let diag = Diagnostic.make
+
+let atom_to_string (a : Crpq.atom) =
+  Printf.sprintf "%s -[%s]-> %s" a.Crpq.src (Regex.to_string a.Crpq.lang) a.Crpq.dst
+
+let empty_atoms (q : Crpq.t) =
+  List.concat
+    (List.mapi
+       (fun i (a : Crpq.atom) ->
+         if Regex.is_empty_lang a.Crpq.lang then
+           [
+             diag ~code:"E001" ~severity:Diagnostic.Error ~location:(Diagnostic.Atom i)
+               (Printf.sprintf
+                  "atom %s denotes the empty language: the query has no expansion and \
+                   no answer under any semantics"
+                  (atom_to_string a));
+           ]
+         else [])
+       q.Crpq.atoms)
+
+let eps_only_atoms (q : Crpq.t) =
+  List.concat
+    (List.mapi
+       (fun i (a : Crpq.atom) ->
+         if
+           Regex.nullable a.Crpq.lang
+           && Regex.is_empty_lang (Regex.remove_eps a.Crpq.lang)
+         then
+           [
+             diag ~code:"W002" ~severity:Diagnostic.Warning ~location:(Diagnostic.Atom i)
+               (Printf.sprintf
+                  "atom %s admits only \xce\xb5 and silently collapses %s into %s; the \
+                   collapse behaves differently under st, a-inj and q-inj (the merged \
+                   variable counts once for injectivity)"
+                  (atom_to_string a) a.Crpq.src a.Crpq.dst);
+           ]
+         else [])
+       q.Crpq.atoms)
+
+let duplicate_atoms ~sem (q : Crpq.t) =
+  (* atoms are sorted by [Crpq.make], so duplicates are adjacent *)
+  let rec go i prev acc = function
+    | [] -> List.rev acc
+    | a :: rest ->
+      let acc =
+        if prev = Some a then begin
+          let d =
+            match sem with
+            | Semantics.Q_inj | Semantics.Q_edge_inj ->
+              diag ~code:"W003" ~severity:Diagnostic.Info ~location:(Diagnostic.Atom i)
+                (Printf.sprintf
+                   "duplicate atom %s: under %s it demands a second, internally \
+                    disjoint path — not idempotent (Example 2.1); keep it only if \
+                    the two-disjoint-paths reading is intended"
+                   (atom_to_string a) (Semantics.to_string sem))
+            | Semantics.St | Semantics.A_inj | Semantics.A_edge_inj ->
+              diag ~code:"W003" ~severity:Diagnostic.Warning ~location:(Diagnostic.Atom i)
+                (Printf.sprintf
+                   "duplicate atom %s is idempotent under %s semantics and can be \
+                    removed"
+                   (atom_to_string a) (Semantics.to_string sem))
+          in
+          d :: acc
+        end
+        else acc
+      in
+      go (i + 1) (Some a) acc rest
+  in
+  go 0 None [] q.Crpq.atoms
+
+(* Undirected reachability in the atom graph, ignoring languages. *)
+let reachable_from (q : Crpq.t) seeds =
+  let adj = Hashtbl.create 16 in
+  let add x y =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt adj x) in
+    Hashtbl.replace adj x (y :: cur)
+  in
+  List.iter
+    (fun (a : Crpq.atom) ->
+      add a.Crpq.src a.Crpq.dst;
+      add a.Crpq.dst a.Crpq.src)
+    q.Crpq.atoms;
+  let seen = Hashtbl.create 16 in
+  let rec go x =
+    if not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      List.iter go (Option.value ~default:[] (Hashtbl.find_opt adj x))
+    end
+  in
+  List.iter go seeds;
+  seen
+
+let disconnected_vars (q : Crpq.t) =
+  match q.Crpq.free with
+  | [] -> [] (* Boolean query: no anchor to be disconnected from *)
+  | free ->
+    let seen = reachable_from q free in
+    List.filter_map
+      (fun x ->
+        if Hashtbl.mem seen x then None
+        else
+          Some
+            (diag ~code:"W004" ~severity:Diagnostic.Warning ~location:(Diagnostic.Var x)
+               (Printf.sprintf
+                  "variable %s is disconnected from every free variable: its \
+                   component joins as a cartesian-product factor"
+                  x)))
+      (Crpq.vars q)
+
+let unused_free_vars (q : Crpq.t) =
+  let occurs x =
+    List.exists
+      (fun (a : Crpq.atom) -> String.equal a.Crpq.src x || String.equal a.Crpq.dst x)
+      q.Crpq.atoms
+  in
+  List.filter_map
+    (fun x ->
+      if occurs x then None
+      else
+        Some
+          (diag ~code:"W005" ~severity:Diagnostic.Warning ~location:(Diagnostic.Var x)
+             (Printf.sprintf
+                "free variable %s occurs in no atom and ranges over every node of \
+                 the database"
+                x)))
+    (List.sort_uniq String.compare q.Crpq.free)
+
+let rec remove_nth i = function
+  | [] -> []
+  | x :: rest -> if i = 0 then rest else x :: remove_nth (i - 1) rest
+
+let redundant_atoms ?(bound = 4) ~sem (q : Crpq.t) =
+  if List.length q.Crpq.atoms <= 1 || Crpq.has_empty_language q then []
+  else
+    List.concat
+      (List.mapi
+         (fun i (a : Crpq.atom) ->
+           let q' = Crpq.make ~free:q.Crpq.free (remove_nth i q.Crpq.atoms) in
+           match Minimize.equivalent ~bound sem q q' with
+           | Some true ->
+             [
+               diag ~code:"I006" ~severity:Diagnostic.Info ~location:(Diagnostic.Atom i)
+                 (Printf.sprintf
+                    "atom %s is implied by the remaining atoms under %s semantics \
+                     (containment-certified); consider removing it"
+                    (atom_to_string a) (Semantics.to_string sem));
+             ]
+           | Some false | None -> [])
+         q.Crpq.atoms)

@@ -1,0 +1,47 @@
+(** Well-formedness validators for the containment-pair encodings built
+    by the hardness reductions ([Pcp_to_ainj], [Qbf_to_ainj],
+    [Gcp_to_qinj]).
+
+    The reductions run these as debug assertions on every [encode]: a
+    gadget construction bug (a leaked symbol shared between alphabets
+    that must stay apart, a gadget falling off the connected query
+    graph, an arity slip) would otherwise surface only as a wrong
+    containment verdict much later.
+
+    Codes:
+
+    - [E201] alphabet-overlap: two symbol sets required to be disjoint
+      share a symbol.
+    - [E202] disconnected-gadget: a query required to be connected has
+      a variable outside the component of its first variable.
+    - [E203] arity-mismatch: the two queries of a containment pair
+      disagree on arity (or an allegedly Boolean encoding is not).
+    - [E204] trivial-encoding: the left query of the pair is
+      unsatisfiable, so the containment instance decides nothing. *)
+
+(** [disjoint_alphabets ~what s1 s2] checks {m s_1 \cap s_2 = \emptyset};
+    [what] names the two sets in the message. *)
+val disjoint_alphabets :
+  what:string -> Word.symbol list -> Word.symbol list -> Diagnostic.t list
+
+(** [connected ~what q] checks that the atom graph of [q] (all
+    variables, undirected) is one component; empty queries pass. *)
+val connected : what:string -> Crpq.t -> Diagnostic.t list
+
+val same_arity : Crpq.t -> Crpq.t -> Diagnostic.t list
+
+(** Bundle for a reduction output: arity agreement, satisfiable [q1],
+    plus the per-reduction [disjoint] / [connected] obligations. *)
+val containment_encoding :
+  ?disjoint:(string * Word.symbol list * Word.symbol list) list ->
+  ?connected_queries:(string * Crpq.t) list ->
+  q1:Crpq.t ->
+  q2:Crpq.t ->
+  unit ->
+  Diagnostic.t list
+
+(** [check ~name ds] is [true] when [ds] has no errors, and raises
+    [Failure] rendering them otherwise — shaped for
+    [assert (Validate.check ~name ds)] so [-noassert] compiles the
+    whole validation away. *)
+val check : name:string -> Diagnostic.t list -> bool

@@ -132,7 +132,11 @@ let rpq_shape (q : Crpq.t) =
   | _ -> None
 
 let pick_strategy sem q1 q2 =
-  if Crpq.epsilon_free_disjuncts q1 = [] then S_trivial
+  (* [has_empty_language] is the cheap syntactic check (one regex walk
+     per atom, what the lint pass reports as E001); it short-circuits
+     the exponential disjunct computation for the common degenerate
+     case of an unsatisfiable left query *)
+  if Crpq.has_empty_language q1 || Crpq.epsilon_free_disjuncts q1 = [] then S_trivial
   else if Crpq.is_cq q1 && Crpq.is_cq q2 then S_cq_cq
   else if rpq_shape q1 <> None && rpq_shape q2 <> None then S_rpq
   else if Crpq.is_finite q1 then S_finite_lhs

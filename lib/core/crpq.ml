@@ -127,89 +127,127 @@ let epsilon_free_disjuncts q =
 
 exception Parse_error of string
 
-let parse str =
-  let fail msg = raise (Parse_error (msg ^ " in " ^ String.escaped str)) in
-  let body, free =
-    match String.index_opt str ':' with
-    | Some i
-      when i + 1 < String.length str
-           && str.[i + 1] = '-'
-           && String.index_opt str '(' <> None
-           && Option.get (String.index_opt str '(') < i -> begin
-      (* head present: Q(x, y) :- body *)
-      let head = String.sub str 0 i in
-      let body = String.sub str (i + 2) (String.length str - i - 2) in
-      match String.index_opt head '(', String.index_opt head ')' with
-      | Some l, Some r when l < r ->
-        let inner = String.sub head (l + 1) (r - l - 1) in
-        let free =
-          String.split_on_char ',' inner
-          |> List.map String.trim
-          |> List.filter (fun s -> s <> "")
+type parse_error = {
+  reason : string;
+  fragment : string;
+  position : int option;
+}
+
+let string_of_parse_error e =
+  match e.position with
+  | Some p -> Printf.sprintf "%s at offset %d in %S" e.reason p e.fragment
+  | None -> Printf.sprintf "%s in %S" e.reason e.fragment
+
+(* internal carrier so that [parse_result] stays exception-free at the
+   interface while the parser can abort from anywhere *)
+exception Abort of parse_error
+
+let parse_result str =
+  let fail ?position reason fragment = raise (Abort { reason; fragment; position }) in
+  try
+    let body, body_off, free =
+      match String.index_opt str ':' with
+      | Some i
+        when i + 1 < String.length str
+             && str.[i + 1] = '-'
+             && String.index_opt str '(' <> None
+             && Option.get (String.index_opt str '(') < i -> begin
+        (* head present: Q(x, y) :- body *)
+        let head = String.sub str 0 i in
+        let body = String.sub str (i + 2) (String.length str - i - 2) in
+        match String.index_opt head '(', String.index_opt head ')' with
+        | Some l, Some r when l < r ->
+          let inner = String.sub head (l + 1) (r - l - 1) in
+          let free =
+            String.split_on_char ',' inner
+            |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+          in
+          (body, i + 2, free)
+        | _ -> fail ~position:0 "malformed head (expected 'Q(vars) :- body')" head
+      end
+      | _ -> (str, 0, [])
+    in
+    (* [off] is the offset of the atom fragment [s] in [str] *)
+    let parse_atom (off, s) =
+      let lead = ref 0 in
+      while !lead < String.length s && s.[!lead] = ' ' do incr lead done;
+      let off = off + !lead in
+      let s = String.trim s in
+      (* x -[re]-> y *)
+      match String.index_opt s '[' with
+      | None -> fail ~position:off "expected '-[' in atom" s
+      | Some l ->
+        let rec find_close i depth =
+          if i >= String.length s then
+            fail ~position:(off + l) "unterminated '[' in atom" s
+          else
+            match s.[i] with
+            | '[' -> find_close (i + 1) (depth + 1)
+            | ']' -> if depth = 0 then i else find_close (i + 1) (depth - 1)
+            | _ -> find_close (i + 1) depth
         in
-        (body, free)
-      | _ -> fail "malformed head"
-    end
-    | _ -> (str, [])
-  in
-  let parse_atom s =
-    let s = String.trim s in
-    (* x -[re]-> y *)
-    match String.index_opt s '[' with
-    | None -> fail ("expected '-[' in atom " ^ s)
-    | Some l ->
-      let rec find_close i depth =
-        if i >= String.length s then fail "unterminated '['"
-        else
-          match s.[i] with
-          | '[' -> find_close (i + 1) (depth + 1)
-          | ']' -> if depth = 0 then i else find_close (i + 1) (depth - 1)
-          | _ -> find_close (i + 1) depth
-      in
-      let r = find_close (l + 1) 0 in
-      let src = String.trim (String.sub s 0 l) in
-      let src =
-        if String.length src > 0 && src.[String.length src - 1] = '-' then
-          String.trim (String.sub src 0 (String.length src - 1))
-        else src
-      in
-      let rest = String.trim (String.sub s (r + 1) (String.length s - r - 1)) in
-      let dst =
-        if String.length rest >= 2 && String.sub rest 0 2 = "->" then
-          String.trim (String.sub rest 2 (String.length rest - 2))
-        else fail ("expected ']->' in atom " ^ s)
-      in
-      if src = "" || dst = "" then fail ("missing variable in atom " ^ s);
-      { src; lang = Regex.parse (String.sub s (l + 1) (r - l - 1)); dst }
-  in
-  (* split the body on commas that are not inside regex brackets *)
-  let split_atoms body =
-    let parts = ref [] in
-    let buf = Buffer.create 32 in
-    let depth = ref 0 in
-    String.iter
-      (fun c ->
-        match c with
-        | '[' ->
-          incr depth;
-          Buffer.add_char buf c
-        | ']' ->
-          decr depth;
-          Buffer.add_char buf c
-        | ',' when !depth = 0 ->
-          parts := Buffer.contents buf :: !parts;
-          Buffer.clear buf
-        | c -> Buffer.add_char buf c)
-      body;
-    parts := Buffer.contents buf :: !parts;
-    List.rev !parts
-  in
-  let body = String.trim body in
-  let atoms =
-    if body = "" || body = "true" then []
-    else List.map parse_atom (split_atoms body)
-  in
-  make ~free atoms
+        let r = find_close (l + 1) 0 in
+        let src = String.trim (String.sub s 0 l) in
+        let src =
+          if String.length src > 0 && src.[String.length src - 1] = '-' then
+            String.trim (String.sub src 0 (String.length src - 1))
+          else src
+        in
+        let rest = String.trim (String.sub s (r + 1) (String.length s - r - 1)) in
+        let dst =
+          if String.length rest >= 2 && String.sub rest 0 2 = "->" then
+            String.trim (String.sub rest 2 (String.length rest - 2))
+          else fail ~position:(off + r) "expected ']->' in atom" s
+        in
+        if src = "" || dst = "" then fail ~position:off "missing variable in atom" s;
+        let re_src = String.sub s (l + 1) (r - l - 1) in
+        let lang =
+          try Regex.parse re_src
+          with Regex.Parse_error msg ->
+            fail ~position:(off + l + 1)
+              (Printf.sprintf "bad regular expression (%s)" msg)
+              re_src
+        in
+        { src; lang; dst }
+    in
+    (* split the body on commas that are not inside regex brackets,
+       remembering each fragment's offset *)
+    let split_atoms body =
+      let parts = ref [] in
+      let buf = Buffer.create 32 in
+      let start = ref 0 in
+      let depth = ref 0 in
+      String.iteri
+        (fun i c ->
+          match c with
+          | '[' ->
+            incr depth;
+            Buffer.add_char buf c
+          | ']' ->
+            decr depth;
+            Buffer.add_char buf c
+          | ',' when !depth = 0 ->
+            parts := (body_off + !start, Buffer.contents buf) :: !parts;
+            Buffer.clear buf;
+            start := i + 1
+          | c -> Buffer.add_char buf c)
+        body;
+      parts := (body_off + !start, Buffer.contents buf) :: !parts;
+      List.rev !parts
+    in
+    let trimmed = String.trim body in
+    let atoms =
+      if trimmed = "" || trimmed = "true" then []
+      else List.map parse_atom (split_atoms body)
+    in
+    Ok (make ~free atoms)
+  with Abort e -> Error e
+
+let parse str =
+  match parse_result str with
+  | Ok q -> q
+  | Error e -> raise (Parse_error (string_of_parse_error e))
 
 let pp ppf q =
   let pp_free ppf = function

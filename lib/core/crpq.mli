@@ -69,7 +69,22 @@ val epsilon_free_disjuncts : t -> t list
     (Boolean query).  Regular expressions use the {!Regex.parse}
     syntax. *)
 
+type parse_error = {
+  reason : string;  (** what was expected / what went wrong *)
+  fragment : string;  (** the offending piece of input *)
+  position : int option;
+      (** byte offset of [fragment] in the input, when recoverable *)
+}
+
+val string_of_parse_error : parse_error -> string
+
+(** Structured-error parser: never raises. *)
+val parse_result : string -> (t, parse_error) result
+
+(** @raise Parse_error on malformed input (rendered {!parse_error}). *)
 val parse : string -> t
+
+exception Parse_error of string
 
 val pp : Format.formatter -> t -> unit
 

@@ -52,11 +52,18 @@ let encode (instance : Gcp.t) =
     @ loop_atoms (Regex.sym "2") b_vars
     @ hash_atoms a_vars b_vars
   in
-  {
-    q1 = Crpq.make ~free:[] q1_atoms;
-    q2 = Crpq.make ~free:[] q2_atoms;
-    instance;
-  }
+  let q1 = Crpq.make ~free:[] q1_atoms in
+  let q2 = Crpq.make ~free:[] q2_atoms in
+  (* debug validation (compiled away by -noassert): the three blocks of
+     Q1 must be glued into one connected gadget by the #-atoms, and the
+     partition labels must stay apart from the edge/separator labels *)
+  assert (
+    Validate.check ~name:"Gcp_to_qinj.encode"
+      (Validate.containment_encoding
+         ~disjoint:[ ("partition labels and edge/separator labels", [ "1"; "2" ], [ "E"; "#" ]) ]
+         ~connected_queries:[ ("Q1", q1); ("Q2", q2) ]
+         ~q1 ~q2 ()));
+  { q1; q2; instance }
 
 let expansion_of_partition enc mask =
   let q1 = enc.q1 in

@@ -274,6 +274,22 @@ let encode (inst : Pcp.t) =
   in
   let q2_cycle = Crpq.make ~free:[] [ Crpq.atom "x" k_circ "x" ] in
   let q2_path = Crpq.make ~free:[] [ Crpq.atom "y" m_arrow "z" ] in
+  (* debug validation (compiled away by -noassert): the encoding only
+     works if the hatted copy stays apart from the base alphabet, the
+     letters stay apart from the gadget separators, and the gadgets
+     form connected Boolean queries *)
+  assert (
+    let separators = [ hash; hash_inf; box; dollar; dollar'; dollar_inf; blk; blk' ] in
+    let base = sigma @ i_syms @ separators in
+    Validate.check ~name:"Pcp_to_ainj.encode"
+      (Validate.containment_encoding
+         ~disjoint:
+           [
+             ("PCP letters and gadget separators", sigma, separators);
+             ("base and hatted alphabets", base, List.map h base);
+           ]
+         ~connected_queries:[ ("Q1", q1); ("Q2", q2) ]
+         ~q1 ~q2 ()));
   { q1; q2; q2_cycle; q2_path; instance = inst }
 
 (* ------------------------------------------------------------------ *)

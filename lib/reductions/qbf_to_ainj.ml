@@ -174,6 +174,19 @@ let encode (instance : Qbf.t) =
          instance.Qbf.clauses)
   in
   let q2 = Crpq.make ~free:[] q2_atoms in
+  (* debug validation (compiled away by -noassert): variable labels must
+     stay apart from the structural labels, and Q1 (spine + E/D gadgets)
+     must be one connected CQ; Q2 is one DAG per clause and is allowed
+     to be disconnected *)
+  assert (
+    let var_labels =
+      List.init n (fun i -> xlbl (i + 1)) @ List.init l (fun j -> ylbl (j + 1))
+    in
+    Validate.check ~name:"Qbf_to_ainj.encode"
+      (Validate.containment_encoding
+         ~disjoint:[ ("variable labels and structural labels", var_labels, [ "a"; "t"; "f"; "r" ]) ]
+         ~connected_queries:[ ("Q1", q1) ]
+         ~q1 ~q2 ()));
   { q1; q2; instance }
 
 let expansion_of_assignment enc assignment =

@@ -1,5 +1,20 @@
 let labels = [ "a"; "b"; "c" ]
 
+(* pre-check hook over the query generators: a degenerate query (empty
+   or ε-only atom, or unsatisfiable outright) makes its benchmark cell
+   trivially fast — the containment dispatcher short-circuits on it —
+   and pollutes the measured series *)
+let precheck q = not (Analysis.degenerate q)
+
+let rec sample ?(tries = 64) gen =
+  let q = gen () in
+  if precheck q || tries = 0 then q else sample ~tries:(tries - 1) gen
+
+let rec sample_pair ?(tries = 64) gen =
+  let ((q1, q2) as pair) = gen () in
+  if (precheck q1 && precheck q2) || tries = 0 then pair
+  else sample_pair ~tries:(tries - 1) gen
+
 let fig1_cells ~seed ~per_cell =
   let rng = Random.State.make [| seed |] in
   let cells =
@@ -22,12 +37,14 @@ let fig1_cells ~seed ~per_cell =
           let pairs =
             List.init per_cell (fun _ ->
                 let q1 =
-                  Qgen.random_crpq ~rng ~labels ~nvars:3 ~natoms:2 ~arity:0
-                    ~cls:c1 ()
+                  sample (fun () ->
+                      Qgen.random_crpq ~rng ~labels ~nvars:3 ~natoms:2 ~arity:0
+                        ~cls:c1 ())
                 in
                 let q2 =
-                  Qgen.random_crpq ~rng ~labels ~nvars:3 ~natoms:2 ~arity:0
-                    ~cls:c2 ()
+                  sample (fun () ->
+                      Qgen.random_crpq ~rng ~labels ~nvars:3 ~natoms:2 ~arity:0
+                        ~cls:c2 ())
                 in
                 (q1, q2))
           in
@@ -128,8 +145,9 @@ let qinj_scaling ~seed ~sizes =
     (fun natoms ->
       let pairs =
         List.init 3 (fun _ ->
-            Qgen.contained_pair ~rng ~labels:[ "a"; "b" ] ~nvars:3 ~natoms
-              ~cls:Crpq.Class_crpq ())
+            sample_pair (fun () ->
+                Qgen.contained_pair ~rng ~labels:[ "a"; "b" ] ~nvars:3 ~natoms
+                  ~cls:Crpq.Class_crpq ()))
       in
       (natoms, pairs))
     sizes

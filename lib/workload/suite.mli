@@ -1,6 +1,12 @@
 (** Named workload families for the benchmark harness: one entry point
     per experiment of DESIGN.md / EXPERIMENTS.md. *)
 
+(** The pre-check applied to every generated query: rejects degenerate
+    queries ({!Analysis.degenerate} — empty-language or ε-only atoms,
+    unsatisfiable) so benchmark cells never measure the trivial
+    fast-paths; rejected queries are resampled. *)
+val precheck : Crpq.t -> bool
+
 (** Containment workloads per Figure-1 cell: list of
     (name, semantics, lhs class, rhs class, query pairs). *)
 val fig1_cells :

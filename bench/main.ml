@@ -16,12 +16,40 @@ let section name title =
   Format.printf "%s — %s@." name title;
   Format.printf "======================================================================@."
 
+(* The single timing helper: every measurement in this harness goes
+   through the Obs monotonic clock (CLOCK_MONOTONIC, installed in main),
+   so timings cannot be skewed by wall-clock adjustments. *)
 let time_it f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Obs.Clock.ns_to_s (Int64.sub (Obs.Clock.now_ns ()) t0))
 
 let pp_ms ppf s = Format.fprintf ppf "%7.1fms" (1000.0 *. s)
+
+(* Machine-readable results, written to BENCH_results.json: one entry
+   per experiment run (wall time + search-counter delta), plus one row
+   per Figure-1 cell. *)
+let results : Obs.Json.t list ref = ref []
+
+let fig1_rows : Obs.Json.t list ref = ref []
+
+let run_experiment name f =
+  let before = Obs.Metrics.snapshot () in
+  let (), wall_s = time_it f in
+  let delta = Obs.Metrics.diff before (Obs.Metrics.snapshot ()) in
+  let fields =
+    [
+      ("name", Obs.Json.String name);
+      ("wall_ns", Obs.Json.Int (int_of_float (wall_s *. 1e9)));
+      ("metrics", Obs.Metrics.to_json delta);
+    ]
+  in
+  let fields =
+    if String.equal name "fig1" && !fig1_rows <> [] then
+      fields @ [ ("cells", Obs.Json.List (List.rev !fig1_rows)) ]
+    else fields
+  in
+  results := Obs.Json.Obj fields :: !results
 
 (* ------------------------------------------------------------------ *)
 (* E1: Figure 1 — the complexity grid, empirically                     *)
@@ -53,6 +81,7 @@ let run_fig1 () =
     (fun (cell, sem, _, _, pairs) ->
       let contained = ref 0 and not_contained = ref 0 and unknown = ref 0 in
       let strategy = ref "" in
+      let before = Obs.Metrics.snapshot () in
       let _, dt =
         time_it (fun () ->
             List.iter
@@ -65,6 +94,21 @@ let run_fig1 () =
                 | exception _ -> incr unknown)
               pairs)
       in
+      let delta = Obs.Metrics.diff before (Obs.Metrics.snapshot ()) in
+      fig1_rows :=
+        Obs.Json.Obj
+          [
+            ("cell", Obs.Json.String cell);
+            ("sem", Obs.Json.String (Semantics.to_string sem));
+            ("paper", Obs.Json.String (fig1_paper_complexity cell sem));
+            ("decider", Obs.Json.String !strategy);
+            ("contained", Obs.Json.Int !contained);
+            ("not_contained", Obs.Json.Int !not_contained);
+            ("unknown", Obs.Json.Int !unknown);
+            ("wall_ns", Obs.Json.Int (int_of_float (dt *. 1e9)));
+            ("metrics", Obs.Metrics.to_json delta);
+          ]
+        :: !fig1_rows;
       Format.printf "%-18s %-7s %-12s %-36s %3d %3d %3d %a@." cell
         (Semantics.to_string sem)
         (fig1_paper_complexity cell sem)
@@ -508,6 +552,8 @@ let bechamel_section () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  Obs.Clock.set_source ~name:"monotonic" Monotonic_clock.now;
+  Obs.Metrics.set_enabled true;
   Array.iteri
     (fun i arg ->
       if i > 0 then
@@ -536,5 +582,28 @@ let () =
   Format.printf "experiments: %s%s@."
     (String.concat " " (List.map fst experiments))
     (if !quick then " (quick mode)" else "");
-  List.iter (fun (name, f) -> if want name then f ()) experiments;
-  Format.printf "@.done.@."
+  List.iter (fun (name, f) -> if want name then run_experiment name f) experiments;
+  let json =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.String "injcrpq-bench/1");
+        ("quick", Obs.Json.Bool !quick);
+        ("clock", Obs.Json.String (Obs.Clock.source_name ()));
+        ("experiments", Obs.Json.List (List.rev !results));
+      ]
+  in
+  let file = "BENCH_results.json" in
+  let oc = open_out file in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  (* the file must round-trip through the Obs JSON reader *)
+  let ic = open_in file in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match Obs.Json.parse contents with
+  | Ok _ -> Format.printf "@.wrote %s (%d bytes)@." file (String.length contents)
+  | Error e ->
+    Format.eprintf "error: %s does not parse: %s@." file e;
+    exit 1);
+  Format.printf "done.@."

@@ -46,10 +46,48 @@ let graph_arg =
     & info [ "g"; "graph" ] ~docv:"FILE"
         ~doc:"Graph database file: one 'src label dst' edge per line.")
 
+(* --------------------------- observability ------------------------- *)
+
+(* [--stats] and [--trace FILE] are accepted by every subcommand.  The
+   reports are emitted from an [at_exit] hook because several commands
+   terminate through [exit]; the term is the first argument of each run
+   function, so observability is switched on before any work happens. *)
+let obs_setup stats trace =
+  if stats || trace <> None then Obs.Metrics.set_enabled true;
+  if trace <> None then Obs.Trace.set_enabled true;
+  at_exit (fun () ->
+      (match trace with
+      | None -> ()
+      | Some file ->
+        let spans = Obs.Trace.finished () in
+        Obs.Trace.write_jsonl file spans;
+        Format.eprintf "trace: %d top-level span(s) written to %s@."
+          (List.length spans) file);
+      if stats then
+        Format.eprintf "@.metrics (%s clock):@.%a@." (Obs.Clock.source_name ())
+          Obs.Metrics.pp_table
+          (Obs.Metrics.snapshot ()))
+
+let obs_term =
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the metrics table (search counters) after the command.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record execution spans and write them to $(docv) as JSONL.")
+  in
+  Term.(const obs_setup $ stats_arg $ trace_arg)
+
 (* ------------------------------ eval ------------------------------ *)
 
 let eval_cmd =
-  let run sem q graph_file tuple =
+  let run () sem q graph_file tuple =
     let g = Graph_io.load graph_file in
     match tuple with
     | [] ->
@@ -72,14 +110,14 @@ let eval_cmd =
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a CRPQ over a graph database.")
     Term.(
-      const run $ sem_arg
+      const run $ obs_term $ sem_arg
       $ query_arg [ "q"; "query" ] "The CRPQ to evaluate."
       $ graph_arg $ tuple_arg)
 
 (* ---------------------------- contain ----------------------------- *)
 
 let contain_cmd =
-  let run sem q1 q2 bound =
+  let run () sem q1 q2 bound =
     Format.printf "strategy: %s@." (Containment.strategy_name sem q1 q2);
     let v = Containment.decide ~bound sem q1 q2 in
     Format.printf "%a@." Containment.pp_verdict v;
@@ -95,7 +133,7 @@ let contain_cmd =
     (Cmd.info "contain"
        ~doc:"Decide Q1 ⊆ Q2 under the chosen semantics (exit 2 when undecided).")
     Term.(
-      const run $ sem_arg
+      const run $ obs_term $ sem_arg
       $ query_arg [ "lhs" ] "Left-hand query Q1."
       $ query_arg [ "rhs" ] "Right-hand query Q2."
       $ bound_arg)
@@ -103,7 +141,7 @@ let contain_cmd =
 (* ----------------------------- expand ----------------------------- *)
 
 let expand_cmd =
-  let run q max_len ainj =
+  let run () q max_len ainj =
     let es =
       if ainj then Expansion.ainj_expansions ~max_len q
       else Expansion.expansions ~max_len q
@@ -122,12 +160,15 @@ let expand_cmd =
   in
   Cmd.v
     (Cmd.info "expand" ~doc:"Enumerate (a-inj-)expansions of a CRPQ.")
-    Term.(const run $ query_arg [ "q"; "query" ] "The CRPQ." $ max_len_arg $ ainj_arg)
+    Term.(
+      const run $ obs_term
+      $ query_arg [ "q"; "query" ] "The CRPQ."
+      $ max_len_arg $ ainj_arg)
 
 (* ---------------------------- classify ---------------------------- *)
 
 let classify_cmd =
-  let run q =
+  let run () q =
     let cls =
       match Crpq.classify q with
       | Crpq.Class_cq -> "CQ"
@@ -143,12 +184,12 @@ let classify_cmd =
   in
   Cmd.v
     (Cmd.info "classify" ~doc:"Report the class and shape of a CRPQ.")
-    Term.(const run $ query_arg [ "q"; "query" ] "The CRPQ.")
+    Term.(const run $ obs_term $ query_arg [ "q"; "query" ] "The CRPQ.")
 
 (* ----------------------------- reduce ----------------------------- *)
 
 let reduce_cmd =
-  let run which =
+  let run () which =
     match which with
     | "pcp" ->
       let inst = Pcp.solvable_small in
@@ -183,12 +224,12 @@ let reduce_cmd =
   Cmd.v
     (Cmd.info "reduce"
        ~doc:"Show one of the paper's hardness reductions on a sample instance.")
-    Term.(const run $ which_arg)
+    Term.(const run $ obs_term $ which_arg)
 
 (* ---------------------------- minimize ---------------------------- *)
 
 let minimize_cmd =
-  let run sem q =
+  let run () sem q =
     let m = Minimize.drop_redundant_atoms sem q in
     Format.printf "%s@." (Crpq.to_string (Minimize.prune_languages m));
     if Crpq.size m < Crpq.size q then
@@ -199,12 +240,12 @@ let minimize_cmd =
   Cmd.v
     (Cmd.info "minimize"
        ~doc:"Remove provably redundant atoms and simplify languages.")
-    Term.(const run $ sem_arg $ query_arg [ "q"; "query" ] "The CRPQ.")
+    Term.(const run $ obs_term $ sem_arg $ query_arg [ "q"; "query" ] "The CRPQ.")
 
 (* ------------------------------ equiv ----------------------------- *)
 
 let equiv_cmd =
-  let run sem q1 q2 bound =
+  let run () sem q1 q2 bound =
     match Minimize.equivalent ~bound sem q1 q2 with
     | Some b -> Format.printf "%b@." b
     | None ->
@@ -217,7 +258,7 @@ let equiv_cmd =
   Cmd.v
     (Cmd.info "equiv" ~doc:"Decide query equivalence under a semantics.")
     Term.(
-      const run $ sem_arg
+      const run $ obs_term $ sem_arg
       $ query_arg [ "lhs" ] "First query."
       $ query_arg [ "rhs" ] "Second query."
       $ bound_arg)
@@ -225,7 +266,7 @@ let equiv_cmd =
 (* ------------------------------ lint ------------------------------ *)
 
 let lint_cmd =
-  let run sem queries file json no_redundancy no_nfa bound =
+  let run () sem queries file json no_redundancy no_nfa bound =
     let from_file =
       match file with
       | None -> []
@@ -334,13 +375,13 @@ let lint_cmd =
        ~doc:"Run the static-analysis passes over queries (exit 1 on errors, 2 on \
              usage problems).")
     Term.(
-      const run $ sem_arg $ queries_arg $ file_arg $ json_arg $ no_redundancy_arg
-      $ no_nfa_arg $ bound_arg)
+      const run $ obs_term $ sem_arg $ queries_arg $ file_arg $ json_arg
+      $ no_redundancy_arg $ no_nfa_arg $ bound_arg)
 
 (* ------------------------------ demo ------------------------------ *)
 
 let demo_cmd =
-  let run () =
+  let run () () =
     let q = Paper_examples.example_21_query in
     Format.printf "Example 2.1: Q = %s@." (Crpq.to_string q);
     let g = Paper_examples.example_21_g in
@@ -358,9 +399,12 @@ let demo_cmd =
           (Containment.decide sem q1 q2) expected)
       Paper_examples.example_47_expectations
   in
-  Cmd.v (Cmd.info "demo" ~doc:"Run the paper's running examples.") Term.(const run $ const ())
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the paper's running examples.")
+    Term.(const run $ obs_term $ const ())
 
 let () =
+  Obs.Clock.set_source ~name:"monotonic" Monotonic_clock.now;
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
     Cmd.info "injcrpq" ~version:"1.0.0"

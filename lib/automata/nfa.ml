@@ -1,3 +1,10 @@
+(* Search telemetry (no-ops unless [Obs.Metrics] is enabled): the product
+   and emptiness constructions are where automata work grows with the
+   state space, so their sizes are the measurable quantity. *)
+let m_product_states = Obs.Metrics.counter "nfa.product_states"
+
+let m_emptiness_states = Obs.Metrics.counter "nfa.emptiness_states"
+
 type state = int
 
 type t = {
@@ -184,6 +191,7 @@ let is_empty a =
   let rec go q =
     if not seen.(q) then begin
       seen.(q) <- true;
+      Obs.Metrics.incr m_emptiness_states;
       if a.finals.(q) then found := true;
       if not !found then List.iter (fun (_, q') -> go q') a.delta.(q)
     end
@@ -250,6 +258,7 @@ let enumerate ~max_len a =
 
 let product a b =
   let n = a.nstates * b.nstates in
+  Obs.Metrics.add m_product_states n;
   let code p q = (p * b.nstates) + q in
   let delta = Array.make (max n 1) [] in
   for p = 0 to a.nstates - 1 do

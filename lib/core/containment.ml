@@ -3,10 +3,51 @@ type witness = {
   tuple : Graph.node list;
 }
 
+type exhaustion = {
+  bound_reached : int;
+  expansions_enumerated : int;
+  notes : string list;
+}
+
+type reason =
+  | Budget_exhausted of exhaustion
+  | Undecided of string
+
 type verdict =
   | Contained
   | Not_contained of witness
-  | Unknown of string
+  | Unknown of reason
+
+(* Search telemetry (no-ops unless [Obs.Metrics] is enabled). *)
+let m_decisions = Obs.Metrics.counter "containment.decisions"
+
+let m_expansions = Obs.Metrics.counter "containment.expansions_enumerated"
+
+let m_counterexamples = Obs.Metrics.counter "containment.counterexamples"
+
+let h_expansions = Obs.Metrics.histogram "containment.expansions_per_search"
+
+let budget_exhausted ~bound ~expansions =
+  Unknown
+    (Budget_exhausted
+       { bound_reached = bound; expansions_enumerated = expansions; notes = [] })
+
+let with_note note = function
+  | Unknown (Budget_exhausted e) ->
+    Unknown (Budget_exhausted { e with notes = e.notes @ [ note ] })
+  | Unknown (Undecided msg) -> Unknown (Undecided (msg ^ "; " ^ note))
+  | v -> v
+
+let reason_to_string = function
+  | Budget_exhausted e ->
+    let base =
+      Printf.sprintf
+        "search budget exhausted: no counterexample among %d expansions with \
+         atom words of length <= %d"
+        e.expansions_enumerated e.bound_reached
+    in
+    String.concat "; " (base :: e.notes)
+  | Undecided msg -> msg
 
 let verdict_bool = function
   | Contained -> Some true
@@ -18,7 +59,7 @@ let pp_verdict ppf = function
   | Not_contained w ->
     Format.fprintf ppf "not contained (counterexample: %a)" Cq.pp
       w.expansion.Expansion.cq
-  | Unknown msg -> Format.fprintf ppf "unknown (%s)" msg
+  | Unknown r -> Format.fprintf ppf "unknown (%s)" (reason_to_string r)
 
 let node_semantics_only sem =
   match sem with
@@ -52,15 +93,25 @@ let cq_cq sem q1 q2 =
 (* Expansion-space search                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Returns the first counterexample (if any) together with the number of
+   expansions enumerated before stopping — the count feeds the
+   budget-exhaustion verdict and the search histograms. *)
 let search_expansions sem q2 expansions =
+  let tried = ref 0 in
   let rec go = function
     | [] -> None
     | e :: rest ->
-      if is_counterexample sem q2 e then
+      incr tried;
+      Obs.Metrics.incr m_expansions;
+      if is_counterexample sem q2 e then begin
+        Obs.Metrics.incr m_counterexamples;
         Some { expansion = e; tuple = snd (Expansion.to_graph e) }
+      end
       else go rest
   in
-  go expansions
+  let result = go expansions in
+  Obs.Metrics.observe h_expansions !tried;
+  (result, !tried)
 
 let finite_lhs sem q1 q2 =
   node_semantics_only sem;
@@ -77,7 +128,7 @@ let finite_lhs sem q1 q2 =
   let rec go = function
     | [] -> Contained
     | d :: rest -> begin
-      match search_expansions sem q2 (star_expansions d) with
+      match fst (search_expansions sem q2 (star_expansions d)) with
       | Some w -> Not_contained w
       | None -> go rest
     end
@@ -94,13 +145,13 @@ let bounded sem ~max_len q1 q2 =
     | Semantics.A_edge_inj | Semantics.Q_edge_inj -> assert false
   in
   let disjuncts = Crpq.epsilon_free_disjuncts q1 in
+  let total = ref 0 in
   let rec go = function
-    | [] ->
-      Unknown
-        (Printf.sprintf "no counterexample with atom words of length <= %d"
-           max_len)
+    | [] -> budget_exhausted ~bound:max_len ~expansions:!total
     | d :: rest -> begin
-      match search_expansions sem q2 (star_expansions d) with
+      let w, tried = search_expansions sem q2 (star_expansions d) in
+      total := !total + tried;
+      match w with
       | Some w -> Not_contained w
       | None -> go rest
     end
@@ -162,7 +213,7 @@ let cq_fallback_witness sem q1 q2 =
     (* should not happen: cq_cq said not contained *)
     assert false
 
-let decide ?(bound = 4) sem q1 q2 =
+let decide_impl ~bound sem q1 q2 =
   node_semantics_only sem;
   check_arity q1 q2;
   match pick_strategy sem q1 q2 with
@@ -194,20 +245,19 @@ let decide ?(bound = 4) sem q1 q2 =
     | Containment_qinj.Qinj_not_contained e ->
       Not_contained { expansion = e; tuple = snd (Expansion.to_graph e) }
     | exception Containment_qinj.Unsupported msg ->
-      (match bounded sem ~max_len:bound q1 q2 with
-      | Unknown m -> Unknown (m ^ "; abstraction algorithm unsupported: " ^ msg)
-      | v -> v)
+      with_note
+        ("abstraction algorithm unsupported: " ^ msg)
+        (bounded sem ~max_len:bound q1 q2)
   end
   | S_f7 -> begin
     match Containment_f7.decide_st q1 q2 with
     | Containment_f7.F7_contained -> Contained
     | Containment_f7.F7_not_contained e ->
       Not_contained { expansion = e; tuple = snd (Expansion.to_graph e) }
-    | exception Containment_f7.Unsupported msg -> begin
-      match bounded sem ~max_len:bound q1 q2 with
-      | Unknown m -> Unknown (m ^ "; window algorithm unsupported: " ^ msg)
-      | v -> v
-    end
+    | exception Containment_f7.Unsupported msg ->
+      with_note
+        ("window algorithm unsupported: " ^ msg)
+        (bounded sem ~max_len:bound q1 q2)
   end
   | S_bounded -> begin
     (* For standard semantics, query-injective containment is a sound
@@ -228,3 +278,9 @@ let decide ?(bound = 4) sem q1 q2 =
     | Unknown _ as u -> if qinj_implies () then Contained else u
     | v -> v
   end
+
+let decide ?(bound = 4) sem q1 q2 =
+  Obs.Metrics.incr m_decisions;
+  if Obs.Trace.enabled () then
+    Obs.Trace.span "containment.decide" (fun () -> decide_impl ~bound sem q1 q2)
+  else decide_impl ~bound sem q1 q2

@@ -26,11 +26,36 @@ type witness = {
       (** the free tuple of the expansion, not returned by {m Q_2} *)
 }
 
+(** How far a bounded search got before giving up. *)
+type exhaustion = {
+  bound_reached : int;  (** the per-atom word-length bound that was exhausted *)
+  expansions_enumerated : int;
+      (** ★-expansions enumerated (and refuted) within the bound *)
+  notes : string list;
+      (** extra context, e.g. which exact algorithm declined the instance *)
+}
+
+(** Why a decider returned {!Unknown}. *)
+type reason =
+  | Budget_exhausted of exhaustion
+      (** bounded counterexample search ran out of budget *)
+  | Undecided of string  (** no applicable procedure; free-form diagnosis *)
+
 type verdict =
   | Contained  (** proof of containment *)
   | Not_contained of witness  (** counterexample found *)
-  | Unknown of string
-      (** bounded search exhausted without a counterexample *)
+  | Unknown of reason
+      (** search exhausted or no procedure applies; see {!reason} *)
+
+val budget_exhausted : bound:int -> expansions:int -> verdict
+(** [Unknown (Budget_exhausted _)] with the given bound and search size. *)
+
+val with_note : string -> verdict -> verdict
+(** Attach context to an [Unknown] verdict; other verdicts pass through. *)
+
+val reason_to_string : reason -> string
+(** Canonical rendering used by {!pp_verdict} (and by {!Ucrpq.contained},
+    so the two deciders report budget exhaustion identically). *)
 
 val verdict_bool : verdict -> bool option
 (** [Some true] / [Some false] for exact verdicts, [None] for unknown. *)

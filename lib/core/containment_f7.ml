@@ -4,6 +4,13 @@ type result =
   | F7_contained
   | F7_not_contained of Expansion.expanded
 
+(* Search telemetry (no-ops unless [Obs.Metrics] is enabled): window
+   words enumerated by the live-prefix sweep, and middle-word searches
+   (the BFS that completes a truncated atom). *)
+let m_window_words = Obs.Metrics.counter "f7.window_words"
+
+let m_middle_searches = Obs.Metrics.counter "f7.middle_searches"
+
 (* ------------------------------------------------------------------ *)
 (* Line patterns of CQ components                                      *)
 (* ------------------------------------------------------------------ *)
@@ -79,8 +86,11 @@ type spec =
    surviving state set *)
 let live_prefixes nfa ~len ~cap =
   let rec go acc frontier k =
-    if k = 0 then
+    if k = 0 then begin
+      if Obs.Metrics.enabled () then
+        Obs.Metrics.add m_window_words (List.length frontier);
       List.rev_map (fun (w, s) -> (List.rev w, s)) frontier @ acc |> fun l -> l
+    end
     else begin
       let next =
         List.concat_map
@@ -113,6 +123,7 @@ let pre_word nfa v =
 (* Is there a non-empty middle w with u·w·v ∈ L and (if given) u·w·v
    avoiding the pattern?  Returns a witness middle. *)
 let middle_witness nfa ~u ~v ~avoid =
+  Obs.Metrics.incr m_middle_searches;
   match avoid with
   | None -> begin
     (* plain: BFS from the u-states to the v-pre-states, >= 1 step *)
@@ -277,7 +288,7 @@ let component_maps comp (e1h : Cq.t) =
   | fixed -> Morphism.exists ~fixed ~pattern ~target ()
   | exception Not_found -> false
 
-let decide_st ?(max_elements = 20000) (q1 : Crpq.t) (q2 : Crpq.t) =
+let decide_st_impl ~max_elements (q1 : Crpq.t) (q2 : Crpq.t) =
   if List.length q1.Crpq.free <> List.length q2.Crpq.free then
     invalid_arg "Containment_f7.decide_st: queries of different arities";
   let q2cq =
@@ -459,3 +470,8 @@ let decide_st ?(max_elements = 20000) (q1 : Crpq.t) (q2 : Crpq.t) =
     end
   in
   run (Crpq.epsilon_free_disjuncts q1)
+
+let decide_st ?(max_elements = 20000) q1 q2 =
+  if Obs.Trace.enabled () then
+    Obs.Trace.span "f7.decide" (fun () -> decide_st_impl ~max_elements q1 q2)
+  else decide_st_impl ~max_elements q1 q2

@@ -11,6 +11,15 @@ type stats = {
   morphism_types : int;
 }
 
+(* Search telemetry (no-ops unless [Obs.Metrics] is enabled).  The
+   per-call [stats] record above is exact but scoped to one decision;
+   these aggregate across a whole run for `--stats` / bench output. *)
+let m_abstraction_states = Obs.Metrics.counter "qinj.abstraction_states"
+
+let m_abstractions_checked = Obs.Metrics.counter "qinj.abstractions_checked"
+
+let m_morphism_types = Obs.Metrics.counter "qinj.morphism_types"
+
 (* ------------------------------------------------------------------ *)
 (* Square boolean relations over the states of A_Q2, as bytes           *)
 (* ------------------------------------------------------------------ *)
@@ -339,6 +348,7 @@ let achievable_values ~max_tracker_states (aq : aq2) (lang : Regex.t) =
   let explored = ref 0 in
   while not (Queue.is_empty queue) do
     incr explored;
+    Obs.Metrics.incr m_abstraction_states;
     if !explored > max_tracker_states then
       raise
         (Unsupported
@@ -735,8 +745,8 @@ let counterexample_holds rhs_union (e : Expansion.expanded) =
   let g, tuple = Expansion.to_graph e in
   List.for_all (fun q2 -> not (Eval.check Semantics.Q_inj q2 g tuple)) rhs_union
 
-let decide_union_with_stats ?(max_tracker_states = 60000) ?(max_types = 50000)
-    ?(max_abstractions = 400000) lhs_union rhs_union =
+let decide_union_with_stats_impl ~max_tracker_states ~max_types
+    ~max_abstractions lhs_union rhs_union =
   let arity =
     match lhs_union @ rhs_union with
     | [] -> invalid_arg "Containment_qinj.decide_union: empty union"
@@ -805,6 +815,7 @@ let decide_union_with_stats ?(max_tracker_states = 60000) ?(max_types = 50000)
             (fun di d2 ->
               iter_morphism_types lhs aq ~lhs_free ~d2 ~di (fun m ->
                   incr morphism_types;
+                  Obs.Metrics.incr m_morphism_types;
                   if !morphism_types > max_types then
                     raise
                       (Unsupported
@@ -824,6 +835,7 @@ let decide_union_with_stats ?(max_tracker_states = 60000) ?(max_types = 50000)
             if !found <> None then ()
             else if ai = natoms then begin
               incr abstractions_checked;
+              Obs.Metrics.incr m_abstractions_checked;
               if !abstractions_checked > max_abstractions then
                 raise
                   (Unsupported
@@ -874,6 +886,16 @@ let decide_union_with_stats ?(max_tracker_states = 60000) ?(max_types = 50000)
       abstractions_checked = !abstractions_checked;
       morphism_types = !morphism_types;
     } )
+
+let decide_union_with_stats ?(max_tracker_states = 60000) ?(max_types = 50000)
+    ?(max_abstractions = 400000) lhs_union rhs_union =
+  if Obs.Trace.enabled () then
+    Obs.Trace.span "qinj.decide" (fun () ->
+        decide_union_with_stats_impl ~max_tracker_states ~max_types
+          ~max_abstractions lhs_union rhs_union)
+  else
+    decide_union_with_stats_impl ~max_tracker_states ~max_types
+      ~max_abstractions lhs_union rhs_union
 
 let decide_union ?max_tracker_states ?max_types ?max_abstractions lhs rhs =
   fst

@@ -1,5 +1,14 @@
 exception Found
 
+(* Search telemetry (no-ops unless [Obs.Metrics] is enabled): candidate
+   nodes examined by the join / witness searches, simple paths threaded
+   by the query-injective engine, and evaluations performed. *)
+let m_candidates = Obs.Metrics.counter "eval.candidates_tried"
+
+let m_paths = Obs.Metrics.counter "eval.paths_threaded"
+
+let m_evals = Obs.Metrics.counter "eval.evaluations"
+
 (* ------------------------------------------------------------------ *)
 (* Relational join for St / A_inj / A_edge_inj                         *)
 (* ------------------------------------------------------------------ *)
@@ -71,6 +80,7 @@ let iter_join g vars constraints fixed f =
         else if mu.(i) >= 0 then go (i + 1)
         else
           for u = 0 to n - 1 do
+            Obs.Metrics.incr m_candidates;
             if consistent i u then begin
               mu.(i) <- u;
               go (i + 1);
@@ -122,6 +132,7 @@ let iter_qinj q g fixed f =
     fixed;
   if !ok && (nv = 0 || n > 0) then begin
     let assign i u =
+      Obs.Metrics.incr m_candidates;
       mu.(i) <- u;
       var_image.(u) <- true
     in
@@ -160,6 +171,7 @@ let iter_qinj q g fixed f =
             ~avoid_internal:(fun v -> var_image.(v) || used_internal.(v))
             g nfa ~src ~dst
             (fun p ->
+              Obs.Metrics.incr m_paths;
               let internals = Path.internal_nodes p in
               List.iter (fun v -> used_internal.(v) <- true) internals;
               solve_atoms rest;
@@ -245,6 +257,7 @@ let iter_qedge q g fixed f =
             ~avoid_edge:(Hashtbl.mem used_edges)
             g nfa ~src:mu.(si) ~dst:mu.(ti)
             (fun p ->
+              Obs.Metrics.incr m_paths;
               let es = Path.edges p in
               List.iter (fun e -> Hashtbl.add used_edges e ()) es;
               let shared_key =
@@ -263,6 +276,7 @@ let iter_qedge q g fixed f =
           if mu.(ti) >= 0 then with_path ()
           else
             for u = 0 to n - 1 do
+              Obs.Metrics.incr m_candidates;
               mu.(ti) <- u;
               with_path ();
               mu.(ti) <- -1
@@ -271,6 +285,7 @@ let iter_qedge q g fixed f =
         if mu.(si) >= 0 then with_dst ()
         else
           for u = 0 to n - 1 do
+            Obs.Metrics.incr m_candidates;
             mu.(si) <- u;
             with_dst ();
             mu.(si) <- -1
@@ -308,7 +323,7 @@ let iter_answers sem q g ~bound f =
       | Semantics.Q_edge_inj -> iter_qedge d g fixed_d report)
     disjuncts
 
-let check sem q g tuple =
+let check_impl sem q g tuple =
   if List.length tuple <> List.length q.Crpq.free then
     invalid_arg "Eval.check: tuple arity mismatch";
   (* repeated free variables must receive equal nodes *)
@@ -331,18 +346,35 @@ let check sem q g tuple =
     false
   with Found -> true
 
-let eval sem q g =
+let check sem q g tuple =
+  Obs.Metrics.incr m_evals;
+  if Obs.Trace.enabled () then
+    Obs.Trace.span "eval.check" (fun () -> check_impl sem q g tuple)
+  else check_impl sem q g tuple
+
+let eval_impl sem q g =
   let acc = Hashtbl.create 64 in
   let bound = List.map (fun _ -> None) q.Crpq.free in
   iter_answers sem q g ~bound (fun t -> Hashtbl.replace acc t ());
   List.sort compare (Hashtbl.fold (fun t () l -> t :: l) acc [])
 
-let eval_bool sem q g =
+let eval sem q g =
+  Obs.Metrics.incr m_evals;
+  if Obs.Trace.enabled () then Obs.Trace.span "eval.eval" (fun () -> eval_impl sem q g)
+  else eval_impl sem q g
+
+let eval_bool_impl sem q g =
   let bound = List.map (fun _ -> None) q.Crpq.free in
   try
     iter_answers sem q g ~bound (fun _ -> raise Found);
     false
   with Found -> true
+
+let eval_bool sem q g =
+  Obs.Metrics.incr m_evals;
+  if Obs.Trace.enabled () then
+    Obs.Trace.span "eval.eval_bool" (fun () -> eval_bool_impl sem q g)
+  else eval_bool_impl sem q g
 
 (* ------------------------------------------------------------------ *)
 (* Expansion-based reference semantics                                  *)

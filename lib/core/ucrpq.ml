@@ -55,21 +55,34 @@ let is_counterexample_union sem rhs (e : Expansion.expanded) =
   let g, tuple = Expansion.to_graph e in
   List.for_all (fun r -> not (Eval.check sem r g tuple)) rhs
 
+(* Shared with [Containment]: the registry hands back the same counter,
+   so union and single-query searches aggregate into one metric. *)
+let m_expansions = Obs.Metrics.counter "containment.expansions_enumerated"
+
+let m_counterexamples = Obs.Metrics.counter "containment.counterexamples"
+
 (* search the ★-expansion space of one left disjunct for a counterexample
-   defeating every right disjunct *)
+   defeating every right disjunct; also returns how many expansions were
+   enumerated, for the budget-exhaustion verdict *)
 let search_disjunct sem ~star_expansions rhs d1 =
+  let tried = ref 0 in
   let rec go = function
     | [] -> None
     | e :: more ->
-      if is_counterexample_union sem rhs e then
+      incr tried;
+      Obs.Metrics.incr m_expansions;
+      if is_counterexample_union sem rhs e then begin
+        Obs.Metrics.incr m_counterexamples;
         Some
           {
             Containment.expansion = e;
             tuple = snd (Expansion.to_graph e);
           }
+      end
       else go more
   in
-  go (star_expansions d1)
+  let result = go (star_expansions d1) in
+  (result, !tried)
 
 let expansion_space sem max_len_opt q =
   match sem, max_len_opt with
@@ -81,7 +94,7 @@ let expansion_space sem max_len_opt q =
   | (Semantics.A_edge_inj | Semantics.Q_edge_inj), _ ->
     invalid_arg "Ucrpq.contained: edge semantics not supported (Section 7)"
 
-let contained ?(bound = 4) sem u1 u2 =
+let contained_impl ~bound sem u1 u2 =
   if u1.arity <> u2.arity then
     invalid_arg "Ucrpq.contained: unions of different arities";
   (match sem with
@@ -97,7 +110,8 @@ let contained ?(bound = 4) sem u1 u2 =
       Containment.Not_contained
         { Containment.expansion = e; tuple = snd (Expansion.to_graph e) }
     | exception Containment_qinj.Unsupported msg ->
-      Containment.Unknown ("abstraction algorithm unsupported: " ^ msg)
+      Containment.Unknown
+        (Containment.Undecided ("abstraction algorithm unsupported: " ^ msg))
   end
   else begin
     let max_len_opt = if all_finite then None else Some bound in
@@ -106,21 +120,26 @@ let contained ?(bound = 4) sem u1 u2 =
         (expansion_space sem max_len_opt)
         (Crpq.epsilon_free_disjuncts q)
     in
+    let total = ref 0 in
     let rec go = function
       | [] ->
         if all_finite then Containment.Contained
-        else
-          Containment.Unknown
-            (Printf.sprintf "no counterexample with atom words of length <= %d"
-               bound)
+        else Containment.budget_exhausted ~bound ~expansions:!total
       | d1 :: rest -> begin
-        match search_disjunct sem ~star_expansions rhs d1 with
+        let w, tried = search_disjunct sem ~star_expansions rhs d1 in
+        total := !total + tried;
+        match w with
         | Some w -> Containment.Not_contained w
         | None -> go rest
       end
     in
     go lhs
   end
+
+let contained ?(bound = 4) sem u1 u2 =
+  if Obs.Trace.enabled () then
+    Obs.Trace.span "ucrpq.contained" (fun () -> contained_impl ~bound sem u1 u2)
+  else contained_impl ~bound sem u1 u2
 
 let equivalent ?bound sem u1 u2 =
   match

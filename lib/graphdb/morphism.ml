@@ -1,5 +1,14 @@
 type mapping = int array
 
+(* Search telemetry (no-ops unless [Obs.Metrics] is enabled).  A
+   "candidate" is a target node examined for one pattern variable; a
+   "backtrack" is an assignment undone after its subtree was exhausted —
+   together they give the shape of the NP witness search that the
+   wall-clock alone hides. *)
+let m_candidates = Obs.Metrics.counter "morphism.candidates_tried"
+
+let m_backtracks = Obs.Metrics.counter "morphism.backtracks"
+
 exception Found
 
 let label_profile g u =
@@ -156,12 +165,14 @@ let iter ?(fixed = []) ?(distinct_pairs = []) ?(distinct_edge_groups = [])
             else
               List.iter
                 (fun u ->
+                  Obs.Metrics.incr m_candidates;
                   if consistent x u then begin
                     assignment.(x) <- u;
                     used.(u) <- used.(u) + 1;
                     go rest;
                     used.(u) <- used.(u) - 1;
-                    assignment.(x) <- -1
+                    assignment.(x) <- -1;
+                    Obs.Metrics.incr m_backtracks
                   end)
                 domains.(x)
         in

@@ -1,5 +1,16 @@
 type node = Graph.node
 
+(* Search telemetry (no-ops unless [Obs.Metrics] is enabled).  Product
+   states count every (graph node, automaton state) pair discovered by a
+   product BFS (forward, backward, or with parent pointers); backtracks
+   count nodes released by the simple-path search and edges released by
+   the trail search. *)
+let m_product_states = Obs.Metrics.counter "path_search.product_states"
+
+let m_simple_backtracks = Obs.Metrics.counter "path_search.simple_backtracks"
+
+let m_trail_backtracks = Obs.Metrics.counter "path_search.trail_backtracks"
+
 exception Found
 
 (* ------------------------------------------------------------------ *)
@@ -16,6 +27,7 @@ let product_bfs g nfa srcs =
     let c = (u * m) + q in
     if not seen.(c) then begin
       seen.(c) <- true;
+      Obs.Metrics.incr m_product_states;
       Queue.add (u, q) queue
     end
   in
@@ -64,6 +76,7 @@ let find_path g nfa ~src ~dst =
       let c = (u * m) + q in
       if not seen.(c) then begin
         seen.(c) <- true;
+        Obs.Metrics.incr m_product_states;
         parent.(c) <- from;
         Queue.add (u, q) queue
       end
@@ -107,6 +120,7 @@ let co_reach g nfa dst =
     let c = (u * m) + q in
     if not seen.(c) then begin
       seen.(c) <- true;
+      Obs.Metrics.incr m_product_states;
       Queue.add (u, q) queue
     end
   in
@@ -151,7 +165,8 @@ let iter_simple ?(avoid_internal = fun _ -> false) g nfa ~src ~dst f =
             then begin
               visited.(v) <- true;
               go v states' ((a, v) :: rev_steps);
-              visited.(v) <- false
+              visited.(v) <- false;
+              Obs.Metrics.incr m_simple_backtracks
             end
           end)
         (Graph.out g u)
@@ -209,7 +224,8 @@ let iter_trail ?(avoid_edge = fun _ -> false) g nfa ~src ~dst f =
                 f { Path.src; steps }
               end;
               go v states' ((a, v) :: rev_steps);
-              Hashtbl.remove used e
+              Hashtbl.remove used e;
+              Obs.Metrics.incr m_trail_backtracks
             end
           end)
         (Graph.out g u)

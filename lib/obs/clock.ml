@@ -1,0 +1,15 @@
+let cpu_ns () = Int64.of_float (Sys.time () *. 1e9)
+
+let source = ref cpu_ns
+
+let source_name_ref = ref "cpu"
+
+let now_ns () = !source ()
+
+let set_source ?(name = "custom") f =
+  source := f;
+  source_name_ref := name
+
+let source_name () = !source_name_ref
+
+let ns_to_s ns = Int64.to_float ns /. 1e9

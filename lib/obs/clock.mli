@@ -1,0 +1,23 @@
+(** A monotonic nanosecond clock with a pluggable source.
+
+    The library itself depends on nothing outside the standard library,
+    so the default source is the process CPU clock ([Sys.time]), which
+    is monotonic but does not advance while the process sleeps.
+    Surfaces that link an OS monotonic clock (the bench harness and the
+    CLI use [bechamel.monotonic_clock]'s [CLOCK_MONOTONIC] stub) install
+    it at startup with {!set_source}, so span durations and bench wall
+    times can never be skewed by wall-clock adjustments. *)
+
+val now_ns : unit -> int64
+(** Current reading of the installed source, in nanoseconds.  Only
+    differences between readings are meaningful. *)
+
+val set_source : ?name:string -> (unit -> int64) -> unit
+(** Replace the clock source.  [name] identifies it in reports
+    (e.g. ["monotonic"]). *)
+
+val source_name : unit -> string
+(** Name of the installed source; ["cpu"] for the default. *)
+
+val ns_to_s : int64 -> float
+(** Convert a nanosecond difference to seconds. *)

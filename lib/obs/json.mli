@@ -1,0 +1,32 @@
+(** A minimal self-contained JSON value type with a renderer and a
+    recursive-descent parser, in the same dependency-free style as
+    {!Diagnostic}'s flat-object round-trip but over full JSON values.
+    It exists so that every machine-readable surface of the repo
+    (metrics snapshots, span logs, bench results) can be written and
+    read back without an external JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Escape a string for inclusion between double quotes. *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] looks up [k]; [None] on other values. *)
+
+val to_int : t -> int option
+(** [Int n] and integral [Float]s. *)
+
+val to_list : t -> t list option

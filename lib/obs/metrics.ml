@@ -1,0 +1,268 @@
+(* The registry is deliberately simple: handles are records with mutable
+   fields, registration interns them in one global table, and the
+   recording operations guard on a single flag so disabled hot paths pay
+   one load-and-branch and never allocate. *)
+
+let on = ref false
+
+let enabled () = !on
+
+let set_enabled b = on := b
+
+type counter = { c_name : string; mutable c_count : int }
+
+type gauge = { g_name : string; mutable g_value : int }
+
+(* 63 buckets cover every OCaml int on 64-bit platforms *)
+let nbuckets = 63
+
+type histogram = {
+  h_name : string;
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_max : int;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let register name make =
+  match Hashtbl.find_opt registry name with
+  | Some m -> m
+  | None ->
+    let m = make () in
+    Hashtbl.replace registry name m;
+    m
+
+let counter name =
+  match register name (fun () -> C { c_name = name; c_count = 0 }) with
+  | C c -> c
+  | G _ | H _ ->
+    invalid_arg (Printf.sprintf "Obs.Metrics.counter: %s is not a counter" name)
+
+let gauge name =
+  match register name (fun () -> G { g_name = name; g_value = 0 }) with
+  | G g -> g
+  | C _ | H _ ->
+    invalid_arg (Printf.sprintf "Obs.Metrics.gauge: %s is not a gauge" name)
+
+let histogram name =
+  match
+    register name (fun () ->
+        H
+          {
+            h_name = name;
+            h_buckets = Array.make nbuckets 0;
+            h_count = 0;
+            h_sum = 0;
+            h_max = 0;
+          })
+  with
+  | H h -> h
+  | C _ | G _ ->
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics.histogram: %s is not a histogram" name)
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let incr c = if !on then c.c_count <- c.c_count + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Obs.Metrics.add: negative increment";
+  if !on then c.c_count <- c.c_count + n
+
+let counter_value c = c.c_count
+
+let set g v = if !on then g.g_value <- v
+
+let adjust g d = if !on then g.g_value <- g.g_value + d
+
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let rec go k v = if v <= 1 then k else go (k + 1) (v lsr 1) in
+    go 0 v
+  end
+
+let observe h v =
+  if !on then begin
+    let b = bucket_of v in
+    h.h_buckets.(b) <- h.h_buckets.(b) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of {
+      count : int;
+      sum : int;
+      max : int;
+      buckets : (int * int) list;
+    }
+
+type snapshot = (string * value) list
+
+let value_of = function
+  | C c -> Counter c.c_count
+  | G g -> Gauge g.g_value
+  | H h ->
+    let buckets = ref [] in
+    for b = nbuckets - 1 downto 0 do
+      if h.h_buckets.(b) > 0 then buckets := (b, h.h_buckets.(b)) :: !buckets
+    done;
+    Histogram { count = h.h_count; sum = h.h_sum; max = h.h_max; buckets = !buckets }
+
+let snapshot () =
+  Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let sub_clamped a b = if a >= b then a - b else a
+
+let diff before after =
+  List.map
+    (fun (name, v_after) ->
+      match v_after, List.assoc_opt name before with
+      | v, None -> (name, v)
+      | Counter a, Some (Counter b) -> (name, Counter (sub_clamped a b))
+      | Gauge a, Some _ -> (name, Gauge a)
+      | Histogram h, Some (Histogram h') ->
+        let buckets =
+          List.filter_map
+            (fun (b, n) ->
+              let n' =
+                sub_clamped n
+                  (match List.assoc_opt b h'.buckets with Some m -> m | None -> 0)
+              in
+              if n' > 0 then Some (b, n') else None)
+            h.buckets
+        in
+        ( name,
+          Histogram
+            {
+              count = sub_clamped h.count h'.count;
+              sum = sub_clamped h.sum h'.sum;
+              max = h.max;
+              buckets;
+            } )
+      | v, Some _ -> (name, v))
+    after
+
+let is_zero s =
+  List.for_all
+    (fun (_, v) ->
+      match v with
+      | Counter n | Gauge n -> n = 0
+      | Histogram h -> h.count = 0)
+    s
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> c.c_count <- 0
+      | G g -> g.g_value <- 0
+      | H h ->
+        Array.fill h.h_buckets 0 nbuckets 0;
+        h.h_count <- 0;
+        h.h_sum <- 0;
+        h.h_max <- 0)
+    registry
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let value_to_json = function
+  | Counter n -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+  | Gauge n -> Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Int n) ]
+  | Histogram h ->
+    Json.Obj
+      [
+        ("type", Json.String "histogram");
+        ("count", Json.Int h.count);
+        ("sum", Json.Int h.sum);
+        ("max", Json.Int h.max);
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (b, n) -> Json.List [ Json.Int b; Json.Int n ])
+               h.buckets) );
+      ]
+
+let to_json s = Json.Obj (List.map (fun (name, v) -> (name, value_to_json v)) s)
+
+let value_of_json j =
+  let int_field k =
+    match Json.member k j with
+    | Some (Json.Int n) -> Ok n
+    | _ -> Error (Printf.sprintf "missing integer field %S" k)
+  in
+  let ( let* ) = Result.bind in
+  match Json.member "type" j with
+  | Some (Json.String "counter") ->
+    let* v = int_field "value" in
+    Ok (Counter v)
+  | Some (Json.String "gauge") ->
+    let* v = int_field "value" in
+    Ok (Gauge v)
+  | Some (Json.String "histogram") ->
+    let* count = int_field "count" in
+    let* sum = int_field "sum" in
+    let* max = int_field "max" in
+    let* buckets =
+      match Json.member "buckets" j with
+      | Some (Json.List pairs) ->
+        List.fold_left
+          (fun acc p ->
+            let* acc = acc in
+            match p with
+            | Json.List [ Json.Int b; Json.Int n ] -> Ok ((b, n) :: acc)
+            | _ -> Error "bad histogram bucket"
+          )
+          (Ok []) pairs
+        |> Result.map List.rev
+      | _ -> Error "missing histogram buckets"
+    in
+    Ok (Histogram { count; sum; max; buckets })
+  | _ -> Error "missing or unknown metric type"
+
+let of_json = function
+  | Json.Obj fields ->
+    List.fold_left
+      (fun acc (name, j) ->
+        Result.bind acc (fun acc ->
+            Result.map (fun v -> (name, v) :: acc) (value_of_json j)))
+      (Ok []) fields
+    |> Result.map List.rev
+  | _ -> Error "metrics snapshot must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Table rendering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pp_table ppf s =
+  let width =
+    List.fold_left (fun w (name, _) -> max w (String.length name)) 6 s
+  in
+  Format.fprintf ppf "@[<v>%-*s %12s  %s@," width "metric" "value" "kind";
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n -> Format.fprintf ppf "%-*s %12d  counter@," width name n
+      | Gauge n -> Format.fprintf ppf "%-*s %12d  gauge@," width name n
+      | Histogram h ->
+        Format.fprintf ppf "%-*s %12d  histogram (sum=%d max=%d)@," width name
+          h.count h.sum h.max)
+    s;
+  Format.fprintf ppf "@]"

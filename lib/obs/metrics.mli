@@ -1,0 +1,108 @@
+(** A global registry of named counters, gauges and log-scale
+    histograms, designed so that instrumented hot paths stay
+    allocation-free while the registry is disabled (the default).
+
+    Metric handles are created once at module-initialization time in the
+    instrumented code ([let c = Metrics.counter "morphism.backtracks"]);
+    the per-event operations ({!incr}, {!add}, {!set}, {!observe}) test
+    one mutable flag and update a mutable field — no allocation, no
+    hashing — so leaving them in the hot paths costs a predictable
+    branch when observability is off.
+
+    Metric names are stable identifiers (catalogued in README.md):
+    renaming one is a breaking change for downstream consumers of
+    snapshots, span logs and [BENCH_results.json]. *)
+
+type counter
+(** Monotonically increasing integer. *)
+
+type gauge
+(** Arbitrary integer level (set or adjusted). *)
+
+type histogram
+(** Distribution of non-negative integers in base-2 log-scale buckets:
+    an observation [v] lands in bucket [k] where [2^k <= v < 2^(k+1)]
+    ([v <= 0] lands in bucket 0). *)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime switch                                                      *)
+(* ------------------------------------------------------------------ *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Disabled by default.  While disabled, every recording operation is a
+    no-op; registration and snapshots still work. *)
+
+(* ------------------------------------------------------------------ *)
+(* Registration (idempotent per name)                                  *)
+(* ------------------------------------------------------------------ *)
+
+val counter : string -> counter
+(** @raise Invalid_argument if the name is registered as another kind. *)
+
+val gauge : string -> gauge
+
+val histogram : string -> histogram
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+(** @raise Invalid_argument on negative increments (counters only
+    increase). *)
+
+val counter_value : counter -> int
+
+val set : gauge -> int -> unit
+
+val adjust : gauge -> int -> unit
+
+val observe : histogram -> int -> unit
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of {
+      count : int;
+      sum : int;
+      max : int;
+      buckets : (int * int) list;  (** (log2 bucket, occurrences), sparse *)
+    }
+
+type snapshot = (string * value) list
+(** Sorted by metric name. *)
+
+val snapshot : unit -> snapshot
+(** Current value of every registered metric (zeros included). *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff before after]: counters and histogram counts subtract
+    ([after - before], clamped at 0 if the registry was reset in
+    between); gauges and histogram [max] take the [after] value.
+    Metrics registered after [before] was taken appear as-is. *)
+
+val is_zero : snapshot -> bool
+(** No counter ticked, no gauge non-zero, no histogram observation. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (handles stay valid). *)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+val to_json : snapshot -> Json.t
+
+val of_json : Json.t -> (snapshot, string) result
+(** Inverse of {!to_json}: [of_json (to_json s) = Ok s]. *)
+
+val pp_table : Format.formatter -> snapshot -> unit
+(** Human-readable table, one metric per line. *)

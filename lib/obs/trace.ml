@@ -1,0 +1,184 @@
+type span = {
+  name : string;
+  start_ns : int64;
+  duration_ns : int64;
+  metrics : Metrics.snapshot;
+  minor_words : float;
+  major_collections : int;
+  errored : bool;
+  children : span list;
+}
+
+let on = ref false
+
+let enabled () = !on
+
+let set_enabled b = on := b
+
+let gc_sampling = ref false
+
+let set_gc_sampling b = gc_sampling := b
+
+(* An open span under construction; [children] accumulates reversed. *)
+type open_span = {
+  o_name : string;
+  o_start : int64;
+  o_metrics : Metrics.snapshot;
+  o_minor : float;
+  o_major : int;
+  mutable o_children : span list;
+}
+
+(* innermost first *)
+let stack : open_span list ref = ref []
+
+(* completed top-level spans, reversed *)
+let completed : span list ref = ref []
+
+let clear () =
+  stack := [];
+  completed := []
+
+let finished () = List.rev !completed
+
+let record sp =
+  match !stack with
+  | [] -> completed := sp :: !completed
+  | parent :: _ -> parent.o_children <- sp :: parent.o_children
+
+let span name f =
+  if not !on then f ()
+  else begin
+    let minor, major =
+      if !gc_sampling then begin
+        let st = Gc.quick_stat () in
+        (st.Gc.minor_words, st.Gc.major_collections)
+      end
+      else (0.0, 0)
+    in
+    let o =
+      {
+        o_name = name;
+        o_start = Clock.now_ns ();
+        o_metrics = Metrics.snapshot ();
+        o_minor = minor;
+        o_major = major;
+        o_children = [];
+      }
+    in
+    stack := o :: !stack;
+    let close errored =
+      let duration = Int64.sub (Clock.now_ns ()) o.o_start in
+      let minor', major' =
+        if !gc_sampling then begin
+          let st = Gc.quick_stat () in
+          (st.Gc.minor_words -. o.o_minor, st.Gc.major_collections - o.o_major)
+        end
+        else (0.0, 0)
+      in
+      (match !stack with
+      | top :: rest when top == o -> stack := rest
+      | _ ->
+        (* a nested span escaped its scope (e.g. an exception skipped a
+           close); drop back to this frame to stay consistent *)
+        let rec pop = function
+          | top :: rest when top == o -> rest
+          | _ :: rest -> pop rest
+          | [] -> []
+        in
+        stack := pop !stack);
+      record
+        {
+          name = o.o_name;
+          start_ns = o.o_start;
+          duration_ns = (if Int64.compare duration 0L > 0 then duration else 0L);
+          metrics = Metrics.diff o.o_metrics (Metrics.snapshot ());
+          minor_words = minor';
+          major_collections = major';
+          errored;
+          children = List.rev o.o_children;
+        }
+    in
+    match f () with
+    | v ->
+      close false;
+      v
+    | exception e ->
+      close true;
+      raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let nonzero_metrics sp =
+  List.filter
+    (fun (_, v) ->
+      match v with
+      | Metrics.Counter n | Metrics.Gauge n -> n <> 0
+      | Metrics.Histogram h -> h.count <> 0)
+    sp.metrics
+
+let pp_tree ppf spans =
+  let rec go indent sp =
+    Format.fprintf ppf "%s%s  %.3fms%s@," indent sp.name
+      (Int64.to_float sp.duration_ns /. 1e6)
+      (if sp.errored then "  [raised]" else "");
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Metrics.Counter n | Metrics.Gauge n ->
+          Format.fprintf ppf "%s  %s=%d@," indent name n
+        | Metrics.Histogram h ->
+          Format.fprintf ppf "%s  %s: count=%d sum=%d@," indent name h.count
+            h.sum)
+      (nonzero_metrics sp);
+    List.iter (go (indent ^ "  ")) sp.children
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (go "") spans;
+  Format.fprintf ppf "@]"
+
+let span_to_json ?(id = 0) ?(parent = None) sp =
+  let metrics_json =
+    Json.Obj
+      (List.map
+         (fun (name, v) ->
+           match v with
+           | Metrics.Counter n | Metrics.Gauge n -> (name, Json.Int n)
+           | Metrics.Histogram h ->
+             (name, Json.Obj [ ("count", Json.Int h.count); ("sum", Json.Int h.sum) ]))
+         (nonzero_metrics sp))
+  in
+  Json.Obj
+    [
+      ("id", Json.Int id);
+      ("parent", match parent with Some p -> Json.Int p | None -> Json.Null);
+      ("name", Json.String sp.name);
+      ("start_ns", Json.Int (Int64.to_int sp.start_ns));
+      ("duration_ns", Json.Int (Int64.to_int sp.duration_ns));
+      ("minor_words", Json.Float sp.minor_words);
+      ("major_collections", Json.Int sp.major_collections);
+      ("errored", Json.Bool sp.errored);
+      ("metrics", metrics_json);
+    ]
+
+let to_jsonl spans =
+  let buf = Buffer.create 1024 in
+  let next_id = ref 0 in
+  let rec go parent sp =
+    let id = !next_id in
+    incr next_id;
+    Buffer.add_string buf (Json.to_string (span_to_json ~id ~parent sp));
+    Buffer.add_char buf '\n';
+    List.iter (go (Some id)) sp.children
+  in
+  List.iter (go None) spans;
+  Buffer.contents buf
+
+let write_jsonl file spans =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_jsonl spans))

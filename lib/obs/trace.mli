@@ -1,0 +1,52 @@
+(** Nested spans on the {!Clock} monotonic clock.
+
+    A span records its duration, its child spans, the {!Metrics} delta
+    observed while it was open and (optionally) GC activity
+    ([minor_words], [major_collections]).  Spans are collected in a
+    global trace buffer and exported either as a human-readable tree or
+    as JSONL (one flat object per span, linked by [id]/[parent]).
+
+    Disabled by default: {!span} then reduces to calling its argument,
+    so instrumented call sites stay allocation-free apart from the
+    closure the caller builds. *)
+
+type span = {
+  name : string;
+  start_ns : int64;  (** raw {!Clock} reading at entry *)
+  duration_ns : int64;
+  metrics : Metrics.snapshot;  (** metrics delta inside the span *)
+  minor_words : float;  (** GC delta; 0 unless {!set_gc_sampling} *)
+  major_collections : int;  (** GC delta; 0 unless {!set_gc_sampling} *)
+  errored : bool;  (** the span body raised *)
+  children : span list;  (** in execution order *)
+}
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+val set_gc_sampling : bool -> unit
+(** Also record per-span [Gc.quick_stat] deltas (off by default). *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], recording a span as a child of the innermost
+    open span.  Exceptions are re-raised after the span is closed (and
+    marked [errored]). *)
+
+val finished : unit -> span list
+(** Completed top-level spans, in execution order. *)
+
+val clear : unit -> unit
+
+val pp_tree : Format.formatter -> span list -> unit
+(** Indented tree with durations and non-zero metric deltas. *)
+
+val span_to_json : ?id:int -> ?parent:int option -> span -> Json.t
+(** One flat object (children not included). *)
+
+val to_jsonl : span list -> string
+(** One JSON object per line; children follow their parent and point
+    back via ["parent"]. *)
+
+val write_jsonl : string -> span list -> unit
+(** Write {!to_jsonl} to a file. *)

@@ -1,0 +1,342 @@
+(* The observability layer: counter/gauge/histogram semantics, snapshot
+   diffing, span nesting and timing, JSON round-trips (mirroring
+   test_analysis's Diagnostic round-trip), and the regression that a
+   disabled registry records nothing even while instrumented deciders
+   run. *)
+
+let check = Alcotest.check
+
+(* every test starts from a clean, enabled registry and restores the
+   global default (disabled) afterwards *)
+let with_obs f () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Obs.Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Trace.set_enabled false;
+      Obs.Metrics.reset ();
+      Obs.Trace.clear ())
+    f
+
+let find name snap =
+  match List.assoc_opt name snap with
+  | Some v -> v
+  | None -> Alcotest.failf "metric %s missing from snapshot" name
+
+let counter_of name snap =
+  match find name snap with
+  | Obs.Metrics.Counter n -> n
+  | _ -> Alcotest.failf "metric %s is not a counter" name
+
+(* ------------------------------------------------------------------ *)
+(* Metric semantics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter () =
+  let c = Obs.Metrics.counter "test.counter" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 5;
+  check Alcotest.int "value" 7 (Obs.Metrics.counter_value c);
+  check Alcotest.int "snapshot agrees" 7
+    (counter_of "test.counter" (Obs.Metrics.snapshot ()));
+  (* registration is idempotent: same name, same cell *)
+  let c' = Obs.Metrics.counter "test.counter" in
+  Obs.Metrics.incr c';
+  check Alcotest.int "same cell" 8 (Obs.Metrics.counter_value c);
+  check Alcotest.bool "negative add rejected" true
+    (match Obs.Metrics.add c (-1) with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  (* a name cannot be re-registered as another kind *)
+  check Alcotest.bool "kind clash rejected" true
+    (match Obs.Metrics.gauge "test.counter" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_gauge () =
+  let g = Obs.Metrics.gauge "test.gauge" in
+  Obs.Metrics.set g 10;
+  Obs.Metrics.adjust g (-3);
+  match find "test.gauge" (Obs.Metrics.snapshot ()) with
+  | Obs.Metrics.Gauge v -> check Alcotest.int "value" 7 v
+  | _ -> Alcotest.fail "not a gauge"
+
+let test_histogram () =
+  let h = Obs.Metrics.histogram "test.hist" in
+  List.iter (Obs.Metrics.observe h) [ 1; 1; 2; 3; 8; 1000 ];
+  match find "test.hist" (Obs.Metrics.snapshot ()) with
+  | Obs.Metrics.Histogram { count; sum; max; buckets } ->
+    check Alcotest.int "count" 6 count;
+    check Alcotest.int "sum" 1015 sum;
+    check Alcotest.int "max" 1000 max;
+    (* log2 buckets: 1,1 -> b0; 2,3 -> b1; 8 -> b3; 1000 -> b9 *)
+    check
+      Alcotest.(list (pair int int))
+      "buckets"
+      [ (0, 2); (1, 2); (3, 1); (9, 1) ]
+      buckets
+  | _ -> Alcotest.fail "not a histogram"
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot diffing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_diff () =
+  let c = Obs.Metrics.counter "test.diff.counter" in
+  let g = Obs.Metrics.gauge "test.diff.gauge" in
+  let h = Obs.Metrics.histogram "test.diff.hist" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.set g 5;
+  Obs.Metrics.observe h 4;
+  let before = Obs.Metrics.snapshot () in
+  Obs.Metrics.add c 9;
+  Obs.Metrics.set g 2;
+  Obs.Metrics.observe h 6;
+  let d = Obs.Metrics.diff before (Obs.Metrics.snapshot ()) in
+  check Alcotest.int "counter subtracts" 9 (counter_of "test.diff.counter" d);
+  (match find "test.diff.gauge" d with
+  | Obs.Metrics.Gauge v -> check Alcotest.int "gauge takes after" 2 v
+  | _ -> Alcotest.fail "not a gauge");
+  (match find "test.diff.hist" d with
+  | Obs.Metrics.Histogram { count; _ } ->
+    check Alcotest.int "histogram count subtracts" 1 count
+  | _ -> Alcotest.fail "not a histogram");
+  (* a self-diff is zero once gauges are back at rest (gauges keep
+     their "after" level through a diff by design) *)
+  Obs.Metrics.set g 0;
+  check Alcotest.bool "zero diff detected" true
+    (let s = Obs.Metrics.snapshot () in
+     Obs.Metrics.is_zero (Obs.Metrics.diff s s))
+
+(* ------------------------------------------------------------------ *)
+(* Disabled registry: instrumented deciders record nothing             *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_no_op () =
+  Obs.Metrics.set_enabled false;
+  Obs.Metrics.reset ();
+  let q1 = Crpq.parse "Q() :- x -[ab]-> y, y -[a+]-> z" in
+  let q2 = Crpq.parse "Q() :- x -[(a|b)+]-> z" in
+  (match Containment.decide Semantics.Q_inj q1 q2 with
+  | Containment.Contained | Containment.Not_contained _ | Containment.Unknown _
+    -> ());
+  let g = Graph.make ~nnodes:3 [ (0, "a", 1); (1, "b", 2); (2, "a", 0) ] in
+  ignore (Eval.eval Semantics.Q_inj (Crpq.parse "Q(x) :- x -[(ab)+]-> y") g);
+  check Alcotest.bool "snapshot stays zero" true
+    (Obs.Metrics.is_zero (Obs.Metrics.snapshot ()));
+  (* spans are pass-through while tracing is disabled *)
+  check Alcotest.int "span is transparent" 42 (Obs.Trace.span "t" (fun () -> 42));
+  check Alcotest.int "no span recorded" 0 (List.length (Obs.Trace.finished ()))
+
+(* ...and the same workload does move counters when enabled *)
+let test_enabled_records () =
+  let q1 = Crpq.parse "Q() :- x -[ab]-> y, y -[a+]-> z" in
+  let q2 = Crpq.parse "Q() :- x -[(a|b)+]-> z" in
+  (match Containment.decide Semantics.Q_inj q1 q2 with
+  | Containment.Contained | Containment.Not_contained _ | Containment.Unknown _
+    -> ());
+  let snap = Obs.Metrics.snapshot () in
+  check Alcotest.bool "counters ticked" false (Obs.Metrics.is_zero snap);
+  check Alcotest.int "one decision" 1 (counter_of "containment.decisions" snap)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  Obs.Trace.set_enabled true;
+  let c = Obs.Metrics.counter "test.span.counter" in
+  let r =
+    Obs.Trace.span "outer" (fun () ->
+        Obs.Metrics.incr c;
+        let a = Obs.Trace.span "inner1" (fun () -> 1) in
+        let b =
+          Obs.Trace.span "inner2" (fun () ->
+              Obs.Metrics.incr c;
+              2)
+        in
+        a + b)
+  in
+  check Alcotest.int "result threads through" 3 r;
+  match Obs.Trace.finished () with
+  | [ outer ] ->
+    check Alcotest.string "outer name" "outer" outer.Obs.Trace.name;
+    check
+      Alcotest.(list string)
+      "children in order" [ "inner1"; "inner2" ]
+      (List.map (fun s -> s.Obs.Trace.name) outer.Obs.Trace.children);
+    (* timing monotonicity: all durations non-negative, parent covers
+       its children *)
+    let d s = s.Obs.Trace.duration_ns in
+    List.iter
+      (fun s ->
+        check Alcotest.bool "non-negative duration" true (d s >= 0L))
+      (outer :: outer.Obs.Trace.children);
+    let child_total =
+      List.fold_left
+        (fun acc s -> Int64.add acc (d s))
+        0L outer.Obs.Trace.children
+    in
+    check Alcotest.bool "parent >= sum of children" true
+      (d outer >= child_total);
+    (* the metrics delta of the outer span saw both increments, the
+       inner ones only their own *)
+    check Alcotest.int "outer delta" 2
+      (counter_of "test.span.counter" outer.Obs.Trace.metrics);
+    check Alcotest.int "inner2 delta" 1
+      (counter_of "test.span.counter"
+         (List.nth outer.Obs.Trace.children 1).Obs.Trace.metrics)
+  | spans -> Alcotest.failf "expected 1 top-level span, got %d" (List.length spans)
+
+let test_span_error () =
+  Obs.Trace.set_enabled true;
+  check Alcotest.bool "exception re-raised" true
+    (match Obs.Trace.span "boom" (fun () -> failwith "boom") with
+    | exception Failure _ -> true
+    | _ -> false);
+  match Obs.Trace.finished () with
+  | [ s ] -> check Alcotest.bool "marked errored" true s.Obs.Trace.errored
+  | _ -> Alcotest.fail "span not recorded"
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trips                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_parse () =
+  let roundtrip s =
+    match Obs.Json.parse s with
+    | Ok v -> Obs.Json.to_string v
+    | Error e -> Alcotest.failf "parse %s: %s" s e
+  in
+  List.iter
+    (fun s -> check Alcotest.string "normal form" s (roundtrip s))
+    [
+      {|null|};
+      {|true|};
+      {|-42|};
+      {|[1,2,3]|};
+      {|{"a":1,"b":[{"c":"d\ne"}],"e":null}|};
+    ];
+  check Alcotest.string "whitespace tolerated" {|{"a":[1,2]}|}
+    (roundtrip {| { "a" : [ 1 , 2 ] } |});
+  List.iter
+    (fun s ->
+      check Alcotest.bool
+        (Printf.sprintf "%S rejected" s)
+        true
+        (match Obs.Json.parse s with Error _ -> true | Ok _ -> false))
+    [ ""; "{"; "[1,]"; "nul"; {|{"a":1} trailing|}; {|"unterminated|} ]
+
+let test_metrics_json_roundtrip () =
+  let c = Obs.Metrics.counter "test.json.counter" in
+  let g = Obs.Metrics.gauge "test.json.gauge" in
+  let h = Obs.Metrics.histogram "test.json.hist" in
+  Obs.Metrics.add c 17;
+  Obs.Metrics.set g (-4);
+  List.iter (Obs.Metrics.observe h) [ 0; 5; 5; 129 ];
+  let snap = Obs.Metrics.snapshot () in
+  let json = Obs.Metrics.to_json snap in
+  (* through the printer and parser, back to an equal snapshot *)
+  match Obs.Json.parse (Obs.Json.to_string json) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok reparsed -> begin
+    match Obs.Metrics.of_json reparsed with
+    | Error e -> Alcotest.failf "of_json failed: %s" e
+    | Ok snap' ->
+      check Alcotest.bool "snapshot round-trips" true (snap = snap')
+  end
+
+let test_trace_jsonl () =
+  Obs.Trace.set_enabled true;
+  ignore
+    (Obs.Trace.span "a" (fun () ->
+         Obs.Trace.span "b" (fun () -> Obs.Trace.span "c" (fun () -> ()))));
+  ignore (Obs.Trace.span "d" (fun () -> ()));
+  let lines =
+    String.split_on_char '\n' (String.trim (Obs.Trace.to_jsonl (Obs.Trace.finished ())))
+  in
+  check Alcotest.int "one line per span" 4 (List.length lines);
+  let parsed =
+    List.map
+      (fun l ->
+        match Obs.Json.parse l with
+        | Ok v -> v
+        | Error e -> Alcotest.failf "line %s: %s" l e)
+      lines
+  in
+  let field name j =
+    match Obs.Json.member name j with
+    | Some v -> v
+    | None -> Alcotest.failf "missing field %s" name
+  in
+  let names =
+    List.map
+      (fun j ->
+        match field "name" j with
+        | Obs.Json.String s -> s
+        | _ -> Alcotest.fail "name not a string")
+      parsed
+  in
+  check Alcotest.(list string) "DFS order" [ "a"; "b"; "c"; "d" ] names;
+  (* parent pointers reconstruct the nesting *)
+  let parents =
+    List.map
+      (fun j ->
+        match field "parent" j with
+        | Obs.Json.Null -> None
+        | v -> Obs.Json.to_int v)
+      parsed
+  in
+  check
+    Alcotest.(list (option int))
+    "parents" [ None; Some 0; Some 1; None ] parents
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock () =
+  check Alcotest.string "default source" "cpu" (Obs.Clock.source_name ());
+  let t0 = Obs.Clock.now_ns () in
+  (* burn a little CPU so the cpu-time clock must advance *)
+  let acc = ref 0 in
+  for i = 0 to 2_000_000 do
+    acc := !acc + i
+  done;
+  ignore !acc;
+  let t1 = Obs.Clock.now_ns () in
+  check Alcotest.bool "monotone non-decreasing" true (Int64.compare t1 t0 >= 0);
+  check (Alcotest.float 1e-9) "ns_to_s" 1.5 (Obs.Clock.ns_to_s 1_500_000_000L)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick (with_obs test_counter);
+          Alcotest.test_case "gauge" `Quick (with_obs test_gauge);
+          Alcotest.test_case "histogram" `Quick (with_obs test_histogram);
+          Alcotest.test_case "snapshot diff" `Quick (with_obs test_diff);
+          Alcotest.test_case "disabled registry records nothing" `Quick
+            (with_obs test_disabled_no_op);
+          Alcotest.test_case "enabled registry records" `Quick
+            (with_obs test_enabled_records);
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting and timing" `Quick
+            (with_obs test_span_nesting);
+          Alcotest.test_case "errored span" `Quick (with_obs test_span_error);
+          Alcotest.test_case "span JSONL export" `Quick (with_obs test_trace_jsonl);
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parse/print round-trip" `Quick test_json_parse;
+          Alcotest.test_case "metrics JSON round-trip" `Quick
+            (with_obs test_metrics_json_roundtrip);
+        ] );
+      ("clock", [ Alcotest.test_case "monotonicity" `Quick test_clock ]);
+    ]

@@ -3,11 +3,20 @@
    the shape of the paper artefact together with measured behaviour; a
    final Bechamel section reports statistically robust timings for the
    core operations.  Run with --quick for smaller workloads, or pass
-   experiment ids (e.g. "fig1 thm52") to run a subset. *)
+   experiment ids (e.g. "fig1 thm52") to run a subset.
+
+   Every experiment runs under a Guard deadline (--deadline-ms, default
+   5 minutes) and records an outcome (ok | timeout | error); the results
+   file is rewritten after each experiment, so a crash or timeout in
+   experiment k never loses experiments 1..k-1. *)
 
 let quick = ref false
 
 let selected : string list ref = ref []
+
+let deadline_ms = ref 300_000
+
+let output_file = ref "BENCH_results.json"
 
 let want name = !selected = [] || List.mem name !selected
 
@@ -26,30 +35,87 @@ let time_it f =
 
 let pp_ms ppf s = Format.fprintf ppf "%7.1fms" (1000.0 *. s)
 
-(* Machine-readable results, written to BENCH_results.json: one entry
-   per experiment run (wall time + search-counter delta), plus one row
-   per Figure-1 cell. *)
+(* Machine-readable results, written to the output file: one entry per
+   experiment run (wall + CPU time, search-counter delta, outcome), plus
+   one row per Figure-1 cell. *)
 let results : Obs.Json.t list ref = ref []
 
 let fig1_rows : Obs.Json.t list ref = ref []
 
+(* Rewritten after every experiment: the file on disk always holds the
+   completed prefix of the run, whatever happens to the rest. *)
+let write_results () =
+  let json =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.String "injcrpq-bench/1");
+        ("quick", Obs.Json.Bool !quick);
+        ("clock", Obs.Json.String (Obs.Clock.source_name ()));
+        ("deadline_ms", Obs.Json.Int !deadline_ms);
+        ("experiments", Obs.Json.List (List.rev !results));
+      ]
+  in
+  let oc = open_out !output_file in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc
+
 let run_experiment name f =
   let before = Obs.Metrics.snapshot () in
-  let (), wall_s = time_it f in
+  let cpu0 = Obs.Clock.cpu_ns () in
+  let t0 = Obs.Clock.now_ns () in
+  let guard = Guard.create ~deadline_ms:!deadline_ms () in
+  let outcome =
+    (* the bench.<name> checkpoint sits outside any decider boundary, so
+       chaos can degrade a whole experiment (crash-safety tests) *)
+    match
+      Guard.run ~guard (fun () ->
+          Guard.checkpoint ("bench." ^ name);
+          f ())
+    with
+    | Ok () -> begin
+      match Guard.last_trip guard with
+      | Some ({ Guard.reason = Guard.Deadline_exceeded _ | Guard.Fuel_exhausted _; _ } as trip) ->
+        (* the deadline elapsed mid-experiment; the deciders absorbed the
+           trips and degraded cell by cell *)
+        [
+          ("outcome", Obs.Json.String "timeout");
+          ("detail", Obs.Json.String (Guard.trip_to_string trip));
+        ]
+      | _ -> [ ("outcome", Obs.Json.String "ok") ]
+    end
+    | Error trip ->
+      Format.printf "@.[%s] stopped: %s@." name (Guard.trip_to_string trip);
+      [
+        ("outcome", Obs.Json.String "timeout");
+        ("detail", Obs.Json.String (Guard.trip_to_string trip));
+      ]
+    | exception e ->
+      Format.printf "@.[%s] failed: %s@." name (Printexc.to_string e);
+      [
+        ("outcome", Obs.Json.String "error");
+        ("detail", Obs.Json.String (Printexc.to_string e));
+      ]
+  in
+  let wall_ns = Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) t0) in
+  let cpu_ns = Int64.to_int (Int64.sub (Obs.Clock.cpu_ns ()) cpu0) in
   let delta = Obs.Metrics.diff before (Obs.Metrics.snapshot ()) in
   let fields =
     [
       ("name", Obs.Json.String name);
-      ("wall_ns", Obs.Json.Int (int_of_float (wall_s *. 1e9)));
+      ("wall_ns", Obs.Json.Int wall_ns);
+      ("cpu_ns", Obs.Json.Int cpu_ns);
       ("metrics", Obs.Metrics.to_json delta);
     ]
+    @ outcome
   in
   let fields =
     if String.equal name "fig1" && !fig1_rows <> [] then
       fields @ [ ("cells", Obs.Json.List (List.rev !fig1_rows)) ]
     else fields
   in
-  results := Obs.Json.Obj fields :: !results
+  results := Obs.Json.Obj fields :: !results;
+  write_results ()
 
 (* ------------------------------------------------------------------ *)
 (* E1: Figure 1 — the complexity grid, empirically                     *)
@@ -80,6 +146,7 @@ let run_fig1 () =
   List.iter
     (fun (cell, sem, _, _, pairs) ->
       let contained = ref 0 and not_contained = ref 0 and unknown = ref 0 in
+      let timeouts = ref 0 in
       let strategy = ref "" in
       let before = Obs.Metrics.snapshot () in
       let _, dt =
@@ -90,6 +157,9 @@ let run_fig1 () =
                 match Containment.decide ~bound:3 sem q1 q2 with
                 | Containment.Contained -> incr contained
                 | Containment.Not_contained _ -> incr not_contained
+                | Containment.Unknown (Containment.Resource_exhausted _) ->
+                  incr unknown;
+                  incr timeouts
                 | Containment.Unknown _ -> incr unknown
                 | exception _ -> incr unknown)
               pairs)
@@ -105,6 +175,9 @@ let run_fig1 () =
             ("contained", Obs.Json.Int !contained);
             ("not_contained", Obs.Json.Int !not_contained);
             ("unknown", Obs.Json.Int !unknown);
+            ("timeouts", Obs.Json.Int !timeouts);
+            ( "outcome",
+              Obs.Json.String (if !timeouts > 0 then "timeout" else "ok") );
             ("wall_ns", Obs.Json.Int (int_of_float (dt *. 1e9)));
             ("metrics", Obs.Metrics.to_json delta);
           ]
@@ -551,16 +624,53 @@ let bechamel_section () =
 
 (* ------------------------------------------------------------------ *)
 
+let usage_error msg =
+  Format.eprintf "bench: %s@." msg;
+  Format.eprintf
+    "usage: main.exe [--quick] [--deadline-ms N] [--output FILE] [experiment ...]@.";
+  exit 2
+
+let parse_args () =
+  let argv = Sys.argv in
+  let n = Array.length argv in
+  let value_of ~flag arg i =
+    (* accepts both --flag=V and --flag V *)
+    let prefix = flag ^ "=" in
+    let plen = String.length prefix in
+    if String.length arg > plen && String.sub arg 0 plen = prefix then
+      Some (String.sub arg plen (String.length arg - plen), i)
+    else if arg = flag then
+      if i + 1 < n then Some (argv.(i + 1), i + 1)
+      else usage_error (flag ^ " needs a value")
+    else None
+  in
+  let i = ref 1 in
+  while !i < n do
+    let arg = argv.(!i) in
+    (match arg with
+    | "--quick" -> quick := true
+    | _ -> begin
+      match value_of ~flag:"--deadline-ms" arg !i with
+      | Some (v, j) -> begin
+        i := j;
+        match int_of_string_opt v with
+        | Some ms when ms >= 0 -> deadline_ms := ms
+        | _ -> usage_error ("bad --deadline-ms value: " ^ v)
+      end
+      | None -> begin
+        match value_of ~flag:"--output" arg !i with
+        | Some (v, j) ->
+          i := j;
+          output_file := v
+        | None -> selected := arg :: !selected
+      end
+    end);
+    incr i
+  done
+
 let () =
-  Obs.Clock.set_source ~name:"monotonic" Monotonic_clock.now;
   Obs.Metrics.set_enabled true;
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--quick" -> quick := true
-        | name -> selected := name :: !selected)
-    Sys.argv;
+  parse_args ();
   let experiments =
     [
       ("fig1", run_fig1);
@@ -583,21 +693,9 @@ let () =
     (String.concat " " (List.map fst experiments))
     (if !quick then " (quick mode)" else "");
   List.iter (fun (name, f) -> if want name then run_experiment name f) experiments;
-  let json =
-    Obs.Json.Obj
-      [
-        ("schema", Obs.Json.String "injcrpq-bench/1");
-        ("quick", Obs.Json.Bool !quick);
-        ("clock", Obs.Json.String (Obs.Clock.source_name ()));
-        ("experiments", Obs.Json.List (List.rev !results));
-      ]
-  in
-  let file = "BENCH_results.json" in
-  let oc = open_out file in
-  output_string oc (Obs.Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  write_results ();
   (* the file must round-trip through the Obs JSON reader *)
+  let file = !output_file in
   let ic = open_in file in
   let contents = really_input_string ic (in_channel_length ic) in
   close_in ic;

@@ -3,10 +3,18 @@
 
      injcrpq eval     --query 'Q(x,y) :- x -[(ab)*]-> y' --graph db.txt --sem q-inj
      injcrpq contain  --lhs '...' --rhs '...' --sem a-inj
+     injcrpq contain  --instance pcp -s a-inj --timeout 500 --json
      injcrpq expand   --query '...' --max-len 3
      injcrpq classify --query '...'
      injcrpq reduce   pcp|gcp|qbf
-     injcrpq demo *)
+     injcrpq demo
+
+   Exit-code contract (all subcommands):
+     0  the command decided / completed
+     1  lint found errors
+     2  usage or input error (bad query, bad graph file, bad arguments)
+     3  resource budget exhausted (--timeout / --max-steps / --max-depth)
+     124  cmdliner's own command-line parse errors *)
 
 open Cmdliner
 
@@ -84,22 +92,96 @@ let obs_term =
   in
   Term.(const obs_setup $ stats_arg $ trace_arg)
 
+(* --------------------------- resource guard ------------------------ *)
+
+(* [--timeout], [--max-steps] and [--max-depth] are accepted by every
+   subcommand; together they build the Guard installed around the
+   command body.  Deciders then degrade to [Unknown (Resource_exhausted
+   _)] and the command exits 3 — never hangs, never raises. *)
+let guard_setup timeout steps depth =
+  match timeout, steps, depth with
+  | None, None, None -> None
+  | _ -> Some (Guard.create ?deadline_ms:timeout ?fuel:steps ?max_depth:depth ())
+
+let guard_term =
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout" ] ~docv:"MS"
+          ~doc:"Wall-clock budget in milliseconds (exit 3 when exceeded).")
+  in
+  let steps_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:"Step budget: total guarded search steps allowed (exit 3 when \
+                exhausted).")
+  in
+  let depth_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-depth" ] ~docv:"N"
+          ~doc:"Recursion-depth ceiling for backtracking searches (exit 3 \
+                when exceeded).")
+  in
+  Term.(const guard_setup $ timeout_arg $ steps_arg $ depth_arg)
+
+(* Diagnostic-style message on stderr, then the usage-error exit code. *)
+let usage_error msg =
+  Format.eprintf "injcrpq: E900 error [cli]: %s@." msg;
+  exit 2
+
+(* [governed guard f] is the degradation boundary of every subcommand:
+   a guard trip that escapes the deciders exits 3 (rendered with
+   [on_trip] when machine-readable output was requested), and any
+   exception that would otherwise produce an uncaught backtrace becomes
+   a Diagnostic-style message with exit 2. *)
+let governed ?on_trip guard f =
+  match Guard.run ?guard f with
+  | Ok v -> v
+  | Error trip ->
+    (match on_trip with
+    | Some render -> print_endline (Obs.Json.to_string (render trip))
+    | None ->
+      Format.eprintf "injcrpq: resource exhausted: %s@."
+        (Guard.trip_to_string trip));
+    exit 3
+  | exception Containment_qinj.Unsupported msg ->
+    usage_error ("abstraction algorithm: " ^ msg)
+  | exception Containment_f7.Unsupported msg ->
+    usage_error ("window algorithm: " ^ msg)
+  | exception Invalid_argument msg -> usage_error msg
+  | exception Failure msg -> usage_error msg
+  | exception Sys_error msg -> usage_error msg
+  | exception e ->
+    Format.eprintf "injcrpq: E901 error [internal]: %s@."
+      (Printexc.to_string e);
+    exit 2
+
 (* ------------------------------ eval ------------------------------ *)
 
 let eval_cmd =
-  let run () sem q graph_file tuple =
-    let g = Graph_io.load graph_file in
-    match tuple with
-    | [] ->
-      let answers = Eval.eval sem q g in
-      Format.printf "%d answer(s) under %s semantics:@." (List.length answers)
-        (Semantics.to_string sem);
-      List.iter
-        (fun t ->
-          Format.printf "  (%s)@." (String.concat ", " (List.map string_of_int t)))
-        answers
-    | t ->
-      Format.printf "%b@." (Eval.check sem q g t)
+  let run () guard sem q graph_file tuple =
+    let g =
+      match Graph_io.load_result graph_file with
+      | Ok g -> g
+      | Error msg -> usage_error ("cannot load graph: " ^ msg)
+    in
+    governed guard (fun () ->
+        match tuple with
+        | [] ->
+          let answers = Eval.eval sem q g in
+          Format.printf "%d answer(s) under %s semantics:@."
+            (List.length answers) (Semantics.to_string sem);
+          List.iter
+            (fun t ->
+              Format.printf "  (%s)@."
+                (String.concat ", " (List.map string_of_int t)))
+            answers
+        | t -> Format.printf "%b@." (Eval.check sem q g t))
   in
   let tuple_arg =
     Arg.(
@@ -110,18 +192,89 @@ let eval_cmd =
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a CRPQ over a graph database.")
     Term.(
-      const run $ obs_term $ sem_arg
+      const run $ obs_term $ guard_term $ sem_arg
       $ query_arg [ "q"; "query" ] "The CRPQ to evaluate."
       $ graph_arg $ tuple_arg)
 
 (* ---------------------------- contain ----------------------------- *)
 
 let contain_cmd =
-  let run () sem q1 q2 bound =
-    Format.printf "strategy: %s@." (Containment.strategy_name sem q1 q2);
-    let v = Containment.decide ~bound sem q1 q2 in
-    Format.printf "%a@." Containment.pp_verdict v;
-    match v with Containment.Unknown _ -> exit 2 | _ -> ()
+  let run () guard sem lhs rhs instance bound json =
+    let q1, q2 =
+      match instance, lhs, rhs with
+      | None, Some q1, Some q2 -> (q1, q2)
+      | None, _, _ ->
+        usage_error "contain needs --lhs and --rhs (or --instance NAME)"
+      | Some _, Some _, _ | Some _, _, Some _ ->
+        usage_error "--instance replaces --lhs/--rhs; give one or the other"
+      | Some `Pcp, None, None ->
+        (* the Thm 5.2 cell: a-inj containment is undecidable; without a
+           budget the bounded search on this pair runs essentially
+           forever *)
+        let e = Pcp_to_ainj.encode Pcp.solvable_small in
+        (e.Pcp_to_ainj.q1, e.Pcp_to_ainj.q2)
+      | Some `Gcp, None, None ->
+        let e = Gcp_to_qinj.encode (Gcp.cycle 4 ~n:2) in
+        (e.Gcp_to_qinj.q1, e.Gcp_to_qinj.q2)
+      | Some `Qbf, None, None ->
+        let e = Qbf_to_ainj.encode Qbf.valid_small in
+        (e.Qbf_to_ainj.q1, e.Qbf_to_ainj.q2)
+    in
+    let verdict_json v =
+      let base =
+        [
+          ( "verdict",
+            Obs.Json.String
+              (match v with
+              | Containment.Contained -> "contained"
+              | Containment.Not_contained _ -> "not-contained"
+              | Containment.Unknown _ -> "unknown") );
+          ("semantics", Obs.Json.String (Semantics.to_string sem));
+          ("strategy", Obs.Json.String (Containment.strategy_name sem q1 q2));
+        ]
+      in
+      let extra =
+        match v with
+        | Containment.Unknown r ->
+          let kind =
+            match r with
+            | Containment.Resource_exhausted trip ->
+              Guard.reason_kind trip.Guard.reason
+            | Containment.Budget_exhausted _ -> "search-budget"
+            | Containment.Undecided _ -> "undecided"
+          in
+          [
+            ( "reason",
+              Obs.Json.Obj
+                [
+                  ("kind", Obs.Json.String kind);
+                  ( "detail",
+                    Obs.Json.String (Containment.reason_to_string r) );
+                ] );
+          ]
+        | Containment.Not_contained w ->
+          [
+            ( "counterexample",
+              Obs.Json.String (Cq.to_string w.Containment.expansion.Expansion.cq)
+            );
+          ]
+        | Containment.Contained -> []
+      in
+      Obs.Json.Obj (base @ extra)
+    in
+    let on_trip =
+      if json then
+        Some (fun trip -> verdict_json (Containment.resource_exhausted trip))
+      else None
+    in
+    governed ?on_trip guard (fun () ->
+        let v = Containment.decide ~bound sem q1 q2 in
+        if json then print_endline (Obs.Json.to_string (verdict_json v))
+        else begin
+          Format.printf "strategy: %s@." (Containment.strategy_name sem q1 q2);
+          Format.printf "%a@." Containment.pp_verdict v
+        end;
+        match v with Containment.Unknown _ -> exit 3 | _ -> ())
   in
   let bound_arg =
     Arg.(
@@ -129,26 +282,46 @@ let contain_cmd =
       & info [ "b"; "bound" ] ~docv:"N"
           ~doc:"Word-length bound for the bounded counterexample search.")
   in
+  let opt_query names doc =
+    Arg.(value & opt (some query_conv) None & info names ~docv:"QUERY" ~doc)
+  in
+  let instance_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("pcp", `Pcp); ("gcp", `Gcp); ("qbf", `Qbf) ])) None
+      & info [ "instance" ] ~docv:"NAME"
+          ~doc:"Use a built-in hardness-reduction query pair (pcp, gcp or \
+                qbf) instead of --lhs/--rhs.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Machine-readable JSON verdict on stdout.")
+  in
   Cmd.v
     (Cmd.info "contain"
-       ~doc:"Decide Q1 ⊆ Q2 under the chosen semantics (exit 2 when undecided).")
+       ~doc:"Decide Q1 ⊆ Q2 under the chosen semantics (exit 3 when undecided \
+             or out of budget).")
     Term.(
-      const run $ obs_term $ sem_arg
-      $ query_arg [ "lhs" ] "Left-hand query Q1."
-      $ query_arg [ "rhs" ] "Right-hand query Q2."
-      $ bound_arg)
+      const run $ obs_term $ guard_term $ sem_arg
+      $ opt_query [ "lhs" ] "Left-hand query Q1."
+      $ opt_query [ "rhs" ] "Right-hand query Q2."
+      $ instance_arg $ bound_arg $ json_arg)
 
 (* ----------------------------- expand ----------------------------- *)
 
 let expand_cmd =
-  let run () q max_len ainj =
-    let es =
-      if ainj then Expansion.ainj_expansions ~max_len q
-      else Expansion.expansions ~max_len q
-    in
-    Format.printf "%d expansion(s) with atom words of length <= %d:@."
-      (List.length es) max_len;
-    List.iter (fun e -> Format.printf "  %s@." (Cq.to_string e.Expansion.cq)) es
+  let run () guard q max_len ainj =
+    governed guard (fun () ->
+        let es =
+          if ainj then Expansion.ainj_expansions ~max_len q
+          else Expansion.expansions ~max_len q
+        in
+        Format.printf "%d expansion(s) with atom words of length <= %d:@."
+          (List.length es) max_len;
+        List.iter
+          (fun e -> Format.printf "  %s@." (Cq.to_string e.Expansion.cq))
+          es)
   in
   let max_len_arg =
     Arg.(value & opt int 2 & info [ "max-len" ] ~docv:"N" ~doc:"Word length bound.")
@@ -161,14 +334,15 @@ let expand_cmd =
   Cmd.v
     (Cmd.info "expand" ~doc:"Enumerate (a-inj-)expansions of a CRPQ.")
     Term.(
-      const run $ obs_term
+      const run $ obs_term $ guard_term
       $ query_arg [ "q"; "query" ] "The CRPQ."
       $ max_len_arg $ ainj_arg)
 
 (* ---------------------------- classify ---------------------------- *)
 
 let classify_cmd =
-  let run () q =
+  let run () guard q =
+    governed guard @@ fun () ->
     let cls =
       match Crpq.classify q with
       | Crpq.Class_cq -> "CQ"
@@ -184,12 +358,14 @@ let classify_cmd =
   in
   Cmd.v
     (Cmd.info "classify" ~doc:"Report the class and shape of a CRPQ.")
-    Term.(const run $ obs_term $ query_arg [ "q"; "query" ] "The CRPQ.")
+    Term.(
+      const run $ obs_term $ guard_term $ query_arg [ "q"; "query" ] "The CRPQ.")
 
 (* ----------------------------- reduce ----------------------------- *)
 
 let reduce_cmd =
-  let run () which =
+  let run () guard which =
+    governed guard @@ fun () ->
     match which with
     | "pcp" ->
       let inst = Pcp.solvable_small in
@@ -216,7 +392,7 @@ let reduce_cmd =
         (Crpq.size enc.Qbf_to_ainj.q1) (Crpq.size enc.Qbf_to_ainj.q2);
       let via_q, via_b = Qbf_to_ainj.verify inst in
       Format.printf "valid (queries/brute): %b/%b@." via_q via_b
-    | other -> Format.printf "unknown reduction %S (pcp|gcp|qbf)@." other
+    | other -> usage_error (Printf.sprintf "unknown reduction %S (pcp|gcp|qbf)" other)
   in
   let which_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"WHICH" ~doc:"pcp, gcp or qbf.")
@@ -224,12 +400,13 @@ let reduce_cmd =
   Cmd.v
     (Cmd.info "reduce"
        ~doc:"Show one of the paper's hardness reductions on a sample instance.")
-    Term.(const run $ obs_term $ which_arg)
+    Term.(const run $ obs_term $ guard_term $ which_arg)
 
 (* ---------------------------- minimize ---------------------------- *)
 
 let minimize_cmd =
-  let run () sem q =
+  let run () guard sem q =
+    governed guard @@ fun () ->
     let m = Minimize.drop_redundant_atoms sem q in
     Format.printf "%s@." (Crpq.to_string (Minimize.prune_languages m));
     if Crpq.size m < Crpq.size q then
@@ -240,25 +417,30 @@ let minimize_cmd =
   Cmd.v
     (Cmd.info "minimize"
        ~doc:"Remove provably redundant atoms and simplify languages.")
-    Term.(const run $ obs_term $ sem_arg $ query_arg [ "q"; "query" ] "The CRPQ.")
+    Term.(
+      const run $ obs_term $ guard_term $ sem_arg
+      $ query_arg [ "q"; "query" ] "The CRPQ.")
 
 (* ------------------------------ equiv ----------------------------- *)
 
 let equiv_cmd =
-  let run () sem q1 q2 bound =
+  let run () guard sem q1 q2 bound =
+    governed guard @@ fun () ->
     match Minimize.equivalent ~bound sem q1 q2 with
     | Some b -> Format.printf "%b@." b
     | None ->
       Format.printf "undecided@.";
-      exit 2
+      exit 3
   in
   let bound_arg =
     Arg.(value & opt int 4 & info [ "b"; "bound" ] ~docv:"N" ~doc:"Search bound.")
   in
   Cmd.v
-    (Cmd.info "equiv" ~doc:"Decide query equivalence under a semantics.")
+    (Cmd.info "equiv"
+       ~doc:"Decide query equivalence under a semantics (exit 3 when \
+             undecided).")
     Term.(
-      const run $ obs_term $ sem_arg
+      const run $ obs_term $ guard_term $ sem_arg
       $ query_arg [ "lhs" ] "First query."
       $ query_arg [ "rhs" ] "Second query."
       $ bound_arg)
@@ -266,7 +448,8 @@ let equiv_cmd =
 (* ------------------------------ lint ------------------------------ *)
 
 let lint_cmd =
-  let run () sem queries file json no_redundancy no_nfa bound =
+  let run () guard sem queries file json no_redundancy no_nfa bound =
+    governed guard @@ fun () ->
     let from_file =
       match file with
       | None -> []
@@ -375,13 +558,14 @@ let lint_cmd =
        ~doc:"Run the static-analysis passes over queries (exit 1 on errors, 2 on \
              usage problems).")
     Term.(
-      const run $ obs_term $ sem_arg $ queries_arg $ file_arg $ json_arg
-      $ no_redundancy_arg $ no_nfa_arg $ bound_arg)
+      const run $ obs_term $ guard_term $ sem_arg $ queries_arg $ file_arg
+      $ json_arg $ no_redundancy_arg $ no_nfa_arg $ bound_arg)
 
 (* ------------------------------ demo ------------------------------ *)
 
 let demo_cmd =
-  let run () () =
+  let run () guard () =
+    governed guard @@ fun () ->
     let q = Paper_examples.example_21_query in
     Format.printf "Example 2.1: Q = %s@." (Crpq.to_string q);
     let g = Paper_examples.example_21_g in
@@ -401,10 +585,9 @@ let demo_cmd =
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run the paper's running examples.")
-    Term.(const run $ obs_term $ const ())
+    Term.(const run $ obs_term $ guard_term $ const ())
 
 let () =
-  Obs.Clock.set_source ~name:"monotonic" Monotonic_clock.now;
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
     Cmd.info "injcrpq" ~version:"1.0.0"

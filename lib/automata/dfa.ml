@@ -35,6 +35,7 @@ let of_nfa ?alphabet nfa =
   Queue.add (start, start_set) work;
   let processed = Hashtbl.create 64 in
   while not (Queue.is_empty work) do
+    Guard.checkpoint "dfa.determinize";
     let id, s = Queue.pop work in
     if not (Hashtbl.mem processed id) then begin
       Hashtbl.add processed id ();
@@ -92,6 +93,7 @@ let intersect d1 d2 =
   let n = d1.nstates * d2.nstates in
   let next =
     Array.init n (fun s ->
+        Guard.checkpoint "dfa.product";
         let p = s / d2.nstates and q = s mod d2.nstates in
         Array.init nsym (fun i -> code d1.next.(p).(i) d2.next.(q).(i)))
   in

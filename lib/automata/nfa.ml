@@ -263,6 +263,7 @@ let product a b =
   let delta = Array.make (max n 1) [] in
   for p = 0 to a.nstates - 1 do
     for q = 0 to b.nstates - 1 do
+      Guard.checkpoint "nfa.product";
       let out = ref [] in
       List.iter
         (fun (x, p') ->

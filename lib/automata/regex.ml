@@ -159,6 +159,7 @@ let enumerate ~max_len r =
   let prod u v =
     WordSet.fold
       (fun w1 acc ->
+        Guard.checkpoint "regex.enumerate";
         WordSet.fold
           (fun w2 acc ->
             let w = w1 @ w2 in
@@ -181,6 +182,7 @@ let enumerate ~max_len r =
   and iterate base =
     (* least fixpoint of S = {ε} ∪ base·S restricted to length ≤ max_len *)
     let rec fix acc =
+      Guard.checkpoint "regex.enumerate";
       let next = WordSet.union acc (prod base acc) in
       if WordSet.cardinal next = WordSet.cardinal acc then acc else fix next
     in

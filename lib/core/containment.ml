@@ -12,6 +12,7 @@ type exhaustion = {
 type reason =
   | Budget_exhausted of exhaustion
   | Undecided of string
+  | Resource_exhausted of Guard.trip
 
 type verdict =
   | Contained
@@ -32,6 +33,8 @@ let budget_exhausted ~bound ~expansions =
     (Budget_exhausted
        { bound_reached = bound; expansions_enumerated = expansions; notes = [] })
 
+let resource_exhausted trip = Unknown (Resource_exhausted trip)
+
 let with_note note = function
   | Unknown (Budget_exhausted e) ->
     Unknown (Budget_exhausted { e with notes = e.notes @ [ note ] })
@@ -48,6 +51,8 @@ let reason_to_string = function
     in
     String.concat "; " (base :: e.notes)
   | Undecided msg -> msg
+  | Resource_exhausted trip ->
+    "resource exhausted: " ^ Guard.trip_to_string trip
 
 let verdict_bool = function
   | Contained -> Some true
@@ -101,6 +106,7 @@ let search_expansions sem q2 expansions =
   let rec go = function
     | [] -> None
     | e :: rest ->
+      Guard.checkpoint "containment.search";
       incr tried;
       Obs.Metrics.incr m_expansions;
       if is_counterexample sem q2 e then begin
@@ -113,7 +119,7 @@ let search_expansions sem q2 expansions =
   Obs.Metrics.observe h_expansions !tried;
   (result, !tried)
 
-let finite_lhs sem q1 q2 =
+let finite_lhs ?guard sem q1 q2 =
   node_semantics_only sem;
   check_arity q1 q2;
   let star_expansions q =
@@ -124,18 +130,23 @@ let finite_lhs sem q1 q2 =
   in
   (* expansions are computed per ε-free disjunct to keep the space small
      and because ε-atoms are already folded into disjuncts *)
-  let disjuncts = Crpq.epsilon_free_disjuncts q1 in
-  let rec go = function
-    | [] -> Contained
-    | d :: rest -> begin
-      match fst (search_expansions sem q2 (star_expansions d)) with
-      | Some w -> Not_contained w
-      | None -> go rest
-    end
+  let search () =
+    let disjuncts = Crpq.epsilon_free_disjuncts q1 in
+    let rec go = function
+      | [] -> Contained
+      | d :: rest -> begin
+        match fst (search_expansions sem q2 (star_expansions d)) with
+        | Some w -> Not_contained w
+        | None -> go rest
+      end
+    in
+    go disjuncts
   in
-  go disjuncts
+  match Guard.supervise ?guard search with
+  | Ok v -> v
+  | Error trip -> resource_exhausted trip
 
-let bounded sem ~max_len q1 q2 =
+let bounded ?guard sem ~max_len q1 q2 =
   node_semantics_only sem;
   check_arity q1 q2;
   let star_expansions q =
@@ -144,19 +155,24 @@ let bounded sem ~max_len q1 q2 =
     | Semantics.A_inj -> Expansion.ainj_expansions ~max_len q
     | Semantics.A_edge_inj | Semantics.Q_edge_inj -> assert false
   in
-  let disjuncts = Crpq.epsilon_free_disjuncts q1 in
-  let total = ref 0 in
-  let rec go = function
-    | [] -> budget_exhausted ~bound:max_len ~expansions:!total
-    | d :: rest -> begin
-      let w, tried = search_expansions sem q2 (star_expansions d) in
-      total := !total + tried;
-      match w with
-      | Some w -> Not_contained w
-      | None -> go rest
-    end
+  let search () =
+    let disjuncts = Crpq.epsilon_free_disjuncts q1 in
+    let total = ref 0 in
+    let rec go = function
+      | [] -> budget_exhausted ~bound:max_len ~expansions:!total
+      | d :: rest -> begin
+        let w, tried = search_expansions sem q2 (star_expansions d) in
+        total := !total + tried;
+        match w with
+        | Some w -> Not_contained w
+        | None -> go rest
+      end
+    in
+    go disjuncts
   in
-  go disjuncts
+  match Guard.supervise ?guard search with
+  | Ok v -> v
+  | Error trip -> resource_exhausted trip
 
 (* ------------------------------------------------------------------ *)
 (* Dispatcher                                                           *)
@@ -209,7 +225,10 @@ let cq_fallback_witness sem q1 q2 =
   (* produce a concrete counterexample for a CQ/CQ non-containment *)
   match finite_lhs sem q1 q2 with
   | Not_contained w -> Not_contained w
-  | Contained | Unknown _ ->
+  | Unknown _ as u ->
+    (* the witness search itself ran out of budget *)
+    u
+  | Contained ->
     (* should not happen: cq_cq said not contained *)
     assert false
 
@@ -279,8 +298,15 @@ let decide_impl ~bound sem q1 q2 =
     | v -> v
   end
 
-let decide ?(bound = 4) sem q1 q2 =
+let decide ?(bound = 4) ?guard sem q1 q2 =
   Obs.Metrics.incr m_decisions;
-  if Obs.Trace.enabled () then
-    Obs.Trace.span "containment.decide" (fun () -> decide_impl ~bound sem q1 q2)
-  else decide_impl ~bound sem q1 q2
+  let go () =
+    Guard.checkpoint "containment.decide";
+    if Obs.Trace.enabled () then
+      Obs.Trace.span "containment.decide" (fun () ->
+          decide_impl ~bound sem q1 q2)
+    else decide_impl ~bound sem q1 q2
+  in
+  match Guard.supervise ?guard go with
+  | Ok v -> v
+  | Error trip -> resource_exhausted trip

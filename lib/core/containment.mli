@@ -40,6 +40,9 @@ type reason =
   | Budget_exhausted of exhaustion
       (** bounded counterexample search ran out of budget *)
   | Undecided of string  (** no applicable procedure; free-form diagnosis *)
+  | Resource_exhausted of Guard.trip
+      (** a {!Guard} budget (deadline, fuel, depth, cancellation) stopped
+          the search; the trip says which site and why *)
 
 type verdict =
   | Contained  (** proof of containment *)
@@ -49,6 +52,9 @@ type verdict =
 
 val budget_exhausted : bound:int -> expansions:int -> verdict
 (** [Unknown (Budget_exhausted _)] with the given bound and search size. *)
+
+val resource_exhausted : Guard.trip -> verdict
+(** [Unknown (Resource_exhausted trip)]. *)
 
 val with_note : string -> verdict -> verdict
 (** Attach context to an [Unknown] verdict; other verdicts pass through. *)
@@ -70,17 +76,23 @@ val is_counterexample : Semantics.t -> Crpq.t -> Expansion.expanded -> bool
     @raise Invalid_argument on edge semantics or arity mismatch. *)
 val cq_cq : Semantics.t -> Cq.t -> Cq.t -> bool
 
-(** Exact containment when the left query is in CRPQ{^ fin}.
-    @raise Invalid_argument if it is not. *)
-val finite_lhs : Semantics.t -> Crpq.t -> Crpq.t -> verdict
+(** Exact containment when the left query is in CRPQ{^ fin}.  Under a
+    guard the search can stop early with [Unknown (Resource_exhausted _)].
+    @raise Invalid_argument if the left query is not finite. *)
+val finite_lhs : ?guard:Guard.t -> Semantics.t -> Crpq.t -> Crpq.t -> verdict
 
 (** Bounded counterexample search over ★-expansions of the left query
     with per-atom words of length at most [max_len]. *)
-val bounded : Semantics.t -> max_len:int -> Crpq.t -> Crpq.t -> verdict
+val bounded :
+  ?guard:Guard.t -> Semantics.t -> max_len:int -> Crpq.t -> Crpq.t -> verdict
 
 (** Dispatching decider; picks the best available procedure.  [bound]
-    (default 4) controls the fallback bounded search. *)
-val decide : ?bound:int -> Semantics.t -> Crpq.t -> Crpq.t -> verdict
+    (default 4) controls the fallback bounded search.  [guard] (or an
+    ambient {!Guard.with_guard}) bounds the whole decision: on a trip the
+    result is [Unknown (Resource_exhausted _)] rather than an exception,
+    so [decide] under a guard always returns. *)
+val decide :
+  ?bound:int -> ?guard:Guard.t -> Semantics.t -> Crpq.t -> Crpq.t -> verdict
 
 (** Name of the procedure {!decide} would use (for reporting). *)
 val strategy_name : Semantics.t -> Crpq.t -> Crpq.t -> string

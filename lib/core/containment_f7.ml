@@ -86,6 +86,7 @@ type spec =
    surviving state set *)
 let live_prefixes nfa ~len ~cap =
   let rec go acc frontier k =
+    Guard.checkpoint "f7.window";
     if k = 0 then begin
       if Obs.Metrics.enabled () then
         Obs.Metrics.add m_window_words (List.length frontier);
@@ -142,6 +143,7 @@ let middle_witness nfa ~u ~v ~avoid =
     let result = ref None in
     (try
        while not (Queue.is_empty q) do
+         Guard.checkpoint "f7.middle";
          let s = Queue.pop q in
          let w = Option.get dist.(s) in
          List.iter
@@ -185,6 +187,7 @@ let middle_witness nfa ~u ~v ~avoid =
     let result = ref None in
     (try
        while not (Queue.is_empty q) do
+         Guard.checkpoint "f7.middle";
          let ql, sa, w = Queue.pop q in
          List.iter
            (fun (x, ql') ->
@@ -399,6 +402,7 @@ let decide_st_impl ~max_elements (q1 : Crpq.t) (q2 : Crpq.t) =
       let current = Array.make natoms (Exact []) in
       let found = ref None in
       let rec enumerate i =
+        Guard.checkpoint "f7.enumerate";
         if !found <> None then ()
         else if i = natoms then begin
           let e1h = build_truncated d1 current ~hash in

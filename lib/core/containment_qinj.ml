@@ -347,6 +347,7 @@ let achievable_values ~max_tracker_states (aq : aq2) (lang : Regex.t) =
   Queue.add (init_track, []) queue;
   let explored = ref 0 in
   while not (Queue.is_empty queue) do
+    Guard.checkpoint "qinj.tracker";
     incr explored;
     Obs.Metrics.incr m_abstraction_states;
     if !explored > max_tracker_states then
@@ -517,6 +518,7 @@ let iter_morphism_types lhs (aq : aq2) ~lhs_free ~(d2 : Crpq.t) ~di f =
       go s [ s ]
     in
     let rec place atoms acc =
+      Guard.checkpoint "qinj.types";
       match atoms with
       | [] -> f { m_paths = List.rev acc; m_disjunct = di }
       | (id, (a : Crpq.atom)) :: rest ->
@@ -832,6 +834,7 @@ let decide_union_with_stats_impl ~max_tracker_states ~max_types
           let alpha = Array.make natoms values_per_atom.(0).(0) in
           let found = ref None in
           let rec search ai =
+            Guard.checkpoint "qinj.abstractions";
             if !found <> None then ()
             else if ai = natoms then begin
               incr abstractions_checked;

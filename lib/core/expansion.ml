@@ -88,7 +88,11 @@ let expand_unchecked q profile = expand_internal ~check:false q profile
 let cartesian lists =
   List.fold_right
     (fun choices acc ->
-      List.concat_map (fun c -> List.map (fun rest -> c :: rest) acc) choices)
+      List.concat_map
+        (fun c ->
+          Guard.checkpoint "expansion.profiles";
+          List.map (fun rest -> c :: rest) acc)
+        choices)
     lists [ [] ]
 
 let profiles ~max_len q =
@@ -126,6 +130,7 @@ let partitions_avoiding vars forbidden =
   let block = Array.make n 0 in
   let results = ref [] in
   let rec go i nblocks =
+    Guard.checkpoint "expansion.partitions";
     if i = n then begin
       (* materialize: list of blocks as lists of vars *)
       let blocks = Array.make nblocks [] in

@@ -69,6 +69,7 @@ let search_disjunct sem ~star_expansions rhs d1 =
   let rec go = function
     | [] -> None
     | e :: more ->
+      Guard.checkpoint "ucrpq.search";
       incr tried;
       Obs.Metrics.incr m_expansions;
       if is_counterexample_union sem rhs e then begin
@@ -136,15 +137,22 @@ let contained_impl ~bound sem u1 u2 =
     go lhs
   end
 
-let contained ?(bound = 4) sem u1 u2 =
-  if Obs.Trace.enabled () then
-    Obs.Trace.span "ucrpq.contained" (fun () -> contained_impl ~bound sem u1 u2)
-  else contained_impl ~bound sem u1 u2
+let contained ?(bound = 4) ?guard sem u1 u2 =
+  let go () =
+    Guard.checkpoint "ucrpq.contained";
+    if Obs.Trace.enabled () then
+      Obs.Trace.span "ucrpq.contained" (fun () ->
+          contained_impl ~bound sem u1 u2)
+    else contained_impl ~bound sem u1 u2
+  in
+  match Guard.supervise ?guard go with
+  | Ok v -> v
+  | Error trip -> Containment.resource_exhausted trip
 
-let equivalent ?bound sem u1 u2 =
+let equivalent ?bound ?guard sem u1 u2 =
   match
-    ( Containment.verdict_bool (contained ?bound sem u1 u2),
-      Containment.verdict_bool (contained ?bound sem u2 u1) )
+    ( Containment.verdict_bool (contained ?bound ?guard sem u1 u2),
+      Containment.verdict_bool (contained ?bound ?guard sem u2 u1) )
   with
   | Some a, Some b -> Some (a && b)
   | _ -> None

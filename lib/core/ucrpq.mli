@@ -41,11 +41,13 @@ val eval_bool : Semantics.t -> t -> Graph.t -> bool
     Theorem 5.1 algorithm; any semantics when every left disjunct is in
     CRPQ{^ fin}. *)
 
-val contained : ?bound:int -> Semantics.t -> t -> t -> Containment.verdict
+val contained :
+  ?bound:int -> ?guard:Guard.t -> Semantics.t -> t -> t -> Containment.verdict
 
 (** [equivalent sem u1 u2]: both containments; [None] if either is
     undecided. *)
-val equivalent : ?bound:int -> Semantics.t -> t -> t -> bool option
+val equivalent :
+  ?bound:int -> ?guard:Guard.t -> Semantics.t -> t -> t -> bool option
 
 val pp : Format.formatter -> t -> unit
 

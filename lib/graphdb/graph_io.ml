@@ -23,6 +23,11 @@ let of_string text =
          end);
   Graph.of_edges (List.rev !edges)
 
+let of_string_result text =
+  match of_string text with
+  | g -> Ok g
+  | exception Invalid_argument msg -> Error msg
+
 let to_string g =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
@@ -39,6 +44,12 @@ let load path =
   let s = really_input_string ic n in
   close_in ic;
   of_string s
+
+let load_result path =
+  match load path with
+  | g -> Ok g
+  | exception Sys_error msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
 
 let save path g =
   let oc = open_out path in

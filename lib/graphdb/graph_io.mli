@@ -5,9 +5,18 @@
     non-negative integers; labels follow the {!Word} symbol syntax. *)
 
 val of_string : string -> Graph.t
+(** @raise Invalid_argument on a malformed line. *)
+
+val of_string_result : string -> (Graph.t, string) result
+(** Like {!of_string} but with a typed parse error (for surfaces that
+    must not raise on user input, e.g. the CLI). *)
 
 val to_string : Graph.t -> string
 
 val load : string -> Graph.t
+(** @raise Sys_error / [Invalid_argument] on I/O or parse failure. *)
+
+val load_result : string -> (Graph.t, string) result
+(** Like {!load} but with a typed error covering both I/O and parsing. *)
 
 val save : string -> Graph.t -> unit

@@ -165,6 +165,7 @@ let iter ?(fixed = []) ?(distinct_pairs = []) ?(distinct_edge_groups = [])
             else
               List.iter
                 (fun u ->
+                  Guard.checkpoint "morphism.search";
                   Obs.Metrics.incr m_candidates;
                   if consistent x u then begin
                     assignment.(x) <- u;

@@ -33,6 +33,7 @@ let product_bfs g nfa srcs =
   in
   List.iter (fun (u, q) -> push u q) srcs;
   while not (Queue.is_empty queue) do
+    Guard.checkpoint "path_search.product";
     let u, q = Queue.pop queue in
     List.iter
       (fun (a, v) ->
@@ -84,6 +85,7 @@ let find_path g nfa ~src ~dst =
     List.iter (fun q -> push src q None) nfa.Nfa.initials;
     let goal = ref None in
     while (not (Queue.is_empty queue)) && !goal = None do
+      Guard.checkpoint "path_search.product";
       let u, q = Queue.pop queue in
       if u = dst && nfa.Nfa.finals.(q) then goal := Some (u, q)
       else
@@ -127,6 +129,7 @@ let co_reach g nfa dst =
   Array.iteri (fun q f -> if f then push dst q) nfa.Nfa.finals;
   (* backward edges of the product *)
   while not (Queue.is_empty queue) do
+    Guard.checkpoint "path_search.product";
     let v, q' = Queue.pop queue in
     List.iter
       (fun (a, u) ->
@@ -148,6 +151,7 @@ let iter_simple ?(avoid_internal = fun _ -> false) g nfa ~src ~dst f =
     let visited = Array.make n false in
     visited.(src) <- true;
     let rec go u states rev_steps =
+      Guard.checkpoint "path_search.simple";
       List.iter
         (fun (a, v) ->
           let states' = Nfa.next_set nfa states a in
@@ -164,7 +168,8 @@ let iter_simple ?(avoid_internal = fun _ -> false) g nfa ~src ~dst f =
               && List.exists (fun q -> coreach.((v * m) + q)) states'
             then begin
               visited.(v) <- true;
-              go v states' ((a, v) :: rev_steps);
+              Guard.descend "path_search.simple" (fun () ->
+                  go v states' ((a, v) :: rev_steps));
               visited.(v) <- false;
               Obs.Metrics.incr m_simple_backtracks
             end
@@ -212,6 +217,7 @@ let iter_trail ?(avoid_edge = fun _ -> false) g nfa ~src ~dst f =
     if src = dst && Nfa.accepts_eps nfa then f (Path.empty src);
     let used = Hashtbl.create 16 in
     let rec go u states rev_steps =
+      Guard.checkpoint "path_search.trail";
       List.iter
         (fun (a, v) ->
           let e = (u, a, v) in
@@ -223,7 +229,8 @@ let iter_trail ?(avoid_edge = fun _ -> false) g nfa ~src ~dst f =
                 let steps = List.rev ((a, v) :: rev_steps) in
                 f { Path.src; steps }
               end;
-              go v states' ((a, v) :: rev_steps);
+              Guard.descend "path_search.trail" (fun () ->
+                  go v states' ((a, v) :: rev_steps));
               Hashtbl.remove used e;
               Obs.Metrics.incr m_trail_backtracks
             end

@@ -1,0 +1,260 @@
+(* Resource governor + deterministic fault injection.  See guard.mli.
+
+   Hot-path discipline: [checkpoint] with no ambient guard is one ref read
+   and one branch; with a guard but no limits it is a handful of compares.
+   No allocation happens until a trip is actually raised. *)
+
+type reason =
+  | Deadline_exceeded of { budget_ms : int; elapsed_ns : int64 }
+  | Fuel_exhausted of { budget : int }
+  | Depth_exceeded of { limit : int }
+  | Cancelled of { label : string }
+  | Fault_injected of { visit : int }
+  | Stack_exhausted
+
+type trip = { site : string; reason : reason }
+
+exception Trip of trip
+
+let reason_to_string = function
+  | Deadline_exceeded { budget_ms; elapsed_ns } ->
+    Printf.sprintf "deadline of %dms exceeded after %.1fms" budget_ms
+      (Int64.to_float elapsed_ns /. 1e6)
+  | Fuel_exhausted { budget } ->
+    Printf.sprintf "step budget of %d exhausted" budget
+  | Depth_exceeded { limit } ->
+    Printf.sprintf "recursion depth ceiling of %d exceeded" limit
+  | Cancelled { label } -> Printf.sprintf "cancelled (%s)" label
+  | Fault_injected { visit } ->
+    Printf.sprintf "fault injected on visit %d" visit
+  | Stack_exhausted -> "native stack exhausted"
+
+let reason_kind = function
+  | Deadline_exceeded _ -> "deadline"
+  | Fuel_exhausted _ -> "fuel"
+  | Depth_exceeded _ -> "depth"
+  | Cancelled _ -> "cancelled"
+  | Fault_injected _ -> "fault-injected"
+  | Stack_exhausted -> "stack"
+
+let trip_to_string t =
+  Printf.sprintf "%s at guard site %s" (reason_to_string t.reason) t.site
+
+module Cancel = struct
+  type token = { label : string; mutable flag : bool }
+
+  let create ?(label = "cancel") () = { label; flag = false }
+  let cancel t = t.flag <- true
+  let cancelled t = t.flag
+end
+
+type t = {
+  start_ns : int64;
+  deadline_ns : int64 option;
+  budget_ms : int;
+  fuel_limit : int; (* -1 = unlimited *)
+  mutable fuel : int;
+  depth_limit : int; (* -1 = unlimited *)
+  mutable depth : int;
+  cancel : Cancel.token option;
+  mutable tripped : trip option;
+}
+
+let m_checkpoints = Obs.Metrics.counter "guard.checkpoints"
+let m_trips = Obs.Metrics.counter "guard.trips"
+let m_chaos_trips = Obs.Metrics.counter "guard.chaos_trips"
+let m_recoveries = Obs.Metrics.counter "guard.chaos_recoveries"
+
+let create ?deadline_ms ?fuel ?max_depth ?cancel () =
+  let nonneg what = function
+    | Some n when n < 0 ->
+      invalid_arg (Printf.sprintf "Guard.create: negative %s (%d)" what n)
+    | v -> v
+  in
+  let deadline_ms = nonneg "deadline_ms" deadline_ms in
+  let fuel = nonneg "fuel" fuel in
+  let max_depth = nonneg "max_depth" max_depth in
+  let start_ns = Obs.Clock.now_ns () in
+  {
+    start_ns;
+    deadline_ns =
+      Option.map
+        (fun ms -> Int64.add start_ns (Int64.mul (Int64.of_int ms) 1_000_000L))
+        deadline_ms;
+    budget_ms = Option.value deadline_ms ~default:0;
+    fuel_limit = Option.value fuel ~default:(-1);
+    fuel = Option.value fuel ~default:(-1);
+    depth_limit = Option.value max_depth ~default:(-1);
+    depth = 0;
+    cancel;
+    tripped = None;
+  }
+
+let unlimited () = create ()
+let last_trip g = g.tripped
+
+(* ---------------- fault injection ---------------- *)
+
+module Chaos = struct
+  type rule = { pattern : string; visit : int }
+
+  let rules : rule list ref = ref []
+  let visit_counts : (string, int) Hashtbl.t = Hashtbl.create 64
+  let trip_counts : (string, int) Hashtbl.t = Hashtbl.create 16
+
+  let matches pattern site =
+    String.equal pattern "*"
+    || String.equal pattern site
+    ||
+    let n = String.length pattern in
+    n > 0
+    && pattern.[n - 1] = '*'
+    && String.length site >= n - 1
+    && String.equal (String.sub pattern 0 (n - 1)) (String.sub site 0 (n - 1))
+
+  let arm l =
+    rules := List.map (fun (pattern, visit) -> { pattern; visit }) l;
+    Hashtbl.reset visit_counts;
+    Hashtbl.reset trip_counts
+
+  let disarm () = arm []
+  let active () = !rules <> []
+
+  let parse_spec s =
+    let parse_one item =
+      match String.split_on_char ':' (String.trim item) with
+      | [ "guard"; site; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 && site <> "" -> Ok (site, n)
+        | _ -> Error (Printf.sprintf "bad visit count in %S" item))
+      | _ -> Error (Printf.sprintf "expected guard:SITE:N, got %S" item)
+    in
+    let items =
+      List.filter (fun s -> String.trim s <> "") (String.split_on_char ',' s)
+    in
+    if items = [] then Error "empty chaos spec"
+    else
+      List.fold_left
+        (fun acc item ->
+          match (acc, parse_one item) with
+          | Error _, _ -> acc
+          | _, (Error _ as e) -> e
+          | Ok rs, Ok r -> Ok (r :: rs))
+        (Ok []) items
+      |> Result.map List.rev
+
+  let arm_spec s = Result.map arm (parse_spec s)
+  let visits site = try Hashtbl.find visit_counts site with Not_found -> 0
+
+  let tripped () =
+    Hashtbl.fold (fun site n acc -> (site, n) :: acc) trip_counts []
+    |> List.sort compare
+
+  (* Called from [checkpoint] under an ambient guard.  Returns the visit
+     number when a rule fires for this site at this visit. *)
+  let observe site =
+    let v = visits site + 1 in
+    Hashtbl.replace visit_counts site v;
+    if List.exists (fun r -> r.visit = v && matches r.pattern site) !rules
+    then begin
+      Hashtbl.replace trip_counts site
+        ((try Hashtbl.find trip_counts site with Not_found -> 0) + 1);
+      Some v
+    end
+    else None
+end
+
+let () =
+  match Sys.getenv_opt "INJCRPQ_CHAOS" with
+  | None -> ()
+  | Some s -> (
+    match Chaos.arm_spec s with
+    | Ok () -> ()
+    | Error msg ->
+      prerr_endline ("guard: ignoring malformed INJCRPQ_CHAOS: " ^ msg))
+
+(* ---------------- ambient guard + checkpoints ---------------- *)
+
+let current : t option ref = ref None
+let active () = !current
+
+let trip g site reason =
+  let t = { site; reason } in
+  g.tripped <- Some t;
+  Obs.Metrics.incr m_trips;
+  (match reason with
+  | Fault_injected _ -> Obs.Metrics.incr m_chaos_trips
+  | _ -> ());
+  raise (Trip t)
+
+let check g site =
+  Obs.Metrics.incr m_checkpoints;
+  (if Chaos.active () then
+     match Chaos.observe site with
+     | Some visit -> trip g site (Fault_injected { visit })
+     | None -> ());
+  (match g.cancel with
+  | Some tok when Cancel.cancelled tok ->
+    trip g site (Cancelled { label = tok.Cancel.label })
+  | _ -> ());
+  if g.fuel_limit >= 0 then
+    if g.fuel <= 0 then trip g site (Fuel_exhausted { budget = g.fuel_limit })
+    else g.fuel <- g.fuel - 1;
+  match g.deadline_ns with
+  | None -> ()
+  | Some d ->
+    let now = Obs.Clock.now_ns () in
+    if Int64.compare now d >= 0 then
+      trip g site
+        (Deadline_exceeded
+           { budget_ms = g.budget_ms; elapsed_ns = Int64.sub now g.start_ns })
+
+let checkpoint site =
+  match !current with None -> () | Some g -> check g site
+
+let descend site f =
+  match !current with
+  | Some g when g.depth_limit >= 0 ->
+    if g.depth >= g.depth_limit then
+      trip g site (Depth_exceeded { limit = g.depth_limit });
+    g.depth <- g.depth + 1;
+    Fun.protect ~finally:(fun () -> g.depth <- g.depth - 1) f
+  | _ -> f ()
+
+let with_guard g f =
+  let prev = !current in
+  current := Some g;
+  Fun.protect ~finally:(fun () -> current := prev) f
+
+(* ---------------- boundaries ---------------- *)
+
+let install guard f =
+  match guard with
+  | Some g -> with_guard g f
+  | None -> (
+    match !current with
+    | Some _ -> f ()
+    | None -> with_guard (unlimited ()) f)
+
+let run ?guard f =
+  match install guard f with
+  | v -> Ok v
+  | exception Trip t -> Error t
+  | exception Stack_overflow ->
+    Obs.Metrics.incr m_trips;
+    Error { site = "stack"; reason = Stack_exhausted }
+
+(* Each chaos rule fires on one specific visit of one site, so a retry
+   after an injected trip always makes progress; the bound is a backstop
+   against pathological specs (e.g. many rules on the same site). *)
+let max_chaos_retries = 1000
+
+let supervise ?guard f =
+  let rec go n =
+    match run ?guard f with
+    | Error { reason = Fault_injected _; _ } when n < max_chaos_retries ->
+      Obs.Metrics.incr m_recoveries;
+      go (n + 1)
+    | r -> r
+  in
+  go 0

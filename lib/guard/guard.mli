@@ -1,0 +1,142 @@
+(** Unified resource governor: wall-clock deadlines, step ("fuel") budgets,
+    recursion-depth ceilings, cooperative cancellation, and deterministic
+    fault injection for exercising degradation paths in tests.
+
+    The deciders in this repo explore search spaces that are exponential in
+    the best case and non-terminating in the worst (the undecidable Figure-1
+    cells of the paper).  A {!t} bounds such a computation.  Long-running
+    loops call {!checkpoint} with a stable site name; when the governor's
+    budget is exhausted the checkpoint raises {!Trip}, which the nearest
+    {!run}/{!supervise} boundary converts into a structured [Error].
+
+    Guards are {e ambient}: {!with_guard} installs one for the dynamic
+    extent of a callback, so checkpoints deep inside the automata and
+    graph layers need no extra parameters.  With no ambient guard a
+    checkpoint is a single ref read. *)
+
+(** Why a guarded computation stopped early. *)
+type reason =
+  | Deadline_exceeded of { budget_ms : int; elapsed_ns : int64 }
+      (** The wall-clock budget ran out ([elapsed_ns] measured on
+          {!Obs.Clock.now_ns}, i.e. the monotonic source by default). *)
+  | Fuel_exhausted of { budget : int }
+      (** The step budget ran out: the computation passed more than
+          [budget] checkpoints. *)
+  | Depth_exceeded of { limit : int }
+      (** A {!descend} would have exceeded the recursion-depth ceiling. *)
+  | Cancelled of { label : string }
+      (** The attached {!Cancel.token} was cancelled. *)
+  | Fault_injected of { visit : int }
+      (** {!Chaos} tripped this site on its [visit]-th execution. *)
+  | Stack_exhausted
+      (** The native stack overflowed; caught at the {!run} boundary. *)
+
+(** A trip records which guard site stopped and why. *)
+type trip = { site : string; reason : reason }
+
+exception Trip of trip
+
+val reason_to_string : reason -> string
+val reason_kind : reason -> string
+(** Stable lowercase tag for machine consumption: ["deadline"], ["fuel"],
+    ["depth"], ["cancelled"], ["fault-injected"], ["stack"]. *)
+
+val trip_to_string : trip -> string
+
+(** Cooperative cancellation: a token that an outer driver can flip; every
+    checkpoint under a guard carrying the token then trips. *)
+module Cancel : sig
+  type token
+
+  val create : ?label:string -> unit -> token
+  val cancel : token -> unit
+  val cancelled : token -> bool
+end
+
+type t
+(** A resource governor.  Budgets are fixed at creation; fuel and depth are
+    mutable state, so a [t] governs one computation (create a fresh one per
+    [run]). *)
+
+val create :
+  ?deadline_ms:int ->
+  ?fuel:int ->
+  ?max_depth:int ->
+  ?cancel:Cancel.token ->
+  unit ->
+  t
+(** All limits optional; omitted limits are unbounded.  [deadline_ms] is a
+    wall-clock budget from now ([0] trips at the first checkpoint); [fuel]
+    is the number of checkpoints allowed ([0] trips at the first);
+    [max_depth] bounds {!descend} nesting.
+    @raise Invalid_argument on a negative limit. *)
+
+val unlimited : unit -> t
+(** A guard with no limits.  Still useful: it gives {!Chaos} a boundary to
+    inject faults under, and makes {!checkpoint} sites visible. *)
+
+val active : unit -> t option
+(** The ambient guard installed by {!with_guard}, if any. *)
+
+val last_trip : t -> trip option
+(** The trip recorded on this guard, if it tripped. *)
+
+val with_guard : t -> (unit -> 'a) -> 'a
+(** [with_guard g f] runs [f] with [g] as the ambient guard, restoring the
+    previous ambient guard afterwards (exceptions included).  {!Trip}
+    propagates: pair with {!run}/{!supervise} to get a result instead. *)
+
+val checkpoint : string -> unit
+(** [checkpoint site] is the per-iteration probe placed in long-running
+    loops.  No ambient guard: a no-op.  Otherwise checks chaos injection,
+    cancellation, fuel, and deadline in that order and raises {!Trip} on
+    the first violation.  Site names are stable identifiers such as
+    ["containment.search"]; see the README's Robustness section for the
+    catalogue. *)
+
+val descend : string -> (unit -> 'a) -> 'a
+(** [descend site f] brackets one level of recursion.  Trips with
+    [Depth_exceeded] when the ambient guard has a depth ceiling and it is
+    already at the ceiling.  Without an ambient guard (or without a
+    ceiling) this is just [f ()]. *)
+
+val run : ?guard:t -> (unit -> 'a) -> ('a, trip) result
+(** [run ?guard f] is the degradation boundary.  Installs [guard] (or, when
+    no guard is given and none is ambient, an {!unlimited} one) and turns
+    {!Trip} — and [Stack_overflow] — into [Error].  Does not retry; a
+    chaos-injected fault surfaces as [Error { reason = Fault_injected _ }].
+    Used where degradation must be observable (bench, CLI). *)
+
+val supervise : ?guard:t -> (unit -> 'a) -> ('a, trip) result
+(** Like {!run}, but retries [f] (bounded) when the trip was injected by
+    {!Chaos}: each chaos rule fires on one specific visit, so the retry
+    makes progress and proves the degradation path unwinds cleanly and
+    leaves the computation re-entrant.  Real trips (deadline, fuel, depth,
+    cancellation, stack) are never retried.  This is the boundary the
+    deciders use, so the whole test suite passes under
+    [INJCRPQ_CHAOS=guard:*:1] while still executing every trip path. *)
+
+(** Deterministic fault injection.  Armed from the [INJCRPQ_CHAOS]
+    environment variable at program start (or programmatically via {!arm}),
+    chaos trips a named guard site on its Nth visit.  Injection only fires
+    under an ambient guard, so unguarded low-level calls (unit tests
+    driving [Dfa.of_nfa] directly, say) are unaffected. *)
+module Chaos : sig
+  val arm : (string * int) list -> unit
+  (** [arm [(pattern, n); ...]]: trip sites matching [pattern] on their
+      [n]-th visit.  A pattern is an exact site name, ["*"] (every site),
+      or a ["prefix*"] wildcard.  Resets visit counters. *)
+
+  val arm_spec : string -> (unit, string) result
+  (** Parse and arm a spec of the form ["guard:SITE:N,guard:SITE:N,..."],
+      the [INJCRPQ_CHAOS] format. *)
+
+  val disarm : unit -> unit
+  val active : unit -> bool
+
+  val visits : string -> int
+  (** Times the given site has been observed since the last [arm]. *)
+
+  val tripped : unit -> (string * int) list
+  (** Sites tripped by injection since the last [arm], with counts. *)
+end

@@ -1,14 +1,26 @@
+(* Sys.time is *process CPU time*: it does not advance while the process
+   sleeps or blocks, so it must never be read as wall time.  The default
+   now_ns source is therefore the OS monotonic clock (CLOCK_MONOTONIC via
+   bechamel's stub); CPU time stays available under its own name for
+   callers that want it (bench reports both). *)
+
 let cpu_ns () = Int64.of_float (Sys.time () *. 1e9)
 
-let source = ref cpu_ns
+let monotonic_ns () = Monotonic_clock.now ()
 
-let source_name_ref = ref "cpu"
+let source = ref monotonic_ns
+
+let source_name_ref = ref "monotonic"
 
 let now_ns () = !source ()
 
 let set_source ?(name = "custom") f =
   source := f;
   source_name_ref := name
+
+let reset_source () =
+  source := monotonic_ns;
+  source_name_ref := "monotonic"
 
 let source_name () = !source_name_ref
 

@@ -1,23 +1,35 @@
 (** A monotonic nanosecond clock with a pluggable source.
 
-    The library itself depends on nothing outside the standard library,
-    so the default source is the process CPU clock ([Sys.time]), which
-    is monotonic but does not advance while the process sleeps.
-    Surfaces that link an OS monotonic clock (the bench harness and the
-    CLI use [bechamel.monotonic_clock]'s [CLOCK_MONOTONIC] stub) install
-    it at startup with {!set_source}, so span durations and bench wall
-    times can never be skewed by wall-clock adjustments. *)
+    The default source is the OS monotonic clock ([CLOCK_MONOTONIC] via
+    [bechamel.monotonic_clock]'s C stub): it measures elapsed wall time,
+    advances while the process sleeps, and is immune to wall-clock
+    adjustments — the right basis for deadlines, span durations, and
+    bench timings.
+
+    Process CPU time is deliberately a {e separately named} reading
+    ({!cpu_ns}); it does not advance while the process blocks and must
+    never be compared against monotonic readings. *)
 
 val now_ns : unit -> int64
 (** Current reading of the installed source, in nanoseconds.  Only
     differences between readings are meaningful. *)
 
+val monotonic_ns : unit -> int64
+(** The OS monotonic clock directly, bypassing {!set_source}. *)
+
+val cpu_ns : unit -> int64
+(** Process CPU time ([Sys.time]) in nanoseconds.  Use for CPU-cost
+    reporting, never as wall time. *)
+
 val set_source : ?name:string -> (unit -> int64) -> unit
-(** Replace the clock source.  [name] identifies it in reports
-    (e.g. ["monotonic"]). *)
+(** Replace the clock source (e.g. a fake clock in tests).  [name]
+    identifies it in reports. *)
+
+val reset_source : unit -> unit
+(** Restore the default monotonic source. *)
 
 val source_name : unit -> string
-(** Name of the installed source; ["cpu"] for the default. *)
+(** Name of the installed source; ["monotonic"] for the default. *)
 
 val ns_to_s : int64 -> float
 (** Convert a nanosecond difference to seconds. *)

@@ -1,0 +1,71 @@
+(* Crash-safety regression for the bench harness: chaos-trip one
+   experiment and check that the results file on disk still parses,
+   still carries the schema, and still holds every experiment that ran
+   — the degraded one marked as such, the others ok.
+
+   Runs the bench binary (argv.(1), wired via a dune dep) as a
+   subprocess so the injected fault exercises the real file-rewriting
+   path, not a simulation. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let () =
+  if Array.length Sys.argv < 2 then fail "usage: test_bench_crash BENCH_EXE";
+  let bench = Sys.argv.(1) in
+  let out = Filename.temp_file "bench_crash" ".json" in
+  at_exit (fun () -> try Sys.remove out with Sys_error _ -> ());
+  (* trip the whole fig2 experiment on its first guard visit; the
+     expansions experiment after it must still run and be recorded *)
+  let cmd =
+    Printf.sprintf
+      "INJCRPQ_CHAOS=guard:bench.fig2:1 %s --quick --output=%s fig2 expansions \
+       >/dev/null 2>&1"
+      (Filename.quote bench) (Filename.quote out)
+  in
+  let rc = Sys.command cmd in
+  if rc <> 0 then fail "bench exited %d under chaos (must degrade, not crash)" rc;
+  let ic = open_in out in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let json =
+    match Obs.Json.parse contents with
+    | Ok j -> j
+    | Error e -> fail "results file does not parse: %s" e
+  in
+  let str_field name j =
+    match Obs.Json.member name j with
+    | Some (Obs.Json.String s) -> s
+    | _ -> fail "missing string field %S" name
+  in
+  if str_field "schema" json <> "injcrpq-bench/1" then
+    fail "wrong schema: %s" (str_field "schema" json);
+  let experiments =
+    match Obs.Json.member "experiments" json with
+    | Some (Obs.Json.List l) -> l
+    | _ -> fail "missing experiments list"
+  in
+  let find name =
+    match
+      List.find_opt (fun e -> str_field "name" e = name) experiments
+    with
+    | Some e -> e
+    | None -> fail "experiment %S missing from results" name
+  in
+  let fig2 = find "fig2" in
+  if str_field "outcome" fig2 <> "timeout" then
+    fail "tripped experiment outcome is %S, want timeout"
+      (str_field "outcome" fig2);
+  let detail = str_field "detail" fig2 in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  if not (contains ~sub:"fault injected" detail) then
+    fail "detail %S does not mention the injected fault" detail;
+  if not (contains ~sub:"bench.fig2" detail) then
+    fail "detail %S does not name the tripped site" detail;
+  let expansions = find "expansions" in
+  if str_field "outcome" expansions <> "ok" then
+    fail "later experiment outcome is %S, want ok" (str_field "outcome" expansions);
+  print_endline "bench crash-safety: ok"

@@ -299,9 +299,9 @@ let test_trace_jsonl () =
 (* ------------------------------------------------------------------ *)
 
 let test_clock () =
-  check Alcotest.string "default source" "cpu" (Obs.Clock.source_name ());
+  check Alcotest.string "default source" "monotonic" (Obs.Clock.source_name ());
   let t0 = Obs.Clock.now_ns () in
-  (* burn a little CPU so the cpu-time clock must advance *)
+  (* burn a little CPU so even a coarse clock must advance *)
   let acc = ref 0 in
   for i = 0 to 2_000_000 do
     acc := !acc + i
@@ -309,7 +309,37 @@ let test_clock () =
   ignore !acc;
   let t1 = Obs.Clock.now_ns () in
   check Alcotest.bool "monotone non-decreasing" true (Int64.compare t1 t0 >= 0);
+  (* cpu time is still available, separately named *)
+  let c0 = Obs.Clock.cpu_ns () in
+  let c1 = Obs.Clock.cpu_ns () in
+  check Alcotest.bool "cpu clock non-decreasing" true (Int64.compare c1 c0 >= 0);
+  (* a swapped-in source is restorable *)
+  Obs.Clock.set_source ~name:"fake" (fun () -> 7L);
+  check Alcotest.string "source swapped" "fake" (Obs.Clock.source_name ());
+  check Alcotest.bool "fake ticks" true (Obs.Clock.now_ns () = 7L);
+  Obs.Clock.reset_source ();
+  check Alcotest.string "source restored" "monotonic" (Obs.Clock.source_name ());
   check (Alcotest.float 1e-9) "ns_to_s" 1.5 (Obs.Clock.ns_to_s 1_500_000_000L)
+
+(* guard checkpoints tick the obs counter when metrics are enabled *)
+let test_guard_counter () =
+  (* pin chaos off so a CI-wide INJCRPQ_CHAOS cannot trip this guard *)
+  Guard.Chaos.disarm ();
+  let before =
+    counter_of "guard.checkpoints"
+      (let _ = Obs.Metrics.counter "guard.checkpoints" in
+       Obs.Metrics.snapshot ())
+  in
+  let g = Guard.create ~fuel:10 () in
+  (match
+     Guard.with_guard g (fun () ->
+         Guard.checkpoint "test.obs.site";
+         Guard.checkpoint "test.obs.site")
+   with
+  | () -> ()
+  | exception Guard.Trip _ -> Alcotest.fail "fuel 10 must not trip twice");
+  let after = counter_of "guard.checkpoints" (Obs.Metrics.snapshot ()) in
+  check Alcotest.int "checkpoints counted" (before + 2) after
 
 let () =
   Alcotest.run "obs"
@@ -339,4 +369,9 @@ let () =
             (with_obs test_metrics_json_roundtrip);
         ] );
       ("clock", [ Alcotest.test_case "monotonicity" `Quick test_clock ]);
+      ( "guard",
+        [
+          Alcotest.test_case "checkpoint counter" `Quick
+            (with_obs test_guard_counter);
+        ] );
     ]

@@ -52,6 +52,8 @@ let write_results () =
         ("quick", Obs.Json.Bool !quick);
         ("clock", Obs.Json.String (Obs.Clock.source_name ()));
         ("deadline_ms", Obs.Json.Int !deadline_ms);
+        ("jobs", Obs.Json.Int (Parmap.default_jobs ()));
+        ("cache", Obs.Json.Bool (Cache.is_enabled ()));
         ("experiments", Obs.Json.List (List.rev !results));
       ]
   in
@@ -151,18 +153,33 @@ let run_fig1 () =
       let before = Obs.Metrics.snapshot () in
       let _, dt =
         time_it (fun () ->
+            (* the pairs of a cell are independent decider runs: fan them
+               across domains under --jobs (order-preserving, so the
+               verdict counts cannot change with the job count) *)
+            let verdicts =
+              Parmap.map
+                (fun (q1, q2) ->
+                  match Containment.decide ~bound:3 sem q1 q2 with
+                  | Containment.Contained -> `C
+                  | Containment.Not_contained _ -> `N
+                  | Containment.Unknown (Containment.Resource_exhausted _) ->
+                    `T
+                  | Containment.Unknown _ -> `U
+                  | exception _ -> `U)
+                pairs
+            in
+            (match List.rev pairs with
+            | (q1, q2) :: _ -> strategy := Containment.strategy_name sem q1 q2
+            | [] -> ());
             List.iter
-              (fun (q1, q2) ->
-                strategy := Containment.strategy_name sem q1 q2;
-                match Containment.decide ~bound:3 sem q1 q2 with
-                | Containment.Contained -> incr contained
-                | Containment.Not_contained _ -> incr not_contained
-                | Containment.Unknown (Containment.Resource_exhausted _) ->
+              (function
+                | `C -> incr contained
+                | `N -> incr not_contained
+                | `T ->
                   incr unknown;
                   incr timeouts
-                | Containment.Unknown _ -> incr unknown
-                | exception _ -> incr unknown)
-              pairs)
+                | `U -> incr unknown)
+              verdicts)
       in
       let delta = Obs.Metrics.diff before (Obs.Metrics.snapshot ()) in
       fig1_rows :=
@@ -627,7 +644,8 @@ let bechamel_section () =
 let usage_error msg =
   Format.eprintf "bench: %s@." msg;
   Format.eprintf
-    "usage: main.exe [--quick] [--deadline-ms N] [--output FILE] [experiment ...]@.";
+    "usage: main.exe [--quick] [--deadline-ms N] [--jobs N] [--output FILE] \
+     [experiment ...]@.";
   exit 2
 
 let parse_args () =
@@ -658,11 +676,20 @@ let parse_args () =
         | _ -> usage_error ("bad --deadline-ms value: " ^ v)
       end
       | None -> begin
-        match value_of ~flag:"--output" arg !i with
-        | Some (v, j) ->
+        match value_of ~flag:"--jobs" arg !i with
+        | Some (v, j) -> begin
           i := j;
-          output_file := v
-        | None -> selected := arg :: !selected
+          match int_of_string_opt v with
+          | Some jobs when jobs >= 1 -> Parmap.set_default_jobs jobs
+          | _ -> usage_error ("bad --jobs value: " ^ v)
+        end
+        | None -> begin
+          match value_of ~flag:"--output" arg !i with
+          | Some (v, j) ->
+            i := j;
+            output_file := v
+          | None -> selected := arg :: !selected
+        end
       end
     end);
     incr i

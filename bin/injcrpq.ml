@@ -92,6 +92,39 @@ let obs_term =
   in
   Term.(const obs_setup $ stats_arg $ trace_arg)
 
+(* --------------------------- performance --------------------------- *)
+
+(* [--jobs] and [--no-cache] are accepted by every subcommand: the
+   first fans independent subproblems (expansion scans, per-atom
+   products) across OCaml 5 domains, the second disables the automata
+   memo tables (same effect as INJCRPQ_CACHE=off). *)
+let perf_setup jobs no_cache =
+  (match jobs with
+  | Some n when n >= 1 -> Parmap.set_default_jobs n
+  | Some n ->
+    Format.eprintf "injcrpq: E900 error [cli]: --jobs must be positive (got %d)@."
+      n;
+    exit 2
+  | None -> ());
+  if no_cache then Cache.set_enabled false
+
+let perf_term =
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Run independent subproblems on $(docv) domains (default 1, or \
+                \\$INJCRPQ_JOBS).")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the automata memo tables (same as INJCRPQ_CACHE=off).")
+  in
+  Term.(const perf_setup $ jobs_arg $ no_cache_arg)
+
 (* --------------------------- resource guard ------------------------ *)
 
 (* [--timeout], [--max-steps] and [--max-depth] are accepted by every
@@ -164,7 +197,7 @@ let governed ?on_trip guard f =
 (* ------------------------------ eval ------------------------------ *)
 
 let eval_cmd =
-  let run () guard sem q graph_file tuple =
+  let run () () guard sem q graph_file tuple =
     let g =
       match Graph_io.load_result graph_file with
       | Ok g -> g
@@ -192,14 +225,14 @@ let eval_cmd =
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a CRPQ over a graph database.")
     Term.(
-      const run $ obs_term $ guard_term $ sem_arg
+      const run $ obs_term $ perf_term $ guard_term $ sem_arg
       $ query_arg [ "q"; "query" ] "The CRPQ to evaluate."
       $ graph_arg $ tuple_arg)
 
 (* ---------------------------- contain ----------------------------- *)
 
 let contain_cmd =
-  let run () guard sem lhs rhs instance bound json =
+  let run () () guard sem lhs rhs instance bound json =
     let q1, q2 =
       match instance, lhs, rhs with
       | None, Some q1, Some q2 -> (q1, q2)
@@ -303,7 +336,7 @@ let contain_cmd =
        ~doc:"Decide Q1 ⊆ Q2 under the chosen semantics (exit 3 when undecided \
              or out of budget).")
     Term.(
-      const run $ obs_term $ guard_term $ sem_arg
+      const run $ obs_term $ perf_term $ guard_term $ sem_arg
       $ opt_query [ "lhs" ] "Left-hand query Q1."
       $ opt_query [ "rhs" ] "Right-hand query Q2."
       $ instance_arg $ bound_arg $ json_arg)
@@ -311,7 +344,7 @@ let contain_cmd =
 (* ----------------------------- expand ----------------------------- *)
 
 let expand_cmd =
-  let run () guard q max_len ainj =
+  let run () () guard q max_len ainj =
     governed guard (fun () ->
         let es =
           if ainj then Expansion.ainj_expansions ~max_len q
@@ -334,14 +367,14 @@ let expand_cmd =
   Cmd.v
     (Cmd.info "expand" ~doc:"Enumerate (a-inj-)expansions of a CRPQ.")
     Term.(
-      const run $ obs_term $ guard_term
+      const run $ obs_term $ perf_term $ guard_term
       $ query_arg [ "q"; "query" ] "The CRPQ."
       $ max_len_arg $ ainj_arg)
 
 (* ---------------------------- classify ---------------------------- *)
 
 let classify_cmd =
-  let run () guard q =
+  let run () () guard q =
     governed guard @@ fun () ->
     let cls =
       match Crpq.classify q with
@@ -359,12 +392,12 @@ let classify_cmd =
   Cmd.v
     (Cmd.info "classify" ~doc:"Report the class and shape of a CRPQ.")
     Term.(
-      const run $ obs_term $ guard_term $ query_arg [ "q"; "query" ] "The CRPQ.")
+      const run $ obs_term $ perf_term $ guard_term $ query_arg [ "q"; "query" ] "The CRPQ.")
 
 (* ----------------------------- reduce ----------------------------- *)
 
 let reduce_cmd =
-  let run () guard which =
+  let run () () guard which =
     governed guard @@ fun () ->
     match which with
     | "pcp" ->
@@ -400,12 +433,12 @@ let reduce_cmd =
   Cmd.v
     (Cmd.info "reduce"
        ~doc:"Show one of the paper's hardness reductions on a sample instance.")
-    Term.(const run $ obs_term $ guard_term $ which_arg)
+    Term.(const run $ obs_term $ perf_term $ guard_term $ which_arg)
 
 (* ---------------------------- minimize ---------------------------- *)
 
 let minimize_cmd =
-  let run () guard sem q =
+  let run () () guard sem q =
     governed guard @@ fun () ->
     let m = Minimize.drop_redundant_atoms sem q in
     Format.printf "%s@." (Crpq.to_string (Minimize.prune_languages m));
@@ -418,13 +451,13 @@ let minimize_cmd =
     (Cmd.info "minimize"
        ~doc:"Remove provably redundant atoms and simplify languages.")
     Term.(
-      const run $ obs_term $ guard_term $ sem_arg
+      const run $ obs_term $ perf_term $ guard_term $ sem_arg
       $ query_arg [ "q"; "query" ] "The CRPQ.")
 
 (* ------------------------------ equiv ----------------------------- *)
 
 let equiv_cmd =
-  let run () guard sem q1 q2 bound =
+  let run () () guard sem q1 q2 bound =
     governed guard @@ fun () ->
     match Minimize.equivalent ~bound sem q1 q2 with
     | Some b -> Format.printf "%b@." b
@@ -440,7 +473,7 @@ let equiv_cmd =
        ~doc:"Decide query equivalence under a semantics (exit 3 when \
              undecided).")
     Term.(
-      const run $ obs_term $ guard_term $ sem_arg
+      const run $ obs_term $ perf_term $ guard_term $ sem_arg
       $ query_arg [ "lhs" ] "First query."
       $ query_arg [ "rhs" ] "Second query."
       $ bound_arg)
@@ -448,7 +481,7 @@ let equiv_cmd =
 (* ------------------------------ lint ------------------------------ *)
 
 let lint_cmd =
-  let run () guard sem queries file json no_redundancy no_nfa bound =
+  let run () () guard sem queries file json no_redundancy no_nfa bound =
     governed guard @@ fun () ->
     let from_file =
       match file with
@@ -558,13 +591,13 @@ let lint_cmd =
        ~doc:"Run the static-analysis passes over queries (exit 1 on errors, 2 on \
              usage problems).")
     Term.(
-      const run $ obs_term $ guard_term $ sem_arg $ queries_arg $ file_arg
+      const run $ obs_term $ perf_term $ guard_term $ sem_arg $ queries_arg $ file_arg
       $ json_arg $ no_redundancy_arg $ no_nfa_arg $ bound_arg)
 
 (* ------------------------------ demo ------------------------------ *)
 
 let demo_cmd =
-  let run () guard () =
+  let run () () guard () =
     governed guard @@ fun () ->
     let q = Paper_examples.example_21_query in
     Format.printf "Example 2.1: Q = %s@." (Crpq.to_string q);
@@ -585,7 +618,7 @@ let demo_cmd =
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run the paper's running examples.")
-    Term.(const run $ obs_term $ guard_term $ const ())
+    Term.(const run $ obs_term $ perf_term $ guard_term $ const ())
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -1,6 +1,6 @@
 (* Brzozowski–McCluskey state elimination over a generalized NFA whose
    transitions carry regular expressions. *)
-let of_nfa (a : Nfa.t) =
+let of_nfa_uncached (a : Nfa.t) =
   let a = Nfa.trim a in
   if a.Nfa.nstates = 0 || a.Nfa.initials = [] then Regex.empty
   else begin
@@ -33,6 +33,20 @@ let of_nfa (a : Nfa.t) =
     edge.(start).(finish)
   end
 
+(* State elimination is cubic in the state count and recurs on the same
+   product automata during iterated language algebra. *)
+module Nfa_memo = Cache.Memo (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+let of_nfa_memo = Nfa_memo.create ~cap:256 "lang_ops.of_nfa"
+
+let of_nfa (a : Nfa.t) =
+  Nfa_memo.find_or_add of_nfa_memo (Nfa.key a) (fun () -> of_nfa_uncached a)
+
 let nfa_of_dfa (d : Dfa.t) =
   let delta =
     Array.init d.Dfa.nstates (fun q ->
@@ -45,8 +59,18 @@ let nfa_of_dfa (d : Dfa.t) =
     delta;
   }
 
+module Re_pair_memo = Cache.Memo (struct
+  type t = Regex.t * Regex.t
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)
+
+let intersect_memo = Re_pair_memo.create ~cap:256 "lang_ops.intersect"
+
 let intersect r s =
-  of_nfa (Nfa.product (Nfa.of_regex r) (Nfa.of_regex s))
+  Re_pair_memo.find_or_add intersect_memo (r, s) (fun () ->
+      of_nfa (Nfa.product (Nfa.of_regex r) (Nfa.of_regex s)))
 
 let complement ~alphabet r =
   let alphabet = List.sort_uniq String.compare (alphabet @ Regex.alphabet r) in

@@ -76,7 +76,7 @@ let trim_unreachable a =
     }
   end
 
-let of_regex r =
+let of_regex_uncached r =
   let b = { count = 0; sym_edges = []; eps_edges = [] } in
   let add_sym p a q = b.sym_edges <- (p, a, q) :: b.sym_edges in
   let add_eps p q = b.eps_edges <- (p, q) :: b.eps_edges in
@@ -156,6 +156,35 @@ let of_regex r =
   in
   let finals = Array.init n (fun q -> closures.(q).(exit)) in
   trim_unreachable { nstates = n; initials = [ entry ]; finals; delta }
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing and memoization                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* NFAs are plain immutable data (no caller mutates [finals]/[delta]),
+   so structurally equal automata are interchangeable: [key] interns
+   them and downstream memo tables key on the small ids. *)
+module Self_intern = Hashcons.Make (struct
+  type nonrec t = t
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)
+
+let interned = Self_intern.create ()
+let key a = Self_intern.id interned a
+
+module Regex_memo = Cache.Memo (struct
+  type t = Regex.t
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)
+
+let of_regex_memo = Regex_memo.create ~cap:1024 "nfa.of_regex"
+
+let of_regex r =
+  Regex_memo.find_or_add of_regex_memo r (fun () -> of_regex_uncached r)
 
 let alphabet a =
   let acc = Hashtbl.create 16 in
@@ -256,7 +285,7 @@ let enumerate ~max_len a =
   in
   List.sort cmp (WS.elements !results)
 
-let product a b =
+let product_uncached a b =
   let n = a.nstates * b.nstates in
   Obs.Metrics.add m_product_states n;
   let code p q = (p * b.nstates) + q in
@@ -284,6 +313,19 @@ let product a b =
     List.concat_map (fun p -> List.map (fun q -> code p q) b.initials) a.initials
   in
   trim_unreachable { nstates = max n 1; initials; finals; delta = Array.sub delta 0 (max n 1) }
+
+module Pair_memo = Cache.Memo (struct
+  type t = int * int
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)
+
+let product_memo = Pair_memo.create ~cap:512 ~site:"nfa.product" "nfa.product"
+
+let product a b =
+  Pair_memo.find_or_add product_memo (key a, key b) (fun () ->
+      product_uncached a b)
 
 let union a b =
   let off = a.nstates in

@@ -15,8 +15,14 @@ type t = {
       (** out-transitions per state; no duplicates *)
 }
 
-(** Thompson construction followed by epsilon elimination. *)
+(** Thompson construction followed by epsilon elimination.  Memoized on
+    the regex (see {!Cache}): callers receive shared automata and must
+    not mutate the [finals]/[delta] arrays. *)
 val of_regex : Regex.t -> t
+
+(** Hash-consing id: structurally equal automata map to the same small
+    integer, used as a cheap memo key by [Dfa] and [Lang_ops]. *)
+val key : t -> int
 
 (** All symbols labelling some transition. *)
 val alphabet : t -> Word.symbol list

@@ -155,7 +155,7 @@ end)
 (* Enumeration: recursive computation of word sets up to max_len.  The
    result sets are small in practice (expansion machinery uses small
    bounds), so the naive product is fine. *)
-let enumerate ~max_len r =
+let enumerate_uncached ~max_len r =
   let prod u v =
     WordSet.fold
       (fun w1 acc ->
@@ -193,6 +193,23 @@ let enumerate ~max_len r =
     if c <> 0 then c else Word.compare w1 w2
   in
   List.sort cmp (WordSet.elements (go r))
+
+(* The expansion machinery re-enumerates the same (bound, language)
+   pairs across disjuncts and containment directions; the memo keeps the
+   word lists around.  The wrapper checkpoint reuses the legacy
+   "regex.enumerate" site so cached calls still count towards budgets. *)
+module Enum_memo = Cache.Memo (struct
+  type nonrec t = int * t
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)
+
+let enum_memo = Enum_memo.create ~cap:512 ~site:"regex.enumerate" "regex.enumerate"
+
+let enumerate ~max_len r =
+  Enum_memo.find_or_add enum_memo (max_len, r) (fun () ->
+      enumerate_uncached ~max_len r)
 
 let words_of_finite r =
   if not (is_finite r) then

@@ -1,0 +1,27 @@
+module Make (K : Hashtbl.HashedType) = struct
+  module H = Hashtbl.Make (K)
+
+  type t = { table : int H.t; mutable next : int; mu : Mutex.t }
+
+  let create () = { table = H.create 64; next = 0; mu = Mutex.create () }
+
+  let id t k =
+    Mutex.lock t.mu;
+    let i =
+      match H.find_opt t.table k with
+      | Some i -> i
+      | None ->
+        let i = t.next in
+        t.next <- i + 1;
+        H.add t.table k i;
+        i
+    in
+    Mutex.unlock t.mu;
+    i
+
+  let count t =
+    Mutex.lock t.mu;
+    let n = t.next in
+    Mutex.unlock t.mu;
+    n
+end

@@ -1,0 +1,16 @@
+(** Structural interning: map structurally-equal values to one small
+    integer id, so downstream memo tables can key on [(id, id)] pairs
+    instead of rehashing whole automata.  Tables are unbounded (ids must
+    stay stable for the lifetime of the process) and thread-safe. *)
+
+module Make (K : Hashtbl.HashedType) : sig
+  type t
+
+  val create : unit -> t
+
+  val id : t -> K.t -> int
+  (** Stable id: structurally equal values get the same id, distinct
+      values distinct ids (dense from 0). *)
+
+  val count : t -> int
+end

@@ -1,0 +1,66 @@
+module Make (K : Hashtbl.HashedType) = struct
+  module H = Hashtbl.Make (K)
+
+  type 'a node = {
+    key : K.t;
+    value : 'a;
+    mutable prev : 'a node option; (* towards the hot end *)
+    mutable next : 'a node option; (* towards the cold end *)
+  }
+
+  type 'a t = {
+    cap : int;
+    table : 'a node H.t;
+    mutable hot : 'a node option;
+    mutable cold : 'a node option;
+  }
+
+  let create ~cap =
+    if cap < 1 then invalid_arg "Lru.create: capacity must be positive";
+    { cap; table = H.create (min cap 64); hot = None; cold = None }
+
+  let unlink t n =
+    (match n.prev with Some p -> p.next <- n.next | None -> t.hot <- n.next);
+    (match n.next with Some s -> s.prev <- n.prev | None -> t.cold <- n.prev);
+    n.prev <- None;
+    n.next <- None
+
+  let push_hot t n =
+    n.next <- t.hot;
+    (match t.hot with Some h -> h.prev <- Some n | None -> t.cold <- Some n);
+    t.hot <- Some n
+
+  let find_opt t k =
+    match H.find_opt t.table k with
+    | None -> None
+    | Some n ->
+      unlink t n;
+      push_hot t n;
+      Some n.value
+
+  let add t k v =
+    (match H.find_opt t.table k with
+    | Some old ->
+      unlink t old;
+      H.remove t.table k
+    | None -> ());
+    let n = { key = k; value = v; prev = None; next = None } in
+    H.replace t.table k n;
+    push_hot t n;
+    if H.length t.table > t.cap then begin
+      match t.cold with
+      | None -> 0
+      | Some victim ->
+        unlink t victim;
+        H.remove t.table victim.key;
+        1
+    end
+    else 0
+
+  let clear t =
+    H.reset t.table;
+    t.hot <- None;
+    t.cold <- None
+
+  let length t = H.length t.table
+end

@@ -1,0 +1,24 @@
+(** Bounded least-recently-used maps.
+
+    A plain mutable LRU: a hash table over the keys plus an intrusive
+    doubly-linked recency list.  [find_opt] promotes its entry to
+    most-recently-used; [add] evicts from the cold end once the capacity
+    is exceeded.  Not thread-safe on its own — callers serialize access
+    (see {!Cache.Memo}). *)
+
+module Make (K : Hashtbl.HashedType) : sig
+  type 'a t
+
+  val create : cap:int -> 'a t
+  (** @raise Invalid_argument if [cap < 1]. *)
+
+  val find_opt : 'a t -> K.t -> 'a option
+  (** Lookup; a hit becomes the most-recently-used entry. *)
+
+  val add : 'a t -> K.t -> 'a -> int
+  (** Insert (or replace) a binding and return how many entries were
+      evicted to stay within capacity (0 or 1). *)
+
+  val clear : 'a t -> unit
+  val length : 'a t -> int
+end

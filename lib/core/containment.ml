@@ -100,24 +100,29 @@ let cq_cq sem q1 q2 =
 
 (* Returns the first counterexample (if any) together with the number of
    expansions enumerated before stopping — the count feeds the
-   budget-exhaustion verdict and the search histograms. *)
+   budget-exhaustion verdict and the search histograms.  Expansions are
+   independent, so the scan fans out across domains when [--jobs] is
+   set; [Parmap.find_mapi] returns the lowest-index match, so the chosen
+   witness — and hence the verdict — is the one the sequential scan
+   finds. *)
 let search_expansions sem q2 expansions =
-  let tried = ref 0 in
-  let rec go = function
-    | [] -> None
-    | e :: rest ->
-      Guard.checkpoint "containment.search";
-      incr tried;
-      Obs.Metrics.incr m_expansions;
-      if is_counterexample sem q2 e then begin
-        Obs.Metrics.incr m_counterexamples;
-        Some { expansion = e; tuple = snd (Expansion.to_graph e) }
-      end
-      else go rest
+  let check _ e =
+    Guard.checkpoint "containment.search";
+    Obs.Metrics.incr m_expansions;
+    if is_counterexample sem q2 e then begin
+      Obs.Metrics.incr m_counterexamples;
+      Some { expansion = e; tuple = snd (Expansion.to_graph e) }
+    end
+    else None
   in
-  let result = go expansions in
-  Obs.Metrics.observe h_expansions !tried;
-  (result, !tried)
+  match Parmap.find_mapi check expansions with
+  | Some (i, w) ->
+    Obs.Metrics.observe h_expansions (i + 1);
+    (Some w, i + 1)
+  | None ->
+    let tried = List.length expansions in
+    Obs.Metrics.observe h_expansions tried;
+    (None, tried)
 
 let finite_lhs ?guard sem q1 q2 =
   node_semantics_only sem;

@@ -70,15 +70,10 @@ let to_cq q =
   in
   go [] q.atoms
 
-let nfa_cache : (Regex.t, Nfa.t) Hashtbl.t = Hashtbl.create 64
-
-let nfa lang =
-  match Hashtbl.find_opt nfa_cache lang with
-  | Some n -> n
-  | None ->
-    let n = Nfa.of_regex lang in
-    Hashtbl.add nfa_cache lang n;
-    n
+(* [Nfa.of_regex] is memoized process-wide (bounded LRU, see [Cache]),
+   which subsumes the unbounded per-module table that used to live
+   here. *)
+let nfa lang = Nfa.of_regex lang
 
 let has_empty_language q =
   List.exists (fun a -> Regex.is_empty_lang a.lang) q.atoms

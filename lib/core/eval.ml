@@ -94,8 +94,10 @@ let iter_join g vars constraints fixed f =
 
 let join_semantics sem q g fixed f =
   let vars = Array.of_list (Crpq.vars q) in
+  (* per-atom relations (graph × NFA products) are independent of each
+     other: compute them across domains, keep the join sequential *)
   let constraints =
-    List.map
+    Parmap.map
       (fun (a : Crpq.atom) -> (a.Crpq.src, a.Crpq.dst, relation_for sem g a))
       q.Crpq.atoms
   in

@@ -65,25 +65,20 @@ let m_counterexamples = Obs.Metrics.counter "containment.counterexamples"
    defeating every right disjunct; also returns how many expansions were
    enumerated, for the budget-exhaustion verdict *)
 let search_disjunct sem ~star_expansions rhs d1 =
-  let tried = ref 0 in
-  let rec go = function
-    | [] -> None
-    | e :: more ->
-      Guard.checkpoint "ucrpq.search";
-      incr tried;
-      Obs.Metrics.incr m_expansions;
-      if is_counterexample_union sem rhs e then begin
-        Obs.Metrics.incr m_counterexamples;
-        Some
-          {
-            Containment.expansion = e;
-            tuple = snd (Expansion.to_graph e);
-          }
-      end
-      else go more
+  let check _ e =
+    Guard.checkpoint "ucrpq.search";
+    Obs.Metrics.incr m_expansions;
+    if is_counterexample_union sem rhs e then begin
+      Obs.Metrics.incr m_counterexamples;
+      Some { Containment.expansion = e; tuple = snd (Expansion.to_graph e) }
+    end
+    else None
   in
-  let result = go (star_expansions d1) in
-  (result, !tried)
+  let expansions = star_expansions d1 in
+  (* parallel scan with a deterministic (lowest-index) witness *)
+  match Parmap.find_mapi check expansions with
+  | Some (i, w) -> (Some w, i + 1)
+  | None -> (None, List.length expansions)
 
 let expansion_space sem max_len_opt q =
   match sem, max_len_opt with

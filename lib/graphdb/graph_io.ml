@@ -1,3 +1,19 @@
+(* A node id is a plain decimal numeral.  [int_of_string_opt] alone
+   would also accept "0x10", "0o17", "1_000" or "+3" — spellings that a
+   hand-written edge file almost certainly does not mean, so they are
+   rejected rather than silently reinterpreted.  (All-digit strings
+   that overflow [int] still come back as [None].) *)
+let node_id s =
+  if s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s then
+    int_of_string_opt s
+  else None
+
+(* Fields are separated by any run of spaces and/or tabs. *)
+let fields line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
 let of_string text =
   let edges = ref [] in
   let lineno = ref 0 in
@@ -6,11 +22,9 @@ let of_string text =
          incr lineno;
          let line = String.trim line in
          if line <> "" && line.[0] <> '#' then begin
-           match
-             String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
-           with
+           match fields line with
            | [ u; lbl; v ] -> begin
-             match int_of_string_opt u, int_of_string_opt v with
+             match node_id u, node_id v with
              | Some u, Some v -> edges := (u, lbl, v) :: !edges
              | _ ->
                invalid_arg

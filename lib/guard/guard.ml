@@ -99,6 +99,10 @@ module Chaos = struct
   type rule = { pattern : string; visit : int }
 
   let rules : rule list ref = ref []
+
+  (* visit/trip books are shared across domains (Parmap workers hit the
+     same sites); one lock keeps the counts exact *)
+  let mu = Mutex.create ()
   let visit_counts : (string, int) Hashtbl.t = Hashtbl.create 64
   let trip_counts : (string, int) Hashtbl.t = Hashtbl.create 16
 
@@ -114,8 +118,10 @@ module Chaos = struct
 
   let arm l =
     rules := List.map (fun (pattern, visit) -> { pattern; visit }) l;
+    Mutex.lock mu;
     Hashtbl.reset visit_counts;
-    Hashtbl.reset trip_counts
+    Hashtbl.reset trip_counts;
+    Mutex.unlock mu
 
   let disarm () = arm []
   let active () = !rules <> []
@@ -144,24 +150,35 @@ module Chaos = struct
       |> Result.map List.rev
 
   let arm_spec s = Result.map arm (parse_spec s)
-  let visits site = try Hashtbl.find visit_counts site with Not_found -> 0
+
+  let visits site =
+    Mutex.lock mu;
+    let v = try Hashtbl.find visit_counts site with Not_found -> 0 in
+    Mutex.unlock mu;
+    v
 
   let tripped () =
-    Hashtbl.fold (fun site n acc -> (site, n) :: acc) trip_counts []
-    |> List.sort compare
+    Mutex.lock mu;
+    let l =
+      Hashtbl.fold (fun site n acc -> (site, n) :: acc) trip_counts []
+    in
+    Mutex.unlock mu;
+    List.sort compare l
 
   (* Called from [checkpoint] under an ambient guard.  Returns the visit
      number when a rule fires for this site at this visit. *)
   let observe site =
-    let v = visits site + 1 in
+    Mutex.lock mu;
+    let v = (try Hashtbl.find visit_counts site with Not_found -> 0) + 1 in
     Hashtbl.replace visit_counts site v;
-    if List.exists (fun r -> r.visit = v && matches r.pattern site) !rules
-    then begin
+    let fired =
+      List.exists (fun r -> r.visit = v && matches r.pattern site) !rules
+    in
+    if fired then
       Hashtbl.replace trip_counts site
         ((try Hashtbl.find trip_counts site with Not_found -> 0) + 1);
-      Some v
-    end
-    else None
+    Mutex.unlock mu;
+    if fired then Some v else None
 end
 
 let () =
@@ -175,8 +192,11 @@ let () =
 
 (* ---------------- ambient guard + checkpoints ---------------- *)
 
-let current : t option ref = ref None
-let active () = !current
+(* Domain-local: each domain carries its own ambient guard, and Parmap
+   workers reinstall their parent's guard explicitly via [with_guard] —
+   a plain global ref would leak one domain's guard into another. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let active () = Domain.DLS.get current
 
 let trip g site reason =
   let t = { site; reason } in
@@ -210,10 +230,10 @@ let check g site =
            { budget_ms = g.budget_ms; elapsed_ns = Int64.sub now g.start_ns })
 
 let checkpoint site =
-  match !current with None -> () | Some g -> check g site
+  match Domain.DLS.get current with None -> () | Some g -> check g site
 
 let descend site f =
-  match !current with
+  match Domain.DLS.get current with
   | Some g when g.depth_limit >= 0 ->
     if g.depth >= g.depth_limit then
       trip g site (Depth_exceeded { limit = g.depth_limit });
@@ -222,9 +242,9 @@ let descend site f =
   | _ -> f ()
 
 let with_guard g f =
-  let prev = !current in
-  current := Some g;
-  Fun.protect ~finally:(fun () -> current := prev) f
+  let prev = Domain.DLS.get current in
+  Domain.DLS.set current (Some g);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current prev) f
 
 (* ---------------- boundaries ---------------- *)
 
@@ -232,7 +252,7 @@ let install guard f =
   match guard with
   | Some g -> with_guard g f
   | None -> (
-    match !current with
+    match Domain.DLS.get current with
     | Some _ -> f ()
     | None -> with_guard (unlimited ()) f)
 

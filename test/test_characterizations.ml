@@ -132,6 +132,88 @@ let test_prop_46_item3 =
           List.exists (fun f2 -> inj_hom_to_expansion f2 f1) (eps_free_ainj_expansions q2))
         q1 q2 eps_free_ainj_expansions)
 
+(* ---------------- Prop 2.2: the semantics lattice ----------------
+
+   Answer sets are monotone along the restrictiveness order
+   q-inj ⊑ a-inj ⊑ st (and likewise for the trail variants, with
+   node-injectivity implying edge-injectivity level by level):
+   whenever Semantics.leq s1 s2 holds, every s1-answer is an
+   s2-answer. *)
+
+let test_prop_22_lattice =
+  Testutil.qtest ~count:60
+    "Prop 2.2: answers monotone along the semantics lattice"
+    (QCheck2.Gen.pair
+       (Testutil.gen_crpq ~max_atoms:2 ~max_vars:3 ~arity:1 ())
+       (Testutil.gen_graph ~max_nodes:4 ()))
+    (fun (q, g) ->
+      List.for_all
+        (fun v ->
+          let holds s = Eval.check s q g [ v ] in
+          List.for_all
+            (fun s1 ->
+              List.for_all
+                (fun s2 ->
+                  (not (Semantics.leq s1 s2))
+                  || (not (holds s1))
+                  || holds s2)
+                Semantics.all)
+            Semantics.all)
+        (Graph.nodes g))
+
+(* Strictness witnesses: each inclusion of the lattice is proper. *)
+
+let rec pow r n = if n <= 1 then r else Regex.seq r (pow r (n - 1))
+
+let atom_query ?(free = [ "x"; "y" ]) lang =
+  Crpq.make ~free [ Crpq.atom "x" lang "y" ]
+
+let test_st_strict () =
+  (* a^4 on a 3-cycle: the only witnessing walk revisits an edge, so the
+     answer exists under st but under neither injective variant *)
+  let g = Generate.cycle [ "a"; "a"; "a" ] in
+  let q = atom_query (pow (Regex.sym "a") 4) in
+  Alcotest.(check bool) "st walk" true (Eval.check Semantics.St q g [ 0; 1 ]);
+  Alcotest.(check bool) "no simple path" false
+    (Eval.check Semantics.A_inj q g [ 0; 1 ]);
+  Alcotest.(check bool) "no trail" false
+    (Eval.check Semantics.A_edge_inj q g [ 0; 1 ])
+
+let test_trail_strict_over_simple () =
+  (* figure-eight: two triangles sharing node 0.  A trail of length 6
+     goes around both loops (distinct edges, node 0 revisited), so the
+     trail semantics accepts where the simple-path semantics cannot *)
+  let g =
+    Graph.make ~nnodes:5
+      [
+        (0, "a", 1); (1, "a", 2); (2, "a", 0);
+        (0, "a", 3); (3, "a", 4); (4, "a", 0);
+      ]
+  in
+  let q = atom_query (pow (Regex.sym "a") 6) in
+  Alcotest.(check bool) "trail around both loops" true
+    (Eval.check Semantics.A_edge_inj q g [ 0; 0 ]);
+  Alcotest.(check bool) "no simple cycle of length 6" false
+    (Eval.check Semantics.A_inj q g [ 0; 0 ]);
+  Alcotest.(check bool) "st agrees with the trail" true
+    (Eval.check Semantics.St q g [ 0; 0 ])
+
+let test_qinj_strict_over_ainj () =
+  (* x -a-> y, y -a-> z on the 2-cycle: atom-injectively satisfiable
+     (x = z = 0), but no injective assignment of three variables to two
+     nodes exists *)
+  let g = Graph.make ~nnodes:2 [ (0, "a", 1); (1, "a", 0) ] in
+  let q =
+    Crpq.make ~free:[]
+      [
+        Crpq.atom "x" (Regex.sym "a") "y"; Crpq.atom "y" (Regex.sym "a") "z";
+      ]
+  in
+  Alcotest.(check bool) "a-inj satisfiable" true
+    (Eval.check Semantics.A_inj q g []);
+  Alcotest.(check bool) "q-inj needs three nodes" false
+    (Eval.check Semantics.Q_inj q g [])
+
 let () =
   Alcotest.run "characterizations"
     [
@@ -142,5 +224,15 @@ let () =
           test_prop_43;
           test_prop_46_item2;
           test_prop_46_item3;
+        ] );
+      ( "section 2: semantics lattice",
+        [
+          test_prop_22_lattice;
+          Alcotest.test_case "st strictly above the injective variants"
+            `Quick test_st_strict;
+          Alcotest.test_case "trails strictly above simple paths" `Quick
+            test_trail_strict_over_simple;
+          Alcotest.test_case "q-inj strictly below a-inj" `Quick
+            test_qinj_strict_over_ainj;
         ] );
     ]

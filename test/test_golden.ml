@@ -1,0 +1,142 @@
+(* Golden conformance test: pins the observable behaviour of the
+   paper's running examples — the Example 2.1 / Figure 2 answer sets
+   under every semantics and the eight Example 4.7 containment verdicts
+   — to a committed fixture.  Any drift in evaluation, containment or
+   pretty-printing shows up as a readable fixture diff.
+
+   Regenerate after an intentional change with
+
+     INJCRPQ_GOLDEN_REGEN=$PWD/test/golden/paper_examples.golden \
+       dune exec test/test_golden.exe *)
+
+let fixture = "golden/paper_examples.golden"
+
+let render () =
+  let buf = Buffer.create 2048 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let answers sem q g =
+    match Eval.eval sem q g with
+    | [] -> "(empty)"
+    | rows ->
+      rows
+      |> List.map (fun tu -> String.concat "," (List.map string_of_int tu))
+      |> String.concat " "
+  in
+  line "# Pinned behaviour of lib/core/paper_examples.ml.";
+  line "# Answer sets are space-separated tuples of comma-separated nodes.";
+  line "";
+  let q = Paper_examples.example_21_query in
+  line "example_21.query = %s" (Crpq.to_string q);
+  List.iter
+    (fun sem ->
+      line "example_21.G.%s = %s" (Semantics.to_string sem)
+        (answers sem q Paper_examples.example_21_g))
+    Semantics.all;
+  List.iter
+    (fun sem ->
+      line "example_21.G'.%s = %s" (Semantics.to_string sem)
+        (answers sem q Paper_examples.example_21_g'))
+    Semantics.all;
+  line "";
+  line "example_22.E1 = %s"
+    (Format.asprintf "%a" Expansion.pp Paper_examples.example_22_e1);
+  line "example_22.E2 = %s"
+    (Format.asprintf "%a" Expansion.pp Paper_examples.example_22_e2);
+  line "";
+  List.iter
+    (fun (name, sem, lhs, rhs, _expected) ->
+      line "example_47.%s.%s = %s" name (Semantics.to_string sem)
+        (Format.asprintf "%a" Containment.pp_verdict
+           (Containment.decide sem lhs rhs)))
+    Paper_examples.example_47_expectations;
+  Buffer.contents buf
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* The fixture is the source of truth; a mismatch prints the first
+   diverging line of each side so the diff is actionable. *)
+let test_fixture () =
+  let actual = render () in
+  let expected = read_file fixture in
+  if not (String.equal actual expected) then begin
+    let al = String.split_on_char '\n' actual
+    and el = String.split_on_char '\n' expected in
+    let rec first_diff i = function
+      | a :: arest, e :: erest ->
+        if String.equal a e then first_diff (i + 1) (arest, erest)
+        else (i, e, a)
+      | a :: _, [] -> (i, "<end of fixture>", a)
+      | [], e :: _ -> (i, e, "<end of output>")
+      | [], [] -> (i, "", "")
+    in
+    let i, e, a = first_diff 1 (al, el) in
+    Alcotest.failf
+      "golden fixture mismatch at line %d@.  fixture : %s@.  actual  : %s@.\
+       (regenerate with INJCRPQ_GOLDEN_REGEN if the change is intentional)"
+      i e a
+  end
+
+(* The documented separations of Example 2.1 hold independently of the
+   fixture text. *)
+let test_example_21_separations () =
+  let q = Paper_examples.example_21_query in
+  let g = Paper_examples.example_21_g in
+  let tu = Paper_examples.example_21_g_tuple in
+  Alcotest.(check bool) "G: tuple in a-inj" true
+    (Eval.check Semantics.A_inj q g tu);
+  Alcotest.(check bool) "G: tuple not in q-inj" false
+    (Eval.check Semantics.Q_inj q g tu);
+  Alcotest.(check bool) "G: st = a-inj" true
+    (Eval.eval Semantics.St q g = Eval.eval Semantics.A_inj q g);
+  let g' = Paper_examples.example_21_g' in
+  let t_st = Paper_examples.example_21_g'_tuple_st in
+  let t_ainj = Paper_examples.example_21_g'_tuple_ainj in
+  Alcotest.(check bool) "G': st tuple in st" true
+    (Eval.check Semantics.St q g' t_st);
+  Alcotest.(check bool) "G': st tuple not in a-inj" false
+    (Eval.check Semantics.A_inj q g' t_st);
+  Alcotest.(check bool) "G': a-inj tuple in a-inj" true
+    (Eval.check Semantics.A_inj q g' t_ainj);
+  Alcotest.(check bool) "G': a-inj tuple not in q-inj" false
+    (Eval.check Semantics.Q_inj q g' t_ainj)
+
+let test_example_47_verdicts () =
+  List.iter
+    (fun (name, sem, lhs, rhs, expected) ->
+      match
+        Containment.verdict_bool (Containment.decide sem lhs rhs)
+      with
+      | Some b -> Alcotest.(check bool) name expected b
+      | None -> Alcotest.failf "%s: decider returned Unknown" name)
+    Paper_examples.example_47_expectations
+
+let () =
+  match Sys.getenv_opt "INJCRPQ_GOLDEN_REGEN" with
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc (render ());
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  | None ->
+    Alcotest.run "golden"
+      [
+        ( "paper examples",
+          [
+            Alcotest.test_case "fixture conformance" `Quick test_fixture;
+            Alcotest.test_case "Example 2.1 separations" `Quick
+              test_example_21_separations;
+            Alcotest.test_case "Example 4.7 verdicts" `Quick
+              test_example_47_verdicts;
+          ] );
+      ]

@@ -60,6 +60,59 @@ let test_to_dot () =
   check Alcotest.bool "mentions edge" true (contains ~needle:"n0 -> n1" dot);
   check Alcotest.bool "mentions label" true (contains ~needle:"label=\"a\"" dot)
 
+(* ---------------- Graph_io parsing ---------------- *)
+
+let parse_ok text =
+  match Graph_io.of_string_result text with
+  | Ok g -> g
+  | Error e -> Alcotest.failf "unexpected parse error: %s" e
+
+let parse_err name ~mentions text =
+  match Graph_io.of_string_result text with
+  | Ok _ -> Alcotest.failf "%s: malformed input accepted" name
+  | Error e ->
+    check Alcotest.bool
+      (Printf.sprintf "%s: error mentions %S (got %S)" name mentions e)
+      true
+      (contains ~needle:mentions e)
+
+let test_io_roundtrip () =
+  let g = parse_ok (Graph_io.to_string g0) in
+  check Alcotest.int "nodes survive round-trip" (Graph.nnodes g0)
+    (Graph.nnodes g);
+  check Alcotest.bool "edges survive round-trip" true
+    (Graph.edges g = Graph.edges g0)
+
+let test_io_whitespace () =
+  (* tabs, runs of blanks, comments and blank lines are all fine *)
+  let g = parse_ok "# header\n0\ta\t1\n\n1  b \t 2\n  2 a 0  \n" in
+  check Alcotest.int "three edges" 3 (Graph.nedges g);
+  check Alcotest.bool "tab-separated edge" true (Graph.mem_edge g 0 "a" 1);
+  check Alcotest.bool "mixed-separator edge" true (Graph.mem_edge g 1 "b" 2)
+
+let test_io_empty () =
+  let g = parse_ok "" in
+  check Alcotest.int "empty input, empty graph" 0 (Graph.nnodes g);
+  let g = parse_ok "# only a comment\n\n" in
+  check Alcotest.int "comments only, empty graph" 0 (Graph.nnodes g)
+
+let test_io_malformed_lines () =
+  parse_err "missing field" ~mentions:"line 1" "0 a\n";
+  parse_err "extra field" ~mentions:"line 1" "0 a 1 2\n";
+  parse_err "line number counts comments" ~mentions:"line 3"
+    "0 a 1\n# fine\n0 b\n"
+
+let test_io_strict_node_ids () =
+  (* spellings int_of_string_opt would accept but an edge file does not
+     mean: hex, underscores, explicit sign, negatives *)
+  parse_err "hex id" ~mentions:"bad node id" "0x10 a 1\n";
+  parse_err "underscore id" ~mentions:"bad node id" "1_0 a 1\n";
+  parse_err "signed id" ~mentions:"bad node id" "+3 a 1\n";
+  parse_err "negative id" ~mentions:"bad node id" "0 a -1\n";
+  parse_err "alphabetic id" ~mentions:"bad node id" "0 a x\n";
+  parse_err "overflowing id" ~mentions:"bad node id"
+    "99999999999999999999 a 0\n"
+
 let prop_in_out_consistent =
   Testutil.qtest "in/out edge views agree" (Testutil.gen_graph ()) (fun g ->
       List.for_all
@@ -95,6 +148,15 @@ let () =
           Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
           Alcotest.test_case "add edges" `Quick test_add_edges;
           Alcotest.test_case "dot" `Quick test_to_dot;
+        ] );
+      ( "graph_io",
+        [
+          Alcotest.test_case "round-trip" `Quick test_io_roundtrip;
+          Alcotest.test_case "whitespace and comments" `Quick
+            test_io_whitespace;
+          Alcotest.test_case "empty input" `Quick test_io_empty;
+          Alcotest.test_case "malformed lines" `Quick test_io_malformed_lines;
+          Alcotest.test_case "strict node ids" `Quick test_io_strict_node_ids;
         ] );
       ( "properties",
         [ prop_in_out_consistent; prop_degree_sum; prop_components_partition ] );

@@ -1,8 +1,31 @@
 (* Shared generators and helpers for the test suite. *)
 
+(* Deterministic qcheck seeding: QCHECK_SEED pins the whole run;
+   otherwise one seed is drawn per process.  Every qtest derives its
+   random state from this seed, and a failing test prints the seed so
+   the counterexample can be replayed with QCHECK_SEED=<n>. *)
+let seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some n -> n
+  | None ->
+    Random.self_init ();
+    Random.int 1_000_000_000
+
+let rng_of_seed () = Random.State.make [| seed |]
+
 let qtest ?(count = 100) name gen prop =
-  QCheck_alcotest.to_alcotest
-    (QCheck2.Test.make ~count ~name gen prop)
+  let test_name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(rng_of_seed ())
+      (QCheck2.Test.make ~count ~name gen prop)
+  in
+  ( test_name,
+    speed,
+    fun arg ->
+      try run arg
+      with e ->
+        Printf.eprintf "[qcheck] %s failed; reproduce with QCHECK_SEED=%d\n%!"
+          name seed;
+        raise e )
 
 (* ---------------- regex generators ---------------- *)
 

@@ -42,6 +42,8 @@ let results : Obs.Json.t list ref = ref []
 
 let fig1_rows : Obs.Json.t list ref = ref []
 
+let morphism_rows : Obs.Json.t list ref = ref []
+
 (* Rewritten after every experiment: the file on disk always holds the
    completed prefix of the run, whatever happens to the rest. *)
 let write_results () =
@@ -114,6 +116,8 @@ let run_experiment name f =
   let fields =
     if String.equal name "fig1" && !fig1_rows <> [] then
       fields @ [ ("cells", Obs.Json.List (List.rev !fig1_rows)) ]
+    else if String.equal name "morphism" && !morphism_rows <> [] then
+      fields @ [ ("cells", Obs.Json.List (List.rev !morphism_rows)) ]
     else fields
   in
   results := Obs.Json.Obj fields :: !results;
@@ -578,6 +582,100 @@ let run_ablations () =
     Semantics.node_semantics
 
 (* ------------------------------------------------------------------ *)
+(* E13: morphism engine — the NP witness search, isolated              *)
+(* ------------------------------------------------------------------ *)
+
+(* Every Figure-1 NP cell bottoms out in [Morphism]: finding a (possibly
+   injective) homomorphism from an expansion into a graph (Props 2.2,
+   2.3, 4.2).  This family scales pattern size × target size × the four
+   injectivity regimes and records candidates-tried / backtracks per
+   row, so solver regressions (or improvements) are a measured artefact
+   rather than a claim.  Workloads are seeded per row: the counter
+   series is comparable across solver generations. *)
+
+let run_morphism () =
+  section "E13" "Morphism engine: witness-search scaling (candidates / backtracks)";
+  let labels = [ "a"; "b" ] in
+  let pattern_of kind np seed =
+    let word n = List.init n (fun i -> if i mod 2 = 0 then "a" else "b") in
+    match kind with
+    | "path" -> Generate.line (word (np - 1))
+    | "cycle" -> Generate.cycle (word np)
+    | "random" ->
+      let rng = Random.State.make [| 0xBEEF; np; seed |] in
+      Generate.gnp ~rng ~nodes:np ~labels ~p:0.35
+    | _ -> assert false
+  in
+  let target_of nt =
+    (* sparse: expected per-label out-degree ~3, independent of nt *)
+    let rng = Random.State.make [| 0xCAFE; nt |] in
+    Generate.gnp ~rng ~nodes:nt ~labels ~p:(3.0 /. float_of_int nt)
+  in
+  let m_cand = Obs.Metrics.counter "morphism.candidates_tried" in
+  let m_back = Obs.Metrics.counter "morphism.backtracks" in
+  let modes pattern =
+    [
+      ("hom", fun target -> Morphism.count ~pattern ~target ());
+      ("inj", fun target -> Morphism.count ~injective:true ~pattern ~target ());
+      ( "noncontract",
+        fun target ->
+          let distinct_pairs =
+            List.filter_map
+              (fun (u, _, v) -> if u <> v then Some (u, v) else None)
+              (Graph.edges pattern)
+          in
+          Morphism.count ~distinct_pairs ~pattern ~target () );
+      ( "edge-inj",
+        fun target ->
+          Morphism.count
+            ~distinct_edge_groups:[ Graph.edges pattern ]
+            ~pattern ~target () );
+    ]
+  in
+  let kinds = [ "path"; "cycle"; "random" ] in
+  let sizes =
+    if !quick then [ (4, 16); (4, 32); (6, 32) ]
+    else [ (4, 32); (6, 64); (8, 128) ]
+  in
+  Format.printf "%-8s %-4s %-5s %-12s %10s %12s %12s %10s@." "pattern" "np"
+    "nt" "mode" "solutions" "candidates" "backtracks" "time";
+  let total_cand = ref 0 and total_back = ref 0 in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun (np, nt) ->
+          let pattern = pattern_of kind np 1 in
+          let target = target_of nt in
+          List.iter
+            (fun (mode, count) ->
+              let c0 = Obs.Metrics.counter_value m_cand in
+              let b0 = Obs.Metrics.counter_value m_back in
+              let solutions, dt = time_it (fun () -> count target) in
+              let cand = Obs.Metrics.counter_value m_cand - c0 in
+              let back = Obs.Metrics.counter_value m_back - b0 in
+              total_cand := !total_cand + cand;
+              total_back := !total_back + back;
+              morphism_rows :=
+                Obs.Json.Obj
+                  [
+                    ("pattern", Obs.Json.String kind);
+                    ("np", Obs.Json.Int np);
+                    ("nt", Obs.Json.Int nt);
+                    ("mode", Obs.Json.String mode);
+                    ("solutions", Obs.Json.Int solutions);
+                    ("candidates", Obs.Json.Int cand);
+                    ("backtracks", Obs.Json.Int back);
+                    ("wall_ns", Obs.Json.Int (int_of_float (dt *. 1e9)));
+                  ]
+                :: !morphism_rows;
+              Format.printf "%-8s %-4d %-5d %-12s %10d %12d %12d %a@." kind np
+                nt mode solutions cand back pp_ms dt)
+            (modes pattern))
+        sizes)
+    kinds;
+  Format.printf "@.total: candidates=%d backtracks=%d@." !total_cand !total_back
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -712,6 +810,7 @@ let () =
       ("eval", run_eval_bench);
       ("trails", run_trails);
       ("ablations", run_ablations);
+      ("morphism", run_morphism);
       ("bechamel", bechamel_section);
     ]
   in

@@ -481,8 +481,17 @@ let equiv_cmd =
 (* ------------------------------ lint ------------------------------ *)
 
 let lint_cmd =
-  let run () () guard sem queries file json no_redundancy no_nfa bound =
+  let run () () guard sem queries file json no_redundancy no_nfa bound
+      graph_file =
     governed guard @@ fun () ->
+    let graph =
+      match graph_file with
+      | None -> None
+      | Some path -> (
+        match Graph_io.load_result path with
+        | Ok g -> Some g
+        | Error msg -> usage_error ("cannot load graph: " ^ msg))
+    in
     let from_file =
       match file with
       | None -> []
@@ -526,7 +535,7 @@ let lint_cmd =
         (fun (name, q) ->
           let ds =
             Analysis.lint ~sem ~redundancy:(not no_redundancy) ~bound
-              ~nfa_hygiene:(not no_nfa) q
+              ~nfa_hygiene:(not no_nfa) ?graph q
           in
           if Diagnostic.has_errors ds then any_errors := true;
           (name, q, ds))
@@ -586,13 +595,22 @@ let lint_cmd =
       & info [ "b"; "bound" ] ~docv:"N"
           ~doc:"Containment search bound for the redundancy pass.")
   in
+  let lint_graph_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "g"; "graph" ] ~docv:"FILE"
+          ~doc:"Example graph (one 'src label dst' edge per line): \
+                additionally run the W104 empty-candidate-domain pass \
+                against it.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Run the static-analysis passes over queries (exit 1 on errors, 2 on \
              usage problems).")
     Term.(
       const run $ obs_term $ perf_term $ guard_term $ sem_arg $ queries_arg $ file_arg
-      $ json_arg $ no_redundancy_arg $ no_nfa_arg $ bound_arg)
+      $ json_arg $ no_redundancy_arg $ no_nfa_arg $ bound_arg $ lint_graph_arg)
 
 (* ------------------------------ demo ------------------------------ *)
 

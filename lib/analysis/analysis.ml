@@ -1,5 +1,5 @@
 let lint ?(sem = Semantics.Q_inj) ?(redundancy = true) ?(bound = 4)
-    ?(nfa_hygiene = true) q =
+    ?(nfa_hygiene = true) ?graph q =
   let passes =
     [
       Lint_query.empty_atoms q;
@@ -9,11 +9,14 @@ let lint ?(sem = Semantics.Q_inj) ?(redundancy = true) ?(bound = 4)
       Lint_query.unused_free_vars q;
       (if redundancy then Lint_query.redundant_atoms ~bound ~sem q else []);
       (if nfa_hygiene then Lint_nfa.atom_diagnostics q else []);
+      (match graph with
+      | Some g -> Lint_query.empty_domain_atoms ~graph:g q
+      | None -> []);
     ]
   in
   Diagnostic.sort (List.concat passes)
 
-let lint_ucrpq ?sem ?redundancy ?bound ?nfa_hygiene (u : Ucrpq.t) =
+let lint_ucrpq ?sem ?redundancy ?bound ?nfa_hygiene ?graph (u : Ucrpq.t) =
   Diagnostic.sort
     (List.concat
        (List.mapi
@@ -25,7 +28,7 @@ let lint_ucrpq ?sem ?redundancy ?bound ?nfa_hygiene (u : Ucrpq.t) =
                   Diagnostic.message =
                     Printf.sprintf "disjunct %d: %s" i d.Diagnostic.message;
                 })
-              (lint ?sem ?redundancy ?bound ?nfa_hygiene q))
+              (lint ?sem ?redundancy ?bound ?nfa_hygiene ?graph q))
           u.Ucrpq.disjuncts))
 
 let degenerate q =

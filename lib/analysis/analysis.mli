@@ -14,12 +14,15 @@
       [I006] pass, the only expensive one;
     - [bound] is its containment search bound (default 4);
     - [nfa_hygiene] (default [true]) toggles the [W101]/[W102]/[W103]
-      summary over atom NFAs. *)
+      summary over atom NFAs;
+    - [graph], when supplied, additionally runs the [W104]
+      empty-candidate-domain pass against that example graph. *)
 val lint :
   ?sem:Semantics.t ->
   ?redundancy:bool ->
   ?bound:int ->
   ?nfa_hygiene:bool ->
+  ?graph:Graph.t ->
   Crpq.t ->
   Diagnostic.t list
 
@@ -30,6 +33,7 @@ val lint_ucrpq :
   ?redundancy:bool ->
   ?bound:int ->
   ?nfa_hygiene:bool ->
+  ?graph:Graph.t ->
   Ucrpq.t ->
   Diagnostic.t list
 

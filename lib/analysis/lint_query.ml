@@ -125,6 +125,69 @@ let unused_free_vars (q : Crpq.t) =
                 x)))
     (List.sort_uniq String.compare q.Crpq.free)
 
+(* W104: mirrors the seeding pass of the CSP morphism solver against a
+   user-supplied example graph.  A node [u] survives in the candidate
+   domain of variable [x] only if, for every atom [x -[L]-> y], some
+   L-path leaves [u] (resp. enters [u] when [x] is the destination).
+   This relaxation ignores the joint choice of the other endpoint, so
+   an empty domain is a proof — not a heuristic — that the query has no
+   answers on that graph, under any of the five semantics (injectivity
+   only shrinks answer sets). *)
+let empty_domain_atoms ~graph (q : Crpq.t) =
+  let n = Graph.nnodes graph in
+  let domains = Hashtbl.create 8 in
+  let dom x =
+    match Hashtbl.find_opt domains x with
+    | Some d -> d
+    | None ->
+      let d = Array.make n true in
+      Hashtbl.add domains x d;
+      d
+  in
+  List.iter
+    (fun (a : Crpq.atom) ->
+      if not (Regex.is_empty_lang a.Crpq.lang) then begin
+        let rel = Path_search.reach_relation graph (Nfa.of_regex a.Crpq.lang) in
+        let ds = dom a.Crpq.src in
+        for u = 0 to n - 1 do
+          if ds.(u) && not (Array.exists Fun.id rel.(u)) then ds.(u) <- false
+        done;
+        let dd = dom a.Crpq.dst in
+        for v = 0 to n - 1 do
+          if dd.(v) && not (Array.exists (fun row -> row.(v)) rel) then
+            dd.(v) <- false
+        done
+      end)
+    q.Crpq.atoms;
+  let is_empty x =
+    (* a variable occurring in no atom is unconstrained (W005's
+       business), not empty *)
+    match Hashtbl.find_opt domains x with
+    | Some d -> not (Array.exists Fun.id d)
+    | None -> false
+  in
+  let reported = Hashtbl.create 8 in
+  List.concat
+    (List.mapi
+       (fun i (a : Crpq.atom) ->
+         List.filter_map
+           (fun x ->
+             if is_empty x && not (Hashtbl.mem reported x) then begin
+               Hashtbl.add reported x ();
+               Some
+                 (diag ~code:"W104" ~severity:Diagnostic.Warning
+                    ~location:(Diagnostic.Atom i)
+                    (Printf.sprintf
+                       "variable %s has an empty candidate domain on the \
+                        example graph (%d nodes): no node satisfies all the \
+                        path constraints on %s, so the query has no answers \
+                        there under any semantics"
+                       x n x))
+             end
+             else None)
+           (List.sort_uniq String.compare [ a.Crpq.src; a.Crpq.dst ]))
+       q.Crpq.atoms)
+
 let rec remove_nth i = function
   | [] -> []
   | x :: rest -> if i = 0 then rest else x :: remove_nth (i - 1) rest

@@ -24,7 +24,11 @@
     - [I006] redundant-atom: dropping the atom is
       containment-certified ({!Minimize} machinery) to preserve the
       query under the given semantics; reported as a suggestion, never
-      applied. *)
+      applied.
+    - [W104] empty-candidate-domain: against a supplied example graph,
+      some variable's candidate domain — the nodes surviving every
+      per-atom product-reachability constraint, exactly as the
+      {!Morphism} solver seeds its domains — is provably empty. *)
 
 val empty_atoms : Crpq.t -> Diagnostic.t list
 
@@ -37,6 +41,13 @@ val duplicate_atoms : sem:Semantics.t -> Crpq.t -> Diagnostic.t list
 val disconnected_vars : Crpq.t -> Diagnostic.t list
 
 val unused_free_vars : Crpq.t -> Diagnostic.t list
+
+(** [empty_domain_atoms ~graph q] flags, per variable (located at the
+    first atom mentioning it), candidate domains that are provably
+    empty against the example [graph].  One product BFS per atom.
+    Sound: a flagged query has no answers on [graph] under any
+    semantics. *)
+val empty_domain_atoms : graph:Graph.t -> Crpq.t -> Diagnostic.t list
 
 (** [redundant_atoms ~sem ~bound q] flags every atom whose removal is
     {!Minimize.equivalent}-certified under [sem].  Quadratic in the

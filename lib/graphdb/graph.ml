@@ -2,12 +2,25 @@ type node = int
 
 type edge = node * Word.symbol * node
 
+(* Labels are interned to dense ids [0 .. nlabels-1] at construction
+   (sorted order, so ids are stable for a given edge set).  The hot
+   paths — morphism search and product BFS — index the adjacency by
+   label id and never compare strings; [edge_set] gives O(1) membership
+   with an integer key. *)
 type t = {
   nnodes : int;
-  edges : edge list;
+  nedges : int;
+  edges : edge list; (* sorted, duplicate-free *)
+  labels : Word.symbol array; (* label id -> symbol, sorted *)
+  label_ids : (Word.symbol, int) Hashtbl.t;
   out : (Word.symbol * node) list array;
   in_ : (Word.symbol * node) list array;
+  out_l : node array array array; (* out_l.(u).(a): successors, ascending *)
+  in_l : node array array array; (* in_l.(v).(a): predecessors, ascending *)
+  edge_set : (int, unit) Hashtbl.t; (* (u * nlabels + a) * nnodes + v *)
 }
+
+let edge_key g u a v = ((u * Array.length g.labels) + a) * g.nnodes + v
 
 let make ~nnodes edge_list =
   let edges = List.sort_uniq Stdlib.compare edge_list in
@@ -16,14 +29,40 @@ let make ~nnodes edge_list =
       if u < 0 || u >= nnodes || v < 0 || v >= nnodes then
         invalid_arg "Graph.make: node out of range")
     edges;
-  let out = Array.make (max nnodes 1) [] in
-  let in_ = Array.make (max nnodes 1) [] in
+  let label_tbl = Hashtbl.create 16 in
+  List.iter (fun (_, a, _) -> Hashtbl.replace label_tbl a ()) edges;
+  let labels =
+    Array.of_list
+      (List.sort String.compare (Hashtbl.fold (fun a () l -> a :: l) label_tbl []))
+  in
+  let nl = Array.length labels in
+  let label_ids = Hashtbl.create (max 16 (2 * nl)) in
+  Array.iteri (fun i a -> Hashtbl.replace label_ids a i) labels;
+  let n = max nnodes 1 in
+  let out = Array.make n [] in
+  let in_ = Array.make n [] in
+  let nedges = List.length edges in
+  let edge_set = Hashtbl.create (max 16 (2 * nedges)) in
+  (* accumulate per-(node, label) successor/predecessor lists; the edge
+     list is ascending, so prepending and reversing keeps them sorted *)
+  let nlp = max nl 1 in
+  let out_acc = Array.make (n * nlp) [] in
+  let in_acc = Array.make (n * nlp) [] in
   List.iter
     (fun (u, a, v) ->
       out.(u) <- (a, v) :: out.(u);
-      in_.(v) <- (a, u) :: in_.(v))
+      in_.(v) <- (a, u) :: in_.(v);
+      let ai = Hashtbl.find label_ids a in
+      out_acc.((u * nlp) + ai) <- v :: out_acc.((u * nlp) + ai);
+      in_acc.((v * nlp) + ai) <- u :: in_acc.((v * nlp) + ai);
+      Hashtbl.replace edge_set ((((u * nl) + ai) * nnodes) + v) ())
     edges;
-  { nnodes; edges; out; in_ }
+  let pack acc w =
+    Array.init nl (fun ai -> Array.of_list (List.rev acc.((w * nlp) + ai)))
+  in
+  let out_l = Array.init n (fun u -> pack out_acc u) in
+  let in_l = Array.init n (fun v -> pack in_acc v) in
+  { nnodes; nedges; edges; labels; label_ids; out; in_; out_l; in_l; edge_set }
 
 let of_edges edge_list =
   let nnodes =
@@ -35,9 +74,14 @@ let empty = make ~nnodes:0 []
 
 let nnodes g = g.nnodes
 
-let nedges g = List.length g.edges
+let nedges g = g.nedges
 
 let nodes g = List.init g.nnodes (fun i -> i)
+
+let iter_nodes g f =
+  for u = 0 to g.nnodes - 1 do
+    f u
+  done
 
 let edges g = g.edges
 
@@ -45,8 +89,26 @@ let out g u = if u < 0 || u >= g.nnodes then [] else g.out.(u)
 
 let in_ g v = if v < 0 || v >= g.nnodes then [] else g.in_.(v)
 
+let nlabels g = Array.length g.labels
+
+let label_id g a = Hashtbl.find_opt g.label_ids a
+
+let label_name g a = g.labels.(a)
+
+let no_nodes : node array = [||]
+
+let succ_ids g u a =
+  if u < 0 || u >= g.nnodes then no_nodes else g.out_l.(u).(a)
+
+let pred_ids g v a =
+  if v < 0 || v >= g.nnodes then no_nodes else g.in_l.(v).(a)
+
+let mem_edge_id g u a v =
+  u >= 0 && u < g.nnodes && v >= 0 && v < g.nnodes
+  && Hashtbl.mem g.edge_set (edge_key g u a v)
+
 let mem_edge g u a v =
-  List.exists (fun (b, w) -> String.equal a b && w = v) (out g u)
+  match label_id g a with None -> false | Some ai -> mem_edge_id g u ai v
 
 let out_degree g u = List.length (out g u)
 
@@ -55,10 +117,7 @@ let in_degree g u = List.length (in_ g u)
 let succ g u a =
   List.filter_map (fun (b, v) -> if String.equal a b then Some v else None) (out g u)
 
-let alphabet g =
-  let tbl = Hashtbl.create 16 in
-  List.iter (fun (_, a, _) -> Hashtbl.replace tbl a ()) g.edges;
-  List.sort String.compare (Hashtbl.fold (fun a () l -> a :: l) tbl [])
+let alphabet g = Array.to_list g.labels
 
 let add_edges g new_edges =
   let nnodes =

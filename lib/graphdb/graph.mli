@@ -22,13 +22,51 @@ val empty : t
 
 val nnodes : t -> int
 
+(** Number of (distinct) edges; stored at construction, O(1). *)
 val nedges : t -> int
 
 val nodes : t -> node list
 
+(** [iter_nodes g f] applies [f] to [0 .. nnodes-1] without allocating
+    the node list. *)
+val iter_nodes : t -> (node -> unit) -> unit
+
 val edges : t -> edge list
 
+(** O(1) via the hashed edge set (no string comparison beyond the label
+    lookup). *)
 val mem_edge : t -> node -> Word.symbol -> node -> bool
+
+(** {2 Interned labels}
+
+    Edge labels are interned to dense ids [0 .. nlabels-1] (in sorted
+    symbol order) when the graph is built.  The morphism solver and the
+    product searches run entirely on these ids: successor/predecessor
+    sets are pre-indexed arrays and edge membership is an integer hash
+    probe. *)
+
+val nlabels : t -> int
+
+(** The id of a symbol in this graph, or [None] when no edge carries
+    it. *)
+val label_id : t -> Word.symbol -> int option
+
+(** Inverse of {!label_id}.
+    @raise Invalid_argument on an out-of-range id. *)
+val label_name : t -> int -> Word.symbol
+
+(** [succ_ids g u a] is the (sorted, shared — do not mutate) array of
+    successors of [u] on label id [a].  [a] must come from {!label_id}
+    on the same graph. *)
+val succ_ids : t -> node -> int -> node array
+
+(** Predecessors of [v] on label id [a]; same contract as
+    {!succ_ids}. *)
+val pred_ids : t -> node -> int -> node array
+
+(** [mem_edge_id g u a v]: O(1) edge membership on an interned label
+    id. *)
+val mem_edge_id : t -> node -> int -> node -> bool
 
 (** Outgoing [(label, successor)] pairs. *)
 val out : t -> node -> (Word.symbol * node) list

@@ -11,173 +11,420 @@ let m_backtracks = Obs.Metrics.counter "morphism.backtracks"
 
 exception Found
 
-let label_profile g u =
-  let outs = List.sort_uniq String.compare (List.map fst (Graph.out g u)) in
-  let ins = List.sort_uniq String.compare (List.map fst (Graph.in_ g u)) in
-  (outs, ins)
+(* ------------------------------------------------------------------ *)
+(* The solver is a CSP over the pattern variables: candidate domains
+   are bitsets over target nodes, seeded from label profiles (and, under
+   injectivity, per-label degree bounds); each assignment runs forward
+   checking — intersecting unassigned neighbour domains with the
+   successor/predecessor sets of the image on the interned-label
+   adjacency — plus incremental all-different filtering (global
+   injectivity and [distinct_pairs]) and incremental edge-group
+   distinctness ([distinct_edge_groups], checked the moment both
+   endpoints of a group edge are mapped).  The next variable is chosen
+   by minimum remaining values with connected-first tie-breaking.
+   Domain words and group insertions are undone through a trail.       *)
+(* ------------------------------------------------------------------ *)
 
-let subset l1 l2 = List.for_all (fun a -> List.mem a l2) l1
+(* 63-bit words; node [u] lives in word [u / 63], bit [u mod 63]. *)
+let bpw = 63
+
+let nwords nt = (nt + bpw - 1) / bpw
+
+let popcount_word w0 =
+  let c = ref 0 in
+  let w = ref w0 in
+  while !w <> 0 do
+    w := !w land (!w - 1);
+    incr c
+  done;
+  !c
+
+(* Growable int stack for the undo trails. *)
+module Dyn = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create () = { a = Array.make 64 0; len = 0 }
+
+  let push d v =
+    if d.len = Array.length d.a then begin
+      let b = Array.make (2 * d.len) 0 in
+      Array.blit d.a 0 b 0 d.len;
+      d.a <- b
+    end;
+    d.a.(d.len) <- v;
+    d.len <- d.len + 1
+end
 
 let iter ?(fixed = []) ?(distinct_pairs = []) ?(distinct_edge_groups = [])
     ?(injective = false) ~pattern ~target f =
   let np = Graph.nnodes pattern in
   let nt = Graph.nnodes target in
-  (* edge-injectivity within groups is checked on complete mappings *)
-  let groups_ok m =
-    List.for_all
-      (fun group ->
-        let images =
-          List.sort compare (List.map (fun (u, a, v) -> (m.(u), a, m.(v))) group)
-        in
-        List.length (List.sort_uniq compare images) = List.length images)
-      distinct_edge_groups
-  in
-  let f m = if distinct_edge_groups = [] || groups_ok m then f m in
-  if np = 0 then f [||]
-  else begin
-    let assignment = Array.make np (-1) in
-    let ok = ref true in
-    List.iter
-      (fun (x, u) ->
-        if x < 0 || x >= np || u < 0 || u >= nt then ok := false
-        else if assignment.(x) >= 0 && assignment.(x) <> u then ok := false
-        else assignment.(x) <- u)
-      fixed;
-    if injective then begin
-      (* fixed assignments must be injective themselves *)
-      let imgs = List.filter (fun u -> u >= 0) (Array.to_list assignment) in
-      if List.length (List.sort_uniq compare imgs) <> List.length imgs then
-        ok := false
-    end;
-    if !ok then begin
-      (* candidate domains from label profiles *)
-      let tgt_profiles = Array.init nt (fun u -> label_profile target u) in
-      let domains =
-        Array.init np (fun x ->
-            if assignment.(x) >= 0 then [ assignment.(x) ]
-            else begin
-              let pouts, pins = label_profile pattern x in
-              List.filter
-                (fun u ->
-                  let touts, tins = tgt_profiles.(u) in
-                  subset pouts touts && subset pins tins)
-                (Graph.nodes target)
-            end)
-      in
-      (* variable order: BFS from assigned/most-constrained, so that each
-         new variable is adjacent to an assigned one when possible *)
-      let order =
-        let chosen = Array.make np false in
-        let acc = ref [] in
-        let add x =
-          if not chosen.(x) then begin
-            chosen.(x) <- true;
-            acc := x :: !acc
-          end
-        in
-        Array.iteri (fun x u -> if u >= 0 then add x) assignment;
-        let frontier = Queue.create () in
-        List.rev !acc |> List.iter (fun x -> Queue.add x frontier);
-        let neighbours x =
-          List.map snd (Graph.out pattern x) @ List.map snd (Graph.in_ pattern x)
-        in
-        let rec drain () =
-          if Queue.is_empty frontier then begin
-            (* start a new component: pick the unchosen node with the
-               smallest domain *)
-            let best = ref (-1) in
-            for x = np - 1 downto 0 do
-              if not chosen.(x) then
-                if !best < 0
-                   || List.length domains.(x) < List.length domains.(!best)
-                then best := x
-            done;
-            if !best >= 0 then begin
-              add !best;
-              Queue.add !best frontier;
-              drain ()
-            end
-          end
-          else begin
-            let x = Queue.pop frontier in
-            List.iter
-              (fun y ->
-                if not chosen.(y) then begin
-                  add y;
-                  Queue.add y frontier
-                end)
-              (neighbours x);
-            drain ()
-          end
-        in
-        drain ();
-        List.rev !acc
-      in
-      let used = Array.make nt 0 in
-      Array.iter (fun u -> if u >= 0 then used.(u) <- used.(u) + 1) assignment;
+  (* -------- validation (before the np = 0 early return, so that
+     out-of-range or conflicting [fixed] pairs are never silently
+     accepted) -------- *)
+  let assignment = Array.make (max np 1) (-1) in
+  let ok = ref true in
+  List.iter
+    (fun (x, u) ->
+      if x < 0 || x >= np || u < 0 || u >= nt then ok := false
+      else if assignment.(x) >= 0 && assignment.(x) <> u then ok := false
+      else assignment.(x) <- u)
+    fixed;
+  if injective then begin
+    (* fixed assignments must be injective themselves *)
+    let imgs = List.filter (fun u -> u >= 0) (Array.to_list assignment) in
+    if List.length (List.sort_uniq compare imgs) <> List.length imgs then
+      ok := false
+  end;
+  if !ok then begin
+    if np = 0 then f [||]
+    else if List.exists (fun (x, y) -> x = y) distinct_pairs then
+      (* a reflexive distinctness constraint is unsatisfiable *)
+      ()
+    else begin
       let distinct = Array.make np [] in
-      let unsatisfiable = ref false in
       List.iter
         (fun (x, y) ->
-          if x = y then unsatisfiable := true
-          else if x >= 0 && x < np && y >= 0 && y < np then begin
+          if x >= 0 && x < np && y >= 0 && y < np then begin
             distinct.(x) <- y :: distinct.(x);
             distinct.(y) <- x :: distinct.(y)
           end)
         distinct_pairs;
-      let consistent x u =
-        (not (injective && used.(u) > 0 && assignment.(x) <> u))
-        && List.for_all
-             (fun y -> assignment.(y) < 0 || assignment.(y) <> u)
-             distinct.(x)
-        && List.for_all
-             (fun (a, y) ->
-               if y = x then Graph.mem_edge target u a u
-               else assignment.(y) < 0 || Graph.mem_edge target u a assignment.(y))
-             (Graph.out pattern x)
-        && List.for_all
-             (fun (a, y) ->
-               (* self-loops already checked through the out-edges *)
-               y = x
-               || assignment.(y) < 0
-               || Graph.mem_edge target assignment.(y) a u)
-             (Graph.in_ pattern x)
+      (* -------- pattern adjacency on the target's label ids -------- *)
+      let missing_label = ref false in
+      let interned =
+        List.filter_map
+          (fun (x, a, y) ->
+            match Graph.label_id target a with
+            | Some ai -> Some (x, ai, y)
+            | None ->
+              missing_label := true;
+              None)
+          (Graph.edges pattern)
       in
-      (* check pre-fixed assignments are mutually consistent *)
-      let prefixed_ok =
-        Array.to_list assignment
-        |> List.mapi (fun x u -> (x, u))
-        |> List.for_all (fun (x, u) ->
-               u < 0
-               ||
-               (assignment.(x) <- -1;
-                used.(u) <- used.(u) - 1;
-                let r = consistent x u in
-                assignment.(x) <- u;
-                used.(u) <- used.(u) + 1;
-                r))
-      in
-      if prefixed_ok && not !unsatisfiable then begin
-        let rec go = function
-          | [] -> f (Array.copy assignment)
-          | x :: rest ->
-            if assignment.(x) >= 0 then go rest
-            else
+      if not !missing_label then begin
+        let out_e = Array.make np [] in
+        let in_e = Array.make np [] in
+        let self_loops = Array.make np [] in
+        List.iter
+          (fun (x, ai, y) ->
+            if x = y then self_loops.(x) <- ai :: self_loops.(x)
+            else begin
+              out_e.(x) <- (ai, y) :: out_e.(x);
+              in_e.(y) <- (ai, x) :: in_e.(y)
+            end)
+          interned;
+        (* per-variable label requirement counts (self-loops included in
+           the degree requirement) *)
+        let count_by side =
+          Array.init np (fun x ->
+              let tbl = Hashtbl.create 4 in
               List.iter
-                (fun u ->
+                (fun ai ->
+                  Hashtbl.replace tbl ai
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt tbl ai)))
+                side.(x);
+              Hashtbl.fold (fun ai c l -> (ai, c) :: l) tbl [])
+        in
+        let out_req =
+          count_by
+            (Array.init np (fun x ->
+                 List.map fst out_e.(x) @ self_loops.(x)))
+        in
+        let in_req =
+          count_by
+            (Array.init np (fun x -> List.map fst in_e.(x) @ self_loops.(x)))
+        in
+        (* -------- candidate domains as bitsets -------- *)
+        let nw = nwords nt in
+        let domains = Array.init np (fun _ -> Array.make nw 0) in
+        let profile_ok x u =
+          List.for_all
+            (fun (ai, c) ->
+              let d = Array.length (Graph.succ_ids target u ai) in
+              if injective then d >= c else d >= 1)
+            out_req.(x)
+          && List.for_all
+               (fun (ai, c) ->
+                 let d = Array.length (Graph.pred_ids target u ai) in
+                 if injective then d >= c else d >= 1)
+               in_req.(x)
+          && List.for_all (fun ai -> Graph.mem_edge_id target u ai u) self_loops.(x)
+        in
+        for x = 0 to np - 1 do
+          if assignment.(x) >= 0 then begin
+            (* fixed: a singleton domain, bypassing the profile filter
+               (byte-compatible with the previous solver: a fixed image
+               is only rejected by real constraint violations) *)
+            let u = assignment.(x) in
+            if List.for_all (fun ai -> Graph.mem_edge_id target u ai u) self_loops.(x)
+            then
+              domains.(x).(u / bpw) <-
+                domains.(x).(u / bpw) lor (1 lsl (u mod bpw))
+          end
+          else
+            for u = 0 to nt - 1 do
+              if profile_ok x u then
+                domains.(x).(u / bpw) <-
+                  domains.(x).(u / bpw) lor (1 lsl (u mod bpw))
+            done
+        done;
+        (* -------- edge-group machinery -------- *)
+        (* Group labels are interned separately from target labels: a
+           group edge's label only needs to be comparable within its
+           group, it need not occur in the target. *)
+        let glabels = Hashtbl.create 8 in
+        let glabel a =
+          match Hashtbl.find_opt glabels a with
+          | Some i -> i
+          | None ->
+            let i = Hashtbl.length glabels in
+            Hashtbl.add glabels a i;
+            i
+        in
+        let ngroups = List.length distinct_edge_groups in
+        let group_used = Array.init ngroups (fun _ -> Hashtbl.create 16) in
+        (* entries.(x): (group id, p, label id, q) for group edges with an
+           endpoint [x]; an entry fires when its second endpoint is
+           assigned.  [all_entries] keeps each entry once, for the seed
+           pass over the fixed assignments. *)
+        let entries = Array.make np [] in
+        let all_entries = ref [] in
+        List.iteri
+          (fun gid group ->
+            List.iter
+              (fun (p, a, q) ->
+                let e = (gid, p, glabel a, q) in
+                all_entries := e :: !all_entries;
+                entries.(p) <- e :: entries.(p);
+                if p <> q then entries.(q) <- e :: entries.(q))
+              group)
+          distinct_edge_groups;
+        let ngl = max 1 (Hashtbl.length glabels) in
+        (* -------- trails -------- *)
+        let dom_idx = Dyn.create () in
+        (* flat index x * nw + w *)
+        let dom_val = Dyn.create () in
+        let grp_gid = Dyn.create () in
+        let grp_key = Dyn.create () in
+        let set_word x w v =
+          Dyn.push dom_idx ((x * nw) + w);
+          Dyn.push dom_val domains.(x).(w);
+          domains.(x).(w) <- v
+        in
+        let undo_to dmark gmark =
+          while dom_idx.Dyn.len > dmark do
+            dom_idx.Dyn.len <- dom_idx.Dyn.len - 1;
+            dom_val.Dyn.len <- dom_val.Dyn.len - 1;
+            let i = dom_idx.Dyn.a.(dom_idx.Dyn.len) in
+            domains.(i / nw).(i mod nw) <- dom_val.Dyn.a.(dom_val.Dyn.len)
+          done;
+          while grp_gid.Dyn.len > gmark do
+            grp_gid.Dyn.len <- grp_gid.Dyn.len - 1;
+            grp_key.Dyn.len <- grp_key.Dyn.len - 1;
+            Hashtbl.remove
+              group_used.(grp_gid.Dyn.a.(grp_gid.Dyn.len))
+              grp_key.Dyn.a.(grp_key.Dyn.len)
+          done
+        in
+        let domain_empty x =
+          let e = ref true in
+          for w = 0 to nw - 1 do
+            if domains.(x).(w) <> 0 then e := false
+          done;
+          !e
+        in
+        let clear_bit x u =
+          let w = u / bpw and b = 1 lsl (u mod bpw) in
+          if domains.(x).(w) land b <> 0 then begin
+            set_word x w (domains.(x).(w) land lnot b);
+            domain_empty x
+          end
+          else false
+        in
+        (* scratch bitset for successor/predecessor sets *)
+        let scratch = Array.make nw 0 in
+        let intersect_with_nodes y (nodes : Graph.node array) =
+          Array.fill scratch 0 nw 0;
+          Array.iter
+            (fun v -> scratch.(v / bpw) <- scratch.(v / bpw) lor (1 lsl (v mod bpw)))
+            nodes;
+          let nonempty = ref false in
+          for w = 0 to nw - 1 do
+            let nv = domains.(y).(w) land scratch.(w) in
+            if nv <> domains.(y).(w) then set_word y w nv;
+            if nv <> 0 then nonempty := true
+          done;
+          !nonempty
+        in
+        (* Record one determined group edge; [false] on a within-group
+           collision. *)
+        let fire_entry (gid, p, gl, q) =
+          let mp = assignment.(p) and mq = assignment.(q) in
+          if mp < 0 || mq < 0 then true
+          else begin
+            let key = (((mp * ngl) + gl) * nt) + mq in
+            if Hashtbl.mem group_used.(gid) key then false
+            else begin
+              Hashtbl.add group_used.(gid) key ();
+              Dyn.push grp_gid gid;
+              Dyn.push grp_key key;
+              true
+            end
+          end
+        in
+        (* [propagate_domains x u] prunes unassigned domains after
+           [x := u]; edges, distinctness and group entries between two
+           already-assigned variables are NOT checked here (the seed
+           pass and [fire_entry] own those).  On [false] the caller
+           undoes through the trail marks. *)
+        let propagate_domains x u =
+          (* all-different: injectivity and distinct_pairs remove the
+             image from the relevant unassigned domains *)
+          (not injective
+          || begin
+               let okk = ref true in
+               for y = 0 to np - 1 do
+                 if y <> x && assignment.(y) < 0 && clear_bit y u then
+                   okk := false
+               done;
+               !okk
+             end)
+          && List.for_all
+               (fun y -> assignment.(y) >= 0 || not (clear_bit y u))
+               distinct.(x)
+          (* forward checking on the pattern edges at [x] *)
+          && List.for_all
+               (fun (ai, y) ->
+                 assignment.(y) >= 0
+                 || intersect_with_nodes y (Graph.succ_ids target u ai))
+               out_e.(x)
+          && List.for_all
+               (fun (ai, y) ->
+                 assignment.(y) >= 0
+                 || intersect_with_nodes y (Graph.pred_ids target u ai))
+               in_e.(x)
+        in
+        (* Search-time propagation: the entries at [x] whose second
+           endpoint [x] just became fire exactly once here. *)
+        let propagate x u =
+          List.for_all fire_entry entries.(x) && propagate_domains x u
+        in
+        (* adjacency in the pattern, for connected-first tie-breaking *)
+        let neighbours =
+          Array.init np (fun x ->
+              List.sort_uniq compare
+                (List.map snd out_e.(x) @ List.map snd in_e.(x)))
+        in
+        let adj_assigned = Array.make np 0 in
+        let bump x d =
+          List.iter (fun y -> adj_assigned.(y) <- adj_assigned.(y) + d) neighbours.(x)
+        in
+        let domain_size x =
+          let c = ref 0 in
+          for w = 0 to nw - 1 do
+            c := !c + popcount_word domains.(x).(w)
+          done;
+          !c
+        in
+        (* minimum remaining values; prefer variables adjacent to the
+           assigned region, then the smallest index (deterministic) *)
+        let select () =
+          let best = ref (-1) in
+          let best_size = ref max_int in
+          let best_adj = ref (-1) in
+          for x = np - 1 downto 0 do
+            if assignment.(x) < 0 then begin
+              let s = domain_size x in
+              let a = if adj_assigned.(x) > 0 then 1 else 0 in
+              if
+                s < !best_size
+                || (s = !best_size && a >= !best_adj)
+              then begin
+                best := x;
+                best_size := s;
+                best_adj := a
+              end
+            end
+          done;
+          !best
+        in
+        (* -------- seed the fixed assignments (no candidate counting:
+           they are given, not searched).  Constraints between two fixed
+           variables never fire during the search, so they are checked
+           here explicitly: pattern edges, distinct pairs, and each
+           group entry exactly once. -------- *)
+        let fixed_edges_ok =
+          List.for_all
+            (fun (x, ai, y) ->
+              x = y (* self-loops are folded into the domain seed *)
+              || assignment.(x) < 0
+              || assignment.(y) < 0
+              || Graph.mem_edge_id target assignment.(x) ai assignment.(y))
+            interned
+        in
+        let fixed_distinct_ok =
+          List.for_all
+            (fun (x, y) ->
+              x < 0 || x >= np || y < 0 || y >= np
+              || assignment.(x) < 0
+              || assignment.(y) < 0
+              || assignment.(x) <> assignment.(y))
+            distinct_pairs
+        in
+        let seeds_ok =
+          fixed_edges_ok && fixed_distinct_ok
+          && List.for_all fire_entry !all_entries
+          && (Array.to_list assignment
+             |> List.mapi (fun x u -> (x, u))
+             |> List.for_all (fun (x, u) ->
+                    u < 0
+                    || begin
+                         (* the domain may have been pruned by an earlier
+                            seed's propagation: the image must survive *)
+                         domains.(x).(u / bpw) land (1 lsl (u mod bpw)) <> 0
+                         &&
+                         (bump x 1;
+                          propagate_domains x u)
+                       end))
+        in
+        if seeds_ok then begin
+          let nfixed =
+            Array.fold_left (fun c u -> if u >= 0 then c + 1 else c) 0 assignment
+          in
+          Guard.checkpoint "morphism.search";
+          let rec go nassigned =
+            if nassigned = np then f (Array.copy assignment)
+            else begin
+              let x = select () in
+              let words = Array.copy domains.(x) in
+              for w = 0 to nw - 1 do
+                let b = ref words.(w) in
+                while !b <> 0 do
+                  let i = ref 0 in
+                  while !b land (1 lsl !i) = 0 do
+                    incr i
+                  done;
+                  b := !b land lnot (1 lsl !i);
+                  let u = (w * bpw) + !i in
                   Guard.checkpoint "morphism.search";
                   Obs.Metrics.incr m_candidates;
-                  if consistent x u then begin
-                    assignment.(x) <- u;
-                    used.(u) <- used.(u) + 1;
-                    go rest;
-                    used.(u) <- used.(u) - 1;
-                    assignment.(x) <- -1;
+                  let dmark = dom_idx.Dyn.len and gmark = grp_gid.Dyn.len in
+                  assignment.(x) <- u;
+                  bump x 1;
+                  if propagate x u then begin
+                    go (nassigned + 1);
                     Obs.Metrics.incr m_backtracks
-                  end)
-                domains.(x)
-        in
-        go order
+                  end;
+                  undo_to dmark gmark;
+                  bump x (-1);
+                  assignment.(x) <- -1
+                done
+              done
+            end
+          in
+          go nfixed
+        end
       end
     end
   end

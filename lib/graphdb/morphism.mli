@@ -10,9 +10,21 @@
       both atom-injective homomorphisms (injective on φ-atom-related
       pairs, Section 2.2) and non-contracting homomorphisms (Lemma F.3).
 
-    The search is a backtracking CSP with label-profile filtering and
-    forward constraint checking, over a [pattern] graph mapped into a
-    [target] graph. *)
+    The search is a CSP over bitset candidate domains (seeded from
+    label profiles and, under injectivity, per-label degree bounds) on
+    the interned-label adjacency of {!Graph}: forward checking prunes
+    the domains of unassigned neighbours after every assignment,
+    injectivity and [distinct_pairs] are maintained as incremental
+    all-different constraints, [distinct_edge_groups] as incremental
+    within-group distinctness, and the next variable is chosen by
+    minimum remaining values with a connected-first tie-break.  A trail
+    records every domain word and group entry touched, so backtracking
+    restores state in time proportional to what propagation changed.
+
+    [fixed] pairs are validated up front: an out-of-range variable or
+    target node, conflicting assignments to one variable, or (under
+    [injective]) two variables fixed to one target node yield no
+    results — even when the pattern is empty. *)
 
 type mapping = int array
 (** [mapping.(x)] is the image of pattern node [x]. *)

@@ -17,10 +17,45 @@ exception Found
 (* Standard semantics: BFS over the product graph × automaton.         *)
 (* ------------------------------------------------------------------ *)
 
+(* The product searches run on interned label ids: the automaton's
+   transitions are re-keyed by the graph's label ids once up front
+   (transitions on labels absent from the graph can never fire and are
+   dropped), after which the inner loops are array scans with no string
+   comparison. *)
+
+(* [delta_ids.(q)] lists [(ai, q')] for each transition of [q] whose
+   label occurs in [g]. *)
+let intern_delta g nfa =
+  Array.map
+    (fun trans ->
+      List.filter_map
+        (fun (a, q') ->
+          match Graph.label_id g a with
+          | Some ai -> Some (ai, q')
+          | None -> None)
+        trans)
+    nfa.Nfa.delta
+
+(* Reversed interned transitions: [rdelta.(q')] lists [(ai, q)] for
+   each graph-relevant transition {m q \xrightarrow{a} q'}. *)
+let intern_delta_rev g nfa =
+  let rdelta = Array.make nfa.Nfa.nstates [] in
+  Array.iteri
+    (fun q trans ->
+      List.iter
+        (fun (a, q') ->
+          match Graph.label_id g a with
+          | Some ai -> rdelta.(q') <- (ai, q) :: rdelta.(q')
+          | None -> ())
+        trans)
+    nfa.Nfa.delta;
+  rdelta
+
 (* Product states are coded as [u * nstates + q]. *)
 let product_bfs g nfa srcs =
   let n = Graph.nnodes g in
   let m = nfa.Nfa.nstates in
+  let delta_ids = intern_delta g nfa in
   let seen = Array.make (max (n * m) 1) false in
   let queue = Queue.create () in
   let push u q =
@@ -36,11 +71,12 @@ let product_bfs g nfa srcs =
     Guard.checkpoint "path_search.product";
     let u, q = Queue.pop queue in
     List.iter
-      (fun (a, v) ->
-        List.iter
-          (fun (b, q') -> if String.equal a b then push v q')
-          nfa.Nfa.delta.(q))
-      (Graph.out g u)
+      (fun (ai, q') ->
+        let succs = Graph.succ_ids g u ai in
+        for i = 0 to Array.length succs - 1 do
+          push succs.(i) q'
+        done)
+      delta_ids.(q)
   done;
   seen
 
@@ -70,6 +106,7 @@ let find_path g nfa ~src ~dst =
   let n = Graph.nnodes g in
   if n = 0 then None
   else begin
+    let delta_ids = intern_delta g nfa in
     let parent = Array.make (n * m) None in
     let seen = Array.make (n * m) false in
     let queue = Queue.create () in
@@ -90,11 +127,13 @@ let find_path g nfa ~src ~dst =
       if u = dst && nfa.Nfa.finals.(q) then goal := Some (u, q)
       else
         List.iter
-          (fun (a, v) ->
-            List.iter
-              (fun (b, q') -> if String.equal a b then push v q' (Some (u, q, a)))
-              nfa.Nfa.delta.(q))
-          (Graph.out g u)
+          (fun (ai, q') ->
+            let a = Graph.label_name g ai in
+            let succs = Graph.succ_ids g u ai in
+            for i = 0 to Array.length succs - 1 do
+              push succs.(i) q' (Some (u, q, a))
+            done)
+          delta_ids.(q)
     done;
     match !goal with
     | None -> None
@@ -128,16 +167,17 @@ let co_reach g nfa dst =
   in
   Array.iteri (fun q f -> if f then push dst q) nfa.Nfa.finals;
   (* backward edges of the product *)
+  let rdelta = intern_delta_rev g nfa in
   while not (Queue.is_empty queue) do
     Guard.checkpoint "path_search.product";
     let v, q' = Queue.pop queue in
     List.iter
-      (fun (a, u) ->
-        for q = 0 to m - 1 do
-          if List.exists (fun (b, t) -> t = q' && String.equal a b) nfa.Nfa.delta.(q)
-          then push u q
+      (fun (ai, q) ->
+        let preds = Graph.pred_ids g v ai in
+        for i = 0 to Array.length preds - 1 do
+          push preds.(i) q
         done)
-      (Graph.in_ g v)
+      rdelta.(q')
   done;
   seen
 

@@ -1,0 +1,210 @@
+(* The pre-CSP morphism solver, preserved verbatim (minus telemetry) as
+   the differential-testing reference for [Graphdb.Morphism].
+
+   This is the naive generate-and-test matcher the library shipped
+   before the bitset/forward-checking rewrite: list-based candidate
+   domains from label profiles, BFS variable order, and a [consistent]
+   check that re-scans adjacent assignments on every candidate.  It is
+   deliberately simple — every pruning rule is a directly-auditable
+   [List.for_all] — which is what makes it a trustworthy oracle.
+
+   One intentional divergence from the historical code: [fixed] pairs
+   are validated before the [np = 0] early exit, matching the bug fix
+   shipped with the rewrite (out-of-range fixed pairs used to be
+   silently accepted when the pattern was empty). *)
+
+type mapping = int array
+
+exception Found
+
+let label_profile g u =
+  let outs = List.sort_uniq String.compare (List.map fst (Graph.out g u)) in
+  let ins = List.sort_uniq String.compare (List.map fst (Graph.in_ g u)) in
+  (outs, ins)
+
+let subset l1 l2 = List.for_all (fun a -> List.mem a l2) l1
+
+let iter ?(fixed = []) ?(distinct_pairs = []) ?(distinct_edge_groups = [])
+    ?(injective = false) ~pattern ~target f =
+  let np = Graph.nnodes pattern in
+  let nt = Graph.nnodes target in
+  (* edge-injectivity within groups is checked on complete mappings *)
+  let groups_ok m =
+    List.for_all
+      (fun group ->
+        let images =
+          List.sort compare (List.map (fun (u, a, v) -> (m.(u), a, m.(v))) group)
+        in
+        List.length (List.sort_uniq compare images) = List.length images)
+      distinct_edge_groups
+  in
+  let f m = if distinct_edge_groups = [] || groups_ok m then f m in
+  let assignment = Array.make (max np 1) (-1) in
+  let ok = ref true in
+  List.iter
+    (fun (x, u) ->
+      if x < 0 || x >= np || u < 0 || u >= nt then ok := false
+      else if assignment.(x) >= 0 && assignment.(x) <> u then ok := false
+      else assignment.(x) <- u)
+    fixed;
+  if injective then begin
+    (* fixed assignments must be injective themselves *)
+    let imgs = List.filter (fun u -> u >= 0) (Array.to_list assignment) in
+    if List.length (List.sort_uniq compare imgs) <> List.length imgs then
+      ok := false
+  end;
+  if !ok then begin
+    if np = 0 then f [||]
+    else begin
+      (* candidate domains from label profiles *)
+      let tgt_profiles = Array.init nt (fun u -> label_profile target u) in
+      let domains =
+        Array.init np (fun x ->
+            if assignment.(x) >= 0 then [ assignment.(x) ]
+            else begin
+              let pouts, pins = label_profile pattern x in
+              List.filter
+                (fun u ->
+                  let touts, tins = tgt_profiles.(u) in
+                  subset pouts touts && subset pins tins)
+                (Graph.nodes target)
+            end)
+      in
+      (* variable order: BFS from assigned/most-constrained, so that each
+         new variable is adjacent to an assigned one when possible *)
+      let order =
+        let chosen = Array.make np false in
+        let acc = ref [] in
+        let add x =
+          if not chosen.(x) then begin
+            chosen.(x) <- true;
+            acc := x :: !acc
+          end
+        in
+        Array.iteri (fun x u -> if u >= 0 then add x) assignment;
+        let frontier = Queue.create () in
+        List.rev !acc |> List.iter (fun x -> Queue.add x frontier);
+        let neighbours x =
+          List.map snd (Graph.out pattern x) @ List.map snd (Graph.in_ pattern x)
+        in
+        let rec drain () =
+          if Queue.is_empty frontier then begin
+            (* start a new component: pick the unchosen node with the
+               smallest domain *)
+            let best = ref (-1) in
+            for x = np - 1 downto 0 do
+              if not chosen.(x) then
+                if !best < 0
+                   || List.length domains.(x) < List.length domains.(!best)
+                then best := x
+            done;
+            if !best >= 0 then begin
+              add !best;
+              Queue.add !best frontier;
+              drain ()
+            end
+          end
+          else begin
+            let x = Queue.pop frontier in
+            List.iter
+              (fun y ->
+                if not chosen.(y) then begin
+                  add y;
+                  Queue.add y frontier
+                end)
+              (neighbours x);
+            drain ()
+          end
+        in
+        drain ();
+        List.rev !acc
+      in
+      let used = Array.make nt 0 in
+      Array.iter (fun u -> if u >= 0 then used.(u) <- used.(u) + 1) assignment;
+      let distinct = Array.make np [] in
+      let unsatisfiable = ref false in
+      List.iter
+        (fun (x, y) ->
+          if x = y then unsatisfiable := true
+          else if x >= 0 && x < np && y >= 0 && y < np then begin
+            distinct.(x) <- y :: distinct.(x);
+            distinct.(y) <- x :: distinct.(y)
+          end)
+        distinct_pairs;
+      let consistent x u =
+        (not (injective && used.(u) > 0 && assignment.(x) <> u))
+        && List.for_all
+             (fun y -> assignment.(y) < 0 || assignment.(y) <> u)
+             distinct.(x)
+        && List.for_all
+             (fun (a, y) ->
+               if y = x then Graph.mem_edge target u a u
+               else assignment.(y) < 0 || Graph.mem_edge target u a assignment.(y))
+             (Graph.out pattern x)
+        && List.for_all
+             (fun (a, y) ->
+               (* self-loops already checked through the out-edges *)
+               y = x
+               || assignment.(y) < 0
+               || Graph.mem_edge target assignment.(y) a u)
+             (Graph.in_ pattern x)
+      in
+      (* check pre-fixed assignments are mutually consistent *)
+      let prefixed_ok =
+        Array.to_list assignment
+        |> List.mapi (fun x u -> (x, u))
+        |> List.for_all (fun (x, u) ->
+               u < 0
+               ||
+               (assignment.(x) <- -1;
+                used.(u) <- used.(u) - 1;
+                let r = consistent x u in
+                assignment.(x) <- u;
+                used.(u) <- used.(u) + 1;
+                r))
+      in
+      if prefixed_ok && not !unsatisfiable then begin
+        let rec go = function
+          | [] -> f (Array.copy assignment)
+          | x :: rest ->
+            if assignment.(x) >= 0 then go rest
+            else
+              List.iter
+                (fun u ->
+                  if consistent x u then begin
+                    assignment.(x) <- u;
+                    used.(u) <- used.(u) + 1;
+                    go rest;
+                    used.(u) <- used.(u) - 1;
+                    assignment.(x) <- -1
+                  end)
+                domains.(x)
+        in
+        go order
+      end
+    end
+  end
+
+let find ?fixed ?distinct_pairs ?distinct_edge_groups ?injective ~pattern
+    ~target () =
+  let result = ref None in
+  (try
+     iter ?fixed ?distinct_pairs ?distinct_edge_groups ?injective ~pattern
+       ~target (fun m ->
+         result := Some m;
+         raise Found)
+   with Found -> ());
+  !result
+
+let exists ?fixed ?distinct_pairs ?distinct_edge_groups ?injective ~pattern
+    ~target () =
+  find ?fixed ?distinct_pairs ?distinct_edge_groups ?injective ~pattern ~target
+    ()
+  <> None
+
+let count ?fixed ?distinct_pairs ?distinct_edge_groups ?injective ~pattern
+    ~target () =
+  let n = ref 0 in
+  iter ?fixed ?distinct_pairs ?distinct_edge_groups ?injective ~pattern ~target
+    (fun _ -> incr n);
+  !n

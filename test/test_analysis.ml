@@ -9,7 +9,8 @@ let codes ds = List.sort_uniq String.compare (List.map (fun d -> d.Diagnostic.co
 let has_code c ds = List.mem c (codes ds)
 
 (* full lint with the cheap passes only, so witnesses stay minimal *)
-let lint ?(sem = Semantics.St) q = Analysis.lint ~sem ~redundancy:false q
+let lint ?(sem = Semantics.St) ?graph q =
+  Analysis.lint ~sem ~redundancy:false ?graph q
 
 let test_e001_empty_language () =
   let witness = Crpq.parse "Q(x, y) :- x -[!]-> y" in
@@ -73,6 +74,33 @@ let test_w005_unused_free () =
   let repaired = Crpq.parse "Q(x, y) :- x -[a]-> y" in
   check Alcotest.bool "witness fires" true (has_code "W005" (lint witness));
   check Alcotest.bool "repaired silent" false (has_code "W005" (lint repaired))
+
+let test_w104_empty_domain () =
+  (* target: a -> b path only; no node has an outgoing c-edge *)
+  let g = Graph.make ~nnodes:3 [ (0, "a", 1); (1, "b", 2) ] in
+  let witness = Crpq.parse "x -[c]-> y" in
+  let repaired = Crpq.parse "x -[a]-> y" in
+  check Alcotest.bool "witness fires" true
+    (has_code "W104" (lint ~graph:g witness));
+  check Alcotest.bool "repaired silent" false
+    (has_code "W104" (lint ~graph:g repaired));
+  (* no graph supplied: the pass does not run *)
+  check Alcotest.bool "no graph, no pass" false
+    (has_code "W104" (lint witness));
+  (* the constraint is per-variable across atoms: both a- and b-paths
+     must leave x, which no node of g offers *)
+  let joined = Crpq.parse "x -[a]-> y, x -[b]-> z" in
+  check Alcotest.bool "cross-atom intersection fires" true
+    (has_code "W104" (lint ~graph:g joined));
+  let satisfiable = Crpq.parse "x -[a]-> y, y -[b]-> z" in
+  check Alcotest.bool "satisfiable chain silent" false
+    (has_code "W104" (lint ~graph:g satisfiable));
+  (* empty graph: every constrained variable has an empty domain *)
+  check Alcotest.bool "empty graph fires" true
+    (has_code "W104" (lint ~graph:Graph.empty repaired));
+  (* soundness on the witness: genuinely no answers *)
+  check Alcotest.(list (list int)) "flagged query has no answers" []
+    (Eval.eval Semantics.St (Crpq.parse "Q(x) :- x -[c]-> y") g)
 
 let test_i006_redundant () =
   let witness = Crpq.parse "Q(x, z) :- x -[a]-> y, y -[b]-> z, x -[ab]-> z" in
@@ -296,6 +324,8 @@ let () =
           Alcotest.test_case "W003 duplicate atom" `Quick test_w003_duplicate;
           Alcotest.test_case "W004 disconnected variable" `Quick test_w004_disconnected;
           Alcotest.test_case "W005 unused free variable" `Quick test_w005_unused_free;
+          Alcotest.test_case "W104 empty candidate domain" `Quick
+            test_w104_empty_domain;
           Alcotest.test_case "I006 redundant atom" `Quick test_i006_redundant;
           Alcotest.test_case "NFA hygiene" `Quick test_nfa_hygiene;
           Alcotest.test_case "reduction validators" `Quick test_validators;

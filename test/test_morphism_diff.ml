@@ -1,0 +1,251 @@
+(* Differential suite for the CSP morphism solver.
+
+   [Morphism_ref] is the pre-rewrite naive matcher, preserved under
+   test/ as an oracle.  For every random instance the rewritten solver
+   must produce the exact same multiset of mappings — answer sets, not
+   enumeration order — under every memo/parallelism configuration
+   ({cached, uncached} x {1 domain, 2 domains}), across the three
+   node-semantics option shapes the evaluator uses (St = plain
+   homomorphism, Q_inj = [injective], A_inj = [distinct_pairs]) and
+   under arbitrary combinations of [fixed], [distinct_pairs],
+   [distinct_edge_groups] and [injective].
+
+   Instances are derived from a single integer seed via lib/workload
+   generators, so a shrunk counterexample replays from one number
+   (QCHECK_SEED pins the whole run, as everywhere in the suite). *)
+
+let labels = [ "a"; "b" ]
+
+(* ---------------- configurations (as in test_differential) -------- *)
+
+type config = { cname : string; cached : bool; jobs : int }
+
+let configs =
+  [
+    { cname = "uncached/seq"; cached = false; jobs = 1 };
+    { cname = "cached/seq"; cached = true; jobs = 1 };
+    { cname = "uncached/par2"; cached = false; jobs = 2 };
+    { cname = "cached/par2"; cached = true; jobs = 2 };
+  ]
+
+let with_config c f =
+  Cache.clear_all ();
+  Cache.set_enabled c.cached;
+  Parmap.set_default_jobs c.jobs;
+  Fun.protect
+    ~finally:(fun () ->
+      Parmap.set_default_jobs 1;
+      Cache.set_enabled true;
+      Cache.clear_all ())
+    f
+
+(* ---------------- answer-set representation ----------------------- *)
+
+(* Sorted multiset of mappings: catches wrong answers, missing answers
+   and duplicated enumeration alike, while staying independent of the
+   solvers' enumeration orders. *)
+let answer_set run_iter =
+  let acc = ref [] in
+  run_iter (fun m ->
+      acc :=
+        String.concat "," (List.map string_of_int (Array.to_list m)) :: !acc);
+  List.sort compare !acc
+
+let repr rows = "{" ^ String.concat "; " rows ^ "}"
+
+(* ---------------- instance generation ----------------------------- *)
+
+let gen_seed = QCheck2.Gen.(int_bound 0x3FFFFFF)
+
+let rng_of seed salt = Random.State.make [| 0x1F17; salt; seed |]
+
+let graphs_of rng =
+  let np = 1 + Random.State.int rng 4 in
+  let nt = 2 + Random.State.int rng 6 in
+  let pattern =
+    Generate.gnp ~rng ~nodes:np ~labels ~p:(0.2 +. Random.State.float rng 0.4)
+  in
+  let target =
+    Generate.gnp ~rng ~nodes:nt ~labels ~p:(0.15 +. Random.State.float rng 0.3)
+  in
+  (pattern, target)
+
+(* Mostly-valid fixed pairs, with a chance of an out-of-range index so
+   both solvers must agree on validation too. *)
+let gen_fixed rng pattern target =
+  let np = Graph.nnodes pattern in
+  let nt = Graph.nnodes target in
+  match Random.State.int rng 4 with
+  | 0 | 1 -> []
+  | 2 -> [ (Random.State.int rng np, Random.State.int rng nt) ]
+  | _ ->
+    [
+      (Random.State.int rng (np + 2) - 1, Random.State.int rng (nt + 2) - 1);
+      (Random.State.int rng np, Random.State.int rng nt);
+    ]
+
+let gen_pairs rng pattern =
+  let np = Graph.nnodes pattern in
+  List.init (Random.State.int rng 3) (fun _ ->
+      (Random.State.int rng np, Random.State.int rng np))
+
+let non_contracting_pairs pattern =
+  List.filter_map
+    (fun (u, _, v) -> if u <> v then Some (u, v) else None)
+    (Graph.edges pattern)
+
+(* Either one group of all pattern edges (Q_edge_inj shape) or a
+   per-atom-style split into two interleaved groups (A_edge_inj). *)
+let gen_groups rng pattern =
+  let es = Graph.edges pattern in
+  if es = [] then []
+  else
+    match Random.State.int rng 3 with
+    | 0 -> []
+    | 1 -> [ es ]
+    | _ ->
+      let a, b =
+        List.partition (fun (u, _, v) -> (u + v) mod 2 = 0) es
+      in
+      List.filter (fun g -> g <> []) [ a; b ]
+
+(* ---------------- the differential check -------------------------- *)
+
+let check ~pp_instance run_new run_ref =
+  let expect = repr (answer_set run_ref) in
+  List.for_all
+    (fun c ->
+      let got = repr (with_config c (fun () -> answer_set run_new)) in
+      if String.equal got expect then true
+      else
+        QCheck2.Test.fail_reportf
+          "CSP solver diverges from Morphism_ref under %s on %s@.reference: \
+           %s@.got: %s"
+          c.cname (pp_instance ()) expect got)
+    configs
+
+let pp_of ~what pattern target extra () =
+  Printf.sprintf "[%s] pattern %s target %s %s" what
+    (Format.asprintf "%a" Graph.pp pattern)
+    (Format.asprintf "%a" Graph.pp target)
+    extra
+
+let test_st =
+  Testutil.qtest ~count:200 "Morphism vs ref: St (plain homomorphism)"
+    gen_seed (fun seed ->
+      let rng = rng_of seed 1 in
+      let pattern, target = graphs_of rng in
+      let fixed = gen_fixed rng pattern target in
+      check
+        ~pp_instance:
+          (pp_of ~what:"St" pattern target
+             (Printf.sprintf "fixed %d pairs" (List.length fixed)))
+        (fun f -> Morphism.iter ~fixed ~pattern ~target f)
+        (fun f -> Morphism_ref.iter ~fixed ~pattern ~target f))
+
+let test_qinj =
+  Testutil.qtest ~count:200 "Morphism vs ref: Q_inj (injective)" gen_seed
+    (fun seed ->
+      let rng = rng_of seed 2 in
+      let pattern, target = graphs_of rng in
+      let fixed = gen_fixed rng pattern target in
+      check
+        ~pp_instance:
+          (pp_of ~what:"Q_inj" pattern target
+             (Printf.sprintf "fixed %d pairs" (List.length fixed)))
+        (fun f -> Morphism.iter ~fixed ~injective:true ~pattern ~target f)
+        (fun f -> Morphism_ref.iter ~fixed ~injective:true ~pattern ~target f))
+
+let test_ainj =
+  Testutil.qtest ~count:200 "Morphism vs ref: A_inj (non-contracting)"
+    gen_seed (fun seed ->
+      let rng = rng_of seed 3 in
+      let pattern, target = graphs_of rng in
+      let fixed = gen_fixed rng pattern target in
+      let distinct_pairs =
+        non_contracting_pairs pattern @ gen_pairs rng pattern
+      in
+      check
+        ~pp_instance:
+          (pp_of ~what:"A_inj" pattern target
+             (Printf.sprintf "fixed %d, distinct %d" (List.length fixed)
+                (List.length distinct_pairs)))
+        (fun f -> Morphism.iter ~fixed ~distinct_pairs ~pattern ~target f)
+        (fun f -> Morphism_ref.iter ~fixed ~distinct_pairs ~pattern ~target f))
+
+let test_combos =
+  Testutil.qtest ~count:200 "Morphism vs ref: all option combinations"
+    gen_seed (fun seed ->
+      let rng = rng_of seed 4 in
+      let pattern, target = graphs_of rng in
+      let fixed = gen_fixed rng pattern target in
+      let distinct_pairs = gen_pairs rng pattern in
+      let distinct_edge_groups = gen_groups rng pattern in
+      let injective = Random.State.bool rng in
+      check
+        ~pp_instance:
+          (pp_of ~what:"combo" pattern target
+             (Printf.sprintf "fixed %d, distinct %d, groups %d, injective %b"
+                (List.length fixed)
+                (List.length distinct_pairs)
+                (List.length distinct_edge_groups)
+                injective))
+        (fun f ->
+          Morphism.iter ~fixed ~distinct_pairs ~distinct_edge_groups ~injective
+            ~pattern ~target f)
+        (fun f ->
+          Morphism_ref.iter ~fixed ~distinct_pairs ~distinct_edge_groups
+            ~injective ~pattern ~target f))
+
+(* ---------------- empty-pattern fixed validation ------------------ *)
+
+(* Regression: the pre-rewrite solver validated [fixed] only after the
+   [np = 0] early exit, so an out-of-range fixed pair against an empty
+   pattern was silently accepted and the empty mapping produced. *)
+
+let t2 = Graph.make ~nnodes:2 [ (0, "a", 1) ]
+
+let count_empty ?fixed () =
+  Morphism.count ?fixed ~pattern:Graph.empty ~target:t2 ()
+
+let test_empty_pattern_fixed () =
+  Alcotest.(check int)
+    "no fixed: one empty mapping" 1
+    (count_empty ());
+  Alcotest.(check int)
+    "out-of-range variable rejected" 0
+    (count_empty ~fixed:[ (0, 0) ] ());
+  Alcotest.(check int)
+    "negative variable rejected" 0
+    (count_empty ~fixed:[ (-1, 0) ] ());
+  Alcotest.(check int)
+    "out-of-range target node rejected" 0
+    (count_empty ~fixed:[ (0, 99) ] ());
+  (* the preserved reference applies the same fix *)
+  Alcotest.(check int)
+    "reference agrees" 0
+    (Morphism_ref.count ~fixed:[ (0, 0) ] ~pattern:Graph.empty ~target:t2 ())
+
+let test_nonempty_fixed_validation () =
+  let p1 = Graph.make ~nnodes:1 [] in
+  Alcotest.(check int)
+    "out-of-range target rejected (np > 0)" 0
+    (Morphism.count ~fixed:[ (0, 5) ] ~pattern:p1 ~target:t2 ());
+  Alcotest.(check int)
+    "conflicting fixed rejected" 0
+    (Morphism.count ~fixed:[ (0, 0); (0, 1) ] ~pattern:p1 ~target:t2 ());
+  Alcotest.(check int)
+    "valid fixed kept" 1
+    (Morphism.count ~fixed:[ (0, 1) ] ~pattern:p1 ~target:t2 ())
+
+let () =
+  Alcotest.run "morphism_diff"
+    [
+      ("semantics", [ test_st; test_qinj; test_ainj; test_combos ]);
+      ( "fixed-validation",
+        [
+          Alcotest.test_case "empty pattern" `Quick test_empty_pattern_fixed;
+          Alcotest.test_case "non-empty pattern" `Quick
+            test_nonempty_fixed_validation;
+        ] );
+    ]

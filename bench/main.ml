@@ -44,6 +44,8 @@ let fig1_rows : Obs.Json.t list ref = ref []
 
 let morphism_rows : Obs.Json.t list ref = ref []
 
+let optimize_rows : Obs.Json.t list ref = ref []
+
 (* Rewritten after every experiment: the file on disk always holds the
    completed prefix of the run, whatever happens to the rest. *)
 let write_results () =
@@ -118,6 +120,8 @@ let run_experiment name f =
       fields @ [ ("cells", Obs.Json.List (List.rev !fig1_rows)) ]
     else if String.equal name "morphism" && !morphism_rows <> [] then
       fields @ [ ("cells", Obs.Json.List (List.rev !morphism_rows)) ]
+    else if String.equal name "optimize" && !optimize_rows <> [] then
+      fields @ [ ("cells", Obs.Json.List (List.rev !optimize_rows)) ]
     else fields
   in
   results := Obs.Json.Obj fields :: !results;
@@ -676,6 +680,89 @@ let run_morphism () =
   Format.printf "@.total: candidates=%d backtracks=%d@." !total_cand !total_back
 
 (* ------------------------------------------------------------------ *)
+(* E14: the certified optimizer — shrinkage, certificate cost, payoff   *)
+(* ------------------------------------------------------------------ *)
+
+(* Four query families exercise the rewrite engine's behaviours:
+   redundant atoms that St-containment certifies away (and their cost
+   as the redundancy count grows), the q-inj soundness guard that must
+   refuse the same-looking drop, the unsatisfiable collapse, and the
+   ε-merge.  Each row records the shrinkage, the certificate-check
+   count and cost, and the before/after evaluation time on a random
+   graph — the "payoff" column that justifies running the pre-pass. *)
+
+let run_optimize () =
+  section "E14"
+    "Certified optimizer: shrinkage, certificate cost, evaluation payoff";
+  let m_checked = Obs.Metrics.counter "analysis.certificates_checked" in
+  let implied = [| "x -[a|b]-> y"; "x -[a|b|c]-> y"; "x -[a|c]-> y" |] in
+  let redundant_st k =
+    let atoms =
+      "x -[a]-> y, y -[b]-> z"
+      :: List.init k (fun i -> implied.(i mod Array.length implied))
+    in
+    Crpq.parse ("Q(x, z) :- " ^ String.concat ", " atoms)
+  in
+  let families =
+    let ks = if !quick then [ 1; 2 ] else [ 1; 2; 3 ] in
+    List.map
+      (fun k ->
+        (Printf.sprintf "redundant-st/%d" k, Semantics.St, redundant_st k))
+      ks
+    @ [
+        ( "duplicate-qinj",
+          Semantics.Q_inj,
+          Crpq.parse "Q(x, y) :- x -[aa]-> y, x -[aa]-> y" );
+        ( "unsat-collapse",
+          Semantics.St,
+          Crpq.parse "Q(x) :- x -[!]-> y, y -[a]-> z, z -[b]-> x" );
+        ( "eps-merge",
+          Semantics.St,
+          Crpq.parse "Q(x) :- x -[%]-> y, y -[a]-> z, z -[%]-> w" );
+      ]
+  in
+  let rng = Random.State.make [| 0xF14 |] in
+  let nodes = if !quick then 8 else 12 in
+  let g = Generate.gnp ~rng ~nodes ~labels:[ "a"; "b"; "c" ] ~p:0.3 in
+  Format.printf "%-16s %-6s %6s %6s %4s %4s %6s %10s %10s %10s@." "family"
+    "sem" "atoms" "after" "tw" "tw'" "certs" "cert-time" "eval" "eval'";
+  List.iter
+    (fun (name, sem, q) ->
+      let c0 = Obs.Metrics.counter_value m_checked in
+      let (q', report), t_opt = time_it (fun () -> Analysis.optimize ~sem q) in
+      let certs = Obs.Metrics.counter_value m_checked - c0 in
+      let _, t_before = time_it (fun () -> ignore (Eval.eval sem q g)) in
+      let _, t_after = time_it (fun () -> ignore (Eval.eval sem q' g)) in
+      let tw s = s.Query_shape.width in
+      let before = report.Analysis.shape_before
+      and after = report.Analysis.shape_after in
+      optimize_rows :=
+        Obs.Json.Obj
+          [
+            ("family", Obs.Json.String name);
+            ("sem", Obs.Json.String (Semantics.to_string sem));
+            ("atoms_before", Obs.Json.Int before.Query_shape.atoms);
+            ("atoms_after", Obs.Json.Int after.Query_shape.atoms);
+            ( "atoms_removed",
+              Obs.Json.Int (Rewrite.removed_atoms report.Analysis.rewrite) );
+            ("treewidth_before", Obs.Json.Int (tw before));
+            ("treewidth_after", Obs.Json.Int (tw after));
+            ("certificates_checked", Obs.Json.Int certs);
+            ("optimize_wall_ns", Obs.Json.Int (int_of_float (t_opt *. 1e9)));
+            ("eval_before_wall_ns", Obs.Json.Int (int_of_float (t_before *. 1e9)));
+            ("eval_after_wall_ns", Obs.Json.Int (int_of_float (t_after *. 1e9)));
+          ]
+        :: !optimize_rows;
+      Format.printf "%-16s %-6s %6d %6d %4d %4d %6d %a %a %a@." name
+        (Semantics.to_string sem) before.Query_shape.atoms
+        after.Query_shape.atoms (tw before) (tw after) certs pp_ms t_opt pp_ms
+        t_before pp_ms t_after)
+    families;
+  Format.printf
+    "@.Soundness check rows: duplicate-qinj must NOT shrink (the Thm 5.1@.\
+     certificate refutes the drop); every other family must.@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -811,6 +898,7 @@ let () =
       ("trails", run_trails);
       ("ablations", run_ablations);
       ("morphism", run_morphism);
+      ("optimize", run_optimize);
       ("bechamel", bechamel_section);
     ]
   in

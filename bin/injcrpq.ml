@@ -194,10 +194,35 @@ let governed ?on_trip guard f =
       (Printexc.to_string e);
     exit 2
 
+(* --------------------------- optimizer pre-pass ------------------- *)
+
+(* [--optimize] (or INJCRPQ_OPTIMIZE=on) hooks the certified optimizer
+   in front of every evaluation / containment decision of the
+   subcommand.  Rewrites are containment-certified under the active
+   semantics, so verdicts and answer sets are unchanged — only cheaper
+   to compute. *)
+let env_optimize () =
+  match Sys.getenv_opt "INJCRPQ_OPTIMIZE" with
+  | Some ("on" | "1" | "true") -> true
+  | _ -> false
+
+let optimize_setup flag = if flag || env_optimize () then Analysis.install_preprocessor ()
+
+let optimize_term =
+  let flag =
+    Arg.(
+      value & flag
+      & info [ "optimize" ]
+          ~doc:"Run the certified optimizer as a pre-pass on every query \
+                (also enabled by INJCRPQ_OPTIMIZE=on).  Applied rewrites are \
+                containment-certified, so results are unchanged.")
+  in
+  Term.(const optimize_setup $ flag)
+
 (* ------------------------------ eval ------------------------------ *)
 
 let eval_cmd =
-  let run () () guard sem q graph_file tuple =
+  let run () () guard () sem q graph_file tuple =
     let g =
       match Graph_io.load_result graph_file with
       | Ok g -> g
@@ -225,14 +250,14 @@ let eval_cmd =
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a CRPQ over a graph database.")
     Term.(
-      const run $ obs_term $ perf_term $ guard_term $ sem_arg
+      const run $ obs_term $ perf_term $ guard_term $ optimize_term $ sem_arg
       $ query_arg [ "q"; "query" ] "The CRPQ to evaluate."
       $ graph_arg $ tuple_arg)
 
 (* ---------------------------- contain ----------------------------- *)
 
 let contain_cmd =
-  let run () () guard sem lhs rhs instance bound json =
+  let run () () guard () sem lhs rhs instance bound json =
     let q1, q2 =
       match instance, lhs, rhs with
       | None, Some q1, Some q2 -> (q1, q2)
@@ -336,7 +361,7 @@ let contain_cmd =
        ~doc:"Decide Q1 ⊆ Q2 under the chosen semantics (exit 3 when undecided \
              or out of budget).")
     Term.(
-      const run $ obs_term $ perf_term $ guard_term $ sem_arg
+      const run $ obs_term $ perf_term $ guard_term $ optimize_term $ sem_arg
       $ opt_query [ "lhs" ] "Left-hand query Q1."
       $ opt_query [ "rhs" ] "Right-hand query Q2."
       $ instance_arg $ bound_arg $ json_arg)
@@ -480,86 +505,73 @@ let equiv_cmd =
 
 (* ------------------------------ lint ------------------------------ *)
 
+(* Inline queries keep their positional names; file queries are named
+   basename:lineno by [Analysis.read_query_file]. *)
+let gather_queries ~cmd queries file =
+  let from_file =
+    match file with
+    | None -> []
+    | Some path -> (
+      match Analysis.read_query_file path with
+      | Ok qs -> qs
+      | Error msg ->
+        Format.eprintf "%s: %s@." cmd msg;
+        exit 2)
+  in
+  let named =
+    List.mapi (fun i q -> (Printf.sprintf "query %d" i, q)) queries @ from_file
+  in
+  if named = [] then begin
+    Format.eprintf "%s: nothing to do (use --query or --file)@." cmd;
+    exit 2
+  end;
+  named
+
 let lint_cmd =
-  let run () () guard sem queries file json no_redundancy no_nfa bound
-      graph_file =
+  let run () () guard sem queries file json no_redundancy no_nfa no_shape bound
+      graph_file explain =
     governed guard @@ fun () ->
-    let graph =
-      match graph_file with
-      | None -> None
-      | Some path -> (
-        match Graph_io.load_result path with
-        | Ok g -> Some g
-        | Error msg -> usage_error ("cannot load graph: " ^ msg))
-    in
-    let from_file =
-      match file with
-      | None -> []
-      | Some path ->
-        let ic =
-          try open_in path
-          with Sys_error msg ->
-            Format.eprintf "lint: cannot open query file: %s@." msg;
-            exit 2
-        in
-        let rec go acc lineno =
-          match input_line ic with
-          | line ->
-            let trimmed = String.trim line in
-            if trimmed = "" || trimmed.[0] = '#' then go acc (lineno + 1)
-            else begin
-              match Crpq.parse_result trimmed with
-              | Ok q -> go ((Printf.sprintf "%s:%d" path lineno, q) :: acc) (lineno + 1)
-              | Error e ->
-                close_in ic;
-                Format.eprintf "%s:%d: cannot parse query: %s@." path lineno
-                  (Crpq.string_of_parse_error e);
-                exit 2
-            end
-          | exception End_of_file ->
-            close_in ic;
-            List.rev acc
-        in
-        go [] 1
-    in
-    let named_queries =
-      List.mapi (fun i q -> (Printf.sprintf "query %d" i, q)) queries @ from_file
-    in
-    if named_queries = [] then begin
-      Format.eprintf "lint: nothing to check (use --query or --file)@.";
-      exit 2
-    end;
-    let any_errors = ref false in
-    let results =
-      List.map
-        (fun (name, q) ->
-          let ds =
-            Analysis.lint ~sem ~redundancy:(not no_redundancy) ~bound
-              ~nfa_hygiene:(not no_nfa) ?graph q
-          in
-          if Diagnostic.has_errors ds then any_errors := true;
-          (name, q, ds))
-        named_queries
-    in
-    if json then
-      (* one JSON array over all queries, tagging each diagnostic list *)
-      Format.printf "[%s]@."
-        (String.concat ","
-           (List.map
-              (fun (name, q, ds) ->
-                Printf.sprintf {|{"name":"%s","query":"%s","diagnostics":%s}|}
-                  (Diagnostic.json_escape name)
-                  (Diagnostic.json_escape (Crpq.to_string q))
-                  (Diagnostic.list_to_json ds))
-              results))
-    else
-      List.iter
-        (fun (name, q, ds) ->
-          Format.printf "%s: %s@." name (Crpq.to_string q);
-          if ds = [] then Format.printf "  clean (no diagnostics)@."
-          else List.iter (fun d -> Format.printf "  %s@." (Diagnostic.to_string d)) ds)
-        results;
-    if !any_errors then exit 1
+    match explain with
+    | Some code -> (
+      match Catalog.find code with
+      | Some entry -> print_endline (Catalog.to_string entry)
+      | None ->
+        usage_error
+          (Printf.sprintf "unknown diagnostic code %S (see the catalogue in README.md)"
+             code))
+    | None ->
+      let graph =
+        match graph_file with
+        | None -> None
+        | Some path -> (
+          match Graph_io.load_result path with
+          | Ok g -> Some g
+          | Error msg -> usage_error ("cannot load graph: " ^ msg))
+      in
+      let named_queries = gather_queries ~cmd:"lint" queries file in
+      let any_errors = ref false in
+      let results =
+        List.map
+          (fun (name, q) ->
+            let ds =
+              Analysis.lint ~sem ~redundancy:(not no_redundancy) ~bound
+                ~nfa_hygiene:(not no_nfa) ~shape:(not no_shape) ?graph q
+            in
+            if Diagnostic.has_errors ds then any_errors := true;
+            (name, q, ds))
+          named_queries
+      in
+      if json then
+        (* one JSON array over all queries, tagging each diagnostic list *)
+        print_endline (Analysis.lint_json results)
+      else
+        List.iter
+          (fun (name, q, ds) ->
+            Format.printf "%s: %s@." name (Crpq.to_string q);
+            if ds = [] then Format.printf "  clean (no diagnostics)@."
+            else List.iter (fun d -> Format.printf "  %s@." (Diagnostic.to_string d)) ds)
+          results;
+      if !any_errors then exit 1
   in
   let queries_arg =
     Arg.(
@@ -595,6 +607,13 @@ let lint_cmd =
       & info [ "b"; "bound" ] ~docv:"N"
           ~doc:"Containment search bound for the redundancy pass.")
   in
+  let no_shape_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shape" ]
+          ~doc:"Skip the I101/I102/I103 query-shape report (treewidth, \
+                decomposition bags, articulation points).")
+  in
   let lint_graph_arg =
     Arg.(
       value
@@ -604,13 +623,107 @@ let lint_cmd =
                 additionally run the W104 empty-candidate-domain pass \
                 against it.")
   in
+  let explain_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"CODE"
+          ~doc:"Print the catalogue entry for a diagnostic code (e.g. W003) \
+                and exit.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Run the static-analysis passes over queries (exit 1 on errors, 2 on \
              usage problems).")
     Term.(
       const run $ obs_term $ perf_term $ guard_term $ sem_arg $ queries_arg $ file_arg
-      $ json_arg $ no_redundancy_arg $ no_nfa_arg $ bound_arg $ lint_graph_arg)
+      $ json_arg $ no_redundancy_arg $ no_nfa_arg $ no_shape_arg $ bound_arg
+      $ lint_graph_arg $ explain_arg)
+
+(* ---------------------------- optimize ---------------------------- *)
+
+let optimize_cmd =
+  let run () () guard sem queries file json dry_run bound =
+    governed guard @@ fun () ->
+    let named_queries = gather_queries ~cmd:"optimize" queries file in
+    let results =
+      List.map
+        (fun (name, q) ->
+          let q', report = Analysis.optimize ~sem ~bound q in
+          (name, q, q', report))
+        named_queries
+    in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.List
+              (List.map
+                 (fun (name, q, q', report) ->
+                   Analysis.optimize_json ~name ~sem ~before:q ~after:q' report)
+                 results)))
+    else
+      List.iter
+        (fun (name, q, q', report) ->
+          Format.printf "%s: %s@." name (Crpq.to_string q);
+          List.iter
+            (fun (s : Rewrite.step) ->
+              Format.printf "  %s %s (%s)@."
+                (if s.Rewrite.applied then "applied" else "skipped")
+                (Rewrite.candidate_to_string s.Rewrite.candidate)
+                s.Rewrite.note)
+            report.Analysis.rewrite.Rewrite.steps;
+          let shape = report.Analysis.shape_after in
+          Format.printf "  treewidth %d (%s), %d atom(s) removed@."
+            shape.Query_shape.width
+            (if shape.Query_shape.width_exact then "exact" else "min-fill bound")
+            (Rewrite.removed_atoms report.Analysis.rewrite);
+          if dry_run then
+            Format.printf "  dry run: query left unchanged@."
+          else Format.printf "  => %s@." (Crpq.to_string q'))
+        results
+  in
+  let queries_arg =
+    Arg.(
+      value
+      & opt_all query_conv []
+      & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"A CRPQ to optimize (repeatable).")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE"
+          ~doc:"Optimize every query in $(docv) (one per line; blank lines and \
+                # comments skipped).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Machine-readable report: queries before/after, every \
+                certificate check, shape summaries.")
+  in
+  let dry_run_arg =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:"Report the certified rewrites without printing the rewritten \
+                query as the result.")
+  in
+  let bound_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "b"; "bound" ] ~docv:"N"
+          ~doc:"Containment search bound for the certificate checks.")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Rewrite queries under containment-checked certificates: drop \
+             provably redundant atoms, merge ε-joined variables, collapse \
+             unsatisfiable queries; report treewidth before/after.")
+    Term.(
+      const run $ obs_term $ perf_term $ guard_term $ sem_arg $ queries_arg
+      $ file_arg $ json_arg $ dry_run_arg $ bound_arg)
 
 (* ------------------------------ demo ------------------------------ *)
 
@@ -653,6 +766,7 @@ let () =
             expand_cmd;
             classify_cmd;
             lint_cmd;
+            optimize_cmd;
             minimize_cmd;
             equiv_cmd;
             reduce_cmd;

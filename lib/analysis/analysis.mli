@@ -1,10 +1,18 @@
-(** Top-level lint driver: runs every query-level pass of
-    {!Lint_query} plus the NFA-hygiene summary of {!Lint_nfa} and
-    returns the diagnostics sorted by severity.
+(** Top-level driver of the static-analysis layer: the lint pipeline
+    and the certified optimizer.
 
-    This is what [injcrpq lint] and the {!Suite} workload pre-check
-    consume; the individual passes remain available for callers that
-    want finer control. *)
+    {!lint} runs every query-level pass of {!Lint_query} plus the
+    NFA-hygiene passes of {!Lint_nfa} (and optionally the {!Query_shape}
+    structure report) and returns the diagnostics sorted by severity.
+
+    {!optimize} goes further and {e acts}: it runs the
+    certificate-checked rewrite engine of {!Rewrite} — every applied
+    rewrite is backed by a both-direction containment proof under the
+    active semantics — and reports the shape of the query before and
+    after.  [injcrpq optimize] is a thin shell over it, and
+    {!install_preprocessor} hooks it in front of every
+    {!Eval}/{!Containment} entry point ([--optimize],
+    [INJCRPQ_OPTIMIZE=on]). *)
 
 (** [lint ?sem ?redundancy ?bound q]:
 
@@ -14,7 +22,9 @@
       [I006] pass, the only expensive one;
     - [bound] is its containment search bound (default 4);
     - [nfa_hygiene] (default [true]) toggles the [W101]/[W102]/[W103]
-      summary over atom NFAs;
+      summary over atom NFAs and the [W105] NFA-emptiness pass;
+    - [shape] (default [false]) adds the [I101]/[I102]/[I103]
+      query-shape report of {!Query_shape};
     - [graph], when supplied, additionally runs the [W104]
       empty-candidate-domain pass against that example graph. *)
 val lint :
@@ -22,6 +32,7 @@ val lint :
   ?redundancy:bool ->
   ?bound:int ->
   ?nfa_hygiene:bool ->
+  ?shape:bool ->
   ?graph:Graph.t ->
   Crpq.t ->
   Diagnostic.t list
@@ -33,6 +44,7 @@ val lint_ucrpq :
   ?redundancy:bool ->
   ?bound:int ->
   ?nfa_hygiene:bool ->
+  ?shape:bool ->
   ?graph:Graph.t ->
   Ucrpq.t ->
   Diagnostic.t list
@@ -43,3 +55,75 @@ val lint_ucrpq :
     containment/evaluation benchmark trivially fast and pollute
     measured series. *)
 val degenerate : Crpq.t -> bool
+
+(** {1 The certified optimizer} *)
+
+type optimize_report = {
+  rewrite : Rewrite.report;
+  shape_before : Query_shape.summary;
+  shape_after : Query_shape.summary;
+}
+
+(** [optimize ?sem q] rewrites [q] under the proof obligations of
+    {!Rewrite.rewrite} and reports what happened.  [sem] defaults to
+    [Q_inj]; [bound] is the certificate decider's search bound (default
+    4); [oracle] replaces the decider entirely (tests);
+    [exact_limit] is {!Query_shape.decompose}'s.  Under an ambient
+    {!Guard}, both the treewidth search ([analysis.treewidth]) and the
+    certificate checks ([analysis.rewrite]) are budgeted. *)
+val optimize :
+  ?sem:Semantics.t ->
+  ?bound:int ->
+  ?oracle:Rewrite.oracle ->
+  ?exact_limit:int ->
+  Crpq.t ->
+  Crpq.t * optimize_report
+
+(** Disjunct-wise {!optimize}. *)
+val optimize_ucrpq :
+  ?sem:Semantics.t ->
+  ?bound:int ->
+  ?oracle:Rewrite.oracle ->
+  ?exact_limit:int ->
+  Ucrpq.t ->
+  Ucrpq.t * optimize_report list
+
+(** {1 Pre-pass installation}
+
+    [install_preprocessor ()] hooks the certified rewrite engine in
+    front of every {!Eval.check}/{!Eval.eval}/{!Eval.eval_bool} and
+    {!Containment.decide} call ([bound] defaults to 2, keeping the
+    pre-pass cheap; queries larger than [max_atoms] (default 6) or
+    whose summed regex size exceeds an internal weight cap pass
+    through untouched — certificate checks on a hardness encoding,
+    few atoms but huge languages, cost more than they could save).  A shared re-entrancy flag makes the
+    certificate checks inside the optimizer see the identity pre-pass,
+    so installation cannot recurse.  [uninstall_preprocessor] restores
+    the identity. *)
+
+val install_preprocessor : ?bound:int -> ?max_atoms:int -> unit -> unit
+
+val uninstall_preprocessor : unit -> unit
+
+(** {1 Shared renderers and input helpers}
+
+    Used by both [injcrpq] and the golden tests, so the pinned CLI
+    output and the library agree by construction. *)
+
+(** [read_query_file path] parses one query per line (blank lines and
+    [#] comments skipped); names are [basename:lineno].  [Error] holds
+    a rendered message (unreadable file or parse failure). *)
+val read_query_file : string -> ((string * Crpq.t) list, string) result
+
+(** The [lint --json] document: one array entry per (name, query,
+    diagnostics) triple. *)
+val lint_json : (string * Crpq.t * Diagnostic.t list) list -> string
+
+(** The [optimize --json] document for one query. *)
+val optimize_json :
+  name:string ->
+  sem:Semantics.t ->
+  before:Crpq.t ->
+  after:Crpq.t ->
+  optimize_report ->
+  Obs.Json.t

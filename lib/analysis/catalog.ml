@@ -1,0 +1,123 @@
+type entry = {
+  code : string;
+  severity : Diagnostic.severity;
+  title : string;
+  description : string;
+  example : string;
+}
+
+let e code severity title description example =
+  { code; severity; title; description; example }
+
+let all =
+  [
+    e "E001" Diagnostic.Error "empty-language atom"
+      "An atom's regular expression denotes the empty language, so the query has \
+       no expansion and no answer under any semantics.  Decided syntactically on \
+       the regex; W105 re-derives the same fact at the automaton level."
+      "Q(x) :- x -[!]-> y  (the language ! is empty)";
+    e "W002" Diagnostic.Warning "epsilon-only atom"
+      "An atom admits only the empty word, silently collapsing its endpoints \
+       into one node.  The collapse interacts with injectivity: the merged \
+       variable counts once for q-inj's injective mapping.  The optimizer's \
+       merge-vars rewrite performs the collapse explicitly, certificate in hand."
+      "Q(x) :- x -[%]-> y, y -[a]-> z";
+    e "W003" Diagnostic.Warning "duplicate atom"
+      "Two syntactically identical atoms.  Idempotent (removable) under st, \
+       a-inj and a-edge-inj; NOT idempotent under q-inj and q-edge-inj, where \
+       the second copy demands a second, internally disjoint path (Example \
+       2.1 of the paper) — there the duplicate is load-bearing and the \
+       certified optimizer refuses to drop it."
+      "Q(x,y) :- x -[aa]-> y, x -[aa]-> y";
+    e "W004" Diagnostic.Warning "disconnected variable"
+      "A variable unreachable from every free variable in the atom graph: its \
+       component contributes a cartesian-product factor to evaluation."
+      "Q(x) :- x -[a]-> y, u -[b]-> v";
+    e "W005" Diagnostic.Warning "unused free variable"
+      "A free variable occurring in no atom ranges over every node of the \
+       database, multiplying the answer set by |V|."
+      "Q(x,z) :- x -[a]-> y";
+    e "I006" Diagnostic.Info "redundant atom"
+      "The query with this atom removed is containment-equivalent to the \
+       original under the active semantics (both directions certified by the \
+       decider).  'injcrpq optimize' applies the removal; the lint only \
+       reports it."
+      "Q(x,y) :- x -[a]-> y, x -[a|b]-> y  (under st, the second atom is implied)";
+    e "W101" Diagnostic.Warning "unreachable NFA state"
+      "A state of an atom's NFA with no path from an initial state; Nfa.trim \
+       would remove it.  Harmless semantically, but every product built from \
+       the automaton (path search, containment) carries the waste along."
+      "states introduced by union/product constructions";
+    e "W102" Diagnostic.Warning "dead NFA state"
+      "A reachable state from which no final state can be reached.  As W101: \
+       semantically inert, computationally a tax on every product."
+      "a* compiled with a trap state";
+    e "W103" Diagnostic.Warning "unproductive NFA transition"
+      "A transition into an unreachable or dead state: following it can never \
+       contribute an accepted word."
+      "any transition into a W101/W102 state";
+    e "W104" Diagnostic.Warning "empty candidate domain"
+      "Against a user-supplied example graph, no node satisfies all the path \
+       constraints on some variable (the CSP solver's seeding relaxation), so \
+       the query provably has no answers on that graph under any semantics.  \
+       Graph-dependent, unlike W105."
+      "lint --graph g.txt with a query whose labels g.txt lacks";
+    e "W105" Diagnostic.Warning "empty-language atom (NFA)"
+      "The atom's compiled NFA accepts no word: no final state is reachable.  \
+       The graph-independent automaton-level counterpart of E001 (and \
+       cross-check of it); the optimizer's collapse-unsat rewrite replaces the \
+       whole query by a canonical unsatisfiable one."
+      "Q(x) :- x -[!a]-> y";
+    e "I101" Diagnostic.Info "query-shape summary"
+      "One line per query: variables, atoms, connected components, multigraph \
+       acyclicity and treewidth (with whether the branch-and-bound search \
+       proved it exact or only the greedy min-fill upper bound is known).  \
+       Acyclic queries admit semijoin plans; low treewidth bounds the join \
+       width of bucket elimination."
+      "emitted for every linted query";
+    e "I102" Diagnostic.Info "decomposition bag"
+      "One bag of the computed tree decomposition: its variables and parent \
+       bag.  The bags witness the I101 treewidth."
+      "emitted alongside I101";
+    e "I103" Diagnostic.Info "articulation point"
+      "A variable whose removal disconnects its component of the query graph: \
+       evaluation can solve the biconnected blocks independently and join on \
+       this variable alone."
+      "Q(x,z) :- x -[a]-> y, y -[b]-> z  (y is the cut)";
+    e "E201" Diagnostic.Error "alphabet clash in encoding"
+      "A hardness-reduction encoding requires disjoint alphabets for two query \
+       parts, but they share symbols.  Raised by the self-validation of the \
+       PCP/GCP/QBF encoders, not by user queries."
+      "internal encoder check";
+    e "E202" Diagnostic.Error "disconnected encoding query"
+      "An encoding that must produce a connected query produced one with an \
+       unreachable variable."
+      "internal encoder check";
+    e "E203" Diagnostic.Error "arity mismatch"
+      "The two queries of a containment instance have different numbers of free \
+       variables; containment is undefined between them."
+      "contain --lhs 'Q(x) :- ...' --rhs 'Q(x,y) :- ...'";
+    e "E204" Diagnostic.Error "trivial containment instance"
+      "The left query of an encoding is unsatisfiable, making the containment \
+       instance vacuously true."
+      "internal encoder check";
+    e "E900" Diagnostic.Error "usage error"
+      "The command line could not be acted on: unparsable query, unreadable \
+       graph file, contradictory flags.  Exit code 2."
+      "injcrpq eval --query 'not a query' ...";
+    e "E901" Diagnostic.Error "internal error"
+      "An unexpected exception escaped a subcommand; the rendered exception is \
+       a bug report.  Exit code 2."
+      "should not happen";
+  ]
+
+let all = List.sort (fun a b -> compare a.code b.code) all
+
+let find code =
+  let code = String.uppercase_ascii (String.trim code) in
+  List.find_opt (fun entry -> entry.code = code) all
+
+let to_string entry =
+  Printf.sprintf "%s (%s) — %s\n\n%s\n\nExample: %s" entry.code
+    (Diagnostic.severity_to_string entry.severity)
+    entry.title entry.description entry.example

@@ -1,0 +1,25 @@
+(** The catalogue of diagnostic codes.
+
+    One entry per stable code emitted anywhere in the toolchain —
+    lint passes ({!Lint_query}, {!Lint_nfa}), shape analysis
+    ({!Query_shape}), encoding validation ({!Validate}) and the CLI
+    itself.  [injcrpq lint --explain CODE] prints an entry; README.md
+    renders {!all} as a table.  A code that is emitted but not
+    catalogued is a bug (the test suite cross-checks). *)
+
+type entry = {
+  code : string;
+  severity : Diagnostic.severity;
+  title : string;  (** short name, e.g. ["empty-language atom"] *)
+  description : string;  (** one paragraph: what it means, why it matters *)
+  example : string;  (** a query / situation that triggers it *)
+}
+
+val all : entry list
+(** Every catalogued code, sorted by code. *)
+
+val find : string -> entry option
+(** Case-insensitive lookup. *)
+
+val to_string : entry -> string
+(** Multi-line human rendering used by [lint --explain]. *)

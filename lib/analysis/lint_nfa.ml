@@ -63,6 +63,29 @@ let diagnostics a =
              q x q'))
       r.unproductive
 
+let nfa_language_empty (a : Nfa.t) =
+  (* L(A) = ∅ iff no final state is reachable from an initial one *)
+  let r = analyze a in
+  let reachable q = not (List.mem q r.unreachable) in
+  not (Array.exists Fun.id (Array.mapi (fun q final -> final && reachable q) a.Nfa.finals))
+
+let empty_language_atoms (q : Crpq.t) =
+  List.concat
+    (List.mapi
+       (fun i (a : Crpq.atom) ->
+         if nfa_language_empty (Crpq.nfa a.Crpq.lang) then
+           [
+             Diagnostic.make ~code:"W105" ~severity:Diagnostic.Warning
+               ~location:(Diagnostic.Atom i)
+               (Printf.sprintf
+                  "the NFA of [%s] accepts no word (no final state is reachable): \
+                   the atom is unsatisfiable on every graph, so the whole query \
+                   returns no answers"
+                  (Regex.to_string a.Crpq.lang));
+           ]
+         else [])
+       q.Crpq.atoms)
+
 let atom_diagnostics (q : Crpq.t) =
   List.concat
     (List.mapi

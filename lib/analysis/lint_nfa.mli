@@ -32,3 +32,10 @@ val diagnostics : Nfa.t -> Diagnostic.t list
 (** One summary diagnostic per dirty atom NFA of a query, with [Atom]
     locations (used by the query-level driver). *)
 val atom_diagnostics : Crpq.t -> Diagnostic.t list
+
+(** [W105] empty-language-atom: the atom's NFA accepts no word (no
+    final state reachable), so the atom — and the whole query — is
+    unsatisfiable on every graph.  Decided at the automaton level, as
+    a cross-check of the regex-level [E001] pass, and independent of
+    any example graph (compare the graph-dependent [W104]). *)
+val empty_language_atoms : Crpq.t -> Diagnostic.t list

@@ -1,0 +1,501 @@
+(* Structural analysis of the underlying multigraph of a CRPQ: shape,
+   articulation structure and tree decompositions.  Everything here is
+   per-query and small (variables, not database nodes), so the
+   representations are dense matrices over interned variable ids. *)
+
+let m_tw_nodes = Obs.Metrics.counter "analysis.treewidth_nodes"
+
+type t = {
+  names : Crpq.var array;  (* vertex id -> variable name, sorted *)
+  natoms : int;
+  (* one entry per atom, in sorted-atom-list order *)
+  atom_ends : (int * int) array;  (* (src id, dst id) *)
+  adj : bool array array;  (* simple underlying graph, no self-loops *)
+}
+
+let of_crpq (q : Crpq.t) =
+  let names = Array.of_list (Crpq.vars q) in
+  let id =
+    let tbl = Hashtbl.create 16 in
+    Array.iteri (fun i x -> Hashtbl.add tbl x i) names;
+    fun x -> Hashtbl.find tbl x
+  in
+  let n = Array.length names in
+  let adj = Array.make_matrix n n false in
+  let atom_ends =
+    Array.of_list
+      (List.map
+         (fun (a : Crpq.atom) ->
+           let u = id a.Crpq.src and v = id a.Crpq.dst in
+           if u <> v then begin
+             adj.(u).(v) <- true;
+             adj.(v).(u) <- true
+           end;
+           (u, v))
+         q.Crpq.atoms)
+  in
+  { names; natoms = Array.length atom_ends; atom_ends; adj }
+
+let nvars g = Array.length g.names
+
+let natoms g = g.natoms
+
+let var_names g = g.names
+
+let components g =
+  let n = nvars g in
+  let seen = Array.make n false in
+  let rec dfs u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      for v = 0 to n - 1 do
+        if g.adj.(u).(v) then dfs v
+      done
+    end
+  in
+  let c = ref 0 in
+  for u = 0 to n - 1 do
+    if not seen.(u) then begin
+      incr c;
+      dfs u
+    end
+  done;
+  !c
+
+let is_acyclic g =
+  let n = nvars g in
+  let self_loop = Array.exists (fun (u, v) -> u = v) g.atom_ends in
+  let pair_seen = Hashtbl.create 16 in
+  let parallel = ref false in
+  Array.iter
+    (fun (u, v) ->
+      if u <> v then begin
+        let key = (min u v, max u v) in
+        if Hashtbl.mem pair_seen key then parallel := true
+        else Hashtbl.add pair_seen key ()
+      end)
+    g.atom_ends;
+  (* a simple graph is a forest iff #edges = #vertices - #components *)
+  let simple_edges = Hashtbl.length pair_seen in
+  (not self_loop) && (not !parallel) && simple_edges = n - components g
+
+(* ------------------------------------------------------------------ *)
+(* Articulation points and biconnected components (Hopcroft–Tarjan)    *)
+(* ------------------------------------------------------------------ *)
+
+(* DFS over the multigraph with atoms as edge ids: parallel atoms are
+   distinct edges (and correctly form 2-edge blocks), self-loop atoms
+   are singleton blocks. *)
+let lowlink g =
+  let n = nvars g in
+  (* adjacency as (neighbour, atom id) lists *)
+  let out = Array.make n [] in
+  Array.iteri
+    (fun i (u, v) ->
+      if u <> v then begin
+        out.(u) <- (v, i) :: out.(u);
+        out.(v) <- (u, i) :: out.(v)
+      end)
+    g.atom_ends;
+  let num = Array.make n (-1) and low = Array.make n 0 in
+  let counter = ref 0 in
+  let cut = Array.make n false in
+  let stack = ref [] (* edge (atom) ids *) in
+  let blocks = ref [] in
+  let pop_block upto =
+    let rec go acc =
+      match !stack with
+      | e :: rest ->
+        stack := rest;
+        if e = upto then e :: acc else go (e :: acc)
+      | [] -> acc
+    in
+    blocks := go [] :: !blocks
+  in
+  let rec dfs u parent_edge =
+    num.(u) <- !counter;
+    low.(u) <- !counter;
+    incr counter;
+    let children = ref 0 in
+    List.iter
+      (fun (v, e) ->
+        if e <> parent_edge then
+          if num.(v) = -1 then begin
+            stack := e :: !stack;
+            incr children;
+            dfs v e;
+            if low.(v) < low.(u) then low.(u) <- low.(v);
+            if low.(v) >= num.(u) then begin
+              (* u separates the block rooted at this child *)
+              if parent_edge <> -1 then cut.(u) <- true;
+              pop_block e
+            end
+          end
+          else if num.(v) < num.(u) then begin
+            stack := e :: !stack;
+            if num.(v) < low.(u) then low.(u) <- num.(v)
+          end)
+      out.(u);
+    if parent_edge = -1 && !children >= 2 then cut.(u) <- true
+  in
+  for u = 0 to n - 1 do
+    if num.(u) = -1 then dfs u (-1)
+  done;
+  let self_blocks =
+    Array.to_list g.atom_ends
+    |> List.mapi (fun i (u, v) -> if u = v then Some [ i ] else None)
+    |> List.filter_map Fun.id
+  in
+  (cut, List.rev !blocks @ self_blocks)
+
+let articulation_points g =
+  let cut, _ = lowlink g in
+  Array.to_list
+    (Array.of_list
+       (List.filter_map
+          (fun i -> if cut.(i) then Some g.names.(i) else None)
+          (List.init (nvars g) Fun.id)))
+
+let biconnected_components g =
+  let _, blocks = lowlink g in
+  List.map (List.sort compare) blocks
+
+(* ------------------------------------------------------------------ *)
+(* Tree decompositions via elimination orders                          *)
+(* ------------------------------------------------------------------ *)
+
+type decomposition = {
+  bags : int list array;
+  parent : int array;
+  width : int;
+  exact : bool;
+}
+
+let default_exact_limit = 12
+
+let copy_matrix m = Array.map Array.copy m
+
+(* Greedy min-fill: repeatedly eliminate the vertex whose neighbourhood
+   needs the fewest fill edges (ties: smaller degree, then smaller id).
+   Returns the order; [width_of_order] recomputes its width. *)
+let min_fill_order adj n =
+  let adj = copy_matrix adj in
+  let alive = Array.make n true in
+  let degree v =
+    let d = ref 0 in
+    for u = 0 to n - 1 do
+      if alive.(u) && adj.(v).(u) then incr d
+    done;
+    !d
+  in
+  let fill_of v =
+    let nbrs = ref [] in
+    for u = n - 1 downto 0 do
+      if alive.(u) && adj.(v).(u) then nbrs := u :: !nbrs
+    done;
+    let f = ref 0 in
+    let rec pairs = function
+      | [] -> ()
+      | x :: rest ->
+        List.iter (fun y -> if not adj.(x).(y) then incr f) rest;
+        pairs rest
+    in
+    pairs !nbrs;
+    (!f, !nbrs)
+  in
+  let order = ref [] in
+  for _ = 1 to n do
+    let best = ref (-1) and best_key = ref (max_int, max_int) in
+    for v = n - 1 downto 0 do
+      if alive.(v) then begin
+        let f, _ = fill_of v in
+        let key = (f, degree v) in
+        if !best = -1 || key <= !best_key then begin
+          best := v;
+          best_key := key
+        end
+      end
+    done;
+    let v = !best in
+    let _, nbrs = fill_of v in
+    let rec connect = function
+      | [] -> ()
+      | x :: rest ->
+        List.iter
+          (fun y ->
+            adj.(x).(y) <- true;
+            adj.(y).(x) <- true)
+          rest;
+        connect rest
+    in
+    connect nbrs;
+    alive.(v) <- false;
+    order := v :: !order
+  done;
+  Array.of_list (List.rev !order)
+
+let width_of_order adj n order =
+  let adj = copy_matrix adj in
+  let alive = Array.make n true in
+  let width = ref (-1) in
+  Array.iter
+    (fun v ->
+      let nbrs = ref [] in
+      for u = n - 1 downto 0 do
+        if alive.(u) && adj.(v).(u) then nbrs := u :: !nbrs
+      done;
+      let d = List.length !nbrs in
+      if d > !width then width := d;
+      let rec connect = function
+        | [] -> ()
+        | x :: rest ->
+          List.iter
+            (fun y ->
+              adj.(x).(y) <- true;
+              adj.(y).(x) <- true)
+            rest;
+          connect rest
+      in
+      connect !nbrs;
+      alive.(v) <- false)
+    order;
+  !width
+
+(* Exact treewidth: branch and bound over elimination orders.  The
+   filled graph after eliminating a set S depends only on S, so a memo
+   on the eliminated-set bitmask prunes permutations of a common
+   prefix; the simplicial-vertex rule (if v's live neighbourhood is a
+   clique, some optimal order eliminates v next) collapses most of the
+   remaining branching.  Raises [Guard.Trip] out of the checkpoint when
+   an ambient guard's budget runs out — callers treat the incumbent
+   min-fill order as the (inexact) answer. *)
+let exact_order adj n ~incumbent_order ~incumbent_width =
+  let best_width = ref incumbent_width in
+  let best_order = ref incumbent_order in
+  let memo : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let rec go mask adj width_so_far order_rev remaining =
+    Guard.checkpoint "analysis.treewidth";
+    Obs.Metrics.incr m_tw_nodes;
+    if remaining = 0 then begin
+      if width_so_far < !best_width then begin
+        best_width := width_so_far;
+        best_order := Array.of_list (List.rev order_rev)
+      end
+    end
+    else begin
+      let alive v = mask land (1 lsl v) = 0 in
+      let nbrs v =
+        let l = ref [] in
+        for u = n - 1 downto 0 do
+          if alive u && adj.(v).(u) then l := u :: !l
+        done;
+        !l
+      in
+      let is_clique vs =
+        let rec go = function
+          | [] -> true
+          | x :: rest -> List.for_all (fun y -> adj.(x).(y)) rest && go rest
+        in
+        go vs
+      in
+      let eliminate v =
+        let vs = nbrs v in
+        let adj' = copy_matrix adj in
+        let rec connect = function
+          | [] -> ()
+          | x :: rest ->
+            List.iter
+              (fun y ->
+                adj'.(x).(y) <- true;
+                adj'.(y).(x) <- true)
+              rest;
+            connect rest
+        in
+        connect vs;
+        (adj', List.length vs)
+      in
+      (* simplicial rule: eliminating a simplicial vertex first is
+         always optimal, so branch on it alone *)
+      let simplicial = ref (-1) in
+      (try
+         for v = 0 to n - 1 do
+           if alive v && is_clique (nbrs v) then begin
+             simplicial := v;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let branch v =
+        let adj', d = eliminate v in
+        let w' = max width_so_far d in
+        if w' < !best_width then begin
+          let mask' = mask lor (1 lsl v) in
+          let seen =
+            match Hashtbl.find_opt memo mask' with
+            | Some w when w <= w' -> true
+            | _ -> false
+          in
+          if not seen then begin
+            Hashtbl.replace memo mask' w';
+            go mask' adj' w' (v :: order_rev) (remaining - 1)
+          end
+        end
+      in
+      if !simplicial >= 0 then branch !simplicial
+      else
+        for v = 0 to n - 1 do
+          if alive v then branch v
+        done
+    end
+  in
+  go 0 (copy_matrix adj) (-1) [] n;
+  (!best_order, !best_width)
+
+(* Bags from an elimination order: bag(v) = v plus its live
+   neighbourhood in the filled graph; the parent of bag(v) is the bag
+   of the next-eliminated member of that neighbourhood. *)
+let decomposition_of_order adj n order width exact =
+  let adj = copy_matrix adj in
+  let alive = Array.make n true in
+  let position = Array.make n 0 in
+  Array.iteri (fun i v -> position.(v) <- i) order;
+  let bags = Array.make n [] in
+  let parent = Array.make n (-1) in
+  Array.iteri
+    (fun i v ->
+      let nbrs = ref [] in
+      for u = n - 1 downto 0 do
+        if alive.(u) && adj.(v).(u) then nbrs := u :: !nbrs
+      done;
+      bags.(i) <- List.sort compare (v :: !nbrs);
+      (match !nbrs with
+      | [] -> ()
+      | vs ->
+        let next = List.fold_left (fun acc u -> min acc position.(u)) max_int vs in
+        parent.(i) <- next);
+      let rec connect = function
+        | [] -> ()
+        | x :: rest ->
+          List.iter
+            (fun y ->
+              adj.(x).(y) <- true;
+              adj.(y).(x) <- true)
+            rest;
+          connect rest
+      in
+      connect !nbrs;
+      alive.(v) <- false)
+    order;
+  { bags; parent; width; exact }
+
+let decompose ?(exact_limit = default_exact_limit) g =
+  let n = nvars g in
+  if n = 0 then { bags = [||]; parent = [||]; width = -1; exact = true }
+  else begin
+    let greedy = min_fill_order g.adj n in
+    let greedy_width = width_of_order g.adj n greedy in
+    if n > exact_limit then decomposition_of_order g.adj n greedy greedy_width false
+    else
+      match
+        exact_order g.adj n ~incumbent_order:greedy ~incumbent_width:greedy_width
+      with
+      | order, width -> decomposition_of_order g.adj n order width true
+      | exception Guard.Trip _ ->
+        (* budget ran out mid-search: fall back to the greedy bound *)
+        decomposition_of_order g.adj n greedy greedy_width false
+  end
+
+let treewidth ?exact_limit g =
+  let d = decompose ?exact_limit g in
+  (d.width, d.exact)
+
+(* ------------------------------------------------------------------ *)
+(* Summaries and diagnostics                                           *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  vars : int;
+  atoms : int;
+  comps : int;
+  acyclic : bool;
+  width : int;
+  width_exact : bool;
+  articulation : Crpq.var list;
+  bags : (Crpq.var list * int) list;
+}
+
+let summarize ?exact_limit q =
+  let g = of_crpq q in
+  let d = decompose ?exact_limit g in
+  {
+    vars = nvars g;
+    atoms = natoms g;
+    comps = components g;
+    acyclic = is_acyclic g;
+    width = d.width;
+    width_exact = d.exact;
+    articulation = articulation_points g;
+    bags =
+      Array.to_list
+        (Array.mapi
+           (fun i bag -> (List.map (fun v -> g.names.(v)) bag, d.parent.(i)))
+           d.bags);
+  }
+
+let summary_json s =
+  Obs.Json.Obj
+    [
+      ("vars", Obs.Json.Int s.vars);
+      ("atoms", Obs.Json.Int s.atoms);
+      ("components", Obs.Json.Int s.comps);
+      ("acyclic", Obs.Json.Bool s.acyclic);
+      ("treewidth", Obs.Json.Int s.width);
+      ("treewidth_exact", Obs.Json.Bool s.width_exact);
+      ( "articulation_points",
+        Obs.Json.List (List.map (fun x -> Obs.Json.String x) s.articulation) );
+      ( "bags",
+        Obs.Json.List
+          (List.map
+             (fun (bag, parent) ->
+               Obs.Json.Obj
+                 [
+                   ( "vars",
+                     Obs.Json.List (List.map (fun x -> Obs.Json.String x) bag) );
+                   ("parent", Obs.Json.Int parent);
+                 ])
+             s.bags) );
+    ]
+
+let diagnostics ?exact_limit (q : Crpq.t) =
+  let s = summarize ?exact_limit q in
+  let info = Diagnostic.make ~severity:Diagnostic.Info in
+  let summary =
+    info ~code:"I101" ~location:Diagnostic.Query
+      (Printf.sprintf
+         "query graph: %d variable(s), %d atom(s), %d component(s); multigraph is \
+          %s; treewidth %d (%s)"
+         s.vars s.atoms s.comps
+         (if s.acyclic then "acyclic (semijoin-plannable)" else "cyclic")
+         s.width
+         (if s.width_exact then "exact" else "min-fill upper bound"))
+  in
+  let bags =
+    List.mapi
+      (fun i (bag, parent) ->
+        info ~code:"I102" ~location:Diagnostic.Query
+          (Printf.sprintf "decomposition bag %d {%s}%s" i (String.concat ", " bag)
+             (if parent < 0 then " (root)" else Printf.sprintf " (parent bag %d)" parent)))
+      s.bags
+  in
+  let cuts =
+    List.map
+      (fun x ->
+        info ~code:"I103" ~location:(Diagnostic.Var x)
+          (Printf.sprintf
+             "variable %s is an articulation point: its component splits here, so \
+              evaluation can solve the biconnected blocks independently and join \
+              on %s"
+             x x))
+      s.articulation
+  in
+  (summary :: bags) @ cuts

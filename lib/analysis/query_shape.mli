@@ -1,0 +1,98 @@
+(** Structural analysis of the query graph.
+
+    The {e underlying multigraph} of a CRPQ has one vertex per variable
+    and one (undirected) edge per atom, languages forgotten.  Its shape
+    governs how cheaply the query can be evaluated: acyclic queries
+    admit Yannakakis-style semijoin plans, and bounded treewidth bounds
+    the join width of any bucket-elimination plan ("Semantic Tree-Width
+    and Path-Width of CRPQs", Figueira–Morvan).  This module computes
+
+    - connectivity, multigraph acyclicity, articulation points and
+      biconnected components (Hopcroft–Tarjan lowlinks);
+    - a tree decomposition: exact for small queries (branch-and-bound
+      over vertex elimination orders with a subset memo, default up to
+      {!default_exact_limit} variables) and a greedy min-fill upper
+      bound beyond that.
+
+    The branch-and-bound loop calls the [analysis.treewidth] guard
+    checkpoint, so an ambient {!Guard} bounds the (exponential) exact
+    search; a trip aborts the refinement and the min-fill bound is
+    reported as inexact.
+
+    Codes emitted by {!diagnostics}:
+
+    - [I101] query-shape: one summary per query (variables, atoms,
+      components, acyclicity, treewidth and whether it is exact).
+    - [I102] decomposition-bag: one per bag of the computed tree
+      decomposition, listing its variables and parent bag.
+    - [I103] articulation-point: a variable whose removal disconnects
+      the query graph; evaluation can be split at such a variable. *)
+
+type t
+(** The underlying multigraph of a query, with interned variables. *)
+
+val of_crpq : Crpq.t -> t
+
+val nvars : t -> int
+
+val natoms : t -> int
+
+val var_names : t -> Crpq.var array
+(** Vertex id to variable name (ids are dense, sorted by name). *)
+
+val components : t -> int
+(** Number of connected components (isolated free variables count). *)
+
+val is_acyclic : t -> bool
+(** Multigraph acyclicity: no self-loop atom, no two atoms on the same
+    unordered variable pair, and the simple underlying graph is a
+    forest.  Under query-injective semantics parallel atoms are
+    load-bearing (internally disjoint paths), which is why the
+    multigraph — not its simple quotient — is the object judged. *)
+
+val articulation_points : t -> Crpq.var list
+(** Sorted variable names whose removal increases the number of
+    connected components. *)
+
+val biconnected_components : t -> int list list
+(** Edge-disjoint biconnected blocks, each a list of atom indices
+    (into the sorted atom list of the query).  Self-loop atoms form
+    their own singleton blocks. *)
+
+(** A tree decomposition as a forest of bags: [parent.(b) = -1] for
+    roots.  [width] is [max bag size - 1] (and [-1] for the empty
+    query); [exact] says whether the branch-and-bound search proved
+    optimality or the width is only the greedy min-fill upper bound. *)
+type decomposition = {
+  bags : int list array;  (** bag index -> sorted vertex ids *)
+  parent : int array;
+  width : int;
+  exact : bool;
+}
+
+val default_exact_limit : int
+(** Largest variable count for which the exact search runs (12). *)
+
+val decompose : ?exact_limit:int -> t -> decomposition
+
+val treewidth : ?exact_limit:int -> t -> int * bool
+(** [(width, exact)] of {!decompose}. *)
+
+(** Everything above, computed once, in report form. *)
+type summary = {
+  vars : int;
+  atoms : int;
+  comps : int;
+  acyclic : bool;
+  width : int;
+  width_exact : bool;
+  articulation : Crpq.var list;
+  bags : (Crpq.var list * int) list;  (** bag variables, parent index *)
+}
+
+val summarize : ?exact_limit:int -> Crpq.t -> summary
+
+val summary_json : summary -> Obs.Json.t
+
+val diagnostics : ?exact_limit:int -> Crpq.t -> Diagnostic.t list
+(** The [I101]/[I102]/[I103] informational diagnostics. *)

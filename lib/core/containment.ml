@@ -303,8 +303,13 @@ let decide_impl ~bound sem q1 q2 =
     | v -> v
   end
 
+let preprocessor : (Semantics.t -> Crpq.t -> Crpq.t) ref = ref (fun _ q -> q)
+
+let set_preprocessor f = preprocessor := f
+
 let decide ?(bound = 4) ?guard sem q1 q2 =
   Obs.Metrics.incr m_decisions;
+  let q1 = !preprocessor sem q1 and q2 = !preprocessor sem q2 in
   let go () =
     Guard.checkpoint "containment.decide";
     if Obs.Trace.enabled () then

@@ -96,3 +96,10 @@ val decide :
 
 (** Name of the procedure {!decide} would use (for reporting). *)
 val strategy_name : Semantics.t -> Crpq.t -> Crpq.t -> string
+
+(** Install a query pre-pass applied to both sides of every {!decide}
+    call (identity by default).  The analysis layer hooks its certified
+    optimizer in here; installers must guard against re-entry, since
+    a preprocessor that itself calls {!decide} would otherwise recurse
+    forever. *)
+val set_preprocessor : (Semantics.t -> Crpq.t -> Crpq.t) -> unit

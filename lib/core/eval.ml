@@ -348,8 +348,17 @@ let check_impl sem q g tuple =
     false
   with Found -> true
 
+(* Pre-pass hook (identity by default): the analysis layer installs a
+   certified optimizer here so [--optimize] / INJCRPQ_OPTIMIZE=on can
+   rewrite queries before every evaluation without creating a
+   dependency cycle (analysis depends on core, not vice versa). *)
+let preprocessor : (Semantics.t -> Crpq.t -> Crpq.t) ref = ref (fun _ q -> q)
+
+let set_preprocessor f = preprocessor := f
+
 let check sem q g tuple =
   Obs.Metrics.incr m_evals;
+  let q = !preprocessor sem q in
   if Obs.Trace.enabled () then
     Obs.Trace.span "eval.check" (fun () -> check_impl sem q g tuple)
   else check_impl sem q g tuple
@@ -362,6 +371,7 @@ let eval_impl sem q g =
 
 let eval sem q g =
   Obs.Metrics.incr m_evals;
+  let q = !preprocessor sem q in
   if Obs.Trace.enabled () then Obs.Trace.span "eval.eval" (fun () -> eval_impl sem q g)
   else eval_impl sem q g
 
@@ -374,6 +384,7 @@ let eval_bool_impl sem q g =
 
 let eval_bool sem q g =
   Obs.Metrics.incr m_evals;
+  let q = !preprocessor sem q in
   if Obs.Trace.enabled () then
     Obs.Trace.span "eval.eval_bool" (fun () -> eval_bool_impl sem q g)
   else eval_bool_impl sem q g

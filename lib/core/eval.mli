@@ -28,6 +28,14 @@ val eval : Semantics.t -> Crpq.t -> Graph.t -> Graph.node list list
     query this is [check sem q g []].) *)
 val eval_bool : Semantics.t -> Crpq.t -> Graph.t -> bool
 
+(** Install a query pre-pass applied by {!check}, {!eval} and
+    {!eval_bool} before evaluation (identity by default); the analysis
+    layer hooks its certified optimizer in here.  The pre-pass must
+    preserve the free-variable tuple, or {!check}'s arity contract
+    breaks.  The expansion-based reference evaluators below are {e not}
+    preprocessed — they stay independent oracles. *)
+val set_preprocessor : (Semantics.t -> Crpq.t -> Crpq.t) -> unit
+
 (** {1 Expansion-based reference semantics (Props 2.2, 2.3 and their
     edge-injective analogues)}
 

@@ -143,6 +143,131 @@ let test_eval =
         ~repr:answers_repr
         (fun () -> Eval.eval sem q g))
 
+(* ---------------- the certified optimizer ---------------- *)
+
+(* Optimized queries must be observationally identical to the originals:
+   same answer sets under Eval, compatible verdicts under the
+   containment deciders (an exact verdict may not flip; Unknown may
+   resolve, since rewriting can only make the instance easier).  Each
+   property also re-runs the optimized decider under every
+   cache/domains configuration. *)
+
+(* bias towards rewritable queries: finite languages keep the
+   certificate decider exact, and a duplicated atom gives the drop-atom
+   pass something to prove (or, under q-inj, to refuse) *)
+let optimizable_crpq rng ~arity =
+  let q =
+    Qgen.random_crpq ~rng ~labels ~nvars:3 ~natoms:2 ~arity ~cls:Crpq.Class_fin ()
+  in
+  if Random.State.bool rng then
+    match q.Crpq.atoms with
+    | a :: _ -> Crpq.make ~free:q.Crpq.free (a :: q.Crpq.atoms)
+    | [] -> q
+  else q
+
+let optimize_eval_instance_of seed =
+  let rng = rng_of seed 4 in
+  let sem = pick_sem rng Semantics.node_semantics in
+  let q = optimizable_crpq rng ~arity:(Random.State.int rng 2) in
+  let g = Generate.gnp ~rng ~nodes:4 ~labels ~p:0.3 in
+  (sem, q, g)
+
+let test_optimize_eval =
+  Testutil.qtest ~count:200 "optimize preserves Eval.eval answer sets" gen_seed
+    (fun seed ->
+      let sem, q, g = optimize_eval_instance_of seed in
+      let q', _ = Analysis.optimize ~sem ~bound:2 q in
+      let pp_instance () =
+        Printf.sprintf "[%s] %s ~> %s on %s" (Semantics.to_string sem)
+          (Crpq.to_string q) (Crpq.to_string q')
+          (Format.asprintf "%a" Graph.pp g)
+      in
+      let baseline = answers_repr (with_config reference (fun () -> Eval.eval sem q g)) in
+      let optimized =
+        answers_repr (with_config reference (fun () -> Eval.eval sem q' g))
+      in
+      if not (String.equal baseline optimized) then
+        QCheck2.Test.fail_reportf
+          "optimized answers diverge on %s@.original:  %s@.optimized: %s"
+          (pp_instance ()) baseline optimized
+      else
+        agree ~pp_instance ~repr:answers_repr (fun () -> Eval.eval sem q' g))
+
+(* exact verdicts must agree; Unknown may only appear on, or resolve
+   from, the original *)
+let verdicts_compatible ~original ~optimized =
+  match Containment.verdict_bool original, Containment.verdict_bool optimized with
+  | Some a, Some b -> a = b
+  | None, _ | _, None -> true
+
+let optimize_pair_of seed =
+  let rng = rng_of seed 5 in
+  let sem = pick_sem rng Semantics.node_semantics in
+  let q1 = optimizable_crpq rng ~arity:0 in
+  let q2 =
+    if Random.State.bool rng then
+      Qgen.random_crpq ~rng ~labels ~nvars:3 ~natoms:2 ~arity:0
+        ~cls:Crpq.Class_fin ()
+    else optimizable_crpq rng ~arity:0
+  in
+  (sem, q1, q2)
+
+let test_optimize_containment =
+  Testutil.qtest ~count:200 "optimize preserves Containment.decide verdicts"
+    gen_seed (fun seed ->
+      let sem, q1, q2 = optimize_pair_of seed in
+      let q1', _ = Analysis.optimize ~sem ~bound:2 q1 in
+      let q2', _ = Analysis.optimize ~sem ~bound:2 q2 in
+      let pp_instance () =
+        Printf.sprintf "[%s] %s vs %s (optimized: %s vs %s)"
+          (Semantics.to_string sem) (Crpq.to_string q1) (Crpq.to_string q2)
+          (Crpq.to_string q1') (Crpq.to_string q2')
+      in
+      let original =
+        with_config reference (fun () -> Containment.decide ~bound:2 sem q1 q2)
+      in
+      let optimized =
+        with_config reference (fun () -> Containment.decide ~bound:2 sem q1' q2')
+      in
+      if not (verdicts_compatible ~original ~optimized) then
+        QCheck2.Test.fail_reportf
+          "optimized verdict flips on %s@.original:  %s@.optimized: %s"
+          (pp_instance ()) (verdict_repr original) (verdict_repr optimized)
+      else
+        agree ~pp_instance ~repr:verdict_repr (fun () ->
+            Containment.decide ~bound:2 sem q1' q2'))
+
+let optimize_ucrpq_pair_of seed =
+  let rng = rng_of seed 6 in
+  let sem = pick_sem rng Semantics.node_semantics in
+  let union () = Ucrpq.make [ optimizable_crpq rng ~arity:0; optimizable_crpq rng ~arity:0 ] in
+  (sem, union (), union ())
+
+let test_optimize_ucrpq =
+  Testutil.qtest ~count:200 "optimize preserves Ucrpq.contained verdicts"
+    gen_seed (fun seed ->
+      let sem, u1, u2 = optimize_ucrpq_pair_of seed in
+      let u1', _ = Analysis.optimize_ucrpq ~sem ~bound:2 u1 in
+      let u2', _ = Analysis.optimize_ucrpq ~sem ~bound:2 u2 in
+      let pp_instance () =
+        Printf.sprintf "[%s] %s vs %s (optimized: %s vs %s)"
+          (Semantics.to_string sem) (Ucrpq.to_string u1) (Ucrpq.to_string u2)
+          (Ucrpq.to_string u1') (Ucrpq.to_string u2')
+      in
+      let original =
+        with_config reference (fun () -> Ucrpq.contained ~bound:2 sem u1 u2)
+      in
+      let optimized =
+        with_config reference (fun () -> Ucrpq.contained ~bound:2 sem u1' u2')
+      in
+      if not (verdicts_compatible ~original ~optimized) then
+        QCheck2.Test.fail_reportf
+          "optimized verdict flips on %s@.original:  %s@.optimized: %s"
+          (pp_instance ()) (verdict_repr original) (verdict_repr optimized)
+      else
+        agree ~pp_instance ~repr:verdict_repr (fun () ->
+            Ucrpq.contained ~bound:2 sem u1' u2'))
+
 (* ---------------- cache unit tests ---------------- *)
 
 let test_lru_eviction () =
@@ -237,6 +362,8 @@ let () =
     [
       ( "deciders",
         [ test_containment; test_ucrpq; test_eval ] );
+      ( "optimize",
+        [ test_optimize_eval; test_optimize_containment; test_optimize_ucrpq ] );
       ( "cache-units",
         [
           Alcotest.test_case "lru eviction order" `Quick test_lru_eviction;

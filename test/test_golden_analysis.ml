@@ -1,0 +1,132 @@
+(* Golden conformance test for the analysis CLI surfaces: pins the
+   exact `injcrpq lint --json` and `injcrpq optimize --json` documents
+   for examples/queries/*.crpq.  The CLI builds these documents through
+   Analysis.lint_json / Analysis.optimize_json — the same functions
+   called here — so schema drift in diagnostics, shape summaries or
+   certificate reports shows up as a readable fixture diff.
+
+   Regenerate after an intentional change with
+
+     INJCRPQ_GOLDEN_REGEN=$PWD/test/golden/analysis_cli.golden \
+       dune exec test/test_golden_analysis.exe *)
+
+let fixture = "golden/analysis_cli.golden"
+
+let example_files =
+  [
+    "../examples/queries/paper_examples.crpq";
+    "../examples/queries/knowledge_graph.crpq";
+  ]
+
+(* CLI defaults: sem st, bound 4, all passes on (lint runs shape) *)
+let sem = Semantics.St
+
+let render () =
+  let buf = Buffer.create 8192 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  line "# Pinned `injcrpq lint --json` / `injcrpq optimize --json` output for";
+  line "# examples/queries/*.crpq (CLI defaults: -s st, bound 4, every pass on).";
+  List.iter
+    (fun path ->
+      let queries =
+        match Analysis.read_query_file path with
+        | Ok qs -> qs
+        | Error msg -> failwith msg
+      in
+      line "";
+      line "## lint --json --file %s" (Filename.basename path);
+      line "%s"
+        (Analysis.lint_json
+           (List.map (fun (name, q) -> (name, q, Analysis.lint ~sem ~shape:true q)) queries));
+      line "";
+      line "## optimize --json --file %s" (Filename.basename path);
+      line "%s"
+        (Obs.Json.to_string
+           (Obs.Json.List
+              (List.map
+                 (fun (name, q) ->
+                   let q', report = Analysis.optimize ~sem q in
+                   Analysis.optimize_json ~name ~sem ~before:q ~after:q' report)
+                 queries))))
+    example_files;
+  Buffer.contents buf
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_fixture () =
+  let actual = render () in
+  let expected = read_file fixture in
+  if not (String.equal actual expected) then begin
+    let al = String.split_on_char '\n' actual
+    and el = String.split_on_char '\n' expected in
+    let rec first_diff i = function
+      | a :: arest, e :: erest ->
+        if String.equal a e then first_diff (i + 1) (arest, erest) else (i, e, a)
+      | a :: _, [] -> (i, "<end of fixture>", a)
+      | [], e :: _ -> (i, e, "<end of output>")
+      | [], [] -> (i, "", "")
+    in
+    let i, e, a = first_diff 1 (al, el) in
+    Alcotest.failf
+      "golden fixture mismatch at line %d@.  fixture : %s@.  actual  : %s@.\
+       (regenerate with INJCRPQ_GOLDEN_REGEN if the change is intentional)"
+      i e a
+  end
+
+(* Structural sanity independent of the fixture text: the documents
+   parse back and every emitted diagnostic code is catalogued. *)
+let test_roundtrip_and_catalogue () =
+  List.iter
+    (fun path ->
+      let queries =
+        match Analysis.read_query_file path with
+        | Ok qs -> qs
+        | Error msg -> failwith msg
+      in
+      List.iter
+        (fun (name, q) ->
+          let ds = Analysis.lint ~sem ~shape:true q in
+          (match Diagnostic.list_of_json (Diagnostic.list_to_json ds) with
+          | Ok ds' ->
+            Alcotest.(check int)
+              (name ^ ": diagnostics round-trip")
+              (List.length ds) (List.length ds')
+          | Error msg -> Alcotest.failf "%s: list_of_json failed: %s" name msg);
+          List.iter
+            (fun d ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: code %s catalogued" name d.Diagnostic.code)
+                true
+                (Catalog.find d.Diagnostic.code <> None))
+            ds)
+        queries)
+    example_files
+
+let () =
+  match Sys.getenv_opt "INJCRPQ_GOLDEN_REGEN" with
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc (render ());
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  | None ->
+    Alcotest.run "golden_analysis"
+      [
+        ( "analysis cli",
+          [
+            Alcotest.test_case "fixture conformance" `Quick test_fixture;
+            Alcotest.test_case "round-trip and catalogue" `Quick
+              test_roundtrip_and_catalogue;
+          ] );
+      ]

@@ -1,0 +1,311 @@
+(* Query_shape: acyclicity, articulation points, biconnected blocks and
+   treewidth, cross-checked against brute force on small queries. *)
+
+let q s = Crpq.parse s
+
+(* ---------------- brute-force references ---------------- *)
+
+(* simple underlying graph of a query, as (vertex count, adjacency) *)
+let simple_graph (query : Crpq.t) =
+  let vars = Array.of_list (Crpq.vars query) in
+  let n = Array.length vars in
+  let id x =
+    let rec go i = if vars.(i) = x then i else go (i + 1) in
+    go 0
+  in
+  let adj = Array.make_matrix n n false in
+  List.iter
+    (fun (a : Crpq.atom) ->
+      let u = id a.Crpq.src and v = id a.Crpq.dst in
+      if u <> v then begin
+        adj.(u).(v) <- true;
+        adj.(v).(u) <- true
+      end)
+    query.Crpq.atoms;
+  (n, adj)
+
+let width_of_order adj n order =
+  let adj = Array.map Array.copy adj in
+  let alive = Array.make n true in
+  let width = ref (-1) in
+  List.iter
+    (fun v ->
+      let nbrs = ref [] in
+      for u = 0 to n - 1 do
+        if alive.(u) && adj.(v).(u) then nbrs := u :: !nbrs
+      done;
+      if List.length !nbrs > !width then width := List.length !nbrs;
+      List.iter
+        (fun x -> List.iter (fun y -> if x <> y then adj.(x).(y) <- true) !nbrs)
+        !nbrs;
+      alive.(v) <- false)
+    order;
+  !width
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) l)))
+      l
+
+(* exact treewidth = min width over all elimination orders *)
+let brute_treewidth query =
+  let n, adj = simple_graph query in
+  if n = 0 then -1
+  else
+    List.fold_left
+      (fun acc order -> min acc (width_of_order adj n order))
+      max_int
+      (permutations (List.init n Fun.id))
+
+(* acyclic multigraph: adding edges one by one via union-find, any edge
+   (self-loops included) joining an already-connected pair closes a cycle *)
+let brute_acyclic (query : Crpq.t) =
+  let vars = Crpq.vars query in
+  let parent = Hashtbl.create 8 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | Some p when p <> x ->
+      let r = find p in
+      Hashtbl.replace parent x r;
+      r
+    | _ -> x
+  in
+  List.iter (fun x -> Hashtbl.replace parent x x) vars;
+  List.for_all
+    (fun (a : Crpq.atom) ->
+      let ru = find a.Crpq.src and rv = find a.Crpq.dst in
+      if ru = rv then false
+      else begin
+        Hashtbl.replace parent ru rv;
+        true
+      end)
+    query.Crpq.atoms
+
+(* articulation point: removing the vertex increases the component count
+   of its graph (counted over the remaining vertices) *)
+let brute_articulation (query : Crpq.t) =
+  let vars = Crpq.vars query in
+  let ncomp keep =
+    let kept = List.filter keep vars in
+    let seen = Hashtbl.create 8 in
+    let rec dfs x =
+      if not (Hashtbl.mem seen x) then begin
+        Hashtbl.add seen x ();
+        List.iter
+          (fun (a : Crpq.atom) ->
+            if a.Crpq.src = x && keep a.Crpq.dst then dfs a.Crpq.dst;
+            if a.Crpq.dst = x && keep a.Crpq.src then dfs a.Crpq.src)
+          query.Crpq.atoms
+      end
+    in
+    List.fold_left
+      (fun c x ->
+        if Hashtbl.mem seen x then c
+        else begin
+          dfs x;
+          c + 1
+        end)
+      0 kept
+  in
+  (* removing v from its component leaves k >= 2 pieces iff the total
+     count strictly increases *)
+  let all = ncomp (fun _ -> true) in
+  List.filter (fun v -> ncomp (fun x -> x <> v) > all) vars
+
+(* ---------------- fixed examples ---------------- *)
+
+let check_width name query expected =
+  let w, exact = Query_shape.treewidth (Query_shape.of_crpq query) in
+  Alcotest.(check int) (name ^ " width") expected w;
+  Alcotest.(check bool) (name ^ " exact") true exact
+
+let test_known_widths () =
+  check_width "single atom" (q "Q() :- x -[a]-> y") 1;
+  check_width "chain" (q "Q() :- x -[a]-> y, y -[b]-> z, z -[c]-> w") 1;
+  check_width "triangle" (q "Q() :- x -[a]-> y, y -[b]-> z, z -[c]-> x") 2;
+  check_width "4-cycle" (q "Q() :- x -[a]-> y, y -[a]-> z, z -[a]-> w, w -[a]-> x") 2;
+  check_width "self loop" (q "Q() :- x -[a]-> x") 0;
+  (* K4 *)
+  check_width "K4"
+    (q
+       "Q() :- x -[a]-> y, x -[a]-> z, x -[a]-> w, y -[a]-> z, y -[a]-> w, z \
+        -[a]-> w")
+    3;
+  (* two components: a triangle and an edge *)
+  check_width "triangle + edge"
+    (q "Q() :- x -[a]-> y, y -[b]-> z, z -[c]-> x, u -[a]-> v")
+    2
+
+let test_acyclicity () =
+  let acyclic s = Query_shape.is_acyclic (Query_shape.of_crpq (q s)) in
+  Alcotest.(check bool) "chain acyclic" true (acyclic "Q() :- x -[a]-> y, y -[b]-> z");
+  Alcotest.(check bool) "self loop cyclic" false (acyclic "Q() :- x -[a]-> x");
+  Alcotest.(check bool)
+    "parallel atoms cyclic" false
+    (acyclic "Q() :- x -[a]-> y, x -[b]-> y");
+  Alcotest.(check bool)
+    "opposite atoms cyclic" false
+    (acyclic "Q() :- x -[a]-> y, y -[b]-> x");
+  Alcotest.(check bool)
+    "triangle cyclic" false
+    (acyclic "Q() :- x -[a]-> y, y -[b]-> z, z -[c]-> x");
+  Alcotest.(check bool) "forest acyclic" true (acyclic "Q() :- x -[a]-> y, u -[b]-> v")
+
+let test_articulation_fixed () =
+  let aps s = Query_shape.articulation_points (Query_shape.of_crpq (q s)) in
+  Alcotest.(check (list string))
+    "chain midpoint" [ "y" ]
+    (aps "Q() :- x -[a]-> y, y -[b]-> z");
+  Alcotest.(check (list string)) "triangle has none" [] (aps "Q() :- x -[a]-> y, y -[b]-> z, z -[c]-> x");
+  Alcotest.(check (list string))
+    "bowtie centre" [ "y" ]
+    (aps
+       "Q() :- x -[a]-> y, y -[a]-> x, y -[a]-> z, z -[a]-> y")
+
+let test_biconnected () =
+  (* bowtie: two 2-edge blocks meeting at y *)
+  let g =
+    Query_shape.of_crpq
+      (q "Q() :- x -[a]-> y, y -[b]-> x, y -[a]-> z, z -[b]-> y")
+  in
+  let blocks = List.sort compare (Query_shape.biconnected_components g) in
+  Alcotest.(check int) "two blocks" 2 (List.length blocks);
+  List.iter
+    (fun b -> Alcotest.(check int) "block size" 2 (List.length b))
+    blocks;
+  Alcotest.(check (list int))
+    "blocks partition the atoms" [ 0; 1; 2; 3 ]
+    (List.sort compare (List.concat blocks));
+  (* self-loops become singleton blocks *)
+  let g2 = Query_shape.of_crpq (q "Q() :- x -[a]-> x, x -[a]-> y") in
+  let blocks2 = Query_shape.biconnected_components g2 in
+  Alcotest.(check int) "loop + bridge" 2 (List.length blocks2)
+
+let test_decomposition_shape () =
+  let query = q "Q(x) :- x -[a]-> y, y -[b]-> z, z -[c]-> x, z -[a]-> w" in
+  let g = Query_shape.of_crpq query in
+  let d = Query_shape.decompose g in
+  let n = Query_shape.nvars g in
+  Alcotest.(check int) "one bag per vertex" n (Array.length d.Query_shape.bags);
+  (* every vertex occurs in some bag *)
+  for v = 0 to n - 1 do
+    Alcotest.(check bool) "vertex covered" true
+      (Array.exists (fun bag -> List.mem v bag) d.Query_shape.bags)
+  done;
+  (* every edge is inside some bag *)
+  List.iter
+    (fun (a : Crpq.atom) ->
+      let names = Query_shape.var_names g in
+      let id x =
+        let rec go i = if names.(i) = x then i else go (i + 1) in
+        go 0
+      in
+      let u = id a.Crpq.src and v = id a.Crpq.dst in
+      Alcotest.(check bool) "edge covered" true
+        (Array.exists
+           (fun bag -> List.mem u bag && List.mem v bag)
+           d.Query_shape.bags))
+    query.Crpq.atoms;
+  (* width consistent with the bags *)
+  let max_bag =
+    Array.fold_left (fun acc bag -> max acc (List.length bag)) 0 d.Query_shape.bags
+  in
+  Alcotest.(check int) "width = max bag - 1" (max_bag - 1) d.Query_shape.width
+
+let test_diagnostics () =
+  let ds = Query_shape.diagnostics (q "Q(x) :- x -[a]-> y, y -[b]-> z") in
+  let codes c = List.filter (fun d -> d.Diagnostic.code = c) ds in
+  Alcotest.(check int) "one I101" 1 (List.length (codes "I101"));
+  Alcotest.(check int) "one I102 per bag" 3 (List.length (codes "I102"));
+  Alcotest.(check int) "one I103 (y)" 1 (List.length (codes "I103"));
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "info severity" true (d.Diagnostic.severity = Diagnostic.Info))
+    ds
+
+let test_guard_fallback () =
+  (* a chaos trip at analysis.treewidth mid-search degrades to the
+     min-fill bound (exact = false) instead of escaping *)
+  let query =
+    q
+      "Q() :- x -[a]-> y, x -[a]-> z, x -[a]-> w, y -[a]-> z, y -[a]-> w, z \
+       -[a]-> w"
+  in
+  (* visit 1: K4's min-fill incumbent is already optimal, so the B&B
+     prunes everything at the root and hits the checkpoint only once *)
+  Guard.Chaos.arm [ ("analysis.treewidth", 1) ];
+  Fun.protect ~finally:Guard.Chaos.disarm (fun () ->
+      Guard.with_guard (Guard.unlimited ()) @@ fun () ->
+      let w, exact = Query_shape.treewidth (Query_shape.of_crpq query) in
+      Alcotest.(check bool) "inexact after trip" false exact;
+      (* min-fill on K4 still finds 3 *)
+      Alcotest.(check int) "min-fill width" 3 w)
+
+(* ---------------- randomized cross-checks ---------------- *)
+
+let gen_shape_query =
+  (* up to 6 variables so the permutation brute force stays tiny *)
+  Testutil.gen_crpq ~cls:Crpq.Class_cq ~max_atoms:8 ~max_vars:6 ()
+
+let qtests =
+  [
+    Testutil.qtest ~count:200 "treewidth matches brute force (<=6 vars)"
+      gen_shape_query (fun query ->
+        let w, exact = Query_shape.treewidth (Query_shape.of_crpq query) in
+        exact && w = brute_treewidth query);
+    Testutil.qtest ~count:200 "acyclicity matches union-find" gen_shape_query
+      (fun query ->
+        Query_shape.is_acyclic (Query_shape.of_crpq query) = brute_acyclic query);
+    Testutil.qtest ~count:200 "articulation points match brute force"
+      gen_shape_query (fun query ->
+        Query_shape.articulation_points (Query_shape.of_crpq query)
+        = List.sort compare (brute_articulation query));
+    Testutil.qtest ~count:200 "biconnected blocks partition the non-loop atoms"
+      gen_shape_query (fun query ->
+        let g = Query_shape.of_crpq query in
+        let atoms = List.sort compare (List.concat (Query_shape.biconnected_components g)) in
+        atoms = List.init (Query_shape.natoms g) Fun.id);
+    Testutil.qtest ~count:200 "decomposition covers vertices and edges"
+      gen_shape_query (fun query ->
+        let g = Query_shape.of_crpq query in
+        let d = Query_shape.decompose g in
+        let n = Query_shape.nvars g in
+        let names = Query_shape.var_names g in
+        let id x =
+          let rec go i = if names.(i) = x then i else go (i + 1) in
+          go 0
+        in
+        let vertex_ok =
+          List.for_all
+            (fun v -> Array.exists (fun bag -> List.mem v bag) d.Query_shape.bags)
+            (List.init n Fun.id)
+        in
+        let edge_ok =
+          List.for_all
+            (fun (a : Crpq.atom) ->
+              let u = id a.Crpq.src and v = id a.Crpq.dst in
+              Array.exists
+                (fun bag -> List.mem u bag && List.mem v bag)
+                d.Query_shape.bags)
+            query.Crpq.atoms
+        in
+        vertex_ok && edge_ok);
+  ]
+
+let () =
+  Alcotest.run "query_shape"
+    [
+      ( "fixed",
+        [
+          Alcotest.test_case "known treewidths" `Quick test_known_widths;
+          Alcotest.test_case "acyclicity" `Quick test_acyclicity;
+          Alcotest.test_case "articulation points" `Quick test_articulation_fixed;
+          Alcotest.test_case "biconnected blocks" `Quick test_biconnected;
+          Alcotest.test_case "decomposition shape" `Quick test_decomposition_shape;
+          Alcotest.test_case "I10x diagnostics" `Quick test_diagnostics;
+          Alcotest.test_case "guard fallback" `Quick test_guard_fallback;
+        ] );
+      ("random", qtests);
+    ]

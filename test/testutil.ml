@@ -1,5 +1,14 @@
 (* Shared generators and helpers for the test suite. *)
 
+(* INJCRPQ_OPTIMIZE=on forces the certified-optimizer pre-pass into
+   every Eval / Containment entry point for the whole test process.
+   CI runs a tier-1 leg with it set: since applied rewrites are
+   containment-certified, the suite must pass unchanged. *)
+let () =
+  match Sys.getenv_opt "INJCRPQ_OPTIMIZE" with
+  | Some ("on" | "1" | "true") -> Analysis.install_preprocessor ()
+  | _ -> ()
+
 (* Deterministic qcheck seeding: QCHECK_SEED pins the whole run;
    otherwise one seed is drawn per process.  Every qtest derives its
    random state from this seed, and a failing test prints the seed so

@@ -18,6 +18,19 @@ let deadline_ms = ref 300_000
 
 let output_file = ref "BENCH_results.json"
 
+let compare_file : string option ref = ref None
+
+(* regression tolerance on deterministic work counters, percent *)
+let tolerance = ref 30.0
+
+(* wall-clock tolerance, percent; 0 = report-only (cross-machine noise
+   must not fail a gate by default) *)
+let wall_tolerance = ref 0.0
+
+let profile_out : string option ref = ref None
+
+let chrome_out : string option ref = ref None
+
 let want name = !selected = [] || List.mem name !selected
 
 let section name title =
@@ -65,6 +78,170 @@ let write_results () =
   output_string oc (Obs.Json.to_string json);
   output_char oc '\n';
   close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: --compare BASELINE.json                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The gate compares deterministic work counters, not wall time: every
+   experiment is seeded, so the amount of search work (candidates
+   tried, expansions enumerated, checkpoints passed) is reproducible
+   across machines, while wall_ns is not.  A counter that grew beyond
+   --tolerance percent over a baseline with at least [min_gated_count]
+   occurrences fails the gate; wall_ns is reported, and only gated when
+   --wall-tolerance is set (same-machine runs). *)
+
+let gated_prefixes =
+  [
+    "morphism.";
+    "containment.";
+    "eval.";
+    "qinj.";
+    "f7.";
+    "path_search.";
+    "nfa.";
+    "expansion.";
+    "analysis.";
+    "guard.checkpoints";
+  ]
+
+let min_gated_count = 50
+
+(* bechamel runs as many iterations as fit its time quota, so its work
+   counters measure machine speed, not algorithmic work: report, never
+   gate *)
+let ungated_experiments = [ "bechamel" ]
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* name -> (outcome, wall_ns, counters) from a bench results document *)
+let experiment_index json =
+  let experiments =
+    Option.bind (Obs.Json.member "experiments" json) Obs.Json.to_list
+    |> Option.value ~default:[]
+  in
+  List.filter_map
+    (fun e ->
+      match
+        ( Obs.Json.member "name" e,
+          Obs.Json.member "outcome" e,
+          Option.bind (Obs.Json.member "wall_ns" e) Obs.Json.to_int,
+          Obs.Json.member "metrics" e )
+      with
+      | Some (Obs.Json.String name), Some (Obs.Json.String outcome), Some wall, Some metrics ->
+        let counters =
+          match Obs.Metrics.of_json metrics with
+          | Ok snapshot ->
+            List.filter_map
+              (fun (n, v) ->
+                match v with Obs.Metrics.Counter c -> Some (n, c) | _ -> None)
+              snapshot
+          | Error _ -> []
+        in
+        Some (name, (outcome, wall, counters))
+      | _ -> None)
+    experiments
+
+let pct ratio = 100.0 *. (ratio -. 1.0)
+
+let run_compare baseline_file =
+  let baseline =
+    match open_in baseline_file with
+    | exception Sys_error msg ->
+      Format.eprintf "bench: cannot open baseline: %s@." msg;
+      exit 2
+    | ic ->
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Obs.Json.parse contents with
+      | Ok j -> j
+      | Error e ->
+        Format.eprintf "bench: baseline %s does not parse: %s@." baseline_file e;
+        exit 2)
+  in
+  (match Obs.Json.member "quick" baseline with
+  | Some (Obs.Json.Bool bq) when bq <> !quick ->
+    Format.eprintf
+      "bench: baseline was recorded with quick=%b but this run has quick=%b; \
+       work counters are not comparable@."
+      bq !quick;
+    exit 2
+  | _ -> ());
+  let base_idx = experiment_index baseline in
+  let current =
+    experiment_index
+      (Obs.Json.Obj [ ("experiments", Obs.Json.List (List.rev !results)) ])
+  in
+  section "GATE" (Printf.sprintf "regression gate vs %s" baseline_file);
+  Format.printf "work-counter tolerance: %.0f%%; wall tolerance: %s@."
+    !tolerance
+    (if !wall_tolerance > 0.0 then Printf.sprintf "%.0f%%" !wall_tolerance
+     else "report-only");
+  let regressions = ref [] in
+  let regress fmt = Format.kasprintf (fun s -> regressions := s :: !regressions) fmt in
+  let compared = ref 0 in
+  List.iter
+    (fun (name, (outcome, wall, counters)) ->
+      match List.assoc_opt name base_idx with
+      | None -> Format.printf "%-12s (not in baseline, skipped)@." name
+      | Some (base_outcome, base_wall, base_counters) ->
+        let ungated = List.mem name ungated_experiments in
+        if not ungated then begin
+          incr compared;
+          if base_outcome = "ok" && outcome <> "ok" then
+            regress "%s: outcome degraded from ok to %s" name outcome
+        end;
+        let wall_ratio = float_of_int wall /. float_of_int (max 1 base_wall) in
+        if (not ungated) && !wall_tolerance > 0.0 && pct wall_ratio > !wall_tolerance
+        then
+          regress "%s: wall time %+.0f%% (%.1fms -> %.1fms)" name
+            (pct wall_ratio)
+            (float_of_int base_wall /. 1e6)
+            (float_of_int wall /. 1e6);
+        let worst = ref ("", 0.0) in
+        let gated = ref 0 in
+        List.iter
+          (fun (cname, base_count) ->
+            if
+              base_count >= min_gated_count
+              && List.exists (fun p -> has_prefix p cname) gated_prefixes
+            then begin
+              incr gated;
+              let count =
+                Option.value (List.assoc_opt cname counters) ~default:0
+              in
+              let ratio = float_of_int count /. float_of_int base_count in
+              if fst !worst = "" || ratio > snd !worst then
+                worst := (cname, ratio);
+              if (not ungated) && pct ratio > !tolerance then
+                regress "%s: %s %+.0f%% (%d -> %d)" name cname (pct ratio)
+                  base_count count
+            end)
+          base_counters;
+        let worst_txt =
+          match !worst with
+          | "", _ -> "no gated counters"
+          | cname, r ->
+            Printf.sprintf "%d gated counter(s), worst %s %+.0f%%" !gated cname
+              (pct r)
+        in
+        Format.printf "%-12s %-8s wall %+6.0f%%  %s%s@." name outcome
+          (pct wall_ratio) worst_txt
+          (if ungated then "  (ungated: time-quota workload)" else ""))
+    current;
+  if !compared = 0 then begin
+    Format.eprintf
+      "bench: no experiment of this run appears in the baseline — nothing \
+       was gated@.";
+    exit 2
+  end;
+  match List.rev !regressions with
+  | [] -> Format.printf "@.gate: no regressions across %d experiment(s)@." !compared
+  | rs ->
+    Format.printf "@.gate: %d regression(s):@." (List.length rs);
+    List.iter (fun r -> Format.printf "  REGRESSION %s@." r) rs;
+    exit 1
 
 let run_experiment name f =
   let before = Obs.Metrics.snapshot () in
@@ -830,7 +1007,8 @@ let usage_error msg =
   Format.eprintf "bench: %s@." msg;
   Format.eprintf
     "usage: main.exe [--quick] [--deadline-ms N] [--jobs N] [--output FILE] \
-     [experiment ...]@.";
+     [--compare BASELINE.json] [--tolerance PCT] [--wall-tolerance PCT] \
+     [--profile-out FILE] [--chrome-out FILE] [experiment ...]@.";
   exit 2
 
 let parse_args () =
@@ -847,42 +1025,55 @@ let parse_args () =
       else usage_error (flag ^ " needs a value")
     else None
   in
+  let int_value ~flag ~min store v =
+    match int_of_string_opt v with
+    | Some x when x >= min -> store x
+    | _ -> usage_error (Printf.sprintf "bad %s value: %s" flag v)
+  in
+  let pct_value ~flag store v =
+    match float_of_string_opt v with
+    | Some x when x >= 0.0 -> store x
+    | _ -> usage_error (Printf.sprintf "bad %s value: %s" flag v)
+  in
+  let flags =
+    [
+      ("--deadline-ms", int_value ~flag:"--deadline-ms" ~min:0 (( := ) deadline_ms));
+      ("--jobs", int_value ~flag:"--jobs" ~min:1 Parmap.set_default_jobs);
+      ("--output", ( := ) output_file);
+      ("--compare", fun v -> compare_file := Some v);
+      ("--tolerance", pct_value ~flag:"--tolerance" (( := ) tolerance));
+      ( "--wall-tolerance",
+        pct_value ~flag:"--wall-tolerance" (( := ) wall_tolerance) );
+      ("--profile-out", fun v -> profile_out := Some v);
+      ("--chrome-out", fun v -> chrome_out := Some v);
+    ]
+  in
   let i = ref 1 in
   while !i < n do
     let arg = argv.(!i) in
-    (match arg with
-    | "--quick" -> quick := true
-    | _ -> begin
-      match value_of ~flag:"--deadline-ms" arg !i with
-      | Some (v, j) -> begin
-        i := j;
-        match int_of_string_opt v with
-        | Some ms when ms >= 0 -> deadline_ms := ms
-        | _ -> usage_error ("bad --deadline-ms value: " ^ v)
-      end
-      | None -> begin
-        match value_of ~flag:"--jobs" arg !i with
-        | Some (v, j) -> begin
-          i := j;
-          match int_of_string_opt v with
-          | Some jobs when jobs >= 1 -> Parmap.set_default_jobs jobs
-          | _ -> usage_error ("bad --jobs value: " ^ v)
-        end
-        | None -> begin
-          match value_of ~flag:"--output" arg !i with
-          | Some (v, j) ->
-            i := j;
-            output_file := v
-          | None -> selected := arg :: !selected
-        end
-      end
-    end);
+    if arg = "--quick" then quick := true
+    else begin
+      let matched =
+        List.exists
+          (fun (flag, apply) ->
+            match value_of ~flag arg !i with
+            | Some (v, j) ->
+              i := j;
+              apply v;
+              true
+            | None -> false)
+          flags
+      in
+      if not matched then selected := arg :: !selected
+    end;
     incr i
   done
 
 let () =
   Obs.Metrics.set_enabled true;
   parse_args ();
+  if !profile_out <> None then Obs.Profile.arm ();
+  if !chrome_out <> None then Obs.Trace.set_enabled true;
   let experiments =
     [
       ("fig1", run_fig1);
@@ -918,4 +1109,20 @@ let () =
   | Error e ->
     Format.eprintf "error: %s does not parse: %s@." file e;
     exit 1);
+  (match !profile_out with
+  | None -> ()
+  | Some f ->
+    Obs.Profile.write_collapsed f;
+    Format.printf "wrote %s (%d call paths)@." f
+      (List.length (Obs.Profile.samples ())));
+  (match !chrome_out with
+  | None -> ()
+  | Some f ->
+    Obs.Trace.write_chrome f (Obs.Trace.finished ());
+    Format.printf "wrote %s (%d top-level spans, %d dropped)@." f
+      (List.length (Obs.Trace.finished ()))
+      (Obs.Trace.dropped ()));
+  (* the gate runs last: everything above is already on disk, so a
+     failing gate still leaves the full results and artifacts behind *)
+  (match !compare_file with None -> () | Some f -> run_compare f);
   Format.printf "done.@."

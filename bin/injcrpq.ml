@@ -56,14 +56,63 @@ let graph_arg =
 
 (* --------------------------- observability ------------------------- *)
 
-(* [--stats] and [--trace FILE] are accepted by every subcommand.  The
-   reports are emitted from an [at_exit] hook because several commands
-   terminate through [exit]; the term is the first argument of each run
-   function, so observability is switched on before any work happens. *)
-let obs_setup stats trace =
-  if stats || trace <> None then Obs.Metrics.set_enabled true;
-  if trace <> None then Obs.Trace.set_enabled true;
+(* Diagnostic-style message on stderr, then the usage-error exit code. *)
+let usage_error msg =
+  Format.eprintf "injcrpq: E900 error [cli]: %s@." msg;
+  exit 2
+
+(* [--stats], [--trace FILE], [--chrome FILE], [--log FILE],
+   [--expo FILE] and [--profile FILE] are accepted by every subcommand.
+   The reports are emitted from an [at_exit] hook because several
+   commands terminate through [exit]; the term is the first argument of
+   each run function, so observability is switched on before any work
+   happens. *)
+let obs_setup stats trace chrome log log_level expo profile profile_every =
+  if stats || trace <> None || chrome <> None || expo <> None then
+    Obs.Metrics.set_enabled true;
+  if trace <> None || chrome <> None then Obs.Trace.set_enabled true;
+  (match log with
+  | None -> ()
+  | Some file ->
+    (match Obs.Events.level_of_string log_level with
+    | Some l -> Obs.Events.set_level l
+    | None ->
+      usage_error
+        (Printf.sprintf "unknown log level %S (debug|info|warn|error)"
+           log_level));
+    Obs.Events.set_enabled true;
+    let oc = open_out file in
+    Obs.Events.set_sink (Some oc);
+    at_exit (fun () ->
+        Obs.Events.set_sink None;
+        close_out oc;
+        Format.eprintf "log: %d event(s) written to %s@." (Obs.Events.emitted ())
+          file));
+  (match profile with
+  | None -> ()
+  | Some _ ->
+    if profile_every < 1 then
+      usage_error
+        (Printf.sprintf "--profile-every must be positive (got %d)"
+           profile_every);
+    Obs.Profile.arm ~sample_every:profile_every ());
   at_exit (fun () ->
+      (match profile with
+      | None -> ()
+      | Some file ->
+        Obs.Profile.write_collapsed file;
+        Format.eprintf "profile: %d call path(s) written to %s@."
+          (List.length (Obs.Profile.samples ()))
+          file);
+      (match chrome with
+      | None -> ()
+      | Some file ->
+        let spans = Obs.Trace.finished () in
+        Obs.Trace.write_chrome file spans;
+        Format.eprintf
+          "chrome trace: %d top-level span(s) written to %s (load in \
+           about://tracing or Perfetto)@."
+          (List.length spans) file);
       (match trace with
       | None -> ()
       | Some file ->
@@ -71,6 +120,11 @@ let obs_setup stats trace =
         Obs.Trace.write_jsonl file spans;
         Format.eprintf "trace: %d top-level span(s) written to %s@."
           (List.length spans) file);
+      (match expo with
+      | None -> ()
+      | Some file ->
+        Obs.Expo.write_prometheus file (Obs.Metrics.snapshot ());
+        Format.eprintf "expo: metrics exposition written to %s@." file);
       if stats then
         Format.eprintf "@.metrics (%s clock):@.%a@." (Obs.Clock.source_name ())
           Obs.Metrics.pp_table
@@ -90,7 +144,92 @@ let obs_term =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Record execution spans and write them to $(docv) as JSONL.")
   in
-  Term.(const obs_setup $ stats_arg $ trace_arg)
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:"Record execution spans and write a Chrome trace_event JSON \
+                document to $(docv) (loadable in about://tracing or \
+                Perfetto).")
+  in
+  let log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:"Write structured decision events (guard trips, cache \
+                evictions, refuted expansions, rewrite refusals) to $(docv) \
+                as JSONL.")
+  in
+  let log_level_arg =
+    Arg.(
+      value & opt string "debug"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Drop events below $(docv): debug, info, warn or error.")
+  in
+  let expo_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "expo" ] ~docv:"FILE"
+          ~doc:"Write the final metrics in Prometheus text exposition format \
+                to $(docv).")
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:"Sample guard checkpoints into weighted call paths and write \
+                flamegraph.pl collapsed-stack format to $(docv).")
+  in
+  let profile_every_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "profile-every" ] ~docv:"N"
+          ~doc:"Sample every $(docv)-th checkpoint hit per domain (weights \
+                stay unbiased).")
+  in
+  Term.(
+    const obs_setup $ stats_arg $ trace_arg $ chrome_arg $ log_arg
+    $ log_level_arg $ expo_arg $ profile_arg $ profile_every_arg)
+
+(* --------------------------- explain reports ----------------------- *)
+
+(* [--explain] on eval/contain/optimize: snapshot the metrics before the
+   command body, diff at exit, render the report on stderr (stdout stays
+   machine-readable).  The [explain] subcommand renders the same report
+   on stdout, with [--json]. *)
+let explain_enable () =
+  Obs.Metrics.set_enabled true;
+  Obs.Events.set_enabled true;
+  if not (Obs.Profile.armed ()) then Obs.Profile.arm ()
+
+let explain_report ~title before =
+  let delta = Obs.Metrics.diff before (Obs.Metrics.snapshot ()) in
+  Obs.Explain.of_metrics
+    ~profile:(Obs.Profile.site_totals ())
+    ~events:(Obs.Events.recent ()) ~title delta
+
+let explain_setup ~title explain =
+  if explain then begin
+    explain_enable ();
+    let before = Obs.Metrics.snapshot () in
+    at_exit (fun () ->
+        prerr_string (Obs.Explain.to_text (explain_report ~title before)))
+  end
+
+let explain_term ~title =
+  let flag =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"After the command, print a structured report of the work done \
+                (search counters, cache hit ratios, guard budget per site) on \
+                stderr.")
+  in
+  Term.(const (fun e -> explain_setup ~title e) $ flag)
 
 (* --------------------------- performance --------------------------- *)
 
@@ -162,11 +301,6 @@ let guard_term =
   in
   Term.(const guard_setup $ timeout_arg $ steps_arg $ depth_arg)
 
-(* Diagnostic-style message on stderr, then the usage-error exit code. *)
-let usage_error msg =
-  Format.eprintf "injcrpq: E900 error [cli]: %s@." msg;
-  exit 2
-
 (* [governed guard f] is the degradation boundary of every subcommand:
    a guard trip that escapes the deciders exits 3 (rendered with
    [on_trip] when machine-readable output was requested), and any
@@ -222,7 +356,7 @@ let optimize_term =
 (* ------------------------------ eval ------------------------------ *)
 
 let eval_cmd =
-  let run () () guard () sem q graph_file tuple =
+  let run () () guard () () sem q graph_file tuple =
     let g =
       match Graph_io.load_result graph_file with
       | Ok g -> g
@@ -250,14 +384,15 @@ let eval_cmd =
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a CRPQ over a graph database.")
     Term.(
-      const run $ obs_term $ perf_term $ guard_term $ optimize_term $ sem_arg
+      const run $ obs_term $ perf_term $ guard_term $ optimize_term
+      $ explain_term ~title:"eval" $ sem_arg
       $ query_arg [ "q"; "query" ] "The CRPQ to evaluate."
       $ graph_arg $ tuple_arg)
 
 (* ---------------------------- contain ----------------------------- *)
 
 let contain_cmd =
-  let run () () guard () sem lhs rhs instance bound json =
+  let run () () guard () () sem lhs rhs instance bound json =
     let q1, q2 =
       match instance, lhs, rhs with
       | None, Some q1, Some q2 -> (q1, q2)
@@ -361,7 +496,8 @@ let contain_cmd =
        ~doc:"Decide Q1 ⊆ Q2 under the chosen semantics (exit 3 when undecided \
              or out of budget).")
     Term.(
-      const run $ obs_term $ perf_term $ guard_term $ optimize_term $ sem_arg
+      const run $ obs_term $ perf_term $ guard_term $ optimize_term
+      $ explain_term ~title:"contain" $ sem_arg
       $ opt_query [ "lhs" ] "Left-hand query Q1."
       $ opt_query [ "rhs" ] "Right-hand query Q2."
       $ instance_arg $ bound_arg $ json_arg)
@@ -643,7 +779,7 @@ let lint_cmd =
 (* ---------------------------- optimize ---------------------------- *)
 
 let optimize_cmd =
-  let run () () guard sem queries file json dry_run bound =
+  let run () () guard () sem queries file json dry_run bound =
     governed guard @@ fun () ->
     let named_queries = gather_queries ~cmd:"optimize" queries file in
     let results =
@@ -722,8 +858,139 @@ let optimize_cmd =
              provably redundant atoms, merge ε-joined variables, collapse \
              unsatisfiable queries; report treewidth before/after.")
     Term.(
-      const run $ obs_term $ perf_term $ guard_term $ sem_arg $ queries_arg
+      const run $ obs_term $ perf_term $ guard_term
+      $ explain_term ~title:"optimize" $ sem_arg $ queries_arg
       $ file_arg $ json_arg $ dry_run_arg $ bound_arg)
+
+(* ----------------------------- explain ---------------------------- *)
+
+(* One structured report per run: what was searched, pruned, cached,
+   checkpointed and rewritten.  The mode is inferred from the arguments
+   (--lhs/--rhs: containment; --query with --graph: evaluation; --query
+   alone: the certified optimizer), mirroring the corresponding
+   subcommand, with the report on stdout instead of the verdict. *)
+let explain_cmd =
+  let run () () guard () sem query graph_file lhs rhs bound json =
+    explain_enable ();
+    let before = Obs.Metrics.snapshot () in
+    let finish ~title extra =
+      let report =
+        List.fold_left Obs.Explain.add_section
+          (explain_report ~title before)
+          extra
+      in
+      if json then print_endline (Obs.Json.to_string (Obs.Explain.to_json report))
+      else print_string (Obs.Explain.to_text report)
+    in
+    governed guard (fun () ->
+        match lhs, rhs, query, graph_file with
+        | Some q1, Some q2, None, None ->
+          let v = Containment.decide ~bound sem q1 q2 in
+          finish ~title:"contain"
+            [
+              Obs.Explain.section "verdict"
+                [
+                  Obs.Explain.row "semantics"
+                    (Obs.Json.String (Semantics.to_string sem));
+                  Obs.Explain.row "strategy"
+                    (Obs.Json.String (Containment.strategy_name sem q1 q2));
+                  Obs.Explain.row "verdict"
+                    (Obs.Json.String
+                       (Format.asprintf "%a" Containment.pp_verdict v));
+                ];
+            ]
+        | None, None, Some q, Some gfile ->
+          let g =
+            match Graph_io.load_result gfile with
+            | Ok g -> g
+            | Error msg -> usage_error ("cannot load graph: " ^ msg)
+          in
+          let answers = Eval.eval sem q g in
+          finish ~title:"eval"
+            [
+              Obs.Explain.section "result"
+                [
+                  Obs.Explain.row "semantics"
+                    (Obs.Json.String (Semantics.to_string sem));
+                  Obs.Explain.row "answers"
+                    (Obs.Json.Int (List.length answers));
+                ];
+            ]
+        | None, None, Some q, None ->
+          let q', report = Analysis.optimize ~sem ~bound q in
+          let step_row (s : Rewrite.step) =
+            let cost_ns =
+              List.fold_left
+                (fun acc (c : Rewrite.check) ->
+                  Int64.add acc c.Rewrite.wall_ns)
+                0L s.Rewrite.checks
+            in
+            Obs.Explain.row
+              (Rewrite.candidate_to_string s.Rewrite.candidate)
+              (Obs.Json.Obj
+                 [
+                   ("applied", Obs.Json.Bool s.Rewrite.applied);
+                   ("note", Obs.Json.String s.Rewrite.note);
+                   ("checks", Obs.Json.Int (List.length s.Rewrite.checks));
+                   ("certificate_ns", Obs.Json.Int (Int64.to_int cost_ns));
+                 ])
+          in
+          finish ~title:"optimize"
+            [
+              Obs.Explain.section "result"
+                [
+                  Obs.Explain.row "before"
+                    (Obs.Json.String (Crpq.to_string q));
+                  Obs.Explain.row "after"
+                    (Obs.Json.String (Crpq.to_string q'));
+                  Obs.Explain.row "atoms_removed"
+                    (Obs.Json.Int
+                       (Rewrite.removed_atoms report.Analysis.rewrite));
+                ];
+              Obs.Explain.section "rewrite steps"
+                (List.map step_row report.Analysis.rewrite.Rewrite.steps);
+            ]
+        | _ ->
+          usage_error
+            "explain needs --lhs/--rhs (containment), or --query with \
+             --graph (evaluation), or --query alone (optimizer)")
+  in
+  let opt_query names doc =
+    Arg.(value & opt (some query_conv) None & info names ~docv:"QUERY" ~doc)
+  in
+  let opt_graph =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "g"; "graph" ] ~docv:"FILE"
+          ~doc:"Graph database file: one 'src label dst' edge per line.")
+  in
+  let bound_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "b"; "bound" ] ~docv:"N"
+          ~doc:"Containment search bound (containment and certificate \
+                checks).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Machine-readable report (schema injcrpq-explain/1) on stdout.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Run a containment / evaluation / optimizer pass and report the \
+             work done: expansions tried and pruned, CSP candidates and \
+             backtracks, cache hit ratios per table, guard budget per site, \
+             rewrite steps with certificate costs.")
+    Term.(
+      const run $ obs_term $ perf_term $ guard_term $ optimize_term $ sem_arg
+      $ opt_query [ "q"; "query" ] "Query to evaluate or optimize."
+      $ opt_graph
+      $ opt_query [ "lhs" ] "Left-hand query Q1 (containment mode)."
+      $ opt_query [ "rhs" ] "Right-hand query Q2 (containment mode)."
+      $ bound_arg $ json_arg)
 
 (* ------------------------------ demo ------------------------------ *)
 
@@ -764,6 +1031,7 @@ let () =
             eval_cmd;
             contain_cmd;
             expand_cmd;
+            explain_cmd;
             classify_cmd;
             lint_cmd;
             optimize_cmd;

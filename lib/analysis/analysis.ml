@@ -170,6 +170,7 @@ let step_json (s : Rewrite.step) =
                    ("lhs", Obs.Json.String (Crpq.to_string c.Rewrite.lhs));
                    ("rhs", Obs.Json.String (Crpq.to_string c.Rewrite.rhs));
                    ("verdict", Obs.Json.String (verdict_kind c.Rewrite.verdict));
+                   ("wall_ns", Obs.Json.Int (Int64.to_int c.Rewrite.wall_ns));
                  ])
              s.Rewrite.checks) );
     ]

@@ -5,6 +5,8 @@
 
 let m_tw_nodes = Obs.Metrics.counter "analysis.treewidth_nodes"
 
+let m_tw_memo_hits = Obs.Metrics.counter "analysis.treewidth_memo_hits"
+
 type t = {
   names : Crpq.var array;  (* vertex id -> variable name, sorted *)
   natoms : int;
@@ -332,7 +334,9 @@ let exact_order adj n ~incumbent_order ~incumbent_width =
           let mask' = mask lor (1 lsl v) in
           let seen =
             match Hashtbl.find_opt memo mask' with
-            | Some w when w <= w' -> true
+            | Some w when w <= w' ->
+              Obs.Metrics.incr m_tw_memo_hits;
+              true
             | _ -> false
           in
           if not seen then begin
@@ -397,7 +401,9 @@ let decompose ?(exact_limit = default_exact_limit) g =
     if n > exact_limit then decomposition_of_order g.adj n greedy greedy_width false
     else
       match
-        exact_order g.adj n ~incumbent_order:greedy ~incumbent_width:greedy_width
+        Obs.Trace.span "analysis.treewidth" (fun () ->
+            exact_order g.adj n ~incumbent_order:greedy
+              ~incumbent_width:greedy_width)
       with
       | order, width -> decomposition_of_order g.adj n order width true
       | exception Guard.Trip _ ->

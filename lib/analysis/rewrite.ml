@@ -4,6 +4,8 @@ let m_failed = Obs.Metrics.counter "analysis.certificates_failed"
 
 let m_applied = Obs.Metrics.counter "analysis.rewrites_applied"
 
+let h_certificate_ns = Obs.Metrics.histogram "analysis.certificate_ns"
+
 type candidate =
   | Collapse_unsat
   | Merge_vars of { kept : Crpq.var; dropped : Crpq.var }
@@ -17,7 +19,12 @@ let candidate_to_string = function
       (Regex.to_string atom.Crpq.lang)
       atom.Crpq.dst
 
-type check = { lhs : Crpq.t; rhs : Crpq.t; verdict : Containment.verdict }
+type check = {
+  lhs : Crpq.t;
+  rhs : Crpq.t;
+  verdict : Containment.verdict;
+  wall_ns : int64;
+}
 
 type step = {
   candidate : candidate;
@@ -124,12 +131,21 @@ let apply_candidate (q : Crpq.t) = function
 (* Certified fixpoint                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* One direction of a certificate, with its wall-clock cost; the
+   histogram makes runaway oracle calls visible in explain reports. *)
+let timed_check ~oracle sem lhs rhs =
+  let t0 = Obs.Clock.now_ns () in
+  let verdict = oracle sem lhs rhs in
+  let wall_ns = Int64.sub (Obs.Clock.now_ns ()) t0 in
+  Obs.Metrics.observe h_certificate_ns (Int64.to_int wall_ns);
+  { lhs; rhs; verdict; wall_ns }
+
 let certify ~oracle sem q q' =
   Obs.Metrics.incr m_checked;
-  let forward = { lhs = q; rhs = q'; verdict = oracle sem q q' } in
+  let forward = timed_check ~oracle sem q q' in
   match forward.verdict with
   | Containment.Contained ->
-    let backward = { lhs = q'; rhs = q; verdict = oracle sem q' q } in
+    let backward = timed_check ~oracle sem q' q in
     let ok = backward.verdict = Containment.Contained in
     if not ok then Obs.Metrics.incr m_failed;
     ([ forward; backward ], ok)
@@ -173,9 +189,14 @@ let rewrite ?oracle sem (q0 : Crpq.t) =
               Some q'
             end
             else begin
-              let step =
-                { candidate = c; checks; applied = false; note = describe_failure checks }
-              in
+              let note = describe_failure checks in
+              if Obs.Events.enabled () then
+                Obs.Events.emit Obs.Events.Info "analysis.rewrite_refused"
+                  [
+                    ("candidate", Obs.Json.String (candidate_to_string c));
+                    ("note", Obs.Json.String note);
+                  ];
+              let step = { candidate = c; checks; applied = false; note } in
               try_candidates (step :: tried) rest
             end
           end

@@ -40,8 +40,14 @@ type candidate =
 val candidate_to_string : candidate -> string
 
 (** One direction of a certificate: [verdict] is the decider's answer
-    to {m lhs \sqsubseteq_\star rhs}. *)
-type check = { lhs : Crpq.t; rhs : Crpq.t; verdict : Containment.verdict }
+    to {m lhs \sqsubseteq_\star rhs}, and [wall_ns] what the oracle call
+    cost (also observed into the [analysis.certificate_ns] histogram). *)
+type check = {
+  lhs : Crpq.t;
+  rhs : Crpq.t;
+  verdict : Containment.verdict;
+  wall_ns : int64;
+}
 
 (** A candidate that was examined: its certificate checks (in order
     tried; empty when the candidate was structurally inapplicable),

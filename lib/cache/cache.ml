@@ -34,6 +34,7 @@ module Memo (K : Hashtbl.HashedType) = struct
     lru : 'a L.t;
     mu : Mutex.t;
     site : string option;
+    name : string;
     hits : Obs.Metrics.counter;
     misses : Obs.Metrics.counter;
     evictions : Obs.Metrics.counter;
@@ -45,6 +46,7 @@ module Memo (K : Hashtbl.HashedType) = struct
         lru = L.create ~cap;
         mu = Mutex.create ();
         site;
+        name;
         hits = Obs.Metrics.counter ("cache." ^ name ^ ".hits");
         misses = Obs.Metrics.counter ("cache." ^ name ^ ".misses");
         evictions = Obs.Metrics.counter ("cache." ^ name ^ ".evictions");
@@ -75,7 +77,15 @@ module Memo (K : Hashtbl.HashedType) = struct
         Mutex.lock t.mu;
         let evicted = L.add t.lru k v in
         Mutex.unlock t.mu;
-        if evicted > 0 then Obs.Metrics.add t.evictions evicted;
+        if evicted > 0 then begin
+          Obs.Metrics.add t.evictions evicted;
+          if Obs.Events.enabled () then
+            Obs.Events.emit Obs.Events.Debug "cache.eviction"
+              [
+                ("table", Obs.Json.String t.name);
+                ("evicted", Obs.Json.Int evicted);
+              ]
+        end;
         v
     end
 

@@ -22,13 +22,16 @@ let resolve = function
   | None -> !default
 
 (* Spawn [j] domains running [work]; each worker inherits the parent's
-   ambient guard and records the first exception, re-raised after the
+   ambient guard, grafts its trace spans under the span that was active
+   at fan-out, and records the first exception, re-raised after the
    join so no domain is ever abandoned. *)
 let fan_out j work =
   let error = Atomic.make None in
   let parent_guard = Guard.active () in
+  let parent_span = Obs.Trace.fork () in
   let body () =
     Domain.DLS.set in_worker true;
+    let work () = Obs.Trace.adopt parent_span work in
     try
       match parent_guard with
       | Some g -> Guard.with_guard g work

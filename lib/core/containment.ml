@@ -29,6 +29,12 @@ let m_counterexamples = Obs.Metrics.counter "containment.counterexamples"
 let h_expansions = Obs.Metrics.histogram "containment.expansions_per_search"
 
 let budget_exhausted ~bound ~expansions =
+  if Obs.Events.enabled () then
+    Obs.Events.emit Obs.Events.Warn "containment.budget_exhausted"
+      [
+        ("bound_reached", Obs.Json.Int bound);
+        ("expansions_enumerated", Obs.Json.Int expansions);
+      ];
   Unknown
     (Budget_exhausted
        { bound_reached = bound; expansions_enumerated = expansions; notes = [] })
@@ -111,9 +117,17 @@ let search_expansions sem q2 expansions =
     Obs.Metrics.incr m_expansions;
     if is_counterexample sem q2 e then begin
       Obs.Metrics.incr m_counterexamples;
+      if Obs.Events.enabled () then
+        Obs.Events.emit Obs.Events.Info "containment.counterexample"
+          [ ("expansion", Obs.Json.String (Format.asprintf "%a" Cq.pp e.Expansion.cq)) ];
       Some { expansion = e; tuple = snd (Expansion.to_graph e) }
     end
-    else None
+    else begin
+      if Obs.Events.enabled () then
+        Obs.Events.emit Obs.Events.Debug "containment.expansion_refuted"
+          [ ("expansion", Obs.Json.String (Format.asprintf "%a" Cq.pp e.Expansion.cq)) ];
+      None
+    end
   in
   match Parmap.find_mapi check expansions with
   | Some (i, w) ->

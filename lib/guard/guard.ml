@@ -205,10 +205,20 @@ let trip g site reason =
   (match reason with
   | Fault_injected _ -> Obs.Metrics.incr m_chaos_trips
   | _ -> ());
+  if Obs.Events.enabled () then
+    Obs.Events.emit Obs.Events.Warn "guard.trip"
+      [
+        ("site", Obs.Json.String site);
+        ("kind", Obs.Json.String (reason_kind reason));
+        ("detail", Obs.Json.String (reason_to_string reason));
+      ];
   raise (Trip t)
 
 let check g site =
   Obs.Metrics.incr m_checkpoints;
+  (* the profiler samples (site, open-span path) pairs; disarmed it is
+     one ref read and one branch inside [hit] *)
+  Obs.Profile.hit site;
   (if Chaos.active () then
      match Chaos.observe site with
      | Some visit -> trip g site (Fault_injected { visit })

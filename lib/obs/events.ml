@@ -1,0 +1,135 @@
+(* Structured event log: leveled, ring-buffered, optional JSONL sink.
+
+   Decider decision points (expansion refuted, cache eviction, guard
+   trip, rewrite refusal) emit events instead of printf-debugging.  The
+   log is disabled by default; instrumented sites guard their field
+   construction behind [enabled ()], so the hot paths pay one ref read
+   and one branch.  When a sink is installed (--log FILE) every event is
+   written as one JSON line immediately — the ring buffer additionally
+   keeps the most recent [capacity] events for in-process consumers
+   (explain reports, tests). *)
+
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type event = {
+  ts_ns : int64;
+  level : level;
+  name : string;
+  fields : (string * Json.t) list;
+}
+
+let on = ref false
+
+let enabled () = !on
+
+let set_enabled b = on := b
+
+let threshold = ref Debug
+
+let set_level l = threshold := l
+
+let get_level () = !threshold
+
+(* ---------------- ring buffer ---------------- *)
+
+let mu = Mutex.create ()
+
+let default_capacity = 1024
+
+let ring : event option array ref = ref (Array.make default_capacity None)
+
+(* total events accepted; the ring slot is [emitted mod capacity] *)
+let emitted_count = ref 0
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Obs.Events.set_capacity: capacity must be positive";
+  Mutex.lock mu;
+  ring := Array.make n None;
+  emitted_count := 0;
+  Mutex.unlock mu
+
+let clear () =
+  Mutex.lock mu;
+  Array.fill !ring 0 (Array.length !ring) None;
+  emitted_count := 0;
+  Mutex.unlock mu
+
+let emitted () = !emitted_count
+
+(* ---------------- sink ---------------- *)
+
+let event_to_json e =
+  Json.Obj
+    [
+      ("ts_ns", Json.Int (Int64.to_int e.ts_ns));
+      ("level", Json.String (level_to_string e.level));
+      ("event", Json.String e.name);
+      ("fields", Json.Obj e.fields);
+    ]
+
+let sink : out_channel option ref = ref None
+
+let set_sink oc = sink := oc
+
+let emit level name fields =
+  if !on && level_rank level >= level_rank !threshold then begin
+    let e = { ts_ns = Clock.now_ns (); level; name; fields } in
+    Mutex.lock mu;
+    let r = !ring in
+    r.(!emitted_count mod Array.length r) <- Some e;
+    incr emitted_count;
+    (match !sink with
+    | Some oc ->
+      output_string oc (Json.to_string (event_to_json e));
+      output_char oc '\n'
+    | None -> ());
+    Mutex.unlock mu
+  end
+
+(* ---------------- reading back ---------------- *)
+
+let recent () =
+  Mutex.lock mu;
+  let r = !ring in
+  let cap = Array.length r in
+  let total = !emitted_count in
+  let n = min total cap in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    (* oldest retained first: slots wrap at [total] *)
+    match r.((total - n + i) mod cap) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  Mutex.unlock mu;
+  List.rev !out
+
+let to_jsonl events =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.to_string (event_to_json e));
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let write_jsonl file events =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_jsonl events))

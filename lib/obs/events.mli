@@ -1,0 +1,59 @@
+(** Structured event log: leveled, ring-buffered, optional JSONL sink.
+
+    Disabled by default.  Instrumented decision points (guard trips,
+    cache evictions, refuted expansions, rewrite refusals) test
+    {!enabled} before building their field lists, so disabled hot paths
+    pay one ref read and one branch.  With a sink installed ([--log
+    FILE] on the CLI) every accepted event is written immediately as
+    one JSON line; the ring buffer keeps the most recent events for
+    in-process consumers either way. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+
+val level_of_string : string -> level option
+
+type event = {
+  ts_ns : int64;
+  level : level;
+  name : string;  (** dotted identifier, e.g. ["guard.trip"] *)
+  fields : (string * Json.t) list;
+}
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+val set_level : level -> unit
+(** Drop events below this level (default: keep everything). *)
+
+val get_level : unit -> level
+
+val set_capacity : int -> unit
+(** Resize the ring buffer (default 1024); clears retained events.
+    @raise Invalid_argument on non-positive capacities. *)
+
+val clear : unit -> unit
+
+val emit : level -> string -> (string * Json.t) list -> unit
+(** Record an event (no-op when disabled or below the level
+    threshold).  Guard field construction behind {!enabled} at hot call
+    sites. *)
+
+val emitted : unit -> int
+(** Total events accepted since the last {!clear} (including ones the
+    ring has since overwritten). *)
+
+val recent : unit -> event list
+(** Retained events, oldest first. *)
+
+val event_to_json : event -> Json.t
+
+val to_jsonl : event list -> string
+
+val write_jsonl : string -> event list -> unit
+
+val set_sink : out_channel option -> unit
+(** Install (or remove) a channel that receives every accepted event as
+    one JSON line, as it happens.  The caller owns the channel. *)

@@ -1,0 +1,193 @@
+(* Structured per-run explain reports.
+
+   [of_metrics] groups a metrics delta (typically [Metrics.diff] around
+   one command) into themed sections — search work, CSP effort, cache
+   hit ratios, guard budget per checkpoint site, analysis costs — and
+   the renderers produce the same report as a human table or as JSON
+   (schema "injcrpq-explain/1").  The module is deliberately generic
+   over the snapshot: it lives in [obs] and knows metric name prefixes,
+   not the deciders, so callers (the CLI, tests) can append their own
+   sections for domain-specific detail (strategy picked, rewrite
+   steps). *)
+
+type row = { label : string; value : Json.t }
+
+type section = { name : string; rows : row list }
+
+type report = { title : string; sections : section list }
+
+let schema = "injcrpq-explain/1"
+
+let row label value = { label; value }
+
+let section name rows = { name; rows }
+
+(* ---------------- building from a metrics snapshot ---------------- *)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let value_to_json = function
+  | Metrics.Counter c -> Json.Int c
+  | Metrics.Gauge g -> Json.Int g
+  | Metrics.Histogram h ->
+    Json.Obj
+      [
+        ("count", Json.Int h.count);
+        ("sum", Json.Int h.sum);
+        ("max", Json.Int h.max);
+        ("avg", Json.Int (if h.count = 0 then 0 else h.sum / h.count));
+      ]
+
+let nonzero = function
+  | Metrics.Counter 0 | Metrics.Gauge 0 -> false
+  | Metrics.Histogram h -> h.count > 0
+  | _ -> true
+
+(* rows for every nonzero metric matching one of [prefixes], with the
+   shared prefix kept (names are the stable identifiers) *)
+let prefix_rows prefixes snapshot =
+  List.filter_map
+    (fun (name, v) ->
+      if List.exists (fun p -> has_prefix p name) prefixes && nonzero v then
+        Some (row name (value_to_json v))
+      else None)
+    snapshot
+
+(* cache.<table>.{hits,misses,evictions} -> one row per table *)
+let cache_rows snapshot =
+  let tables : (string, int * int * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (name, v) ->
+      match (String.split_on_char '.' name, v) with
+      | [ "cache"; table; metric ], Metrics.Counter c ->
+        let h, m, e =
+          Option.value (Hashtbl.find_opt tables table) ~default:(0, 0, 0)
+        in
+        let entry =
+          match metric with
+          | "hits" -> Some (c, m, e)
+          | "misses" -> Some (h, c, e)
+          | "evictions" -> Some (h, m, c)
+          | _ -> None
+        in
+        Option.iter (Hashtbl.replace tables table) entry
+      | _ -> ())
+    snapshot;
+  Hashtbl.fold
+    (fun table (h, m, e) acc ->
+      if h = 0 && m = 0 && e = 0 then acc
+      else
+        let total = h + m in
+        let ratio = if total = 0 then 0. else float_of_int h /. float_of_int total in
+        row table
+          (Json.Obj
+             [
+               ("hits", Json.Int h);
+               ("misses", Json.Int m);
+               ("evictions", Json.Int e);
+               ("hit_ratio", Json.Float ratio);
+             ])
+        :: acc)
+    tables []
+  |> List.sort (fun a b -> compare a.label b.label)
+
+let event_rows events =
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Events.event) ->
+      Hashtbl.replace counts e.Events.name
+        (Option.value (Hashtbl.find_opt counts e.Events.name) ~default:0 + 1))
+    events;
+  Hashtbl.fold (fun name n acc -> row name (Json.Int n) :: acc) counts []
+  |> List.sort (fun a b -> compare a.label b.label)
+
+let of_metrics ?(profile = []) ?(events = []) ~title snapshot =
+  let sections =
+    [
+      section "search"
+        (prefix_rows
+           [
+             "containment.";
+             "expansion.";
+             "eval.";
+             "qinj.";
+             "f7.";
+             "path_search.";
+             "nfa.";
+           ]
+           snapshot);
+      section "morphism csp" (prefix_rows [ "morphism." ] snapshot);
+      section "caches" (cache_rows snapshot);
+      section "guard"
+        (prefix_rows [ "guard."; "profile." ] snapshot
+        @ List.map
+            (fun (site, weight) -> row ("site " ^ site) (Json.Int weight))
+            profile);
+      section "analysis" (prefix_rows [ "analysis." ] snapshot);
+      section "trace" (prefix_rows [ "trace." ] snapshot);
+      section "events" (event_rows events);
+    ]
+  in
+  { title; sections = List.filter (fun s -> s.rows <> []) sections }
+
+let add_section report s =
+  if s.rows = [] then report
+  else { report with sections = report.sections @ [ s ] }
+
+(* ---------------- rendering ---------------- *)
+
+let rec value_to_text = function
+  | Json.Null -> "-"
+  | Json.Bool b -> string_of_bool b
+  | Json.Int n -> string_of_int n
+  | Json.Float f -> Printf.sprintf "%.3f" f
+  | Json.String s -> s
+  | Json.List l -> String.concat ", " (List.map value_to_text l)
+  | Json.Obj kvs ->
+    String.concat "  "
+      (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (value_to_text v)) kvs)
+
+let to_text r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("explain: " ^ r.title ^ "\n");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf ("\n" ^ s.name ^ "\n");
+      let width =
+        List.fold_left (fun w row -> max w (String.length row.label)) 0 s.rows
+      in
+      List.iter
+        (fun row ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s  %s\n" width row.label
+               (value_to_text row.value)))
+        s.rows)
+    r.sections;
+  Buffer.contents buf
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("title", Json.String r.title);
+      ( "sections",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("name", Json.String s.name);
+                   ( "rows",
+                     Json.List
+                       (List.map
+                          (fun row ->
+                            Json.Obj
+                              [
+                                ("label", Json.String row.label);
+                                ("value", row.value);
+                              ])
+                          s.rows) );
+                 ])
+             r.sections) );
+    ]

@@ -1,0 +1,39 @@
+(** Structured per-run explain reports.
+
+    {!of_metrics} groups a metrics delta (usually [Metrics.diff] taken
+    around one command) into themed sections — search work, CSP effort,
+    per-table cache hit ratios, guard budget per checkpoint site,
+    analysis costs — and the renderers emit the same report as a human
+    table ({!to_text}) or as JSON with schema ["injcrpq-explain/1"]
+    ({!to_json}).  The builder only knows metric {e name prefixes}, not
+    the deciders; callers append domain-specific sections (strategy
+    picked, rewrite steps) with {!add_section}. *)
+
+type row = { label : string; value : Json.t }
+
+type section = { name : string; rows : row list }
+
+type report = { title : string; sections : section list }
+
+val schema : string
+
+val row : string -> Json.t -> row
+
+val section : string -> row list -> section
+
+val of_metrics :
+  ?profile:(string * int) list ->
+  ?events:Events.event list ->
+  title:string ->
+  Metrics.snapshot ->
+  report
+(** Zero-valued metrics and empty sections are dropped.  [profile]
+    rows (from {!Profile.site_totals}) land in the guard section as
+    per-site weights; [events] are tallied per event name. *)
+
+val add_section : report -> section -> report
+(** Appends; a section with no rows is dropped. *)
+
+val to_text : report -> string
+
+val to_json : report -> Json.t

@@ -1,0 +1,64 @@
+(* Prometheus text exposition (version 0.0.4) of a Metrics snapshot.
+
+   This is the /metrics building block for a future `injcrpq serve`:
+   anything holding a [Metrics.snapshot] can render it in the format
+   every Prometheus-compatible scraper ingests.  Metric names are
+   sanitised (dots and dashes become underscores) and namespaced;
+   log2 histogram buckets become cumulative [le] buckets whose bound is
+   the largest value the bucket can hold (bucket k holds
+   [2^k <= v < 2^(k+1)], so its bound is [2^(k+1)-1]). *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let bucket_bound k = (1 lsl (k + 1)) - 1
+
+let to_prometheus ?(namespace = "injcrpq") snapshot =
+  let buf = Buffer.create 4096 in
+  let full name = sanitize (namespace ^ "_" ^ name) in
+  let line name value =
+    Buffer.add_string buf name;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (string_of_int value);
+    Buffer.add_char buf '\n'
+  in
+  let typ name kind =
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun (name, v) ->
+      let n = full name in
+      match v with
+      | Metrics.Counter c ->
+        typ n "counter";
+        line n c
+      | Metrics.Gauge g ->
+        typ n "gauge";
+        line n g
+      | Metrics.Histogram h ->
+        typ n "histogram";
+        let cumulative = ref 0 in
+        List.iter
+          (fun (k, count) ->
+            cumulative := !cumulative + count;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n (bucket_bound k)
+                 !cumulative))
+          h.buckets;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.count);
+        line (n ^ "_sum") h.sum;
+        line (n ^ "_count") h.count)
+    snapshot;
+  Buffer.contents buf
+
+let write_prometheus ?namespace file snapshot =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_prometheus ?namespace snapshot))

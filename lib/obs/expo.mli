@@ -1,0 +1,13 @@
+(** Prometheus text exposition (format 0.0.4) of a {!Metrics.snapshot}.
+
+    The /metrics building block for a serving deployment: render any
+    snapshot as the text format Prometheus-compatible scrapers ingest.
+    Names are sanitised ([.] and [-] become [_]) and prefixed with the
+    namespace; log2 histograms become cumulative [le] buckets. *)
+
+val sanitize : string -> string
+
+val to_prometheus : ?namespace:string -> Metrics.snapshot -> string
+(** Default namespace ["injcrpq"]. *)
+
+val write_prometheus : ?namespace:string -> string -> Metrics.snapshot -> unit

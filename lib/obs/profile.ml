@@ -1,0 +1,118 @@
+(* Guard-checkpoint profiler.
+
+   [Guard.checkpoint] already fires at every named site in every hot
+   loop — those hits, labelled with the open-span path at the moment of
+   the hit, are exactly the weighted call paths a flamegraph wants.
+   When disarmed (the default) [hit] is one ref read and one branch; the
+   instrumented sites pay nothing else.  When armed, every [rate]-th hit
+   per domain takes the global lock once and adds [rate] to the weight
+   of its (span path, site) call path, so the table stays an unbiased
+   estimate of the true hit distribution at a bounded cost. *)
+
+let armed_flag = ref false
+
+let armed () = !armed_flag
+
+let rate = ref 1
+
+let sample_rate () = !rate
+
+(* per-domain countdown, so sampling needs no synchronisation *)
+let pending : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let mu = Mutex.create ()
+
+(* frames (span path @ [site]) -> weight; guarded by [mu] *)
+let table : (string list, int) Hashtbl.t = Hashtbl.create 256
+
+let m_samples = Metrics.counter "profile.samples"
+
+let reset () =
+  Mutex.lock mu;
+  Hashtbl.reset table;
+  Mutex.unlock mu
+
+let arm ?(sample_every = 1) () =
+  if sample_every < 1 then
+    invalid_arg "Obs.Profile.arm: sample_every must be positive";
+  rate := sample_every;
+  armed_flag := true
+
+let disarm () = armed_flag := false
+
+let hit site =
+  if !armed_flag then begin
+    let p = Domain.DLS.get pending in
+    p := !p + 1;
+    if !p >= !rate then begin
+      p := 0;
+      let frames = Trace.current_path () @ [ site ] in
+      Metrics.incr m_samples;
+      Mutex.lock mu;
+      let w = try Hashtbl.find table frames with Not_found -> 0 in
+      Hashtbl.replace table frames (w + !rate);
+      Mutex.unlock mu
+    end
+  end
+
+let samples () =
+  Mutex.lock mu;
+  let l = Hashtbl.fold (fun frames w acc -> (frames, w) :: acc) table [] in
+  Mutex.unlock mu;
+  List.sort compare l
+
+(* total weight per checkpoint site (the last frame), heaviest first *)
+let site_totals () =
+  let totals : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (frames, w) ->
+      match List.rev frames with
+      | site :: _ ->
+        let prev = try Hashtbl.find totals site with Not_found -> 0 in
+        Hashtbl.replace totals site (prev + w)
+      | [] -> ())
+    (samples ());
+  Hashtbl.fold (fun site w acc -> (site, w) :: acc) totals []
+  |> List.sort (fun (s1, w1) (s2, w2) ->
+         match compare w2 w1 with 0 -> String.compare s1 s2 | c -> c)
+
+(* ------------------------------------------------------------------ *)
+(* Exports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* flamegraph.pl collapsed-stack format: one "frame;frame;frame weight"
+   line per call path.  Frame names never contain ';' or ' ' (span and
+   site names are dotted identifiers), so no quoting is needed. *)
+let to_collapsed () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (frames, w) ->
+      Buffer.add_string buf (String.concat ";" frames);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int w);
+      Buffer.add_char buf '\n')
+    (samples ());
+  Buffer.contents buf
+
+let write_collapsed file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_collapsed ()))
+
+let to_json () =
+  Json.Obj
+    [
+      ("sample_every", Json.Int !rate);
+      ( "paths",
+        Json.List
+          (List.map
+             (fun (frames, w) ->
+               Json.Obj
+                 [
+                   ( "frames",
+                     Json.List (List.map (fun f -> Json.String f) frames) );
+                   ("weight", Json.Int w);
+                 ])
+             (samples ())) );
+    ]

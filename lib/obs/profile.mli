@@ -1,0 +1,44 @@
+(** Guard-checkpoint profiler: weighted call paths from checkpoint hits.
+
+    Every [Guard.checkpoint] under an ambient guard calls {!hit} with
+    its site name.  Disarmed (the default), {!hit} is one ref read and
+    one branch.  Armed, every [sample_every]-th hit per domain records
+    the current {!Trace.current_path} plus the site as a call path and
+    adds [sample_every] to its weight — an unbiased estimate of the
+    true hit distribution at bounded cost.
+
+    The table exports as flamegraph.pl collapsed-stack format
+    ({!to_collapsed}) — pipe through [flamegraph.pl] or load into any
+    speedscope-compatible viewer — and as JSON ({!to_json}). *)
+
+val armed : unit -> bool
+
+val arm : ?sample_every:int -> unit -> unit
+(** Start sampling (does not clear the table; see {!reset}).
+    @raise Invalid_argument if [sample_every < 1]. *)
+
+val disarm : unit -> unit
+
+val sample_rate : unit -> int
+
+val reset : unit -> unit
+(** Clear the call-path table. *)
+
+val hit : string -> unit
+(** Record (maybe) one checkpoint hit at the named site.  Called by
+    [Guard.checkpoint]; instrumented code does not call this
+    directly. *)
+
+val samples : unit -> (string list * int) list
+(** [(frames, weight)] rows, sorted; the last frame is the checkpoint
+    site, the prefix is the open-span path at the hit. *)
+
+val site_totals : unit -> (string * int) list
+(** Total weight per checkpoint site, heaviest first. *)
+
+val to_collapsed : unit -> string
+(** flamegraph.pl collapsed-stack format: ["a;b;site 42\n"] lines. *)
+
+val write_collapsed : string -> unit
+
+val to_json : unit -> Json.t

@@ -19,7 +19,10 @@ let gc_sampling = ref false
 
 let set_gc_sampling b = gc_sampling := b
 
-(* An open span under construction; [children] accumulates reversed. *)
+(* An open span under construction; [children] accumulates reversed.
+   While a span is open its [o_children] may be appended to from other
+   domains (workers grafting via [fork]/[adopt]), so every mutation of
+   [o_children] — and of the [completed] list — happens under [mu]. *)
 type open_span = {
   o_name : string;
   o_start : int64;
@@ -29,30 +32,91 @@ type open_span = {
   mutable o_children : span list;
 }
 
-(* innermost first *)
-let stack : open_span list ref = ref []
+(* A graft point captured in the forking domain: the innermost open span
+   (if any) together with the span path leading to (and including) it.
+   Workers install it with [adopt]; their spans then attach as children
+   of the span that was active at fan-out instead of floating as
+   parentless top-level spans. *)
+type fork = { f_parent : open_span option; f_path : string list }
 
-(* completed top-level spans, reversed *)
+(* Per-domain open-span state.  A plain global ref raced under Parmap:
+   two domains pushing and popping the same list lost or misattached
+   spans.  Each domain now owns its stack; cross-domain attachment goes
+   through [fork]/[adopt] exclusively. *)
+type dstate = { mutable stack : open_span list; mutable adopted : fork option }
+
+let dls : dstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { stack = []; adopted = None })
+
+let mu = Mutex.create ()
+
+(* completed top-level spans, reversed; guarded by [mu] *)
 let completed : span list ref = ref []
 
-let clear () =
-  stack := [];
-  completed := []
+(* ---------------- span budget ---------------- *)
 
-let finished () = List.rev !completed
+(* [--trace] on a pathological instance (millions of checkpointed search
+   steps, each under a span) must not grow memory without bound: once
+   [opened] reaches the budget, [span] degrades to a pass-through and
+   counts the drop.  The cutoff is monotone — after it, every new span
+   is dropped — so retained spans never attach to a dropped parent. *)
+let default_max_spans = 100_000
+
+let max_spans = ref default_max_spans
+
+let set_max_spans n =
+  if n < 1 then invalid_arg "Obs.Trace.set_max_spans: budget must be positive";
+  max_spans := n
+
+let opened = Atomic.make 0
+
+let dropped_spans = Atomic.make 0
+
+let dropped () = Atomic.get dropped_spans
+
+let m_dropped = Metrics.counter "trace.dropped_spans"
+
+let clear () =
+  let st = Domain.DLS.get dls in
+  st.stack <- [];
+  st.adopted <- None;
+  Mutex.lock mu;
+  completed := [];
+  Mutex.unlock mu;
+  Atomic.set opened 0;
+  Atomic.set dropped_spans 0
+
+let finished () =
+  Mutex.lock mu;
+  let l = !completed in
+  Mutex.unlock mu;
+  List.rev l
 
 let record sp =
-  match !stack with
-  | [] -> completed := sp :: !completed
+  let st = Domain.DLS.get dls in
+  Mutex.lock mu;
+  (match st.stack with
   | parent :: _ -> parent.o_children <- sp :: parent.o_children
+  | [] -> (
+    match st.adopted with
+    | Some { f_parent = Some parent; _ } ->
+      parent.o_children <- sp :: parent.o_children
+    | _ -> completed := sp :: !completed));
+  Mutex.unlock mu
 
 let span name f =
   if not !on then f ()
+  else if Atomic.fetch_and_add opened 1 >= !max_spans then begin
+    Atomic.incr dropped_spans;
+    Metrics.incr m_dropped;
+    f ()
+  end
   else begin
+    let st = Domain.DLS.get dls in
     let minor, major =
       if !gc_sampling then begin
-        let st = Gc.quick_stat () in
-        (st.Gc.minor_words, st.Gc.major_collections)
+        let stt = Gc.quick_stat () in
+        (stt.Gc.minor_words, stt.Gc.major_collections)
       end
       else (0.0, 0)
     in
@@ -66,18 +130,18 @@ let span name f =
         o_children = [];
       }
     in
-    stack := o :: !stack;
+    st.stack <- o :: st.stack;
     let close errored =
       let duration = Int64.sub (Clock.now_ns ()) o.o_start in
       let minor', major' =
         if !gc_sampling then begin
-          let st = Gc.quick_stat () in
-          (st.Gc.minor_words -. o.o_minor, st.Gc.major_collections - o.o_major)
+          let stt = Gc.quick_stat () in
+          (stt.Gc.minor_words -. o.o_minor, stt.Gc.major_collections - o.o_major)
         end
         else (0.0, 0)
       in
-      (match !stack with
-      | top :: rest when top == o -> stack := rest
+      (match st.stack with
+      | top :: rest when top == o -> st.stack <- rest
       | _ ->
         (* a nested span escaped its scope (e.g. an exception skipped a
            close); drop back to this frame to stay consistent *)
@@ -86,7 +150,7 @@ let span name f =
           | _ :: rest -> pop rest
           | [] -> []
         in
-        stack := pop !stack);
+        st.stack <- pop st.stack);
       record
         {
           name = o.o_name;
@@ -107,6 +171,28 @@ let span name f =
       close true;
       raise e
   end
+
+(* ---------------- cross-domain grafting ---------------- *)
+
+let current_path () =
+  let st = Domain.DLS.get dls in
+  let prefix = match st.adopted with Some f -> f.f_path | None -> [] in
+  prefix @ List.rev_map (fun o -> o.o_name) st.stack
+
+let fork () =
+  let st = Domain.DLS.get dls in
+  let parent =
+    match st.stack with
+    | o :: _ -> Some o
+    | [] -> ( match st.adopted with Some f -> f.f_parent | None -> None)
+  in
+  { f_parent = parent; f_path = current_path () }
+
+let adopt fork f =
+  let st = Domain.DLS.get dls in
+  let saved = st.adopted in
+  st.adopted <- Some fork;
+  Fun.protect ~finally:(fun () -> st.adopted <- saved) f
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -182,3 +268,56 @@ let write_jsonl file spans =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_jsonl spans))
+
+(* ---------------- Chrome trace_event export ---------------- *)
+
+(* Complete ("ph":"X") events with microsecond timestamps, loadable in
+   about://tracing and Perfetto.  Timestamps are kept as floats so
+   sub-microsecond spans stay visible; non-zero metric deltas ride along
+   in "args" where the trace viewer shows them on click. *)
+let chrome_events spans =
+  let events = ref [] in
+  let rec go sp =
+    let args =
+      List.map
+        (fun (name, v) ->
+          match v with
+          | Metrics.Counter n | Metrics.Gauge n -> (name, Json.Int n)
+          | Metrics.Histogram h -> (name, Json.Int h.count))
+        (nonzero_metrics sp)
+    in
+    let args =
+      if sp.errored then ("errored", Json.Bool true) :: args else args
+    in
+    events :=
+      Json.Obj
+        [
+          ("name", Json.String sp.name);
+          ("ph", Json.String "X");
+          ("ts", Json.Float (Int64.to_float sp.start_ns /. 1e3));
+          ("dur", Json.Float (Int64.to_float sp.duration_ns /. 1e3));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1);
+          ("cat", Json.String "injcrpq");
+          ("args", Json.Obj args);
+        ]
+      :: !events;
+    List.iter go sp.children
+  in
+  List.iter go spans;
+  List.rev !events
+
+let to_chrome spans =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (chrome_events spans));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_chrome file spans =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_chrome spans));
+      output_char oc '\n')

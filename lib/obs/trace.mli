@@ -8,7 +8,18 @@
 
     Disabled by default: {!span} then reduces to calling its argument,
     so instrumented call sites stay allocation-free apart from the
-    closure the caller builds. *)
+    closure the caller builds.
+
+    Open-span state is per-domain ({!Domain.DLS}): concurrent domains
+    never share a stack, and a worker's spans attach under the span
+    that was active in the forking domain when the fork handle captured
+    with {!fork} is installed in the worker with {!adopt} (the Parmap
+    layer does this automatically).
+
+    The trace buffer is bounded: once {!set_max_spans} spans have been
+    opened, further spans are dropped (pass-through, counted in
+    {!dropped} and the [trace.dropped_spans] counter) so tracing a
+    pathological instance cannot grow memory without bound. *)
 
 type span = {
   name : string;
@@ -37,6 +48,44 @@ val finished : unit -> span list
 (** Completed top-level spans, in execution order. *)
 
 val clear : unit -> unit
+(** Reset the trace buffer, the calling domain's open-span stack and
+    the span-budget accounting. *)
+
+(* ------------------------------------------------------------------ *)
+(* Span budget                                                         *)
+(* ------------------------------------------------------------------ *)
+
+val set_max_spans : int -> unit
+(** Cap the number of spans retained per trace (default 100_000).
+    Once the cap is reached every further {!span} is a pass-through;
+    the cutoff is monotone, so no retained span has a dropped parent.
+    @raise Invalid_argument on non-positive budgets. *)
+
+val dropped : unit -> int
+(** Spans dropped by the budget since the last {!clear}. *)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain grafting                                               *)
+(* ------------------------------------------------------------------ *)
+
+type fork
+(** A graft point: the innermost open span of the capturing domain and
+    the span path leading to it. *)
+
+val fork : unit -> fork
+(** Capture the current graft point (call in the forking domain,
+    immediately before spawning workers). *)
+
+val adopt : fork -> (unit -> 'a) -> 'a
+(** [adopt f body] runs [body] with the fork installed: spans recorded
+    by this domain while no local span is open attach as children of
+    the forked span (or as top-level spans when the fork captured
+    none).  Cheap and safe to call with tracing disabled. *)
+
+val current_path : unit -> string list
+(** Names of the open spans enclosing the caller, outermost first,
+    including the adopted prefix in a worker domain.  Used by
+    {!Profile} to label checkpoint samples with their call path. *)
 
 val pp_tree : Format.formatter -> span list -> unit
 (** Indented tree with durations and non-zero metric deltas. *)
@@ -50,3 +99,11 @@ val to_jsonl : span list -> string
 
 val write_jsonl : string -> span list -> unit
 (** Write {!to_jsonl} to a file. *)
+
+val to_chrome : span list -> Json.t
+(** Chrome [trace_event] document (complete ["ph":"X"] events with
+    microsecond timestamps), loadable in about://tracing / Perfetto.
+    Non-zero metric deltas appear in each event's ["args"]. *)
+
+val write_chrome : string -> span list -> unit
+(** Write {!to_chrome} to a file. *)

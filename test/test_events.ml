@@ -1,0 +1,183 @@
+(* The structured event log: level gating, ring-buffer retention, the
+   JSONL sink, and serialisation. *)
+
+let check = Alcotest.check
+
+let default_capacity = 1024
+
+let with_events f () =
+  Obs.Events.set_enabled true;
+  Obs.Events.clear ();
+  Obs.Events.set_level Obs.Events.Debug;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Events.set_sink None;
+      Obs.Events.set_enabled false;
+      Obs.Events.set_level Obs.Events.Debug;
+      Obs.Events.set_capacity default_capacity)
+    f
+
+let names () = List.map (fun e -> e.Obs.Events.name) (Obs.Events.recent ())
+
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_no_op () =
+  Obs.Events.set_enabled false;
+  Obs.Events.emit Obs.Events.Error "should.vanish" [];
+  check Alcotest.bool "disabled" false (Obs.Events.enabled ());
+  check Alcotest.int "nothing accepted" 0 (Obs.Events.emitted ());
+  check Alcotest.(list string) "nothing retained" [] (names ())
+
+let test_level_threshold () =
+  Obs.Events.set_level Obs.Events.Warn;
+  Obs.Events.emit Obs.Events.Debug "too.low" [];
+  Obs.Events.emit Obs.Events.Info "still.too.low" [];
+  Obs.Events.emit Obs.Events.Warn "kept.warn" [];
+  Obs.Events.emit Obs.Events.Error "kept.error" [];
+  check Alcotest.(list string) "only warn and above" [ "kept.warn"; "kept.error" ]
+    (names ());
+  check Alcotest.int "emitted counts accepted only" 2 (Obs.Events.emitted ());
+  Obs.Events.set_level Obs.Events.Debug;
+  Obs.Events.emit Obs.Events.Debug "now.kept" [];
+  check Alcotest.int "threshold restored" 3 (Obs.Events.emitted ())
+
+let test_ring_wrap () =
+  Obs.Events.set_capacity 4;
+  for i = 1 to 10 do
+    Obs.Events.emit Obs.Events.Info (Printf.sprintf "e%d" i) []
+  done;
+  check Alcotest.int "all accepted" 10 (Obs.Events.emitted ());
+  check Alcotest.(list string) "ring keeps the most recent, oldest first"
+    [ "e7"; "e8"; "e9"; "e10" ] (names ())
+
+let test_level_strings () =
+  List.iter
+    (fun (l, s) ->
+      check Alcotest.string "to_string" s (Obs.Events.level_to_string l);
+      check Alcotest.bool "of_string round-trip" true
+        (Obs.Events.level_of_string s = Some l))
+    [
+      (Obs.Events.Debug, "debug");
+      (Obs.Events.Info, "info");
+      (Obs.Events.Warn, "warn");
+      (Obs.Events.Error, "error");
+    ];
+  check Alcotest.bool "unknown rejected" true
+    (Obs.Events.level_of_string "loud" = None)
+
+let test_capacity_validation () =
+  check Alcotest.bool "non-positive capacity rejected" true
+    (match Obs.Events.set_capacity 0 with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_event_json () =
+  Obs.Events.emit Obs.Events.Warn "guard.trip"
+    [ ("site", Obs.Json.String "expansion.partitions"); ("fuel", Obs.Json.Int 0) ];
+  match Obs.Events.recent () with
+  | [ e ] -> begin
+    let j = Obs.Events.event_to_json e in
+    match
+      ( Obs.Json.member "level" j,
+        Obs.Json.member "event" j,
+        Option.bind (Obs.Json.member "fields" j) (Obs.Json.member "site") )
+    with
+    | Some (Obs.Json.String "warn"), Some (Obs.Json.String "guard.trip"),
+      Some (Obs.Json.String "expansion.partitions") ->
+      (* and it reparses from its own printed form *)
+      (match Obs.Json.parse (Obs.Json.to_string j) with
+      | Ok _ -> ()
+      | Error err -> Alcotest.failf "event does not reparse: %s" err)
+    | _ -> Alcotest.failf "unexpected event JSON: %s" (Obs.Json.to_string j)
+  end
+  | l -> Alcotest.failf "expected one event, got %d" (List.length l)
+
+(* every accepted event reaches the sink immediately, one JSON line
+   each, and removing the sink stops the flow *)
+let test_sink_jsonl () =
+  let file = Filename.temp_file "injcrpq_events" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      Obs.Events.set_sink (Some oc);
+      Obs.Events.emit Obs.Events.Info "cache.eviction"
+        [ ("table", Obs.Json.String "morphism"); ("evicted", Obs.Json.Int 12) ];
+      Obs.Events.emit Obs.Events.Debug "containment.expansion_refuted" [];
+      Obs.Events.set_sink None;
+      close_out oc;
+      Obs.Events.emit Obs.Events.Info "after.sink.removed" [];
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let contents = really_input_string ic n in
+      close_in ic;
+      let lines = String.split_on_char '\n' (String.trim contents) in
+      check Alcotest.int "one line per sunk event" 2 (List.length lines);
+      let parsed_names =
+        List.map
+          (fun l ->
+            match Obs.Json.parse l with
+            | Ok j -> begin
+              match Obs.Json.member "event" j with
+              | Some (Obs.Json.String s) -> s
+              | _ -> Alcotest.failf "line without event name: %s" l
+            end
+            | Error e -> Alcotest.failf "bad JSONL line %s: %s" l e)
+          lines
+      in
+      check Alcotest.(list string) "sink order"
+        [ "cache.eviction"; "containment.expansion_refuted" ]
+        parsed_names)
+
+(* instrumented hot paths emit only when enabled: a guard trip produces
+   a guard.trip event with the site and reason kind *)
+let test_guard_trip_event () =
+  Guard.Chaos.disarm ();
+  let g = Guard.create ~fuel:1 () in
+  (match
+     Guard.with_guard g (fun () ->
+         Guard.checkpoint "test.events.site";
+         Guard.checkpoint "test.events.site")
+   with
+  | () -> Alcotest.fail "fuel 1 must trip on the second checkpoint"
+  | exception Guard.Trip _ -> ());
+  match
+    List.filter (fun e -> e.Obs.Events.name = "guard.trip") (Obs.Events.recent ())
+  with
+  | [ e ] ->
+    check Alcotest.bool "site recorded" true
+      (List.assoc_opt "site" e.Obs.Events.fields
+      = Some (Obs.Json.String "test.events.site"));
+    check Alcotest.bool "level is warn" true (e.Obs.Events.level = Obs.Events.Warn)
+  | l -> Alcotest.failf "expected one guard.trip event, got %d" (List.length l)
+
+let () =
+  Alcotest.run "events"
+    [
+      ( "gating",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            (with_events test_disabled_no_op);
+          Alcotest.test_case "level threshold" `Quick
+            (with_events test_level_threshold);
+          Alcotest.test_case "level strings" `Quick
+            (with_events test_level_strings);
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "wrap keeps the most recent" `Quick
+            (with_events test_ring_wrap);
+          Alcotest.test_case "capacity validation" `Quick
+            (with_events test_capacity_validation);
+        ] );
+      ( "serialisation",
+        [
+          Alcotest.test_case "event JSON" `Quick (with_events test_event_json);
+          Alcotest.test_case "JSONL sink" `Quick (with_events test_sink_jsonl);
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "guard trip emits" `Quick
+            (with_events test_guard_trip_event);
+        ] );
+    ]

@@ -1,0 +1,203 @@
+(* Explain reports: section building from a metrics delta, cache
+   hit-ratio aggregation, profiler and event rows, and the two
+   renderers (aligned text, schema-tagged JSON). *)
+
+let check = Alcotest.check
+
+let with_obs f () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+    f
+
+let section_named name (r : Obs.Explain.report) =
+  List.find_opt (fun (s : Obs.Explain.section) -> s.Obs.Explain.name = name)
+    r.Obs.Explain.sections
+
+let row_labels (s : Obs.Explain.section) =
+  List.map (fun (row : Obs.Explain.row) -> row.Obs.Explain.label)
+    s.Obs.Explain.rows
+
+(* ------------------------------------------------------------------ *)
+
+let test_sections_from_prefixes () =
+  let c1 = Obs.Metrics.counter "containment.expansions_enumerated" in
+  let c2 = Obs.Metrics.counter "morphism.candidates_tried" in
+  let c3 = Obs.Metrics.counter "analysis.rewrites_applied" in
+  let zero = Obs.Metrics.counter "eval.zero_stays_out" in
+  Obs.Metrics.add c1 12;
+  Obs.Metrics.add c2 4;
+  Obs.Metrics.add c3 1;
+  ignore zero;
+  let r =
+    Obs.Explain.of_metrics ~title:"contain Q1 Q2" (Obs.Metrics.snapshot ())
+  in
+  check Alcotest.string "title" "contain Q1 Q2" r.Obs.Explain.title;
+  (match section_named "search" r with
+  | Some s ->
+    check Alcotest.(list string) "search rows"
+      [ "containment.expansions_enumerated" ] (row_labels s)
+  | None -> Alcotest.fail "search section missing");
+  (match section_named "morphism csp" r with
+  | Some s ->
+    check Alcotest.(list string) "csp rows" [ "morphism.candidates_tried" ]
+      (row_labels s)
+  | None -> Alcotest.fail "morphism csp section missing");
+  check Alcotest.bool "analysis section present" true
+    (section_named "analysis" r <> None);
+  (* zero metrics and empty sections are dropped *)
+  check Alcotest.bool "caches section absent" true (section_named "caches" r = None)
+
+let test_cache_hit_ratio () =
+  let h = Obs.Metrics.counter "cache.morphism.hits" in
+  let m = Obs.Metrics.counter "cache.morphism.misses" in
+  let e = Obs.Metrics.counter "cache.morphism.evictions" in
+  let h2 = Obs.Metrics.counter "cache.expansion.hits" in
+  Obs.Metrics.add h 9;
+  Obs.Metrics.add m 3;
+  Obs.Metrics.add e 2;
+  Obs.Metrics.add h2 5;
+  let r = Obs.Explain.of_metrics ~title:"t" (Obs.Metrics.snapshot ()) in
+  match section_named "caches" r with
+  | None -> Alcotest.fail "caches section missing"
+  | Some s -> begin
+    check Alcotest.(list string) "one row per table, sorted"
+      [ "expansion"; "morphism" ] (row_labels s);
+    let morphism =
+      List.find
+        (fun (row : Obs.Explain.row) -> row.Obs.Explain.label = "morphism")
+        s.Obs.Explain.rows
+    in
+    match morphism.Obs.Explain.value with
+    | Obs.Json.Obj kvs ->
+      check Alcotest.bool "hits" true (List.assoc "hits" kvs = Obs.Json.Int 9);
+      check Alcotest.bool "misses" true (List.assoc "misses" kvs = Obs.Json.Int 3);
+      check Alcotest.bool "evictions" true
+        (List.assoc "evictions" kvs = Obs.Json.Int 2);
+      (match List.assoc "hit_ratio" kvs with
+      | Obs.Json.Float f -> check (Alcotest.float 1e-9) "ratio" 0.75 f
+      | _ -> Alcotest.fail "hit_ratio not a float")
+    | _ -> Alcotest.fail "cache row not an object"
+  end
+
+let test_profile_and_event_rows () =
+  let c = Obs.Metrics.counter "guard.checkpoints" in
+  Obs.Metrics.add c 6;
+  let events =
+    [
+      { Obs.Events.ts_ns = 1L; level = Obs.Events.Warn; name = "guard.trip";
+        fields = [] };
+      { Obs.Events.ts_ns = 2L; level = Obs.Events.Debug; name = "cache.eviction";
+        fields = [] };
+      { Obs.Events.ts_ns = 3L; level = Obs.Events.Debug; name = "cache.eviction";
+        fields = [] };
+    ]
+  in
+  let r =
+    Obs.Explain.of_metrics
+      ~profile:[ ("expansion.partitions", 40); ("morphism.extend", 2) ]
+      ~events ~title:"t" (Obs.Metrics.snapshot ())
+  in
+  (match section_named "guard" r with
+  | Some s ->
+    check Alcotest.(list string) "guard rows: metrics then site weights"
+      [ "guard.checkpoints"; "site expansion.partitions"; "site morphism.extend" ]
+      (row_labels s)
+  | None -> Alcotest.fail "guard section missing");
+  match section_named "events" r with
+  | Some s ->
+    check Alcotest.(list string) "event tallies, sorted"
+      [ "cache.eviction"; "guard.trip" ] (row_labels s);
+    check Alcotest.bool "tally counts" true
+      (List.map (fun (row : Obs.Explain.row) -> row.Obs.Explain.value)
+         s.Obs.Explain.rows
+      = [ Obs.Json.Int 2; Obs.Json.Int 1 ])
+  | None -> Alcotest.fail "events section missing"
+
+let test_add_section () =
+  let r = Obs.Explain.of_metrics ~title:"t" [] in
+  check Alcotest.int "no sections from an empty delta" 0
+    (List.length r.Obs.Explain.sections);
+  let r =
+    Obs.Explain.add_section r
+      (Obs.Explain.section "verdict"
+         [ Obs.Explain.row "answer" (Obs.Json.String "contained") ])
+  in
+  check Alcotest.int "caller section appended" 1
+    (List.length r.Obs.Explain.sections);
+  let r = Obs.Explain.add_section r (Obs.Explain.section "empty" []) in
+  check Alcotest.int "empty section dropped" 1
+    (List.length r.Obs.Explain.sections)
+
+let test_to_text () =
+  let c = Obs.Metrics.counter "containment.decisions" in
+  Obs.Metrics.incr c;
+  let r = Obs.Explain.of_metrics ~title:"demo" (Obs.Metrics.snapshot ()) in
+  let text = Obs.Explain.to_text r in
+  check Alcotest.bool "header" true
+    (String.length text >= 13 && String.sub text 0 13 = "explain: demo");
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "section header rendered" true (contains "\nsearch\n" text);
+  check Alcotest.bool "row rendered" true
+    (contains "containment.decisions" text && contains " 1\n" text)
+
+let test_to_json_schema () =
+  let c = Obs.Metrics.counter "containment.decisions" in
+  Obs.Metrics.incr c;
+  let r = Obs.Explain.of_metrics ~title:"demo" (Obs.Metrics.snapshot ()) in
+  let j = Obs.Explain.to_json r in
+  check Alcotest.bool "schema tag" true
+    (Obs.Json.member "schema" j = Some (Obs.Json.String "injcrpq-explain/1"));
+  check Alcotest.bool "title" true
+    (Obs.Json.member "title" j = Some (Obs.Json.String "demo"));
+  (match Obs.Json.member "sections" j with
+  | Some (Obs.Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "sections list missing or empty");
+  (* and the document survives a print/parse round-trip *)
+  match Obs.Json.parse (Obs.Json.to_string j) with
+  | Ok j' -> check Alcotest.bool "round-trips" true (j = j')
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+(* a histogram renders as a compact object, not raw buckets *)
+let test_histogram_row () =
+  let h = Obs.Metrics.histogram "analysis.certificate_ns" in
+  List.iter (Obs.Metrics.observe h) [ 100; 300 ];
+  let r = Obs.Explain.of_metrics ~title:"t" (Obs.Metrics.snapshot ()) in
+  match section_named "analysis" r with
+  | None -> Alcotest.fail "analysis section missing"
+  | Some s -> begin
+    match (List.hd s.Obs.Explain.rows).Obs.Explain.value with
+    | Obs.Json.Obj kvs ->
+      check Alcotest.bool "count" true (List.assoc "count" kvs = Obs.Json.Int 2);
+      check Alcotest.bool "sum" true (List.assoc "sum" kvs = Obs.Json.Int 400);
+      check Alcotest.bool "avg" true (List.assoc "avg" kvs = Obs.Json.Int 200)
+    | _ -> Alcotest.fail "histogram row not an object"
+  end
+
+let () =
+  Alcotest.run "explain"
+    [
+      ( "building",
+        [
+          Alcotest.test_case "sections from prefixes" `Quick
+            (with_obs test_sections_from_prefixes);
+          Alcotest.test_case "cache hit ratios" `Quick
+            (with_obs test_cache_hit_ratio);
+          Alcotest.test_case "profile and event rows" `Quick
+            (with_obs test_profile_and_event_rows);
+          Alcotest.test_case "add_section" `Quick (with_obs test_add_section);
+          Alcotest.test_case "histogram row" `Quick (with_obs test_histogram_row);
+        ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "text" `Quick (with_obs test_to_text);
+          Alcotest.test_case "json schema" `Quick (with_obs test_to_json_schema);
+        ] );
+    ]

@@ -1,0 +1,105 @@
+(* Prometheus text exposition of metrics snapshots: name sanitisation,
+   per-kind rendering, and the log2 -> cumulative-le bucket mapping. *)
+
+let check = Alcotest.check
+
+let with_metrics f () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+    f
+
+let lines_of s = String.split_on_char '\n' (String.trim s)
+
+let test_sanitize () =
+  List.iter
+    (fun (input, expected) ->
+      check Alcotest.string input expected (Obs.Expo.sanitize input))
+    [
+      ("cache.morphism.hits", "cache_morphism_hits");
+      ("already_clean_123", "already_clean_123");
+      ("odd-name with:stuff", "odd_name_with_stuff");
+    ]
+
+let test_counter_and_gauge () =
+  let c = Obs.Metrics.counter "containment.decisions" in
+  let g = Obs.Metrics.gauge "test.depth" in
+  Obs.Metrics.add c 7;
+  Obs.Metrics.set g (-2);
+  let out = Obs.Expo.to_prometheus (Obs.Metrics.snapshot ()) in
+  let lines = lines_of out in
+  List.iter
+    (fun l -> check Alcotest.bool ("line present: " ^ l) true (List.mem l lines))
+    [
+      "# TYPE injcrpq_containment_decisions counter";
+      "injcrpq_containment_decisions 7";
+      "# TYPE injcrpq_test_depth gauge";
+      "injcrpq_test_depth -2";
+    ]
+
+(* log2 bucket k holds 2^k <= v < 2^(k+1), so its exposition bound is
+   2^(k+1)-1 and counts accumulate: observations 1,1 (b0), 2,3 (b1),
+   8 (b3), 1000 (b9) expose as le=1:2, le=3:4, le=15:5, le=1023:6. *)
+let test_histogram_cumulative_buckets () =
+  let h = Obs.Metrics.histogram "analysis.certificate_ns" in
+  List.iter (Obs.Metrics.observe h) [ 1; 1; 2; 3; 8; 1000 ];
+  let out = Obs.Expo.to_prometheus (Obs.Metrics.snapshot ()) in
+  let lines = lines_of out in
+  List.iter
+    (fun l -> check Alcotest.bool ("line present: " ^ l) true (List.mem l lines))
+    [
+      "# TYPE injcrpq_analysis_certificate_ns histogram";
+      "injcrpq_analysis_certificate_ns_bucket{le=\"1\"} 2";
+      "injcrpq_analysis_certificate_ns_bucket{le=\"3\"} 4";
+      "injcrpq_analysis_certificate_ns_bucket{le=\"15\"} 5";
+      "injcrpq_analysis_certificate_ns_bucket{le=\"1023\"} 6";
+      "injcrpq_analysis_certificate_ns_bucket{le=\"+Inf\"} 6";
+      "injcrpq_analysis_certificate_ns_sum 1015";
+      "injcrpq_analysis_certificate_ns_count 6";
+    ]
+
+let test_custom_namespace () =
+  let c = Obs.Metrics.counter "x" in
+  Obs.Metrics.incr c;
+  let out = Obs.Expo.to_prometheus ~namespace:"my-app" (Obs.Metrics.snapshot ()) in
+  check Alcotest.bool "namespace sanitised too" true
+    (List.mem "my_app_x 1" (lines_of out))
+
+(* write_prometheus writes exactly to_prometheus *)
+let test_write_file () =
+  let c = Obs.Metrics.counter "written.counter" in
+  Obs.Metrics.add c 5;
+  let snap = Obs.Metrics.snapshot () in
+  let file = Filename.temp_file "injcrpq_expo" ".prom" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Obs.Expo.write_prometheus file snap;
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let contents = really_input_string ic n in
+      close_in ic;
+      check Alcotest.string "file matches renderer"
+        (Obs.Expo.to_prometheus snap) contents)
+
+let () =
+  Alcotest.run "expo"
+    [
+      ( "names",
+        [
+          Alcotest.test_case "sanitize" `Quick test_sanitize;
+          Alcotest.test_case "custom namespace" `Quick
+            (with_metrics test_custom_namespace);
+        ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "counter and gauge" `Quick
+            (with_metrics test_counter_and_gauge);
+          Alcotest.test_case "histogram cumulative buckets" `Quick
+            (with_metrics test_histogram_cumulative_buckets);
+          Alcotest.test_case "write to file" `Quick (with_metrics test_write_file);
+        ] );
+    ]

@@ -1,0 +1,154 @@
+(* Golden conformance for the observability export surfaces.
+
+   A fixed instrumentation scenario runs under a fake 1µs-per-reading
+   clock, so every export — span JSONL, Chrome trace_event JSON,
+   collapsed flamegraph stacks, Prometheus exposition, event JSONL and
+   the explain report — is byte-for-byte reproducible.  Any drift in an
+   export format shows up as a readable fixture diff.
+
+   Regenerate after an intentional change with
+
+     INJCRPQ_GOLDEN_REGEN=$PWD/test/golden/obs_exports.golden \
+       dune exec test/test_golden_obs.exe *)
+
+let fixture = "golden/obs_exports.golden"
+
+(* the metrics the scenario touches; everything else in the registry
+   stays zero and is filtered out so unrelated new metrics cannot
+   perturb the fixture *)
+let scenario_metrics =
+  [
+    "containment.expansions_enumerated";
+    "cache.morphism.hits";
+    "cache.morphism.misses";
+    "analysis.certificate_ns";
+  ]
+
+let render () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled true;
+  Obs.Profile.reset ();
+  Obs.Profile.arm ~sample_every:1 ();
+  Obs.Events.set_enabled true;
+  Obs.Events.clear ();
+  let t = ref 0L in
+  Obs.Clock.set_source ~name:"fake" (fun () ->
+      t := Int64.add !t 1_000L;
+      !t);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Clock.reset_source ();
+      Obs.Events.set_enabled false;
+      Obs.Events.clear ();
+      Obs.Profile.disarm ();
+      Obs.Profile.reset ();
+      Obs.Trace.set_enabled false;
+      Obs.Trace.clear ();
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+    (fun () ->
+      (* ---- the scenario ---- *)
+      let steps = Obs.Metrics.counter "containment.expansions_enumerated" in
+      let hits = Obs.Metrics.counter "cache.morphism.hits" in
+      let misses = Obs.Metrics.counter "cache.morphism.misses" in
+      let cost = Obs.Metrics.histogram "analysis.certificate_ns" in
+      Obs.Trace.span "containment.decide" (fun () ->
+          Obs.Metrics.add steps 3;
+          Obs.Trace.span "dfa.product" (fun () ->
+              Obs.Profile.hit "expansion.partitions";
+              Obs.Profile.hit "expansion.partitions");
+          Obs.Profile.hit "morphism.extend";
+          Obs.Metrics.add hits 9;
+          Obs.Metrics.add misses 3;
+          List.iter (Obs.Metrics.observe cost) [ 2; 5; 900 ]);
+      Obs.Events.emit Obs.Events.Warn "guard.trip"
+        [ ("site", Obs.Json.String "expansion.partitions") ];
+      Obs.Events.emit Obs.Events.Debug "cache.eviction"
+        [ ("table", Obs.Json.String "morphism"); ("evicted", Obs.Json.Int 4) ];
+      (* ---- the exports ---- *)
+      let snap =
+        List.filter
+          (fun (name, _) -> List.mem name scenario_metrics)
+          (Obs.Metrics.snapshot ())
+      in
+      let spans = Obs.Trace.finished () in
+      let buf = Buffer.create 4096 in
+      let section name body =
+        Buffer.add_string buf ("== " ^ name ^ " ==\n");
+        Buffer.add_string buf body;
+        if body = "" || body.[String.length body - 1] <> '\n' then
+          Buffer.add_char buf '\n'
+      in
+      Buffer.add_string buf
+        "# Pinned export formats of lib/obs under a fake 1us clock.\n\n";
+      section "span jsonl" (Obs.Trace.to_jsonl spans);
+      section "chrome trace" (Obs.Json.to_string (Obs.Trace.to_chrome spans));
+      section "collapsed stacks" (Obs.Profile.to_collapsed ());
+      section "profile json" (Obs.Json.to_string (Obs.Profile.to_json ()));
+      section "prometheus" (Obs.Expo.to_prometheus snap);
+      section "event jsonl" (Obs.Events.to_jsonl (Obs.Events.recent ()));
+      let report =
+        Obs.Explain.add_section
+          (Obs.Explain.of_metrics
+             ~profile:(Obs.Profile.site_totals ())
+             ~events:(Obs.Events.recent ())
+             ~title:"golden scenario" snap)
+          (Obs.Explain.section "verdict"
+             [ Obs.Explain.row "answer" (Obs.Json.String "contained") ])
+      in
+      section "explain text" (Obs.Explain.to_text report);
+      section "explain json" (Obs.Json.to_string (Obs.Explain.to_json report));
+      Buffer.contents buf)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_fixture () =
+  let actual = render () in
+  let expected = read_file fixture in
+  if not (String.equal actual expected) then begin
+    let al = String.split_on_char '\n' actual
+    and el = String.split_on_char '\n' expected in
+    let rec first_diff i = function
+      | a :: arest, e :: erest ->
+        if String.equal a e then first_diff (i + 1) (arest, erest)
+        else (i, e, a)
+      | a :: _, [] -> (i, "<end of fixture>", a)
+      | [], e :: _ -> (i, e, "<end of output>")
+      | [], [] -> (i, "", "")
+    in
+    let i, e, a = first_diff 1 (al, el) in
+    Alcotest.failf
+      "golden fixture mismatch at line %d@.  fixture : %s@.  actual  : %s@.\
+       (regenerate with INJCRPQ_GOLDEN_REGEN if the change is intentional)"
+      i e a
+  end
+
+(* the render is a fixed point: running the scenario twice in the same
+   process produces identical bytes (the fake clock and all obs state
+   reset cleanly) *)
+let test_render_idempotent () =
+  Alcotest.(check string) "second render identical" (render ()) (render ())
+
+let () =
+  match Sys.getenv_opt "INJCRPQ_GOLDEN_REGEN" with
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc (render ());
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  | None ->
+    Alcotest.run "golden_obs"
+      [
+        ( "obs exports",
+          [
+            Alcotest.test_case "fixture conformance" `Quick test_fixture;
+            Alcotest.test_case "render idempotent" `Quick test_render_idempotent;
+          ] );
+      ]

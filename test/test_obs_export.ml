@@ -1,0 +1,266 @@
+(* Trace export surfaces: Chrome trace_event JSON, collapsed stacks and
+   span JSONL, pinned under a deterministic fake clock.
+
+   The fake clock advances by exactly 1µs per reading, so span starts
+   and durations — and therefore the exported documents — are exact
+   values, not ranges.  On top of the unit checks, a qcheck property
+   runs randomly-shaped span forests and asserts the invariant every
+   trace viewer relies on: each exported span nests inside its parent's
+   time range. *)
+
+let check = Alcotest.check
+
+(* one fake-clock tick per reading: a span over k clock readings gets an
+   exact, reproducible duration *)
+let tick_ns = 1_000L
+
+let with_fake_clock f () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled true;
+  let t = ref 0L in
+  Obs.Clock.set_source ~name:"fake" (fun () ->
+      t := Int64.add !t tick_ns;
+      !t);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Clock.reset_source ();
+      Obs.Metrics.set_enabled false;
+      Obs.Trace.set_enabled false;
+      Obs.Metrics.reset ();
+      Obs.Trace.clear ())
+    f
+
+let field name j =
+  match Obs.Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %s" name
+
+let int_field name j =
+  match Obs.Json.to_int (field name j) with
+  | Some n -> n
+  | None -> Alcotest.failf "field %s is not an int" name
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Two clock readings per span (entry and exit); children occupy the
+   readings between their parent's.  With 1µs ticks:
+     outer opens at t=1µs and closes at t=6µs (dur 5µs),
+     inner1 spans [2,3] (dur 1), inner2 spans [4,5] (dur 1). *)
+let test_chrome_document () =
+  let c = Obs.Metrics.counter "test.export.counter" in
+  Obs.Trace.span "outer" (fun () ->
+      ignore (Obs.Trace.span "inner1" (fun () -> ()));
+      Obs.Metrics.add c 3;
+      ignore (Obs.Trace.span "inner2" (fun () -> ())));
+  let doc = Obs.Trace.to_chrome (Obs.Trace.finished ()) in
+  check Alcotest.string "displayTimeUnit" "ms"
+    (match field "displayTimeUnit" doc with
+    | Obs.Json.String s -> s
+    | _ -> Alcotest.fail "displayTimeUnit not a string");
+  let events =
+    match field "traceEvents" doc with
+    | Obs.Json.List l -> l
+    | _ -> Alcotest.fail "traceEvents not a list"
+  in
+  check Alcotest.int "one event per span" 3 (List.length events);
+  let by_name name =
+    match
+      List.find_opt
+        (fun e -> field "name" e = Obs.Json.String name)
+        events
+    with
+    | Some e -> e
+    | None -> Alcotest.failf "event %s missing" name
+  in
+  let ts e = int_field "ts" e and dur e = int_field "dur" e in
+  let outer = by_name "outer" in
+  check Alcotest.int "outer ts (µs)" 1 (ts outer);
+  check Alcotest.int "outer dur (µs)" 5 (dur outer);
+  check Alcotest.int "inner1 ts" 2 (ts (by_name "inner1"));
+  check Alcotest.int "inner1 dur" 1 (dur (by_name "inner1"));
+  check Alcotest.int "inner2 ts" 4 (ts (by_name "inner2"));
+  List.iter
+    (fun e ->
+      check Alcotest.string "ph" "X"
+        (match field "ph" e with
+        | Obs.Json.String s -> s
+        | _ -> Alcotest.fail "ph not a string");
+      check Alcotest.string "cat" "injcrpq"
+        (match field "cat" e with
+        | Obs.Json.String s -> s
+        | _ -> Alcotest.fail "cat not a string");
+      check Alcotest.int "pid" 1 (int_field "pid" e))
+    events;
+  (* the counter delta rides along in the enclosing span's args and
+     stays out of spans that saw no change *)
+  check Alcotest.int "outer args carry the delta" 3
+    (int_field "test.export.counter" (field "args" outer));
+  check Alcotest.bool "inner1 args empty" true
+    (field "args" (by_name "inner1") = Obs.Json.Obj []);
+  (* the whole document reparses *)
+  match Obs.Json.parse (Obs.Json.to_string doc) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "chrome document does not reparse: %s" e
+
+let test_chrome_errored_span () =
+  (match Obs.Trace.span "boom" (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  let doc = Obs.Trace.to_chrome (Obs.Trace.finished ()) in
+  match field "traceEvents" doc with
+  | Obs.Json.List [ e ] ->
+    check Alcotest.bool "errored flag in args" true
+      (field "errored" (field "args" e) = Obs.Json.Bool true)
+  | _ -> Alcotest.fail "expected exactly one event"
+
+(* ------------------------------------------------------------------ *)
+(* Collapsed stacks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_collapsed_stacks () =
+  Obs.Profile.arm ~sample_every:1 ();
+  Obs.Profile.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Profile.disarm ();
+      Obs.Profile.reset ())
+    (fun () ->
+      Obs.Trace.span "containment.decide" (fun () ->
+          Obs.Trace.span "dfa.product" (fun () ->
+              for _ = 1 to 4 do
+                Obs.Profile.hit "expansion.partitions"
+              done);
+          Obs.Profile.hit "morphism.extend");
+      check Alcotest.string "collapsed lines"
+        "containment.decide;dfa.product;expansion.partitions 4\n\
+         containment.decide;morphism.extend 1\n"
+        (Obs.Profile.to_collapsed ());
+      check
+        Alcotest.(list (pair string int))
+        "site totals, heaviest first"
+        [ ("expansion.partitions", 4); ("morphism.extend", 1) ]
+        (Obs.Profile.site_totals ()))
+
+(* ------------------------------------------------------------------ *)
+(* Nesting property                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* a forest shape: each node is just a list of child shapes *)
+type shape = Node of shape list
+
+let rec shape_size (Node kids) =
+  1 + List.fold_left (fun n k -> n + shape_size k) 0 kids
+
+let gen_forest =
+  let open QCheck2.Gen in
+  let rec gen_node depth =
+    if depth = 0 then return (Node [])
+    else
+      let* n = int_bound 3 in
+      let* kids = list_repeat n (gen_node (depth - 1)) in
+      return (Node kids)
+  in
+  let* n = int_range 1 5 in
+  list_repeat n (gen_node 3)
+
+(* run the forest as real spans under the fake clock, export JSONL,
+   reparse, and check every child's [start, start+dur] interval lies
+   inside its parent's *)
+let prop_exported_spans_nest forest =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled true;
+  let t = ref 0L in
+  Obs.Clock.set_source ~name:"fake" (fun () ->
+      t := Int64.add !t tick_ns;
+      !t);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Clock.reset_source ();
+      Obs.Metrics.set_enabled false;
+      Obs.Trace.set_enabled false;
+      Obs.Trace.clear ())
+    (fun () ->
+      let i = ref 0 in
+      let rec run (Node kids) =
+        incr i;
+        Obs.Trace.span (Printf.sprintf "n%d" !i) (fun () -> List.iter run kids)
+      in
+      List.iter run forest;
+      let total = List.fold_left (fun n s -> n + shape_size s) 0 forest in
+      let lines =
+        String.split_on_char '\n'
+          (String.trim (Obs.Trace.to_jsonl (Obs.Trace.finished ())))
+      in
+      if List.length lines <> total then
+        QCheck2.Test.fail_reportf "expected %d JSONL lines, got %d" total
+          (List.length lines);
+      let spans =
+        List.map
+          (fun l ->
+            match Obs.Json.parse l with
+            | Ok j ->
+              ( int_field "id" j,
+                ( (match field "parent" j with
+                  | Obs.Json.Null -> None
+                  | v -> Obs.Json.to_int v),
+                  int_field "start_ns" j,
+                  int_field "duration_ns" j ) )
+            | Error e -> QCheck2.Test.fail_reportf "bad JSONL line %s: %s" l e)
+          lines
+      in
+      List.iter
+        (fun (id, (parent, start, dur)) ->
+          if dur < 0 then
+            QCheck2.Test.fail_reportf "span %d has negative duration" id;
+          match parent with
+          | None -> ()
+          | Some p -> begin
+            match List.assoc_opt p spans with
+            | None -> QCheck2.Test.fail_reportf "span %d has unknown parent %d" id p
+            | Some (_, pstart, pdur) ->
+              if not (pstart <= start && start + dur <= pstart + pdur) then
+                QCheck2.Test.fail_reportf
+                  "span %d [%d, %d] escapes parent %d [%d, %d]" id start
+                  (start + dur) p pstart (pstart + pdur)
+          end)
+        spans;
+      (* the Chrome export covers exactly the same spans *)
+      (match Obs.Trace.to_chrome (Obs.Trace.finished ()) with
+      | Obs.Json.Obj kvs -> begin
+        match List.assoc_opt "traceEvents" kvs with
+        | Some (Obs.Json.List evs) ->
+          if List.length evs <> total then
+            QCheck2.Test.fail_reportf "chrome export has %d events, want %d"
+              (List.length evs) total
+        | _ -> QCheck2.Test.fail_reportf "traceEvents missing"
+      end
+      | _ -> QCheck2.Test.fail_reportf "chrome document not an object");
+      true)
+
+let () =
+  Alcotest.run "obs_export"
+    [
+      ( "chrome",
+        [
+          Alcotest.test_case "document structure and timestamps" `Quick
+            (with_fake_clock test_chrome_document);
+          Alcotest.test_case "errored span flagged" `Quick
+            (with_fake_clock test_chrome_errored_span);
+        ] );
+      ( "collapsed",
+        [
+          Alcotest.test_case "stacks and site totals" `Quick
+            (with_fake_clock test_collapsed_stacks);
+        ] );
+      ( "properties",
+        [
+          Testutil.qtest ~count:100 "exported spans nest in their parent"
+            gen_forest prop_exported_spans_nest;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+(* The checkpoint profiler: arming, sampling cadence, call-path
+   labelling and the weighted table. *)
+
+let check = Alcotest.check
+
+let with_profile f () =
+  Obs.Metrics.set_enabled true;
+  Obs.Trace.clear ();
+  Obs.Profile.disarm ();
+  Obs.Profile.reset ();
+  (* flush this domain's sampling countdown so cadence tests start from
+     a known phase, then zero the registry *)
+  Obs.Profile.arm ~sample_every:1 ();
+  Obs.Profile.hit "test.profile.flush";
+  Obs.Profile.disarm ();
+  Obs.Profile.reset ();
+  Obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Profile.disarm ();
+      Obs.Profile.reset ();
+      Obs.Trace.set_enabled false;
+      Obs.Trace.clear ();
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+    f
+
+let test_disarmed_no_op () =
+  check Alcotest.bool "disarmed by default" false (Obs.Profile.armed ());
+  Obs.Profile.hit "test.profile.site";
+  check Alcotest.int "nothing recorded" 0 (List.length (Obs.Profile.samples ()));
+  check Alcotest.string "empty collapsed" "" (Obs.Profile.to_collapsed ())
+
+let test_arm_validation () =
+  check Alcotest.bool "sample_every 0 rejected" true
+    (match Obs.Profile.arm ~sample_every:0 () with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Obs.Profile.arm ~sample_every:5 ();
+  check Alcotest.bool "armed" true (Obs.Profile.armed ());
+  check Alcotest.int "rate readable" 5 (Obs.Profile.sample_rate ());
+  Obs.Profile.disarm ();
+  check Alcotest.bool "disarmed" false (Obs.Profile.armed ())
+
+(* without any open span the call path is just the site *)
+let test_bare_site_path () =
+  Obs.Profile.arm ~sample_every:1 ();
+  Obs.Profile.hit "test.profile.bare";
+  check
+    Alcotest.(list (pair (list string) int))
+    "single-frame path"
+    [ ([ "test.profile.bare" ], 1) ]
+    (Obs.Profile.samples ())
+
+(* every sample_every-th hit records, weighted by sample_every, so the
+   total weight matches the true hit count on exact multiples *)
+let test_sampling_cadence () =
+  Obs.Profile.arm ~sample_every:3 ();
+  for _ = 1 to 12 do
+    Obs.Profile.hit "test.profile.cadence"
+  done;
+  (match Obs.Profile.samples () with
+  | [ (frames, w) ] ->
+    check Alcotest.(list string) "frames" [ "test.profile.cadence" ] frames;
+    check Alcotest.int "weight = hits on exact multiples" 12 w
+  | l -> Alcotest.failf "expected one path, got %d" (List.length l));
+  check Alcotest.int "4 actual samples taken"
+    4
+    (match List.assoc_opt "profile.samples" (Obs.Metrics.snapshot ()) with
+    | Some (Obs.Metrics.Counter n) -> n
+    | _ -> -1)
+
+(* hits under open spans are labelled with the span path *)
+let test_span_path_labelling () =
+  Obs.Trace.set_enabled true;
+  Obs.Profile.arm ~sample_every:1 ();
+  Obs.Trace.span "outer" (fun () ->
+      Obs.Profile.hit "site.a";
+      Obs.Trace.span "inner" (fun () -> Obs.Profile.hit "site.b"));
+  Obs.Profile.hit "site.a";
+  check
+    Alcotest.(list (pair (list string) int))
+    "paths keep span context"
+    [
+      ([ "outer"; "inner"; "site.b" ], 1);
+      ([ "outer"; "site.a" ], 1);
+      ([ "site.a" ], 1);
+    ]
+    (Obs.Profile.samples ());
+  (* site totals merge the two site.a paths *)
+  check
+    Alcotest.(list (pair string int))
+    "totals merge across paths"
+    [ ("site.a", 2); ("site.b", 1) ]
+    (Obs.Profile.site_totals ())
+
+let test_reset () =
+  Obs.Profile.arm ~sample_every:1 ();
+  Obs.Profile.hit "test.profile.gone";
+  Obs.Profile.reset ();
+  check Alcotest.int "table cleared" 0 (List.length (Obs.Profile.samples ()));
+  check Alcotest.bool "still armed after reset" true (Obs.Profile.armed ())
+
+let test_to_json () =
+  Obs.Profile.arm ~sample_every:2 ();
+  for _ = 1 to 4 do
+    Obs.Profile.hit "test.profile.json"
+  done;
+  let j = Obs.Profile.to_json () in
+  check Alcotest.bool "sample_every recorded" true
+    (Obs.Json.member "sample_every" j = Some (Obs.Json.Int 2));
+  match Obs.Json.member "paths" j with
+  | Some (Obs.Json.List [ path ]) ->
+    check Alcotest.bool "weight" true
+      (Obs.Json.member "weight" path = Some (Obs.Json.Int 4));
+    check Alcotest.bool "frames" true
+      (Obs.Json.member "frames" path
+      = Some (Obs.Json.List [ Obs.Json.String "test.profile.json" ]))
+  | _ -> Alcotest.fail "paths missing"
+
+(* guard checkpoints under an ambient guard feed the profiler *)
+let test_guard_checkpoint_feeds_profiler () =
+  Guard.Chaos.disarm ();
+  Obs.Profile.arm ~sample_every:1 ();
+  let g = Guard.create ~fuel:100 () in
+  Guard.with_guard g (fun () ->
+      for _ = 1 to 3 do
+        Guard.checkpoint "test.profile.guarded"
+      done);
+  check
+    Alcotest.(list (pair string int))
+    "checkpoint site sampled"
+    [ ("test.profile.guarded", 3) ]
+    (Obs.Profile.site_totals ())
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "arming",
+        [
+          Alcotest.test_case "disarmed is a no-op" `Quick
+            (with_profile test_disarmed_no_op);
+          Alcotest.test_case "validation and state" `Quick
+            (with_profile test_arm_validation);
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "bare site path" `Quick
+            (with_profile test_bare_site_path);
+          Alcotest.test_case "cadence" `Quick (with_profile test_sampling_cadence);
+          Alcotest.test_case "span path labelling" `Quick
+            (with_profile test_span_path_labelling);
+          Alcotest.test_case "reset" `Quick (with_profile test_reset);
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json" `Quick (with_profile test_to_json);
+          Alcotest.test_case "guard checkpoints feed the profiler" `Quick
+            (with_profile test_guard_checkpoint_feeds_profiler);
+        ] );
+    ]

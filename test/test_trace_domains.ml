@@ -1,0 +1,201 @@
+(* Cross-domain span grafting and the span budget.
+
+   [Obs.Trace] keeps its open-span stack in [Domain.DLS]; a worker
+   domain attaches its spans under the span that was active in the
+   forking domain only through an explicit [fork]/[adopt] handshake.
+   These tests drive two real domains through that handshake and check
+   the two failure modes the DLS rewrite eliminated: span loss (a
+   worker's span vanishes) and misattachment (it floats to top level or
+   lands under the wrong parent).  The budget tests pin the bounded
+   trace buffer: past the cap spans degrade to pass-throughs, the drop
+   is counted, and no retained span ever has a dropped parent. *)
+
+let check = Alcotest.check
+
+let default_max_spans = 100_000
+
+let with_obs f () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Trace.set_enabled false;
+      Obs.Trace.set_max_spans default_max_spans;
+      Obs.Metrics.reset ();
+      Obs.Trace.clear ())
+    f
+
+let span_names spans = List.map (fun s -> s.Obs.Trace.name) spans
+
+let rec count_spans spans =
+  List.fold_left (fun n s -> n + count_spans s.Obs.Trace.children) (List.length spans) spans
+
+(* ------------------------------------------------------------------ *)
+(* Grafting                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Two domains, each recording [n] named spans while the forking
+   domain's "fanout" span is open: every worker span must appear as a
+   child of "fanout", in per-worker order, with nothing at top level. *)
+let test_two_domain_graft () =
+  let n = 50 in
+  Obs.Trace.span "fanout" (fun () ->
+      let fork = Obs.Trace.fork () in
+      let worker tag () =
+        Obs.Trace.adopt fork (fun () ->
+            for i = 1 to n do
+              Obs.Trace.span (Printf.sprintf "%s.%d" tag i) (fun () -> ())
+            done)
+      in
+      let d1 = Domain.spawn (worker "w1") in
+      let d2 = Domain.spawn (worker "w2") in
+      Obs.Trace.span "local" (fun () -> ());
+      Domain.join d1;
+      Domain.join d2);
+  match Obs.Trace.finished () with
+  | [ fanout ] ->
+    check Alcotest.string "root name" "fanout" fanout.Obs.Trace.name;
+    let kids = span_names fanout.Obs.Trace.children in
+    check Alcotest.int "no span lost" ((2 * n) + 1) (List.length kids);
+    (* each worker's spans keep their own order even though the two
+       domains interleave arbitrarily *)
+    let of_tag tag =
+      List.filter (fun s -> String.length s > 3 && String.sub s 0 3 = tag ^ ".") kids
+    in
+    let expected tag = List.init n (fun i -> Printf.sprintf "%s.%d" tag (i + 1)) in
+    check Alcotest.(list string) "w1 order" (expected "w1") (of_tag "w1");
+    check Alcotest.(list string) "w2 order" (expected "w2") (of_tag "w2");
+    check Alcotest.bool "local span present" true (List.mem "local" kids)
+  | spans ->
+    Alcotest.failf "misattached: %d top-level spans (%s)" (List.length spans)
+      (String.concat ", " (span_names spans))
+
+(* A worker's own nesting survives the graft: only its outermost span
+   attaches to the fork parent, inner spans stay under the outer one. *)
+let test_worker_nesting_grafts_once () =
+  Obs.Trace.span "fanout" (fun () ->
+      let fork = Obs.Trace.fork () in
+      let d =
+        Domain.spawn (fun () ->
+            Obs.Trace.adopt fork (fun () ->
+                Obs.Trace.span "outer_w" (fun () ->
+                    Obs.Trace.span "inner_w" (fun () -> ()))))
+      in
+      Domain.join d);
+  match Obs.Trace.finished () with
+  | [ fanout ] -> begin
+    match
+      List.filter (fun s -> s.Obs.Trace.name = "outer_w") fanout.Obs.Trace.children
+    with
+    | [ outer ] ->
+      check Alcotest.(list string) "inner nested under outer" [ "inner_w" ]
+        (span_names outer.Obs.Trace.children);
+      check Alcotest.bool "inner not a direct fanout child" false
+        (List.mem "inner_w" (span_names fanout.Obs.Trace.children))
+    | l -> Alcotest.failf "expected one outer_w child, got %d" (List.length l)
+  end
+  | spans -> Alcotest.failf "expected 1 top-level span, got %d" (List.length spans)
+
+(* A fork captured with no open span grafts nothing: worker spans are
+   legitimately top-level. *)
+let test_fork_without_parent () =
+  let fork = Obs.Trace.fork () in
+  let d =
+    Domain.spawn (fun () ->
+        Obs.Trace.adopt fork (fun () -> Obs.Trace.span "free" (fun () -> ())))
+  in
+  Domain.join d;
+  check Alcotest.(list string) "top-level worker span" [ "free" ]
+    (span_names (Obs.Trace.finished ()))
+
+(* [current_path] in a worker includes the adopted prefix, so profiler
+   samples taken inside a worker carry the fan-out call path. *)
+let test_current_path_includes_adopted_prefix () =
+  let path = ref [] in
+  Obs.Trace.span "fanout" (fun () ->
+      let fork = Obs.Trace.fork () in
+      let d =
+        Domain.spawn (fun () ->
+            Obs.Trace.adopt fork (fun () ->
+                Obs.Trace.span "work" (fun () ->
+                    path := Obs.Trace.current_path ())))
+      in
+      Domain.join d);
+  check Alcotest.(list string) "adopted path" [ "fanout"; "work" ] !path
+
+(* ------------------------------------------------------------------ *)
+(* Span budget                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_drops_and_counts () =
+  Obs.Trace.set_max_spans 3;
+  for i = 1 to 5 do
+    check Alcotest.int "pass-through result" i
+      (Obs.Trace.span (Printf.sprintf "s%d" i) (fun () -> i))
+  done;
+  check Alcotest.(list string) "first three retained" [ "s1"; "s2"; "s3" ]
+    (span_names (Obs.Trace.finished ()));
+  check Alcotest.int "drops counted" 2 (Obs.Trace.dropped ());
+  (match List.assoc_opt "trace.dropped_spans" (Obs.Metrics.snapshot ()) with
+  | Some (Obs.Metrics.Counter n) -> check Alcotest.int "counter agrees" 2 n
+  | _ -> Alcotest.fail "trace.dropped_spans counter missing");
+  (* clear resets the budget accounting *)
+  Obs.Trace.clear ();
+  Obs.Trace.span "fresh" (fun () -> ());
+  check Alcotest.int "budget reset by clear" 0 (Obs.Trace.dropped ());
+  check Alcotest.int "fresh span retained" 1 (count_spans (Obs.Trace.finished ()))
+
+(* The cutoff is monotone: a dropped span can never be the parent of a
+   retained one, so the exported tree needs no repair pass. *)
+let test_budget_monotone_cutoff () =
+  Obs.Trace.set_max_spans 2;
+  Obs.Trace.span "a" (fun () ->
+      Obs.Trace.span "b" (fun () ->
+          check Alcotest.int "dropped span still runs" 7
+            (Obs.Trace.span "c" (fun () -> 7))));
+  (match Obs.Trace.finished () with
+  | [ a ] ->
+    check Alcotest.(list string) "b retained under a" [ "b" ]
+      (span_names a.Obs.Trace.children);
+    let rec no_c spans =
+      List.for_all
+        (fun s -> s.Obs.Trace.name <> "c" && no_c s.Obs.Trace.children)
+        spans
+    in
+    check Alcotest.bool "c dropped everywhere" true (no_c [ a ])
+  | spans -> Alcotest.failf "expected 1 top-level span, got %d" (List.length spans));
+  check Alcotest.int "one drop" 1 (Obs.Trace.dropped ())
+
+let test_budget_validation () =
+  check Alcotest.bool "non-positive budget rejected" true
+    (match Obs.Trace.set_max_spans 0 with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let () =
+  Alcotest.run "trace_domains"
+    [
+      ( "graft",
+        [
+          Alcotest.test_case "two domains, no loss or misattachment" `Quick
+            (with_obs test_two_domain_graft);
+          Alcotest.test_case "worker nesting grafts once" `Quick
+            (with_obs test_worker_nesting_grafts_once);
+          Alcotest.test_case "fork without parent" `Quick
+            (with_obs test_fork_without_parent);
+          Alcotest.test_case "current_path includes adopted prefix" `Quick
+            (with_obs test_current_path_includes_adopted_prefix);
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "drops past the cap are counted" `Quick
+            (with_obs test_budget_drops_and_counts);
+          Alcotest.test_case "monotone cutoff" `Quick
+            (with_obs test_budget_monotone_cutoff);
+          Alcotest.test_case "validation" `Quick
+            (with_obs test_budget_validation);
+        ] );
+    ]

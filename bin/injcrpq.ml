@@ -67,7 +67,18 @@ let usage_error msg =
    commands terminate through [exit]; the term is the first argument of
    each run function, so observability is switched on before any work
    happens. *)
+(* SIGTERM / SIGINT terminate through [exit], so the [at_exit] hooks
+   below flush every armed sink (--log / --trace / --chrome / --profile
+   / --expo) instead of losing the tail of the run.  143 / 130 are the
+   conventional 128+signal codes; the serve subcommand replaces these
+   with its graceful-drain handler. *)
+let install_signal_exits () =
+  let handle code = Sys.Signal_handle (fun _ -> exit code) in
+  (try Sys.set_signal Sys.sigterm (handle 143) with Invalid_argument _ -> ());
+  try Sys.set_signal Sys.sigint (handle 130) with Invalid_argument _ -> ()
+
 let obs_setup stats trace chrome log log_level expo profile profile_every =
+  install_signal_exits ();
   if stats || trace <> None || chrome <> None || expo <> None then
     Obs.Metrics.set_enabled true;
   if trace <> None || chrome <> None then Obs.Trace.set_enabled true;
@@ -992,6 +1003,204 @@ let explain_cmd =
       $ opt_query [ "rhs" ] "Right-hand query Q2 (containment mode)."
       $ bound_arg $ json_arg)
 
+(* ------------------------------ serve ----------------------------- *)
+
+let serve_cmd =
+  let parse_graph_spec spec =
+    match String.index_opt spec '=' with
+    | Some i ->
+      ( String.sub spec 0 i,
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+    | None -> ("default", spec)
+  in
+  let run () () socket port graph_specs workers queue_bound timeout_ms
+      max_steps quota_rps quota_burst retry_attempts retry_base_ms drain_ms
+      answer_cap =
+    let graphs =
+      List.map
+        (fun spec ->
+          let name, file = parse_graph_spec spec in
+          match Graph_io.load_result file with
+          | Ok g -> (name, g)
+          | Error msg ->
+            usage_error (Printf.sprintf "cannot load graph %s: %s" file msg))
+        graph_specs
+    in
+    (match
+       List.find_opt
+         (fun (n, _) -> List.length (List.filter (fun (m, _) -> m = n) graphs) > 1)
+         graphs
+     with
+    | Some (n, _) -> usage_error (Printf.sprintf "duplicate graph name %S" n)
+    | None -> ());
+    let quota =
+      match quota_rps with
+      | None -> None
+      | Some rate_per_s -> (
+        try Some (Serve.Quota.policy ?burst:quota_burst ~rate_per_s ())
+        with Invalid_argument msg -> usage_error msg)
+    in
+    let retry =
+      try
+        Guard.Retry.policy ~max_attempts:retry_attempts
+          ~base_delay_ms:retry_base_ms ()
+      with Invalid_argument msg -> usage_error msg
+    in
+    let cfg =
+      try
+        Serve.Server.config ~workers ~queue_bound ~timeout_ms ?max_steps ?quota
+          ~retry ~drain_ms ~answer_cap ~graphs ()
+      with Invalid_argument msg -> usage_error msg
+    in
+    let srv = Serve.Server.create cfg in
+    let listen, where, cleanup =
+      match socket, port with
+      | Some _, Some _ ->
+        usage_error "--socket and --port are mutually exclusive"
+      | None, None -> usage_error "serve needs --socket PATH or --port N"
+      | Some path, None -> (
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        try
+          Unix.bind fd (Unix.ADDR_UNIX path);
+          Unix.listen fd 64;
+          ( fd,
+            path,
+            fun () ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              try Unix.unlink path with Unix.Unix_error _ -> () )
+        with Unix.Unix_error (e, _, _) ->
+          usage_error
+            (Printf.sprintf "cannot listen on %s: %s" path
+               (Unix.error_message e)))
+      | None, Some port -> (
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        try
+          Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          Unix.listen fd 64;
+          ( fd,
+            Printf.sprintf "127.0.0.1:%d" port,
+            fun () -> try Unix.close fd with Unix.Unix_error _ -> () )
+        with Unix.Unix_error (e, _, _) ->
+          usage_error
+            (Printf.sprintf "cannot listen on port %d: %s" port
+               (Unix.error_message e)))
+    in
+    (* replace the exit-style handlers from obs_setup with graceful
+       drain: stop accepting, finish in-flight, then run returns and we
+       exit 0 through the normal path (flushing sinks on the way) *)
+    let graceful = Sys.Signal_handle (fun _ -> Serve.Server.shutdown srv) in
+    (try Sys.set_signal Sys.sigterm graceful with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigint graceful with Invalid_argument _ -> ());
+    Format.eprintf
+      "injcrpq: serving on %s (%d worker(s), queue %d, %d graph(s))@." where
+      workers queue_bound (List.length graphs);
+    Serve.Server.run srv ~listen ();
+    cleanup ();
+    Format.eprintf "injcrpq: drained cleanly@."
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a unix-domain socket at $(docv).")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"N" ~doc:"Listen on 127.0.0.1:$(docv) (TCP).")
+  in
+  let graphs_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "graph" ] ~docv:"NAME=FILE"
+          ~doc:"Load a graph database once, shared by all requests \
+                (repeatable).  A bare FILE is named \"default\".")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Domain worker pool size.")
+  in
+  let queue_bound_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:"Admission queue capacity; a full queue sheds with a \
+                structured response instead of queueing unboundedly.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt int 5000
+      & info [ "request-timeout" ] ~docv:"MS"
+          ~doc:"Server cap on any request's wall-clock budget; on a trip \
+                the request answers status=unknown.")
+  in
+  let steps_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "request-steps" ] ~docv:"N"
+          ~doc:"Server cap on any request's step budget (fuel).")
+  in
+  let quota_rps_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "quota-rps" ] ~docv:"R"
+          ~doc:"Per-session token-bucket rate (requests per second); \
+                over-quota requests answer status=quota with a \
+                retry_after_ms hint.")
+  in
+  let quota_burst_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "quota-burst" ] ~docv:"B"
+          ~doc:"Token-bucket capacity (default: max 1 R).")
+  in
+  let retry_attempts_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "retry-attempts" ] ~docv:"N"
+          ~doc:"Attempts per request for transient (injected-fault) trips.")
+  in
+  let retry_base_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "retry-base-ms" ] ~docv:"MS"
+          ~doc:"Base delay of the jittered exponential backoff between \
+                attempts.")
+  in
+  let drain_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "drain-ms" ] ~docv:"MS"
+          ~doc:"Grace period on SIGTERM/SIGINT before in-flight requests \
+                are cancelled through their tokens.")
+  in
+  let answer_cap_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "answer-cap" ] ~docv:"N"
+          ~doc:"Maximum answer tuples returned per eval response.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the query daemon: load graphs once, serve eval / contain / \
+             lint / optimize / stats requests over a JSON-line socket \
+             protocol (schema injcrpq-serve/1) with admission control, \
+             per-session quotas, per-request resource guards, retry with \
+             backoff, and graceful drain on SIGTERM.")
+    Term.(
+      const run $ obs_term $ perf_term $ socket_arg $ port_arg $ graphs_arg
+      $ workers_arg $ queue_bound_arg $ timeout_arg $ steps_arg
+      $ quota_rps_arg $ quota_burst_arg $ retry_attempts_arg $ retry_base_arg
+      $ drain_arg $ answer_cap_arg)
+
 (* ------------------------------ demo ------------------------------ *)
 
 let demo_cmd =
@@ -1038,5 +1247,6 @@ let () =
             minimize_cmd;
             equiv_cmd;
             reduce_cmd;
+            serve_cmd;
             demo_cmd;
           ]))

@@ -45,7 +45,12 @@ let removed_atoms r = r.before_atoms - r.after_atoms
 
 type oracle = Semantics.t -> Crpq.t -> Crpq.t -> Containment.verdict
 
-let default_oracle ?(bound = 4) () sem q1 q2 = Containment.decide ~bound sem q1 q2
+(* Semantics the deciders refuse outright (the Section-7 edge variants)
+   certify nothing rather than crash: an uncertified rewrite is simply
+   not applied, which is the engine's safe default. *)
+let default_oracle ?(bound = 4) () sem q1 q2 =
+  try Containment.decide ~bound sem q1 q2
+  with Invalid_argument msg -> Containment.Unknown (Containment.Undecided msg)
 
 (* ------------------------------------------------------------------ *)
 (* Candidates                                                          *)

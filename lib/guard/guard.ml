@@ -274,6 +274,101 @@ let run ?guard f =
     Obs.Metrics.incr m_trips;
     Error { site = "stack"; reason = Stack_exhausted }
 
+(* ---------------- retry with jittered exponential backoff ------------ *)
+
+let m_retries = Obs.Metrics.counter "guard.retries"
+
+module Retry = struct
+  type policy = {
+    max_attempts : int;
+    base_delay_ms : int;
+    multiplier : float;
+    max_delay_ms : int;
+    jitter : float;
+  }
+
+  let default =
+    {
+      max_attempts = 3;
+      base_delay_ms = 10;
+      multiplier = 2.0;
+      max_delay_ms = 1000;
+      jitter = 0.5;
+    }
+
+  let policy ?(max_attempts = default.max_attempts)
+      ?(base_delay_ms = default.base_delay_ms)
+      ?(multiplier = default.multiplier) ?(max_delay_ms = default.max_delay_ms)
+      ?(jitter = default.jitter) () =
+    if max_attempts < 1 then
+      invalid_arg
+        (Printf.sprintf "Guard.Retry.policy: max_attempts %d < 1" max_attempts);
+    if base_delay_ms < 0 then
+      invalid_arg
+        (Printf.sprintf "Guard.Retry.policy: negative base_delay_ms %d"
+           base_delay_ms);
+    if multiplier < 1.0 then
+      invalid_arg
+        (Printf.sprintf "Guard.Retry.policy: multiplier %g < 1.0" multiplier);
+    if max_delay_ms < 0 then
+      invalid_arg
+        (Printf.sprintf "Guard.Retry.policy: negative max_delay_ms %d"
+           max_delay_ms);
+    if jitter < 0.0 || jitter > 1.0 then
+      invalid_arg
+        (Printf.sprintf "Guard.Retry.policy: jitter %g outside [0, 1]" jitter);
+    { max_attempts; base_delay_ms; multiplier; max_delay_ms; jitter }
+
+  (* splitmix-style avalanche: the jitter fraction is a pure function of
+     (seed, attempt), so backoff schedules replay exactly in tests *)
+  let mix seed attempt =
+    let x = (seed * 0x9E3779B1) lxor ((attempt + 1) * 0x85EBCA77) in
+    let x = x lxor (x lsr 15) in
+    let x = x * 0x27D4EB2F in
+    let x = x lxor (x lsr 13) in
+    x land 0x3FFFFFFF
+
+  let delay_ms p ~seed ~attempt =
+    if attempt < 1 then
+      invalid_arg (Printf.sprintf "Guard.Retry.delay_ms: attempt %d < 1" attempt)
+    else begin
+      let raw =
+        float_of_int p.base_delay_ms
+        *. (p.multiplier ** float_of_int (attempt - 1))
+      in
+      let capped = Float.min raw (float_of_int p.max_delay_ms) in
+      let frac = float_of_int (mix seed attempt) /. float_of_int 0x40000000 in
+      let scaled = capped *. (1.0 -. (p.jitter *. frac)) in
+      int_of_float (Float.round scaled)
+    end
+
+  let transient trip =
+    match trip.reason with Fault_injected _ -> true | _ -> false
+
+  let default_sleep ms = if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.0)
+
+  let run ?(policy = default) ?(seed = 0) ?(sleep = default_sleep)
+      ?(retryable = transient) f =
+    let rec go attempt =
+      match f () with
+      | Error trip when attempt < policy.max_attempts && retryable trip ->
+        let d = delay_ms policy ~seed ~attempt in
+        Obs.Metrics.incr m_retries;
+        if Obs.Events.enabled () then
+          Obs.Events.emit Obs.Events.Info "guard.retry"
+            [
+              ("site", Obs.Json.String trip.site);
+              ("kind", Obs.Json.String (reason_kind trip.reason));
+              ("attempt", Obs.Json.Int attempt);
+              ("delay_ms", Obs.Json.Int d);
+            ];
+        sleep d;
+        go (attempt + 1)
+      | r -> (r, attempt)
+    in
+    go 1
+end
+
 (* Each chaos rule fires on one specific visit of one site, so a retry
    after an injected trip always makes progress; the bound is a backstop
    against pathological specs (e.g. many rules on the same site). *)

@@ -116,6 +116,66 @@ val supervise : ?guard:t -> (unit -> 'a) -> ('a, trip) result
     deciders use, so the whole test suite passes under
     [INJCRPQ_CHAOS=guard:*:1] while still executing every trip path. *)
 
+(** Retry with jittered exponential backoff.  The serving layer uses
+    this around request execution: a {e transient} trip (chaos-injected
+    faults by default) is retried after a deterministic, jittered delay,
+    while genuine budget trips (deadline, fuel, depth, cancellation)
+    surface immediately.  Delays are a pure function of the policy, the
+    seed and the attempt number, so backoff schedules are unit-testable
+    without sleeping. *)
+module Retry : sig
+  type policy = {
+    max_attempts : int;  (** total attempts, including the first (>= 1) *)
+    base_delay_ms : int;  (** delay before the first retry *)
+    multiplier : float;  (** exponential growth factor (>= 1.0) *)
+    max_delay_ms : int;  (** ceiling on any single delay *)
+    jitter : float;
+        (** fraction of each delay that is randomized, in [0, 1]:
+            the delay for retry [k] is drawn deterministically from
+            [[d*(1-jitter), d]] where [d] is the capped exponential *)
+  }
+
+  val default : policy
+  (** 3 attempts, 10ms base, x2 growth, 1s cap, 0.5 jitter. *)
+
+  val policy :
+    ?max_attempts:int ->
+    ?base_delay_ms:int ->
+    ?multiplier:float ->
+    ?max_delay_ms:int ->
+    ?jitter:float ->
+    unit ->
+    policy
+  (** {!default} with overrides.
+      @raise Invalid_argument on out-of-range fields. *)
+
+  val delay_ms : policy -> seed:int -> attempt:int -> int
+  (** Backoff delay before retry [attempt] (1-based: the delay after the
+      first failure is [~attempt:1]).  Deterministic in [(seed, attempt)];
+      the jittered fraction comes from a splitmix-style hash, not from
+      [Random]. *)
+
+  val transient : trip -> bool
+  (** The default retryable predicate: true exactly for
+      [Fault_injected] trips (chaos).  Deadline, fuel, depth,
+      cancellation and stack trips are never transient. *)
+
+  val run :
+    ?policy:policy ->
+    ?seed:int ->
+    ?sleep:(int -> unit) ->
+    ?retryable:(trip -> bool) ->
+    (unit -> ('a, trip) result) ->
+    ('a, trip) result * int
+  (** [run f] calls [f] up to [policy.max_attempts] times, sleeping the
+      jittered backoff delay between attempts whenever [f] returns
+      [Error trip] with [retryable trip] (default {!transient}).
+      Returns the final result together with the number of attempts
+      made.  [sleep] receives milliseconds and defaults to a real
+      [Unix.sleepf]; tests inject a recording stub.  Each retry ticks
+      the [guard.retries] counter and emits a [guard.retry] event. *)
+end
+
 (** Deterministic fault injection.  Armed from the [INJCRPQ_CHAOS]
     environment variable at program start (or programmatically via {!arm}),
     chaos trips a named guard site on its Nth visit.  Injection only fires

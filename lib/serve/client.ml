@@ -1,0 +1,86 @@
+type t = { fd : Unix.file_descr; rbuf : Buffer.t; mutable eof : bool }
+
+let of_fd fd = { fd; rbuf = Buffer.create 256; eof = false }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  of_fd fd
+
+let send_raw t line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off >= n then Ok ()
+    else
+      match Unix.write t.fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "write: %s" (Unix.error_message e))
+  in
+  go 0
+
+let send t req = send_raw t (Obs.Json.to_string (Protocol.request_to_json req))
+
+(* extract one complete line from the buffer, if any *)
+let take_line t =
+  let data = Buffer.contents t.rbuf in
+  match String.index_opt data '\n' with
+  | None -> None
+  | Some i ->
+    let line = String.sub data 0 i in
+    let rest = String.sub data (i + 1) (String.length data - i - 1) in
+    Buffer.clear t.rbuf;
+    Buffer.add_string t.rbuf rest;
+    Some line
+
+let recv_line ?(timeout_ms = 10_000) t =
+  let deadline = Int64.add (Obs.Clock.monotonic_ns ()) (Int64.mul (Int64.of_int timeout_ms) 1_000_000L) in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match take_line t with
+    | Some line -> Ok line
+    | None ->
+      if t.eof then Error "connection closed"
+      else begin
+        let budget_s =
+          Obs.Clock.ns_to_s (Int64.sub deadline (Obs.Clock.monotonic_ns ()))
+        in
+        if budget_s <= 0.0 then Error "timeout waiting for frame"
+        else
+          match Unix.select [ t.fd ] [] [] budget_s with
+          | [], _, _ -> Error "timeout waiting for frame"
+          | _ :: _, _, _ -> (
+            match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+            | 0 ->
+              t.eof <- true;
+              go ()
+            | n ->
+              Buffer.add_subbytes t.rbuf chunk 0 n;
+              go ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+            | exception Unix.Unix_error (e, _, _) ->
+              Error (Printf.sprintf "read: %s" (Unix.error_message e)))
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "select: %s" (Unix.error_message e))
+      end
+  in
+  go ()
+
+let recv_json ?timeout_ms t =
+  match recv_line ?timeout_ms t with
+  | Error _ as e -> e
+  | Ok line -> Obs.Json.parse line
+
+let recv ?timeout_ms t =
+  match recv_line ?timeout_ms t with
+  | Error _ as e -> e
+  | Ok line -> Protocol.parse_response line
+
+let greeting ?timeout_ms t = recv_json ?timeout_ms t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

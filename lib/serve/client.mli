@@ -1,0 +1,31 @@
+(** A small line-oriented client for the [injcrpq-serve/1] protocol,
+    used by the bench driver and the tests.  Blocking reads with an
+    optional timeout; one {!t} per connection, single-threaded use. *)
+
+type t
+
+val of_fd : Unix.file_descr -> t
+(** Wrap a connected stream.  The fd is owned by the caller until
+    {!close}. *)
+
+val connect_unix : string -> t
+(** Connect to a unix-domain socket path. *)
+
+val greeting : ?timeout_ms:int -> t -> (Obs.Json.t, string) result
+(** Read the server's greeting line (call once, first). *)
+
+val send : t -> Protocol.request -> (unit, string) result
+(** Write one request frame. *)
+
+val send_raw : t -> string -> (unit, string) result
+(** Write one raw line (for malformed-frame tests); a newline is
+    appended. *)
+
+val recv : ?timeout_ms:int -> t -> (Protocol.response, string) result
+(** Read and parse the next response frame.  [Error] on timeout, EOF, or
+    an unparseable frame. *)
+
+val recv_json : ?timeout_ms:int -> t -> (Obs.Json.t, string) result
+(** Read the next frame as raw JSON. *)
+
+val close : t -> unit

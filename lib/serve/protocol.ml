@@ -1,0 +1,265 @@
+(* injcrpq-serve/1 framing.  See protocol.mli.
+
+   Encoding discipline: optional request fields are omitted when absent
+   and emitted when present, and every defaulted field is always
+   emitted, so [request_of_json (request_to_json r) = Ok r] — the
+   qcheck round-trip property in test_serve_protocol.ml. *)
+
+let schema = "injcrpq-serve/1"
+let max_frame_bytes = 1 lsl 20
+
+type op = Eval | Contain | Lint | Optimize | Stats | Ping
+
+let op_to_string = function
+  | Eval -> "eval"
+  | Contain -> "contain"
+  | Lint -> "lint"
+  | Optimize -> "optimize"
+  | Stats -> "stats"
+  | Ping -> "ping"
+
+let op_of_string = function
+  | "eval" -> Some Eval
+  | "contain" -> Some Contain
+  | "lint" -> Some Lint
+  | "optimize" -> Some Optimize
+  | "stats" -> Some Stats
+  | "ping" -> Some Ping
+  | _ -> None
+
+let queued = function
+  | Eval | Contain | Lint | Optimize -> true
+  | Stats | Ping -> false
+
+type request = {
+  id : Obs.Json.t;
+  op : op;
+  session : string;
+  sem : Semantics.t;
+  query : string option;
+  lhs : string option;
+  rhs : string option;
+  graph : string option;
+  tuple : int list option;
+  bound : int;
+  timeout_ms : int option;
+  max_steps : int option;
+}
+
+let request ?(id = Obs.Json.Null) ?(session = "anon") ?(sem = Semantics.St)
+    ?query ?lhs ?rhs ?graph ?tuple ?(bound = 4) ?timeout_ms ?max_steps op =
+  { id; op; session; sem; query; lhs; rhs; graph; tuple; bound; timeout_ms;
+    max_steps }
+
+let opt_field key f = function None -> [] | Some v -> [ (key, f v) ]
+let str s = Obs.Json.String s
+
+let request_to_json r =
+  Obs.Json.Obj
+    ([
+       ("schema", str schema);
+       ("op", str (op_to_string r.op));
+       ("session", str r.session);
+       ("sem", str (Semantics.to_string r.sem));
+       ("bound", Obs.Json.Int r.bound);
+     ]
+    @ (match r.id with Obs.Json.Null -> [] | id -> [ ("id", id) ])
+    @ opt_field "query" str r.query
+    @ opt_field "lhs" str r.lhs
+    @ opt_field "rhs" str r.rhs
+    @ opt_field "graph" str r.graph
+    @ opt_field "tuple"
+        (fun t -> Obs.Json.List (List.map (fun n -> Obs.Json.Int n) t))
+        r.tuple
+    @ opt_field "timeout_ms" (fun n -> Obs.Json.Int n) r.timeout_ms
+    @ opt_field "max_steps" (fun n -> Obs.Json.Int n) r.max_steps)
+
+let ( let* ) = Result.bind
+
+let get_string key json =
+  match Obs.Json.member key json with
+  | None -> Ok None
+  | Some (Obs.Json.String s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" key)
+
+let get_int key json =
+  match Obs.Json.member key json with
+  | None -> Ok None
+  | Some v -> (
+    match Obs.Json.to_int v with
+    | Some n -> Ok (Some n)
+    | None -> Error (Printf.sprintf "field %S must be an integer" key))
+
+let request_of_json json =
+  match json with
+  | Obs.Json.Obj _ ->
+    let* () =
+      match Obs.Json.member "schema" json with
+      | Some (Obs.Json.String s) when s = schema -> Ok ()
+      | Some (Obs.Json.String s) ->
+        Error (Printf.sprintf "unexpected schema %S (want %S)" s schema)
+      | _ -> Error "missing field \"schema\""
+    in
+    let* op_name = get_string "op" json in
+    let* op =
+      match op_name with
+      | None -> Error "missing field \"op\""
+      | Some s -> (
+        match op_of_string s with
+        | Some op -> Ok op
+        | None ->
+          Error
+            (Printf.sprintf
+               "unknown op %S (eval|contain|lint|optimize|stats|ping)" s))
+    in
+    let* session = get_string "session" json in
+    let session = Option.value session ~default:"anon" in
+    let* sem_name = get_string "sem" json in
+    let* sem =
+      match sem_name with
+      | None -> Ok Semantics.St
+      | Some s -> (
+        match Semantics.of_string s with
+        | Some sem -> Ok sem
+        | None -> Error (Printf.sprintf "unknown semantics %S" s))
+    in
+    let* query = get_string "query" json in
+    let* lhs = get_string "lhs" json in
+    let* rhs = get_string "rhs" json in
+    let* graph = get_string "graph" json in
+    let* tuple =
+      match Obs.Json.member "tuple" json with
+      | None -> Ok None
+      | Some (Obs.Json.List items) ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            match Obs.Json.to_int item with
+            | Some n -> Ok (n :: acc)
+            | None -> Error "field \"tuple\" must be a list of integers")
+          (Ok []) items
+        |> Result.map (fun l -> Some (List.rev l))
+      | Some _ -> Error "field \"tuple\" must be a list of integers"
+    in
+    let* bound = get_int "bound" json in
+    let bound = Option.value bound ~default:4 in
+    let* () =
+      if bound < 0 then Error "field \"bound\" must be non-negative" else Ok ()
+    in
+    let* timeout_ms = get_int "timeout_ms" json in
+    let* max_steps = get_int "max_steps" json in
+    let id = Option.value (Obs.Json.member "id" json) ~default:Obs.Json.Null in
+    Ok
+      { id; op; session; sem; query; lhs; rhs; graph; tuple; bound; timeout_ms;
+        max_steps }
+  | _ -> Error "request frame must be a JSON object"
+
+let parse_request line =
+  match Obs.Json.parse line with
+  | Error e -> Error ("malformed frame: " ^ e)
+  | Ok json -> request_of_json json
+
+type status = Ok_ | Unknown | Shed | Quota | Error
+
+let status_to_string = function
+  | Ok_ -> "ok"
+  | Unknown -> "unknown"
+  | Shed -> "shed"
+  | Quota -> "quota"
+  | Error -> "error"
+
+let status_of_string = function
+  | "ok" -> Some Ok_
+  | "unknown" -> Some Unknown
+  | "shed" -> Some Shed
+  | "quota" -> Some Quota
+  | "error" -> Some Error
+  | _ -> None
+
+type response = {
+  id : Obs.Json.t;
+  status : status;
+  op : op option;
+  body : (string * Obs.Json.t) list;
+}
+
+let reserved_keys = [ "schema"; "id"; "status"; "op" ]
+
+let response ?(id = Obs.Json.Null) ?op ?(body = []) status =
+  { id; status; op; body }
+
+let shed_response ?id ?op ~retry_after_ms () =
+  response ?id ?op Shed
+    ~body:[ ("retry_after_ms", Obs.Json.Int retry_after_ms) ]
+
+let quota_response ?id ?op ~retry_after_ms () =
+  response ?id ?op Quota
+    ~body:[ ("retry_after_ms", Obs.Json.Int retry_after_ms) ]
+
+let error_response ?id ?op ~code message =
+  response ?id ?op Error
+    ~body:
+      [
+        ( "error",
+          Obs.Json.Obj [ ("code", str code); ("message", str message) ] );
+      ]
+
+let response_to_json r =
+  Obs.Json.Obj
+    ([ ("schema", str schema); ("status", str (status_to_string r.status)) ]
+    @ (match r.id with Obs.Json.Null -> [] | id -> [ ("id", id) ])
+    @ opt_field "op" (fun op -> str (op_to_string op)) r.op
+    @ r.body)
+
+let response_of_json json =
+  match json with
+  | Obs.Json.Obj fields ->
+    let* () =
+      match Obs.Json.member "schema" json with
+      | Some (Obs.Json.String s) when s = schema -> Ok ()
+      | Some (Obs.Json.String s) ->
+        Stdlib.Error (Printf.sprintf "unexpected schema %S (want %S)" s schema)
+      | _ -> Stdlib.Error "missing field \"schema\""
+    in
+    let* status =
+      match Obs.Json.member "status" json with
+      | Some (Obs.Json.String s) -> (
+        match status_of_string s with
+        | Some st -> Ok st
+        | None -> Stdlib.Error (Printf.sprintf "unknown status %S" s))
+      | _ -> Stdlib.Error "missing field \"status\""
+    in
+    let* op =
+      match Obs.Json.member "op" json with
+      | None -> Ok None
+      | Some (Obs.Json.String s) -> (
+        match op_of_string s with
+        | Some op -> Ok (Some op)
+        | None -> Stdlib.Error (Printf.sprintf "unknown op %S" s))
+      | Some _ -> Stdlib.Error "field \"op\" must be a string"
+    in
+    let id = Option.value (Obs.Json.member "id" json) ~default:Obs.Json.Null in
+    let body =
+      List.filter (fun (k, _) -> not (List.mem k reserved_keys)) fields
+    in
+    Ok { id; status; op; body }
+  | _ -> Stdlib.Error "response frame must be a JSON object"
+
+let parse_response line =
+  match Obs.Json.parse line with
+  | Stdlib.Error e -> Stdlib.Error ("malformed frame: " ^ e)
+  | Ok json -> response_of_json json
+
+let greeting ~workers ~graphs =
+  Obs.Json.Obj
+    [
+      ("schema", str schema);
+      ("server", str "injcrpq");
+      ("workers", Obs.Json.Int workers);
+      ("graphs", Obs.Json.List (List.map str graphs));
+      ( "ops",
+        Obs.Json.List
+          (List.map
+             (fun op -> str (op_to_string op))
+             [ Eval; Contain; Lint; Optimize; Stats; Ping ]) );
+    ]

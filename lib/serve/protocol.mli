@@ -1,0 +1,121 @@
+(** The [injcrpq-serve/1] wire protocol.
+
+    One JSON object per line in each direction (newline-delimited).  On
+    connect the server sends a single {!greeting} line; after that every
+    client line is a {!request} and every server line a {!response}
+    carrying the request's [id] verbatim, so clients may pipeline
+    requests and match completions out of order.
+
+    The protocol layer parses and renders frames only — it never
+    evaluates queries.  Query/graph strings are passed through opaquely;
+    the serving engine compiles them, so a bad query is an [error]
+    {e response}, not a dropped connection. *)
+
+val schema : string
+(** ["injcrpq-serve/1"]. *)
+
+val max_frame_bytes : int
+(** Ceiling on one frame (1 MiB): the reader refuses to buffer beyond
+    this, so one client cannot balloon the daemon's memory. *)
+
+(** {1 Operations} *)
+
+type op =
+  | Eval  (** evaluate [query] over [graph] (optionally check [tuple]) *)
+  | Contain  (** decide [lhs] ⊆ [rhs] under [sem] *)
+  | Lint  (** static-analysis diagnostics for [query] *)
+  | Optimize  (** certified rewrite of [query] *)
+  | Stats  (** serve counters + metrics snapshot (never queued) *)
+  | Ping  (** liveness probe (never queued) *)
+
+val op_to_string : op -> string
+val op_of_string : string -> op option
+
+val queued : op -> bool
+(** Whether the op goes through admission control and the worker pool
+    ([Stats] and [Ping] are answered inline by the accept loop, so they
+    stay available under full load). *)
+
+(** {1 Requests} *)
+
+type request = {
+  id : Obs.Json.t;  (** echoed verbatim in the response; [Null] if absent *)
+  op : op;
+  session : string;  (** quota key; defaults to ["anon"] *)
+  sem : Semantics.t;
+  query : string option;
+  lhs : string option;
+  rhs : string option;
+  graph : string option;  (** name of a preloaded graph *)
+  tuple : int list option;
+  bound : int;  (** containment / certificate search bound *)
+  timeout_ms : int option;  (** client budget; the server caps it *)
+  max_steps : int option;
+}
+
+val request :
+  ?id:Obs.Json.t ->
+  ?session:string ->
+  ?sem:Semantics.t ->
+  ?query:string ->
+  ?lhs:string ->
+  ?rhs:string ->
+  ?graph:string ->
+  ?tuple:int list ->
+  ?bound:int ->
+  ?timeout_ms:int ->
+  ?max_steps:int ->
+  op ->
+  request
+
+val request_to_json : request -> Obs.Json.t
+val request_of_json : Obs.Json.t -> (request, string) result
+
+val parse_request : string -> (request, string) result
+(** One frame: JSON parse + {!request_of_json}. *)
+
+(** {1 Responses} *)
+
+type status =
+  | Ok_  (** the op completed with a result *)
+  | Unknown
+      (** the op ran but degraded: guard trip, cancelled during drain, or
+          an honest [Unknown] verdict from a bounded decider *)
+  | Shed  (** admission control refused: request queue full *)
+  | Quota  (** admission control refused: session over its token bucket *)
+  | Error  (** bad frame or bad request (unparsable query, unknown graph) *)
+
+val status_to_string : status -> string
+val status_of_string : string -> status option
+
+type response = {
+  id : Obs.Json.t;
+  status : status;
+  op : op option;
+  body : (string * Obs.Json.t) list;
+      (** op-specific payload fields, merged into the response object;
+          keys must avoid [schema]/[id]/[status]/[op] *)
+}
+
+val reserved_keys : string list
+
+val response :
+  ?id:Obs.Json.t ->
+  ?op:op ->
+  ?body:(string * Obs.Json.t) list ->
+  status ->
+  response
+
+val shed_response : ?id:Obs.Json.t -> ?op:op -> retry_after_ms:int -> unit -> response
+val quota_response : ?id:Obs.Json.t -> ?op:op -> retry_after_ms:int -> unit -> response
+
+val error_response : ?id:Obs.Json.t -> ?op:op -> code:string -> string -> response
+(** [code] is a stable diagnostic identifier ([E903] malformed frame,
+    [E904] bad request, [E905] oversized frame). *)
+
+val response_to_json : response -> Obs.Json.t
+val response_of_json : Obs.Json.t -> (response, string) result
+val parse_response : string -> (response, string) result
+
+val greeting : workers:int -> graphs:string list -> Obs.Json.t
+(** The banner line sent once per connection. *)

@@ -1,0 +1,76 @@
+type policy = { rate_per_s : float; burst : float }
+
+let policy ?burst ~rate_per_s () =
+  if rate_per_s <= 0.0 then
+    invalid_arg
+      (Printf.sprintf "Quota.policy: rate_per_s %g must be positive" rate_per_s);
+  let burst = Option.value burst ~default:(Float.max 1.0 rate_per_s) in
+  if burst < 1.0 then
+    invalid_arg (Printf.sprintf "Quota.policy: burst %g < 1" burst);
+  { rate_per_s; burst }
+
+type bucket = { mutable tokens : float; mutable last_ns : int64 }
+
+type t = {
+  p : policy;
+  buckets : (string, bucket) Hashtbl.t;
+  mu : Mutex.t;
+}
+
+(* cap on distinct sessions tracked; beyond it, full buckets (sessions
+   idle long enough to have refilled completely) are swept first *)
+let max_sessions = 16_384
+
+let create p = { p; buckets = Hashtbl.create 64; mu = Mutex.create () }
+
+type decision = Admit | Reject of { retry_after_ms : int }
+
+let refill t b now =
+  let dt = Obs.Clock.ns_to_s (Int64.sub now b.last_ns) in
+  if dt > 0.0 then begin
+    b.tokens <- Float.min t.p.burst (b.tokens +. (dt *. t.p.rate_per_s));
+    b.last_ns <- now
+  end
+
+let sweep t now =
+  if Hashtbl.length t.buckets > max_sessions then begin
+    let stale = ref [] in
+    Hashtbl.iter
+      (fun key b ->
+        refill t b now;
+        if b.tokens >= t.p.burst then stale := key :: !stale)
+      t.buckets;
+    List.iter (Hashtbl.remove t.buckets) !stale
+  end
+
+let admit t session =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      let now = Obs.Clock.now_ns () in
+      sweep t now;
+      let b =
+        match Hashtbl.find_opt t.buckets session with
+        | Some b -> b
+        | None ->
+          let b = { tokens = t.p.burst; last_ns = now } in
+          Hashtbl.add t.buckets session b;
+          b
+      in
+      refill t b now;
+      if b.tokens >= 1.0 then begin
+        b.tokens <- b.tokens -. 1.0;
+        Admit
+      end
+      else begin
+        let missing = 1.0 -. b.tokens in
+        let ms = int_of_float (Float.ceil (missing /. t.p.rate_per_s *. 1000.0)) in
+        Reject { retry_after_ms = max 1 ms }
+      end)
+
+let sessions t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.buckets in
+  Mutex.unlock t.mu;
+  n

@@ -1,0 +1,32 @@
+(** Per-session token-bucket rate limiting.
+
+    Each session id owns a bucket holding up to [burst] tokens that
+    refills at [rate_per_s]; admitting a request costs one token.  An
+    empty bucket rejects with a [retry_after_ms] hint — the time until
+    one token will have accumulated — which the daemon forwards in its
+    structured [quota] response.
+
+    Time comes from {!Obs.Clock.now_ns}, so the fake clock drives the
+    deterministic unit tests. *)
+
+type policy = {
+  rate_per_s : float;  (** sustained tokens per second (> 0) *)
+  burst : float;  (** bucket capacity (>= 1) *)
+}
+
+val policy : ?burst:float -> rate_per_s:float -> unit -> policy
+(** [burst] defaults to [max 1. rate_per_s].
+    @raise Invalid_argument on non-positive rate or burst < 1. *)
+
+type t
+
+val create : policy -> t
+
+type decision = Admit | Reject of { retry_after_ms : int }
+
+val admit : t -> string -> decision
+(** Take one token from the session's bucket (creating a full bucket on
+    first sight of the session).  Thread-safe. *)
+
+val sessions : t -> int
+(** Sessions currently tracked (full, stale buckets are swept). *)

@@ -1,0 +1,85 @@
+(** The [injcrpq serve] daemon: a fault-tolerant concurrent query
+    service over the [injcrpq-serve/1] JSON-line protocol.
+
+    Architecture: one accept/read loop (the calling thread of {!run})
+    multiplexes the listening socket and every live connection with
+    [select]; parsed requests pass admission control — per-session
+    {!Quota} token buckets, then a bounded {!Squeue} — and are executed
+    by a pool of OCaml 5 domain workers.  Every request runs under its
+    own {!Guard.t} (deadline/fuel capped by the server config, plus a
+    {!Guard.Cancel} token for drain), inside a {!Guard.Retry} boundary
+    that retries transient trips with jittered backoff.  Failure is
+    always a structured response: [shed] (queue full), [quota] (bucket
+    empty), [unknown] (budget trip / cancelled / undecided), [error]
+    (bad frame or bad request) — never a dropped connection, never a
+    crash.
+
+    Guard sites [serve.accept], [serve.dispatch] and [serve.worker] make
+    the daemon's own internals chaos-injectable ([INJCRPQ_CHAOS]); the
+    tests assert it degrades rather than dies. *)
+
+type config = {
+  graphs : (string * Graph.t) list;
+      (** preloaded, shared, immutable; requests refer to them by name.
+          A single graph is additionally addressable as ["default"]. *)
+  workers : int;  (** domain pool size (>= 1) *)
+  queue_bound : int;  (** admission queue capacity (>= 1) *)
+  timeout_ms : int;  (** server cap on any request's deadline *)
+  max_steps : int option;  (** server cap on any request's fuel *)
+  quota : Quota.policy option;  (** per-session rate limit; [None] = off *)
+  retry : Guard.Retry.policy;  (** backoff for transient worker trips *)
+  drain_ms : int;
+      (** grace period on shutdown before in-flight requests are
+          cancelled via their tokens *)
+  answer_cap : int;  (** max answer tuples returned per eval response *)
+}
+
+val config :
+  ?workers:int ->
+  ?queue_bound:int ->
+  ?timeout_ms:int ->
+  ?max_steps:int ->
+  ?quota:Quota.policy ->
+  ?retry:Guard.Retry.policy ->
+  ?drain_ms:int ->
+  ?answer_cap:int ->
+  graphs:(string * Graph.t) list ->
+  unit ->
+  config
+(** Defaults: 2 workers, queue bound 64, 5000ms timeout, no fuel cap,
+    no quota, {!Guard.Retry.default}, 2000ms drain, 1000-answer cap.
+    @raise Invalid_argument on out-of-range fields. *)
+
+type t
+
+val create : config -> t
+
+val run :
+  t -> ?listen:Unix.file_descr -> ?adopt:Unix.file_descr list -> unit -> unit
+(** Serve until {!shutdown}.  [listen] is an already-bound, listening
+    socket; [adopt] are pre-connected streams served from the start (a
+    bench or test can drive the daemon over one end of a
+    [Unix.socketpair]).  Every served fd is closed on return; the
+    listener is not.  Blocks the calling thread; workers run on their
+    own domains.  @raise Invalid_argument when given nothing to serve. *)
+
+val shutdown : t -> unit
+(** Begin graceful drain: stop accepting, finish queued and in-flight
+    work (cancelling whatever is still running after [drain_ms] via its
+    token), then return from {!run}.  Safe to call from a signal
+    handler or another domain; idempotent. *)
+
+val draining : t -> bool
+
+val handle_request : t -> Protocol.request -> Protocol.response
+(** The engine behind the worker pool, exposed for direct use: execute
+    one request synchronously under the server's guard/retry policy
+    (admission control not included).  In-process consumers and tests
+    use this to exercise the execution path without sockets. *)
+
+(** {1 Introspection} *)
+
+val stats_body : t -> (string * Obs.Json.t) list
+(** The [stats] response payload: uptime, queue depth, live workers,
+    session count, the [serve.*] counters, a full metrics snapshot and
+    its Prometheus exposition text. *)

@@ -1,0 +1,51 @@
+type 'a t = {
+  items : 'a Queue.t;
+  bound : int;
+  mutable closed : bool;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ~bound =
+  if bound < 1 then
+    invalid_arg (Printf.sprintf "Squeue.create: bound %d < 1" bound);
+  {
+    items = Queue.create ();
+    bound;
+    closed = false;
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+  }
+
+let with_lock q f =
+  Mutex.lock q.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock q.mu) f
+
+let try_push q x =
+  with_lock q (fun () ->
+      if q.closed || Queue.length q.items >= q.bound then false
+      else begin
+        Queue.push x q.items;
+        Condition.signal q.nonempty;
+        true
+      end)
+
+let pop q =
+  with_lock q (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty q.items) then Some (Queue.pop q.items)
+        else if q.closed then None
+        else begin
+          Condition.wait q.nonempty q.mu;
+          wait ()
+        end
+      in
+      wait ())
+
+let close q =
+  with_lock q (fun () ->
+      q.closed <- true;
+      Condition.broadcast q.nonempty)
+
+let length q = with_lock q (fun () -> Queue.length q.items)
+let is_closed q = with_lock q (fun () -> q.closed)

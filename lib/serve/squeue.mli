@@ -1,0 +1,27 @@
+(** A bounded multi-producer / multi-consumer queue — the daemon's
+    admission-control buffer.
+
+    [try_push] never blocks: a full queue answers [false] immediately,
+    which the accept loop turns into a structured [shed] response
+    instead of queueing unboundedly.  [pop] blocks workers until an item
+    arrives or the queue is closed {e and} drained, so graceful drain is
+    [close] + join. *)
+
+type 'a t
+
+val create : bound:int -> 'a t
+(** @raise Invalid_argument when [bound < 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the queue is full or closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an item is available; [None] once the queue is closed
+    and every queued item has been consumed. *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake every blocked consumer.  Items
+    already queued are still handed out. *)
+
+val length : 'a t -> int
+val is_closed : 'a t -> bool

@@ -425,6 +425,124 @@ let test_deadline0_unknown () =
           (Ucrpq.of_crpq (q "x -[a+]-> y"))
           (Ucrpq.of_crpq (q "x -[a*]-> y"))))
 
+(* ------------------------------------------------------------------ *)
+(* Retry: jittered exponential backoff                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fault_trip site = { Guard.site; reason = Guard.Fault_injected { visit = 1 } }
+
+let fuel_trip site = { Guard.site; reason = Guard.Fuel_exhausted { budget = 0 } }
+
+let test_retry_delay_deterministic () =
+  let p = Guard.Retry.policy ~base_delay_ms:100 ~multiplier:2.0 ~jitter:0.5 () in
+  (* same (policy, seed, attempt) always yields the same delay *)
+  for attempt = 1 to 5 do
+    check Alcotest.int
+      (Printf.sprintf "attempt %d reproducible" attempt)
+      (Guard.Retry.delay_ms p ~seed:42 ~attempt)
+      (Guard.Retry.delay_ms p ~seed:42 ~attempt)
+  done;
+  (* jitter only shrinks the exponential base, and never below half *)
+  for attempt = 1 to 5 do
+    let full = 100. *. (2. ** float_of_int (attempt - 1)) in
+    let full = int_of_float (Float.min full 1000.) in
+    let d = Guard.Retry.delay_ms p ~seed:7 ~attempt in
+    if d > full || d < full / 2 then
+      Alcotest.failf "attempt %d: delay %d outside [%d, %d]" attempt d
+        (full / 2) full
+  done;
+  (* different seeds give a different schedule somewhere *)
+  let schedule seed =
+    List.init 6 (fun i -> Guard.Retry.delay_ms p ~seed ~attempt:(i + 1))
+  in
+  check Alcotest.bool "seeds decorrelate" true (schedule 1 <> schedule 2);
+  (* the cap holds for late attempts *)
+  check Alcotest.bool "cap holds" true
+    (Guard.Retry.delay_ms p ~seed:3 ~attempt:30 <= 1000)
+
+let test_retry_transient () =
+  check Alcotest.bool "fault-injected is transient" true
+    (Guard.Retry.transient (fault_trip "test.retry"));
+  check Alcotest.bool "fuel is not transient" false
+    (Guard.Retry.transient (fuel_trip "test.retry"));
+  check Alcotest.bool "cancelled is not transient" false
+    (Guard.Retry.transient
+       { Guard.site = "s"; reason = Guard.Cancelled { label = "l" } })
+
+let test_retry_recovers () =
+  let p = Guard.Retry.policy ~max_attempts:3 ~base_delay_ms:10 () in
+  let sleeps = ref [] in
+  let sleep ms = sleeps := ms :: !sleeps in
+  let calls = ref 0 in
+  let f () =
+    incr calls;
+    if !calls < 3 then Error (fault_trip "test.retry") else Ok "done"
+  in
+  let result, attempts = Guard.Retry.run ~policy:p ~seed:5 ~sleep f in
+  check Alcotest.(result string reject) "recovered" (Ok "done") result;
+  check Alcotest.int "three attempts" 3 attempts;
+  (* the recorded sleeps are exactly the deterministic schedule *)
+  check
+    Alcotest.(list int)
+    "sleep schedule"
+    [
+      Guard.Retry.delay_ms p ~seed:5 ~attempt:1;
+      Guard.Retry.delay_ms p ~seed:5 ~attempt:2;
+    ]
+    (List.rev !sleeps)
+
+let test_retry_gives_up () =
+  let p = Guard.Retry.policy ~max_attempts:3 ~base_delay_ms:1 () in
+  let calls = ref 0 in
+  let f () =
+    incr calls;
+    Error (fault_trip "test.retry")
+  in
+  let result, attempts =
+    Guard.Retry.run ~policy:p ~seed:1 ~sleep:(fun _ -> ()) f
+  in
+  (match result with
+  | Error { Guard.reason = Guard.Fault_injected _; _ } -> ()
+  | _ -> Alcotest.fail "must surface the last trip");
+  check Alcotest.int "attempt budget spent" 3 attempts;
+  check Alcotest.int "function called thrice" 3 !calls
+
+let test_retry_permanent_trips_do_not_retry () =
+  let calls = ref 0 in
+  let f () =
+    incr calls;
+    Error (fuel_trip "test.retry")
+  in
+  let result, attempts = Guard.Retry.run ~sleep:(fun _ -> ()) f in
+  (match result with
+  | Error { Guard.reason = Guard.Fuel_exhausted _; _ } -> ()
+  | _ -> Alcotest.fail "fuel trip must pass through");
+  check Alcotest.int "single attempt" 1 attempts;
+  check Alcotest.int "called once" 1 !calls
+
+let test_retry_custom_retryable () =
+  (* a custom predicate can widen the policy to real trips *)
+  let calls = ref 0 in
+  let f () =
+    incr calls;
+    if !calls = 1 then Error (fuel_trip "test.retry") else Ok ()
+  in
+  let retryable = function
+    | { Guard.reason = Guard.Fuel_exhausted _; _ } -> true
+    | _ -> false
+  in
+  let result, attempts = Guard.Retry.run ~retryable ~sleep:(fun _ -> ()) f in
+  check Alcotest.bool "recovered" true (result = Ok ());
+  check Alcotest.int "two attempts" 2 attempts
+
+let test_retry_validation () =
+  (match Guard.Retry.policy ~max_attempts:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_attempts 0 must be rejected");
+  match Guard.Retry.delay_ms Guard.Retry.default ~seed:0 ~attempt:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "attempt 0 must be rejected"
+
 let () =
   Alcotest.run "guard"
     [
@@ -468,6 +586,22 @@ let () =
           (fun (site, work) ->
             Alcotest.test_case site `Quick (exercise_site (site, work)))
           site_workloads );
+      ( "retry",
+        [
+          Alcotest.test_case "deterministic jittered delays" `Quick
+            (no_chaos test_retry_delay_deterministic);
+          Alcotest.test_case "transient classification" `Quick
+            (no_chaos test_retry_transient);
+          Alcotest.test_case "recovers within budget" `Quick
+            (no_chaos test_retry_recovers);
+          Alcotest.test_case "gives up after max attempts" `Quick
+            (no_chaos test_retry_gives_up);
+          Alcotest.test_case "permanent trips pass through" `Quick
+            (no_chaos test_retry_permanent_trips_do_not_retry);
+          Alcotest.test_case "custom retryable predicate" `Quick
+            (no_chaos test_retry_custom_retryable);
+          Alcotest.test_case "validation" `Quick (no_chaos test_retry_validation);
+        ] );
       ( "degradation",
         [
           prop_fuel0_unknown;

@@ -1,0 +1,298 @@
+(* Robustness battery for the serve daemon: chaos injection at the
+   serve.accept / serve.dispatch / serve.worker Guard sites must degrade
+   requests to structured shed/unknown responses — never kill the
+   daemon; the bounded queue sheds under burst; per-session quotas
+   reject deterministically on the fake clock; drain finishes or
+   cancels in-flight work and returns.
+
+   Everything runs in-process over a socketpair so the battery is a
+   plain alcotest binary. *)
+
+module P = Serve.Protocol
+
+let check = Alcotest.check
+
+(* --------------------------- squeue ------------------------------- *)
+
+let test_squeue_bounds () =
+  let q = Serve.Squeue.create ~bound:2 in
+  check Alcotest.bool "push 1" true (Serve.Squeue.try_push q 1);
+  check Alcotest.bool "push 2" true (Serve.Squeue.try_push q 2);
+  check Alcotest.bool "push 3 rejected" false (Serve.Squeue.try_push q 3);
+  check Alcotest.int "length" 2 (Serve.Squeue.length q);
+  check Alcotest.(option int) "fifo 1" (Some 1) (Serve.Squeue.pop q);
+  check Alcotest.bool "room again" true (Serve.Squeue.try_push q 3);
+  check Alcotest.(option int) "fifo 2" (Some 2) (Serve.Squeue.pop q);
+  check Alcotest.(option int) "fifo 3" (Some 3) (Serve.Squeue.pop q)
+
+let test_squeue_close () =
+  let q = Serve.Squeue.create ~bound:4 in
+  ignore (Serve.Squeue.try_push q 1);
+  Serve.Squeue.close q;
+  check Alcotest.bool "closed" true (Serve.Squeue.is_closed q);
+  check Alcotest.bool "push after close" false (Serve.Squeue.try_push q 2);
+  (* drain continues after close: queued work still pops, then None *)
+  check Alcotest.(option int) "drains queued" (Some 1) (Serve.Squeue.pop q);
+  check Alcotest.(option int) "then none" None (Serve.Squeue.pop q)
+
+(* ---------------------------- quota ------------------------------- *)
+
+let with_fake_clock f =
+  let now = ref 1_000_000_000L in
+  Obs.Clock.set_source ~name:"fake" (fun () -> !now);
+  Fun.protect ~finally:Obs.Clock.reset_source (fun () -> f now)
+
+let advance_ms now ms = now := Int64.add !now (Int64.of_int (ms * 1_000_000))
+
+let test_quota_policy_validation () =
+  let rejected f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | (_ : Serve.Quota.policy) -> false
+  in
+  check Alcotest.bool "rate 0 rejected" true
+    (rejected (fun () -> Serve.Quota.policy ~rate_per_s:0. ()));
+  check Alcotest.bool "burst < 1 rejected" true
+    (rejected (fun () -> Serve.Quota.policy ~burst:0.5 ~rate_per_s:1. ()))
+
+let test_quota_bucket () =
+  with_fake_clock (fun now ->
+      let q = Serve.Quota.create (Serve.Quota.policy ~burst:2. ~rate_per_s:1. ()) in
+      check Alcotest.bool "1st admitted" true (Serve.Quota.admit q "a" = Serve.Quota.Admit);
+      check Alcotest.bool "2nd admitted" true (Serve.Quota.admit q "a" = Serve.Quota.Admit);
+      (match Serve.Quota.admit q "a" with
+      | Serve.Quota.Admit -> Alcotest.fail "3rd must be rejected"
+      | Serve.Quota.Reject { retry_after_ms } ->
+        (* empty bucket at 1 token/s: a full token is ~1s away *)
+        check Alcotest.bool "retry hint sane" true
+          (retry_after_ms > 0 && retry_after_ms <= 1000));
+      (* other sessions are unaffected *)
+      check Alcotest.bool "b admitted" true (Serve.Quota.admit q "b" = Serve.Quota.Admit);
+      check Alcotest.int "two sessions" 2 (Serve.Quota.sessions q);
+      (* refill: 1.5 s buys one token back *)
+      advance_ms now 1500;
+      check Alcotest.bool "refilled" true (Serve.Quota.admit q "a" = Serve.Quota.Admit);
+      match Serve.Quota.admit q "a" with
+      | Serve.Quota.Admit -> Alcotest.fail "only one token refilled"
+      | Serve.Quota.Reject _ -> ())
+
+(* ------------------------- live server ---------------------------- *)
+
+let with_server ?quota ?(queue_bound = 8) ?(workers = 1) f =
+  Guard.Chaos.disarm ();
+  let cfg =
+    Serve.Server.config ~workers ~queue_bound ~timeout_ms:5000 ?quota
+      ~graphs:[ ("default", Paper_examples.example_21_g') ]
+      ()
+  in
+  let srv = Serve.Server.create cfg in
+  let sfd, cfd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let server = Domain.spawn (fun () -> Serve.Server.run srv ~adopt:[ sfd ] ()) in
+  let client = Serve.Client.of_fd cfd in
+  Fun.protect
+    ~finally:(fun () ->
+      Guard.Chaos.disarm ();
+      Serve.Server.shutdown srv;
+      Domain.join server;
+      Serve.Client.close client)
+    (fun () ->
+      (match Serve.Client.greeting ~timeout_ms:5000 client with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "no greeting: %s" e);
+      f srv client)
+
+let recv_ok client =
+  match Serve.Client.recv ~timeout_ms:5000 client with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "recv: %s" e
+
+let send_ok client req =
+  match Serve.Client.send client req with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" e
+
+let eval_req ?session id =
+  P.request ~id:(Obs.Json.Int id) ?session
+    ~query:"Q(x, y) :- x -[(ab)*]-> y, y -[c*]-> x" P.Eval
+
+let ping_pongs client =
+  send_ok client (P.request ~id:(Obs.Json.Int 999) P.Ping);
+  let resp = recv_ok client in
+  check Alcotest.bool "pong" true
+    (resp.P.status = P.Ok_ && resp.P.id = Obs.Json.Int 999)
+
+(* read the serve.* counter section out of a stats response *)
+let serve_counter client name =
+  send_ok client (P.request ~id:(Obs.Json.Int 0) P.Stats);
+  let resp = recv_ok client in
+  match List.assoc_opt "serve" resp.P.body with
+  | Some (Obs.Json.Obj fields) -> (
+    match List.assoc_opt name fields with
+    | Some (Obs.Json.Int n) -> n
+    | _ -> 0)
+  | _ -> Alcotest.fail "stats lacks serve section"
+
+let test_chaos_accept_sheds () =
+  with_server (fun _srv client ->
+      Guard.Chaos.arm [ ("serve.accept", 1) ];
+      send_ok client (eval_req 1);
+      let resp = recv_ok client in
+      check Alcotest.bool "shed status" true (resp.P.status = P.Shed);
+      check Alcotest.bool "id echoed" true (resp.P.id = Obs.Json.Int 1);
+      (match List.assoc_opt "retry_after_ms" resp.P.body with
+      | Some (Obs.Json.Int ms) ->
+        check Alcotest.bool "retry hint" true (ms > 0)
+      | _ -> Alcotest.fail "shed lacks retry_after_ms");
+      (* the admission path died once; the daemon is still serving *)
+      send_ok client (eval_req 2);
+      let resp = recv_ok client in
+      check Alcotest.bool "next request ok" true (resp.P.status = P.Ok_))
+
+let test_chaos_dispatch_retries () =
+  with_server (fun _srv client ->
+      let before = serve_counter client "serve.retried" in
+      Guard.Chaos.arm [ ("serve.dispatch", 1) ];
+      send_ok client (eval_req 1);
+      let resp = recv_ok client in
+      (* attempt 1 is killed, the jittered retry's attempt 2 succeeds *)
+      check Alcotest.bool "recovered to ok" true (resp.P.status = P.Ok_);
+      Guard.Chaos.disarm ();
+      let after = serve_counter client "serve.retried" in
+      check Alcotest.bool "serve.retried grew" true (after > before))
+
+let test_chaos_worker_exhausts_retries () =
+  with_server (fun _srv client ->
+      let before = serve_counter client "serve.unknown" in
+      (* kill all three attempts: the server gives up with a structured
+         unknown, not a crash *)
+      Guard.Chaos.arm
+        [ ("serve.worker", 1); ("serve.worker", 2); ("serve.worker", 3) ];
+      send_ok client (eval_req 1);
+      let resp = recv_ok client in
+      check Alcotest.bool "unknown status" true (resp.P.status = P.Unknown);
+      (match List.assoc_opt "reason" resp.P.body with
+      | Some reason -> (
+        match Obs.Json.member "kind" reason with
+        | Some (Obs.Json.String "fault-injected") -> ()
+        | other ->
+          Alcotest.failf "reason kind: %s"
+            (match other with
+            | Some j -> Obs.Json.to_string j
+            | None -> "missing"))
+      | None -> Alcotest.fail "unknown lacks reason");
+      Guard.Chaos.disarm ();
+      let after = serve_counter client "serve.unknown" in
+      check Alcotest.bool "serve.unknown grew" true (after > before);
+      (* visit counters moved past the armed rules: next request is fine *)
+      send_ok client (eval_req 2);
+      let resp = recv_ok client in
+      check Alcotest.bool "daemon survived" true (resp.P.status = P.Ok_);
+      ping_pongs client)
+
+let test_queue_bound_sheds_burst () =
+  with_server ~queue_bound:1 (fun _srv client ->
+      let n = 30 in
+      for i = 1 to n do
+        send_ok client (eval_req i)
+      done;
+      let ok = ref 0 and shed = ref 0 in
+      for _ = 1 to n do
+        let resp = recv_ok client in
+        match resp.P.status with
+        | P.Ok_ -> incr ok
+        | P.Shed -> incr shed
+        | s ->
+          Alcotest.failf "unexpected status %s" (P.status_to_string s)
+      done;
+      (* the single worker cannot drain a 30-deep burst through a
+         1-slot queue: most of it sheds, but every frame is answered *)
+      check Alcotest.int "every request answered" n (!ok + !shed);
+      check Alcotest.bool "some ok" true (!ok >= 1);
+      check Alcotest.bool "some shed" true (!shed >= 1);
+      check Alcotest.bool "serve.shed counter" true
+        (serve_counter client "serve.shed" >= !shed))
+
+let test_quota_rejects_over_budget () =
+  with_fake_clock (fun now ->
+      let quota = Serve.Quota.policy ~burst:1. ~rate_per_s:1. () in
+      with_server ~quota (fun _srv client ->
+          send_ok client (eval_req ~session:"s1" 1);
+          let resp = recv_ok client in
+          check Alcotest.bool "first ok" true (resp.P.status = P.Ok_);
+          send_ok client (eval_req ~session:"s1" 2);
+          let resp = recv_ok client in
+          check Alcotest.bool "second over quota" true (resp.P.status = P.Quota);
+          (match List.assoc_opt "retry_after_ms" resp.P.body with
+          | Some (Obs.Json.Int ms) ->
+            check Alcotest.bool "retry hint" true (ms > 0 && ms <= 1000)
+          | _ -> Alcotest.fail "quota lacks retry_after_ms");
+          (* a different session has its own bucket *)
+          send_ok client (eval_req ~session:"s2" 3);
+          let resp = recv_ok client in
+          check Alcotest.bool "other session ok" true (resp.P.status = P.Ok_);
+          (* ping bypasses the quota entirely *)
+          ping_pongs client;
+          (* refill on the fake clock readmits the throttled session *)
+          advance_ms now 1500;
+          send_ok client (eval_req ~session:"s1" 4);
+          let resp = recv_ok client in
+          check Alcotest.bool "refilled ok" true (resp.P.status = P.Ok_)))
+
+let test_shutdown_drains () =
+  with_server (fun srv client ->
+      for i = 1 to 5 do
+        send_ok client (eval_req i)
+      done;
+      (* give the accept loop a beat to enqueue, then drain *)
+      Unix.sleepf 0.05;
+      Serve.Server.shutdown srv;
+      (* whatever made it in-flight answers well-formed before EOF; the
+         join in with_server's finally proves the drain terminates *)
+      let rec read_rest n =
+        match Serve.Client.recv ~timeout_ms:3000 client with
+        | Ok resp ->
+          check Alcotest.bool
+            (Printf.sprintf "drained response %d well-formed" n)
+            true
+            (match resp.P.status with
+            | P.Ok_ | P.Unknown | P.Shed -> true
+            | _ -> false);
+          read_rest (n + 1)
+        | Error _ -> ()
+      in
+      read_rest 1;
+      check Alcotest.bool "draining flag" true (Serve.Server.draining srv))
+
+let () =
+  Alcotest.run "serve-chaos"
+    [
+      ( "squeue",
+        [
+          Alcotest.test_case "bounds and fifo" `Quick test_squeue_bounds;
+          Alcotest.test_case "close drains" `Quick test_squeue_close;
+        ] );
+      ( "quota",
+        [
+          Alcotest.test_case "policy validation" `Quick
+            test_quota_policy_validation;
+          Alcotest.test_case "token bucket" `Quick test_quota_bucket;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "accept trip sheds, daemon lives" `Quick
+            test_chaos_accept_sheds;
+          Alcotest.test_case "dispatch trip retries to ok" `Quick
+            test_chaos_dispatch_retries;
+          Alcotest.test_case "worker trips exhaust retries to unknown" `Quick
+            test_chaos_worker_exhausts_retries;
+        ] );
+      ( "pressure",
+        [
+          Alcotest.test_case "queue bound sheds burst" `Quick
+            test_queue_bound_sheds_burst;
+          Alcotest.test_case "quota rejects over budget" `Quick
+            test_quota_rejects_over_budget;
+        ] );
+      ( "drain",
+        [ Alcotest.test_case "shutdown drains in-flight" `Quick test_shutdown_drains ] );
+    ]

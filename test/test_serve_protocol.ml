@@ -1,0 +1,318 @@
+(* The injcrpq-serve/1 wire protocol: encode/decode round-trips as
+   qcheck properties over random requests and responses, and the
+   malformed-frame discipline of a live in-process server — a bad frame
+   answers a structured E903/E905 error and the connection stays
+   usable.
+
+   Chaos is disarmed for the socket tests so this binary is
+   deterministic under the CI chaos leg. *)
+
+module P = Serve.Protocol
+
+let check = Alcotest.check
+
+(* ------------------------- generators ----------------------------- *)
+
+let gen_op =
+  QCheck2.Gen.oneofl [ P.Eval; P.Contain; P.Lint; P.Optimize; P.Stats; P.Ping ]
+
+let gen_id =
+  QCheck2.Gen.oneof
+    [
+      QCheck2.Gen.return Obs.Json.Null;
+      QCheck2.Gen.map (fun n -> Obs.Json.Int n) QCheck2.Gen.int;
+      QCheck2.Gen.map
+        (fun s -> Obs.Json.String s)
+        (QCheck2.Gen.(small_string ~gen:printable));
+    ]
+
+let gen_sem = QCheck2.Gen.oneofl Semantics.all
+
+let gen_opt_string =
+  QCheck2.Gen.opt (QCheck2.Gen.(small_string ~gen:printable))
+
+let gen_request =
+  let open QCheck2.Gen in
+  let* op = gen_op in
+  let* id = gen_id in
+  let* session = small_string ~gen:printable in
+  let* sem = gen_sem in
+  let* query = gen_opt_string in
+  let* lhs = gen_opt_string in
+  let* rhs = gen_opt_string in
+  let* graph = gen_opt_string in
+  let* tuple = opt (small_list small_nat) in
+  let* bound = small_nat in
+  let* timeout_ms = opt small_nat in
+  let* max_steps = opt small_nat in
+  return
+    (P.request ~id ~session ~sem ?query ?lhs ?rhs ?graph ?tuple ~bound
+       ?timeout_ms ?max_steps op)
+
+let gen_status = QCheck2.Gen.oneofl [ P.Ok_; P.Unknown; P.Shed; P.Quota; P.Error ]
+
+(* body keys must avoid the reserved envelope keys and repeat-free *)
+let gen_body =
+  let open QCheck2.Gen in
+  let gen_value =
+    oneof
+      [
+        return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun n -> Obs.Json.Int n) int;
+        map (fun s -> Obs.Json.String s) (small_string ~gen:printable);
+        map
+          (fun l -> Obs.Json.List (List.map (fun n -> Obs.Json.Int n) l))
+          (small_list small_nat);
+      ]
+  in
+  let* pairs =
+    small_list (pair (small_string ~gen:printable) gen_value)
+  in
+  let seen = Hashtbl.create 8 in
+  return
+    (List.filter_map
+       (fun (k, v) ->
+         let k = "k_" ^ k in
+         if Hashtbl.mem seen k then None
+         else begin
+           Hashtbl.add seen k ();
+           Some (k, v)
+         end)
+       pairs)
+
+let gen_response =
+  let open QCheck2.Gen in
+  let* status = gen_status in
+  let* id = gen_id in
+  let* op = opt gen_op in
+  let* body = gen_body in
+  return (P.response ~id ?op ~body status)
+
+(* ------------------------- round-trips ---------------------------- *)
+
+let prop_request_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"request round-trip" gen_request
+       (fun req ->
+         let line = Obs.Json.to_string (P.request_to_json req) in
+         match P.parse_request line with
+         | Ok req' -> req' = req
+         | Error e -> QCheck2.Test.fail_reportf "no parse: %s (%s)" e line))
+
+let prop_response_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"response round-trip" gen_response
+       (fun resp ->
+         let line = Obs.Json.to_string (P.response_to_json resp) in
+         match P.parse_response line with
+         | Ok resp' -> resp' = resp
+         | Error e -> QCheck2.Test.fail_reportf "no parse: %s (%s)" e line))
+
+let prop_request_rejects_junk =
+  (* decoding never raises, whatever JSON comes in *)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"decoder never raises"
+       (QCheck2.Gen.(small_string ~gen:printable)) (fun s ->
+         (match P.parse_request s with Ok _ | Error _ -> ());
+         (match P.parse_response s with Ok _ | Error _ -> ());
+         true))
+
+let test_request_decode_errors () =
+  let bad line want =
+    match P.parse_request line with
+    | Ok _ -> Alcotest.failf "%s must not parse" line
+    | Error msg ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        nn = 0 || go 0
+      in
+      if not (contains msg want) then
+        Alcotest.failf "%S: error %S lacks %S" line msg want
+  in
+  bad "[1,2]" "must be a JSON object";
+  bad "{}" "schema";
+  bad {|{"schema":"injcrpq-serve/0","op":"ping"}|} "schema";
+  bad {|{"schema":"injcrpq-serve/1"}|} "op";
+  bad {|{"schema":"injcrpq-serve/1","op":"frobnicate"}|} "unknown op";
+  bad {|{"schema":"injcrpq-serve/1","op":"eval","sem":"nope"}|}
+    "unknown semantics";
+  bad {|{"schema":"injcrpq-serve/1","op":"eval","tuple":[1,"x"]}|} "tuple";
+  bad {|{"schema":"injcrpq-serve/1","op":"eval","bound":-1}|} "bound"
+
+(* --------------------- live-socket discipline --------------------- *)
+
+(* an in-process daemon over a socketpair: one worker is plenty *)
+let with_server ?quota f =
+  Guard.Chaos.disarm ();
+  let cfg =
+    Serve.Server.config ~workers:1 ~queue_bound:8 ~timeout_ms:5000 ?quota
+      ~graphs:[ ("default", Paper_examples.example_21_g') ]
+      ()
+  in
+  let srv = Serve.Server.create cfg in
+  let sfd, cfd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let server = Domain.spawn (fun () -> Serve.Server.run srv ~adopt:[ sfd ] ()) in
+  let client = Serve.Client.of_fd cfd in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.shutdown srv;
+      Domain.join server;
+      Serve.Client.close client)
+    (fun () ->
+      (match Serve.Client.greeting ~timeout_ms:5000 client with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "no greeting: %s" e);
+      f client)
+
+let recv_ok client =
+  match Serve.Client.recv ~timeout_ms:5000 client with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "recv: %s" e
+
+let send_ok client req =
+  match Serve.Client.send client req with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" e
+
+let error_code resp =
+  match List.assoc_opt "error" resp.P.body with
+  | Some err -> (
+    match Obs.Json.member "code" err with
+    | Some (Obs.Json.String c) -> c
+    | _ -> "?")
+  | None -> "?"
+
+let ping_pongs client =
+  send_ok client (P.request ~id:(Obs.Json.Int 999) P.Ping);
+  let resp = recv_ok client in
+  check Alcotest.bool "pong" true
+    (resp.P.status = P.Ok_ && resp.P.id = Obs.Json.Int 999)
+
+let test_malformed_frames_keep_connection () =
+  with_server (fun client ->
+      let try_bad line want_code =
+        (match Serve.Client.send_raw client line with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "send_raw: %s" e);
+        let resp = recv_ok client in
+        check Alcotest.bool
+          (Printf.sprintf "%S -> error" line)
+          true
+          (resp.P.status = P.Error);
+        check Alcotest.string
+          (Printf.sprintf "%S -> %s" line want_code)
+          want_code (error_code resp);
+        (* the connection survives: a well-formed request still answers *)
+        ping_pongs client
+      in
+      try_bad "this is not json" "E903";
+      try_bad "[1,2,3]" "E903";
+      try_bad {|{"schema":"injcrpq-serve/1"}|} "E903";
+      try_bad {|{"schema":"injcrpq-serve/1","op":"warp"}|} "E903";
+      try_bad {|{"no":"schema"}|} "E903")
+
+let test_oversized_frame () =
+  with_server (fun client ->
+      let big = String.make (P.max_frame_bytes + 10) 'x' in
+      (* the server may shed the connection mid-upload (no newline seen
+         past the frame cap), so the tail of the write is allowed to
+         fail; the structured E905 response must still have been sent *)
+      (match Serve.Client.send_raw client big with Ok () | Error _ -> ());
+      let resp = recv_ok client in
+      check Alcotest.bool "oversized -> error" true (resp.P.status = P.Error);
+      check Alcotest.string "E905" "E905" (error_code resp))
+
+let test_bad_requests_answer_e904 () =
+  with_server (fun client ->
+      (* well-formed frame, invalid content: unparsable query *)
+      send_ok client
+        (P.request ~id:(Obs.Json.Int 1) ~query:"this is not a crpq" P.Eval);
+      let resp = recv_ok client in
+      check Alcotest.bool "bad query -> error" true (resp.P.status = P.Error);
+      check Alcotest.string "E904" "E904" (error_code resp);
+      (* unknown graph *)
+      send_ok client
+        (P.request ~id:(Obs.Json.Int 2) ~query:"Q(x, y) :- x -[a]-> y"
+           ~graph:"missing" P.Eval);
+      let resp = recv_ok client in
+      check Alcotest.string "unknown graph E904" "E904" (error_code resp);
+      (* missing lhs/rhs for contain *)
+      send_ok client (P.request ~id:(Obs.Json.Int 3) P.Contain);
+      let resp = recv_ok client in
+      check Alcotest.string "missing lhs E904" "E904" (error_code resp);
+      ping_pongs client)
+
+let test_pipelined_ids_echo () =
+  with_server (fun client ->
+      let n = 20 in
+      for i = 1 to n do
+        send_ok client
+          (P.request ~id:(Obs.Json.Int i)
+             ~query:"Q(x, y) :- x -[(ab)*]-> y, y -[c*]-> x" P.Eval)
+      done;
+      (* a 20-deep pipeline overflows the 8-slot queue, so sheds
+         (answered inline by the accept loop) interleave with worker
+         responses — but every id is answered exactly once, and the
+         queued responses come back in submission order *)
+      let answered = Hashtbl.create n in
+      let last_ok = ref 0 in
+      for _ = 1 to n do
+        let resp = recv_ok client in
+        let i =
+          match resp.P.id with
+          | Obs.Json.Int i -> i
+          | other -> Alcotest.failf "bad id %s" (Obs.Json.to_string other)
+        in
+        if Hashtbl.mem answered i then Alcotest.failf "id %d answered twice" i;
+        Hashtbl.add answered i ();
+        match resp.P.status with
+        | P.Ok_ ->
+          if i <= !last_ok then
+            Alcotest.failf "ok responses out of order: %d after %d" i !last_ok;
+          last_ok := i
+        | P.Shed -> ()
+        | s ->
+          Alcotest.failf "response %d: unexpected status %s" i
+            (P.status_to_string s)
+      done;
+      check Alcotest.int "every id answered" n (Hashtbl.length answered);
+      check Alcotest.bool "at least one queued response" true (!last_ok >= 1))
+
+let test_stats_request () =
+  with_server (fun client ->
+      ping_pongs client;
+      send_ok client (P.request ~id:(Obs.Json.Int 7) P.Stats);
+      let resp = recv_ok client in
+      check Alcotest.bool "stats ok" true (resp.P.status = P.Ok_);
+      (match List.assoc_opt "serve" resp.P.body with
+      | Some (Obs.Json.Obj fields) ->
+        check Alcotest.bool "serve.accepted present" true
+          (List.mem_assoc "serve.accepted" fields)
+      | _ -> Alcotest.fail "stats lacks serve section");
+      match List.assoc_opt "workers" resp.P.body with
+      | Some (Obs.Json.Int 1) -> ()
+      | _ -> Alcotest.fail "stats lacks workers")
+
+let () =
+  Alcotest.run "serve-protocol"
+    [
+      ( "roundtrip",
+        [
+          prop_request_roundtrip;
+          prop_response_roundtrip;
+          prop_request_rejects_junk;
+          Alcotest.test_case "decode errors" `Quick test_request_decode_errors;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "malformed frames keep the connection" `Quick
+            test_malformed_frames_keep_connection;
+          Alcotest.test_case "oversized frame" `Quick test_oversized_frame;
+          Alcotest.test_case "bad requests answer E904" `Quick
+            test_bad_requests_answer_e904;
+          Alcotest.test_case "pipelined ids echo" `Quick test_pipelined_ids_echo;
+          Alcotest.test_case "stats request" `Quick test_stats_request;
+        ] );
+    ]

@@ -61,6 +61,8 @@ let optimize_rows : Obs.Json.t list ref = ref []
 
 let serve_rows : Obs.Json.t list ref = ref []
 
+let bulk_rows : Obs.Json.t list ref = ref []
+
 (* Rewritten after every experiment: the file on disk always holds the
    completed prefix of the run, whatever happens to the rest. *)
 let write_results () =
@@ -101,6 +103,7 @@ let gated_prefixes =
     "qinj.";
     "f7.";
     "path_search.";
+    "bulk.";
     "nfa.";
     "expansion.";
     "analysis.";
@@ -333,6 +336,8 @@ let run_experiment name f =
       fields @ [ ("cells", Obs.Json.List (List.rev !optimize_rows)) ]
     else if String.equal name "serve" && !serve_rows <> [] then
       fields @ [ ("cells", Obs.Json.List (List.rev !serve_rows)) ]
+    else if String.equal name "bulk" && !bulk_rows <> [] then
+      fields @ [ ("cells", Obs.Json.List (List.rev !bulk_rows)) ]
     else fields
   in
   results := Obs.Json.Obj fields :: !results;
@@ -891,6 +896,95 @@ let run_morphism () =
   Format.printf "@.total: candidates=%d backtracks=%d@." !total_cand !total_back
 
 (* ------------------------------------------------------------------ *)
+(* E16: bulk bit-matrix engine vs pointwise product BFS                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Every cell computes the full standard-semantics atom relation three
+   ways — pointwise Path_search, bulk multiple-source frontier BFS, and
+   (while the product space stays small) bulk all-pairs closure — and
+   checks the relations cell-for-cell before timing is reported, so the
+   bench doubles as a large-graph differential test.  The crossover
+   claim CI asserts: on the largest cell (≥ 10⁵ edges) the bulk engine
+   must beat the pointwise BFS. *)
+let run_bulk () =
+  Format.printf
+    "@.E16: bulk bit-matrix RPQ engine vs pointwise product BFS@.@.";
+  let m_sweeps = Obs.Metrics.counter "bulk.sweeps" in
+  let m_frontier = Obs.Metrics.counter "bulk.frontier_bits" in
+  let m_words = Obs.Metrics.counter "bulk.words_anded" in
+  let cells = Suite.e16_cells ~seed:16 ~quick:!quick in
+  Format.printf "%-14s %6s %8s %4s %10s %10s %10s %8s %6s@." "cell" "nodes"
+    "edges" "nfa" "pointwise" "multi-src" "all-pairs" "speedup" "agree";
+  List.iter
+    (fun (name, g, re) ->
+      let nfa = Nfa.of_regex re in
+      let n = Graph.nnodes g in
+      let m = nfa.Nfa.nstates in
+      let rel_ps, t_ps = time_it (fun () -> Path_search.reach_relation g nfa) in
+      let s0 = Obs.Metrics.counter_value m_sweeps in
+      let f0 = Obs.Metrics.counter_value m_frontier in
+      let w0 = Obs.Metrics.counter_value m_words in
+      let rel_ms, t_ms =
+        time_it (fun () ->
+            Bulk_rpq.reach_relation ~strategy:Bulk_rpq.Multi_source g nfa)
+      in
+      let sweeps = Obs.Metrics.counter_value m_sweeps - s0 in
+      let frontier = Obs.Metrics.counter_value m_frontier - f0 in
+      let words = Obs.Metrics.counter_value m_words - w0 in
+      (* all-pairs closure is quadratic in the product size; keep it to
+         the cells where that stays cheap *)
+      let ap =
+        if n * m <= 1500 then
+          let rel_ap, t_ap =
+            time_it (fun () ->
+                Bulk_rpq.reach_relation ~strategy:Bulk_rpq.All_pairs g nfa)
+          in
+          Some (rel_ap, t_ap)
+        else None
+      in
+      let agree =
+        rel_ms = rel_ps
+        && match ap with Some (rel_ap, _) -> rel_ap = rel_ps | None -> true
+      in
+      let pairs =
+        Array.fold_left
+          (fun acc row ->
+            Array.fold_left (fun a b -> if b then a + 1 else a) acc row)
+          0 rel_ms
+      in
+      let speedup = if t_ms > 0.0 then t_ps /. t_ms else 0.0 in
+      Format.printf "%-14s %6d %8d %4d %a %a %10s %7.1fx %6b@." name n
+        (Graph.nedges g) m pp_ms t_ps pp_ms t_ms
+        (match ap with
+        | Some (_, t_ap) -> Format.asprintf "%a" pp_ms t_ap
+        | None -> "-")
+        speedup agree;
+      bulk_rows :=
+        Obs.Json.Obj
+          ([
+             ("cell", Obs.Json.String name);
+             ("nodes", Obs.Json.Int n);
+             ("edges", Obs.Json.Int (Graph.nedges g));
+             ("nfa_states", Obs.Json.Int m);
+             ("pointwise_ns", Obs.Json.Int (int_of_float (t_ps *. 1e9)));
+             ("multi_source_ns", Obs.Json.Int (int_of_float (t_ms *. 1e9)));
+             ("rel_pairs", Obs.Json.Int pairs);
+             ("sweeps", Obs.Json.Int sweeps);
+             ("frontier_bits", Obs.Json.Int frontier);
+             ("words_anded", Obs.Json.Int words);
+             ("agree", Obs.Json.Bool agree);
+           ]
+          @
+          match ap with
+          | Some (_, t_ap) ->
+            [ ("all_pairs_ns", Obs.Json.Int (int_of_float (t_ap *. 1e9))) ]
+          | None -> [])
+        :: !bulk_rows;
+      if not agree then
+        failwith (Printf.sprintf "bulk relation diverges on cell %s" name))
+    cells
+
+(* ------------------------------------------------------------------ *)
 (* E14: the certified optimizer — shrinkage, certificate cost, payoff   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1271,6 +1365,7 @@ let () =
       ("trails", run_trails);
       ("ablations", run_ablations);
       ("morphism", run_morphism);
+      ("bulk", run_bulk);
       ("optimize", run_optimize);
       ("serve", run_serve);
       ("bechamel", bechamel_section);

@@ -244,11 +244,13 @@ let explain_term ~title =
 
 (* --------------------------- performance --------------------------- *)
 
-(* [--jobs] and [--no-cache] are accepted by every subcommand: the
-   first fans independent subproblems (expansion scans, per-atom
-   products) across OCaml 5 domains, the second disables the automata
-   memo tables (same effect as INJCRPQ_CACHE=off). *)
-let perf_setup jobs no_cache =
+(* [--jobs], [--no-cache] and [--bulk] are accepted by every
+   subcommand: the first fans independent subproblems (expansion scans,
+   per-atom products) across OCaml 5 domains, the second disables the
+   automata memo tables (same effect as INJCRPQ_CACHE=off), the third
+   selects the bit-matrix bulk RPQ engine for standard-semantics atom
+   relations (same as INJCRPQ_BULK). *)
+let perf_setup jobs no_cache bulk =
   (match jobs with
   | Some n when n >= 1 -> Parmap.set_default_jobs n
   | Some n ->
@@ -256,7 +258,16 @@ let perf_setup jobs no_cache =
       n;
     exit 2
   | None -> ());
-  if no_cache then Cache.set_enabled false
+  if no_cache then Cache.set_enabled false;
+  match bulk with
+  | None -> ()
+  | Some s -> (
+    match Bulk_rpq.mode_of_string s with
+    | Some m -> Bulk_rpq.set_mode m
+    | None ->
+      Format.eprintf
+        "injcrpq: E900 error [cli]: --bulk expects on, off or auto (got %s)@." s;
+      exit 2)
 
 let perf_term =
   let jobs_arg =
@@ -273,7 +284,16 @@ let perf_term =
       & info [ "no-cache" ]
           ~doc:"Disable the automata memo tables (same as INJCRPQ_CACHE=off).")
   in
-  Term.(const perf_setup $ jobs_arg $ no_cache_arg)
+  let bulk_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bulk" ] ~docv:"MODE"
+          ~doc:"Bulk bit-matrix engine for standard-semantics atom relations: \
+                $(b,on), $(b,off) or $(b,auto) (default auto, or \
+                \\$INJCRPQ_BULK).")
+  in
+  Term.(const perf_setup $ jobs_arg $ no_cache_arg $ bulk_arg)
 
 (* --------------------------- resource guard ------------------------ *)
 

@@ -18,7 +18,7 @@ let m_evals = Obs.Metrics.counter "eval.evaluations"
 let relation_for sem g (a : Crpq.atom) =
   let nfa = Crpq.nfa a.Crpq.lang in
   match sem with
-  | Semantics.St -> Path_search.reach_relation g nfa
+  | Semantics.St -> Bulk_rpq.st_relation g nfa
   | Semantics.A_inj ->
     let rel = Path_search.simple_reach_relation g nfa in
     (* an atom x -[L]-> y with syntactically distinct variables must map

@@ -1,0 +1,81 @@
+(** Dense boolean matrices over packed bitset rows — the kernel layer of
+    the bulk RPQ engine ({!Bulk_rpq}).
+
+    A matrix is row-major: each row is a run of [words_per_row] native
+    ints, [Sys.int_size] bits per word (63 on 64-bit systems; native
+    ints are used instead of [Int64] because OCaml [int64 array]s box
+    every element, while an [int array] is a flat unboxed block).  All
+    kernels are allocation-free on the hot path; popcounts go through a
+    precomputed 16-bit table (SWAR masks such as [0x5555...] do not fit
+    in OCaml's 63-bit immediates).
+
+    Word-level work is observable: every row OR/AND-NOT accounted by the
+    [bulk.words_anded] counter, closure sweeps by [bulk.sweeps]
+    (no-ops unless [Obs.Metrics] is enabled). *)
+
+type t
+
+(** [create ~rows ~cols] is the all-zeros [rows] × [cols] matrix.
+    Zero-sized dimensions are allowed. *)
+val create : rows:int -> cols:int -> t
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> bool
+
+val set : t -> int -> int -> unit
+
+val clear : t -> int -> int -> unit
+
+val copy : t -> t
+
+(** Structural equality of dimensions and bits. *)
+val equal : t -> t -> bool
+
+(** Number of set bits in row [i]. *)
+val row_popcount : t -> int -> int
+
+(** Total number of set bits. *)
+val popcount : t -> int
+
+val is_row_empty : t -> int -> bool
+
+(** [iter_row m i f] applies [f] to each set column of row [i] in
+    ascending order. *)
+val iter_row : t -> int -> (int -> unit) -> unit
+
+(** [or_row_into ~src i ~dst j] ORs row [i] of [src] into row [j] of
+    [dst]; returns [true] iff [dst] changed.  Rows must have equal
+    column counts. *)
+val or_row_into : src:t -> int -> dst:t -> int -> bool
+
+(** [diff_row_into ~mask i ~dst j] clears from row [j] of [dst] every
+    bit set in row [i] of [mask] (i.e. [dst_j <- dst_j AND NOT mask_i]);
+    returns [true] iff [dst] changed. *)
+val diff_row_into : mask:t -> int -> dst:t -> int -> bool
+
+(** [union_into ~src ~dst] ORs all of [src] into [dst] (same
+    dimensions); returns [true] iff [dst] changed. *)
+val union_into : src:t -> dst:t -> bool
+
+(** Boolean matrix multiply-accumulate: [dst <- dst OR (a · b)], where
+    [a] is [r × k] and [b] is [k × c] and [dst] is [r × c].  Row [i] of
+    the product is the OR of the rows of [b] selected by the set bits of
+    row [i] of [a] — a row-gather, which is why adjacency is stored
+    row-wise.  Returns [true] iff [dst] changed.  [dst] may alias [a]
+    but must not alias [b]. *)
+val mul_into : a:t -> b:t -> dst:t -> bool
+
+(** Reflexive-transitive closure of a square matrix by repeated
+    squaring ([R <- R OR R·R] until fixpoint, so the sweep count is
+    logarithmic in the diameter).  Each sweep passes the [bulk.sweep]
+    guard checkpoint and bumps the [bulk.sweeps] counter.  The input is
+    not mutated. *)
+val closure : t -> t
+
+val of_bool_matrix : bool array array -> t
+
+(** [to_bool_matrix m] as nested arrays; rows of length [cols m]. *)
+val to_bool_matrix : t -> bool array array

@@ -1,0 +1,239 @@
+let m_sweeps = Obs.Metrics.counter "bulk.sweeps"
+
+let m_frontier_bits = Obs.Metrics.counter "bulk.frontier_bits"
+
+type mode = Off | On | Auto
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "on" | "1" | "true" | "yes" -> Some On
+  | "off" | "0" | "false" | "no" -> Some Off
+  | "auto" -> Some Auto
+  | _ -> None
+
+let mode_to_string = function Off -> "off" | On -> "on" | Auto -> "auto"
+
+let mode_ref =
+  ref
+    (match Sys.getenv_opt "INJCRPQ_BULK" with
+    | Some s -> ( match mode_of_string s with Some m -> m | None -> Auto)
+    | None -> Auto)
+
+let current_mode () = !mode_ref
+
+let set_mode m = mode_ref := m
+
+type strategy = All_pairs | Multi_source
+
+(* All-pairs closure squares an (n·m)² bit matrix log-diameter times —
+   only worth it when the product space is tiny and most sources are
+   wanted anyway; the frontier BFS does work proportional to discovered
+   pairs and wins everywhere else (E16 measures the closure already
+   behind at product sizes in the high hundreds). *)
+let choose_strategy ~sources ~nstates ~nnodes =
+  if nnodes * nstates <= 256 && 2 * sources >= nnodes then All_pairs
+  else Multi_source
+
+(* Auto crossover: below ~192 nodes the pointwise BFS's early exits beat
+   the fixed per-sweep cost of full bitset rows; the last conjunct caps
+   the visited-matrix footprint (m·n² bits ≤ 1 GiB). *)
+let auto_accepts g nfa =
+  let n = Graph.nnodes g in
+  let m = nfa.Nfa.nstates in
+  n >= 192 && Graph.nedges g >= n && m * n * n <= 1 lsl 33
+
+let use_bulk g nfa =
+  match !mode_ref with
+  | Off -> false
+  | On -> true
+  | Auto -> auto_accepts g nfa
+
+(* ------------------------------------------------------------------ *)
+(* Per-label adjacency, memoized per graph                             *)
+(* ------------------------------------------------------------------ *)
+
+module Adj_tbl = Cache.Memo (struct
+  type t = int
+
+  let equal = Int.equal
+
+  let hash = Hashtbl.hash
+end)
+
+let adj_tbl : Bitmatrix.t array Adj_tbl.t =
+  (* Matrices are large relative to typical memo entries; keep the LRU
+     shallow. *)
+  Adj_tbl.create ~cap:16 "bulk.adjacency"
+
+let build_adjacency g =
+  let n = Graph.nnodes g in
+  let nl = Graph.nlabels g in
+  let adj = Array.init nl (fun _ -> Bitmatrix.create ~rows:n ~cols:n) in
+  List.iter
+    (fun (u, a, v) ->
+      match Graph.label_id g a with
+      | Some ai -> Bitmatrix.set adj.(ai) u v
+      | None -> ())
+    (Graph.edges g);
+  adj
+
+let adjacency g = Adj_tbl.find_or_add adj_tbl (Graph.uid g) (fun () -> build_adjacency g)
+
+(* Same re-keying as [Path_search.intern_delta]: transitions on labels
+   the graph never uses can't fire and are dropped. *)
+let intern_delta g nfa =
+  Array.map
+    (List.filter_map (fun (a, q') ->
+         match Graph.label_id g a with
+         | Some ai -> Some (ai, q')
+         | None -> None))
+    nfa.Nfa.delta
+
+(* ------------------------------------------------------------------ *)
+(* All-pairs: closure of the Kronecker-style product matrix            *)
+(* ------------------------------------------------------------------ *)
+
+let product_matrix g nfa =
+  let n = Graph.nnodes g in
+  let m = nfa.Nfa.nstates in
+  let size = max (n * m) 1 in
+  let p = Bitmatrix.create ~rows:size ~cols:size in
+  let delta = intern_delta g nfa in
+  Array.iteri
+    (fun q trans ->
+      List.iter
+        (fun (ai, q') ->
+          for u = 0 to n - 1 do
+            let succs = Graph.succ_ids g u ai in
+            for i = 0 to Array.length succs - 1 do
+              Bitmatrix.set p ((u * m) + q) ((succs.(i) * m) + q')
+            done
+          done)
+        trans)
+    delta;
+  p
+
+let all_pairs_relation g nfa =
+  let n = Graph.nnodes g in
+  let m = nfa.Nfa.nstates in
+  let r = Bitmatrix.closure (product_matrix g nfa) in
+  let rel = Array.make_matrix (max n 1) (max n 1) false in
+  let finals = ref [] in
+  for q = 0 to m - 1 do
+    if nfa.Nfa.finals.(q) then finals := q :: !finals
+  done;
+  for u = 0 to n - 1 do
+    List.iter
+      (fun q0 ->
+        Bitmatrix.iter_row r ((u * m) + q0) (fun c ->
+            if List.mem (c mod m) !finals then rel.(u).(c / m) <- true))
+      nfa.Nfa.initials
+  done;
+  rel
+
+(* ------------------------------------------------------------------ *)
+(* Multiple-source frontier BFS                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One s×n bit matrix per NFA state: row i of [visited.(q)] is the set
+   of graph nodes reached from source i in state q.  Sweeps are
+   synchronous — the next frontier is computed from an immutable
+   snapshot of the current one — so results, sweep counts and word-op
+   counters are independent of the domain count; row blocks of a sweep
+   fan out over [Parmap] (disjoint writes per block). *)
+let multi_source_seen g nfa srcs =
+  let n = Graph.nnodes g in
+  let m = nfa.Nfa.nstates in
+  let s = Array.length srcs in
+  let delta = intern_delta g nfa in
+  let adj = adjacency g in
+  let fresh () = Array.init m (fun _ -> Bitmatrix.create ~rows:s ~cols:n) in
+  let visited = fresh () in
+  let frontier = fresh () in
+  List.iter
+    (fun q0 ->
+      Array.iteri
+        (fun i u ->
+          Bitmatrix.set visited.(q0) i u;
+          Bitmatrix.set frontier.(q0) i u)
+        srcs)
+    nfa.Nfa.initials;
+  Array.iter (fun f -> Obs.Metrics.add m_frontier_bits (Bitmatrix.popcount f)) frontier;
+  let sweep_rows frontier nxt lo hi =
+    for i = lo to hi do
+      Array.iteri
+        (fun q trans ->
+          if not (Bitmatrix.is_row_empty frontier.(q) i) then
+            List.iter
+              (fun (ai, q') ->
+                Bitmatrix.iter_row frontier.(q) i (fun u ->
+                    ignore (Bitmatrix.or_row_into ~src:adj.(ai) u ~dst:nxt.(q') i)))
+              trans)
+        delta
+    done
+  in
+  let blocks =
+    (* Row blocks sized for the default fan-out; Parmap stays sequential
+       when jobs = 1 or when called from inside another worker. *)
+    let bs = max 64 ((s + 7) / 8) in
+    let rec cut lo acc =
+      if lo >= s then List.rev acc
+      else cut (lo + bs) ((lo, min (lo + bs) s - 1) :: acc)
+    in
+    cut 0 []
+  in
+  let running = ref (s > 0 && Array.exists (fun f -> Bitmatrix.popcount f > 0) frontier) in
+  while !running do
+    Guard.checkpoint "bulk.sweep";
+    Obs.Metrics.incr m_sweeps;
+    let nxt = fresh () in
+    ignore (Parmap.map (fun (lo, hi) -> sweep_rows frontier nxt lo hi) blocks);
+    running := false;
+    for q = 0 to m - 1 do
+      for i = 0 to s - 1 do
+        ignore (Bitmatrix.diff_row_into ~mask:visited.(q) i ~dst:nxt.(q) i)
+      done;
+      let bits = Bitmatrix.popcount nxt.(q) in
+      if bits > 0 then begin
+        running := true;
+        Obs.Metrics.add m_frontier_bits bits;
+        ignore (Bitmatrix.union_into ~src:nxt.(q) ~dst:visited.(q))
+      end;
+      frontier.(q) <- nxt.(q)
+    done
+  done;
+  visited
+
+let reach_pairs g nfa srcs =
+  let n = Graph.nnodes g in
+  let m = nfa.Nfa.nstates in
+  let s = Array.length srcs in
+  let visited = multi_source_seen g nfa srcs in
+  let out = Bitmatrix.create ~rows:s ~cols:n in
+  for q = 0 to m - 1 do
+    if nfa.Nfa.finals.(q) then ignore (Bitmatrix.union_into ~src:visited.(q) ~dst:out)
+  done;
+  out
+
+let multi_source_relation g nfa =
+  let n = Graph.nnodes g in
+  let seen = reach_pairs g nfa (Array.init n (fun u -> u)) in
+  let rel = Array.make_matrix (max n 1) (max n 1) false in
+  for u = 0 to n - 1 do
+    Bitmatrix.iter_row seen u (fun v -> rel.(u).(v) <- true)
+  done;
+  rel
+
+let reach_relation ?strategy g nfa =
+  let n = Graph.nnodes g in
+  let strategy =
+    match strategy with
+    | Some s -> s
+    | None -> choose_strategy ~sources:n ~nstates:nfa.Nfa.nstates ~nnodes:n
+  in
+  match strategy with
+  | All_pairs -> all_pairs_relation g nfa
+  | Multi_source -> multi_source_relation g nfa
+
+let st_relation g nfa =
+  if use_bulk g nfa then reach_relation g nfa else Path_search.reach_relation g nfa

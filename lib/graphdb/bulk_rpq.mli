@@ -1,0 +1,72 @@
+(** Bulk linear-algebra RPQ evaluation over {!Bitmatrix} adjacency.
+
+    Where {!Path_search} answers standard-semantics reachability with
+    one product BFS per source, this engine answers an RPQ atom for
+    {e all} sources at once: the graph becomes one boolean adjacency
+    matrix per interned label, the NFA×graph product becomes a
+    Kronecker-style boolean matrix, and evaluation is a few bitset
+    sweeps — either an all-pairs transitive closure of the product
+    matrix or a multiple-source frontier BFS with one bitset row per
+    (source, NFA state) pair.  Both return relations bit-identical to
+    [Path_search.reach_relation].
+
+    Selection is governed by [INJCRPQ_BULK=on|off|auto] (or [--bulk] on
+    the CLI): [off] keeps every caller on [Path_search], [on] forces the
+    bulk engine, [auto] (the default) switches only past a size
+    heuristic, so small inputs keep pointwise behavior.  Reference
+    evaluators (expansion/morphism oracles) are never switched.
+
+    Observability: sweeps pass the [bulk.sweep] guard checkpoint; the
+    [bulk.sweeps], [bulk.frontier_bits], and [bulk.words_anded] counters
+    account sweep count, frontier growth, and word-level kernel work.
+    Per-label adjacency matrices are memoized through {!Cache.Memo},
+    keyed by {!Graph.uid}. *)
+
+type mode = Off | On | Auto
+
+val mode_of_string : string -> mode option
+(** Accepts on/off/auto plus the usual 1/true/0/false spellings. *)
+
+val mode_to_string : mode -> string
+
+val current_mode : unit -> mode
+(** Initialized from [INJCRPQ_BULK] (default [Auto]). *)
+
+val set_mode : mode -> unit
+
+type strategy = All_pairs | Multi_source
+
+(** [choose_strategy ~sources ~nstates ~nnodes] picks {!All_pairs}
+    closure only when the product space is small and the source set
+    dense; frontier BFS otherwise. *)
+val choose_strategy : sources:int -> nstates:int -> nnodes:int -> strategy
+
+(** Whether {!st_relation} would take the bulk path for this input
+    under the current mode. *)
+val use_bulk : Graph.t -> Nfa.t -> bool
+
+(** Per-label adjacency of [g]: [adjacency g].(a) is the
+    [nnodes × nnodes] matrix of label id [a] (memoized per graph —
+    shared, do not mutate). *)
+val adjacency : Graph.t -> Bitmatrix.t array
+
+(** The boolean NFA×graph product matrix over product states coded
+    [u * nstates + q] (the coding of [Path_search.product_bfs]):
+    bit [(u,q) → (v,q')] is set iff some transition {m q
+    \xrightarrow{a} q'} pairs with an edge {m u \xrightarrow{a} v}. *)
+val product_matrix : Graph.t -> Nfa.t -> Bitmatrix.t
+
+(** [reach_pairs g nfa srcs] runs the multiple-source frontier BFS from
+    [srcs]: row [i] of the result has bit [v] set iff [v] is reachable
+    from [srcs.(i)] along a path accepted by [nfa].  Dimensions
+    [length srcs × nnodes g]. *)
+val reach_pairs : Graph.t -> Nfa.t -> Graph.node array -> Bitmatrix.t
+
+(** Drop-in replacement for [Path_search.reach_relation] (same
+    dimensions, same bits, including the empty-path diagonal).
+    [strategy] defaults to {!choose_strategy} on the full source set. *)
+val reach_relation : ?strategy:strategy -> Graph.t -> Nfa.t -> bool array array
+
+(** The Eval/Containment seam: bulk [reach_relation] when {!use_bulk}
+    says so, [Path_search.reach_relation] otherwise. *)
+val st_relation : Graph.t -> Nfa.t -> bool array array

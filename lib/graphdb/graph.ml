@@ -8,6 +8,7 @@ type edge = node * Word.symbol * node
    label id and never compare strings; [edge_set] gives O(1) membership
    with an integer key. *)
 type t = {
+  uid : int; (* process-unique identity, for keying derived-structure caches *)
   nnodes : int;
   nedges : int;
   edges : edge list; (* sorted, duplicate-free *)
@@ -21,6 +22,8 @@ type t = {
 }
 
 let edge_key g u a v = ((u * Array.length g.labels) + a) * g.nnodes + v
+
+let uid_counter = Atomic.make 0
 
 let make ~nnodes edge_list =
   let edges = List.sort_uniq Stdlib.compare edge_list in
@@ -62,7 +65,8 @@ let make ~nnodes edge_list =
   in
   let out_l = Array.init n (fun u -> pack out_acc u) in
   let in_l = Array.init n (fun v -> pack in_acc v) in
-  { nnodes; nedges; edges; labels; label_ids; out; in_; out_l; in_l; edge_set }
+  { uid = Atomic.fetch_and_add uid_counter 1; nnodes; nedges; edges; labels;
+    label_ids; out; in_; out_l; in_l; edge_set }
 
 let of_edges edge_list =
   let nnodes =
@@ -71,6 +75,8 @@ let of_edges edge_list =
   make ~nnodes edge_list
 
 let empty = make ~nnodes:0 []
+
+let uid g = g.uid
 
 let nnodes g = g.nnodes
 

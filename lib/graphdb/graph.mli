@@ -20,6 +20,12 @@ val of_edges : edge list -> t
 
 val empty : t
 
+(** Process-unique identity assigned at construction.  Structurally
+    equal graphs built separately have distinct uids; use it to key
+    caches of derived structures (e.g. per-label adjacency matrices)
+    without hashing the edge list. *)
+val uid : t -> int
+
 val nnodes : t -> int
 
 (** Number of (distinct) edges; stored at construction, O(1). *)

@@ -18,6 +18,14 @@ type node = Graph.node
 
 (** {1 Arbitrary paths (standard semantics)} *)
 
+(** [product_bfs g nfa srcs]: BFS over the product of the graph with the
+    NFA from the given (node, state) pairs.  The result is the seen
+    array over product states coded [u * nstates + q] (start pairs
+    included), the coding shared with {!Bulk_rpq.product_matrix} — the
+    bulk engine's differential battery pins the two against each
+    other. *)
+val product_bfs : Graph.t -> Nfa.t -> (node * int) list -> bool array
+
 (** Nodes reachable from [src] by a path whose label is accepted. *)
 val reachable : Graph.t -> Nfa.t -> node -> node list
 

@@ -60,6 +60,25 @@ let eval_scaling ~seed ~sizes =
   in
   ("eval-scaling", q, graphs)
 
+let e16_cells ~seed ~quick =
+  let rng = Random.State.make [| 0xE16; seed |] in
+  (* Quadratic edge growth at fixed p: the largest quick cell clears
+     10⁵ edges (n=1448, two labels, p=0.03 → ~126k expected), which is
+     where the bulk engine must beat the pointwise product BFS.  The
+     rng is consumed in size order, so the quick cells are a prefix of
+     the full run and golden fixtures can pin the small ones. *)
+  let sizes = if quick then [ 64; 256; 724; 1448 ] else [ 64; 256; 724; 1448; 2048 ] in
+  let shapes =
+    [ ("star", Regex.parse "(a|b)*"); ("chain", Regex.parse "a(a|b)*b") ]
+  in
+  List.concat_map
+    (fun n ->
+      let g = Generate.gnp ~rng ~nodes:n ~labels:[ "a"; "b" ] ~p:0.03 in
+      List.map
+        (fun (sname, re) -> (Printf.sprintf "n%d/%s" n sname, g, re))
+        shapes)
+    sizes
+
 let hard_simple_path ~sizes =
   List.map
     (fun n -> (n, Generate.lollipop ~handle:(n / 2) ~cycle_len:(n - (n / 2)) ~label:"a"))

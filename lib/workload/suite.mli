@@ -18,6 +18,13 @@ val fig1_cells :
     fixed query: (name, query, graphs). *)
 val eval_scaling : seed:int -> sizes:int list -> string * Crpq.t * Graph.t list
 
+(** Bulk-engine crossover cells (E16): gnp graphs of growing size, two
+    RPQ shapes each, shared between the bench family and the golden
+    fixture.  [quick] drops the largest size; the quick cells are a
+    prefix of the full ones (same seeds).  Returns
+    [(name, graph, regex)]. *)
+val e16_cells : seed:int -> quick:bool -> (string * Graph.t * Regex.t) list
+
 (** The lollipop family on which simple-path search explodes while
     standard reachability stays polynomial. *)
 val hard_simple_path : sizes:int list -> (int * Graph.t) list

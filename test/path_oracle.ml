@@ -1,0 +1,64 @@
+(* Shared brute-force oracles for the path-search and bulk-engine tests.
+
+   [brute_exists] is the budgeted depth-first path enumerator: it walks
+   every path prefix up to a length bound, so it can check
+   path-predicate semantics (simple paths, trails) that depend on the
+   actual path, but the prefix count is exponential and the budget makes
+   it abstain ([None]) on unlucky draws.
+
+   For plain standard-semantics reachability that enumeration revisits
+   each (node, state) frontier once per distinct path reaching it — the
+   duplication that used to live in test_path_search.ml.  [reach_set]
+   dedupes on product pairs instead: a polynomial, budget-free oracle
+   that never abstains, built directly on string-labeled [Graph.out] and
+   the raw NFA delta so it shares nothing with the interned
+   [Path_search] product or the [Bulk_rpq] bitset kernels it checks. *)
+
+exception Out_of_budget
+
+let brute_exists ?(budget = 200_000) g nfa ~src ~dst ~pred ~max_len =
+  let steps = ref 0 in
+  let rec go p len =
+    incr steps;
+    if !steps > budget then raise Out_of_budget;
+    (Path.tgt p = dst && pred p && Nfa.accepts nfa (Path.label p))
+    || len < max_len
+       && List.exists
+            (fun (a, v) -> go (Path.append p a v) (len + 1))
+            (Graph.out g (Path.tgt p))
+  in
+  match go (Path.empty src) 0 with
+  | b -> Some b
+  | exception Out_of_budget -> None
+
+(* Nodes reachable from [src] along an accepted path (the empty path
+   included, matching the engines: src is reachable iff some initial
+   state is final). *)
+let reach_set g nfa src =
+  let seen = Hashtbl.create 16 in
+  let rec visit u q =
+    if not (Hashtbl.mem seen (u, q)) then begin
+      Hashtbl.replace seen (u, q) ();
+      List.iter
+        (fun (a, q') ->
+          List.iter
+            (fun (b, v) -> if String.equal a b then visit v q')
+            (Graph.out g u))
+        nfa.Nfa.delta.(q)
+    end
+  in
+  List.iter (fun q0 -> visit src q0) nfa.Nfa.initials;
+  Hashtbl.fold
+    (fun (u, q) () acc -> if nfa.Nfa.finals.(q) then u :: acc else acc)
+    seen []
+  |> List.sort_uniq compare
+
+let reach_exists g nfa ~src ~dst = List.mem dst (reach_set g nfa src)
+
+(* Same shape as [Path_search.reach_relation]: (max n 1)² matrix. *)
+let reach_relation g nfa =
+  let n = Graph.nnodes g in
+  let rel = Array.make_matrix (max n 1) (max n 1) false in
+  Graph.iter_nodes g (fun u ->
+      List.iter (fun v -> rel.(u).(v) <- true) (reach_set g nfa u));
+  rel

@@ -1,0 +1,188 @@
+(* Differential battery for the bulk bit-matrix RPQ engine.
+
+   Three 200-instance suites, mirroring test_morphism_diff: for every
+   random (graph, RPQ atom) the bulk all-pairs closure and the bulk
+   multiple-source frontier BFS must each produce the exact relation of
+   the pointwise [Path_search.reach_relation] — under every cache /
+   domain configuration — with the deduped [Path_oracle] as an
+   independent third opinion; and full-query [Eval.eval] under all five
+   semantics must return identical answer sets with the engine forced on
+   versus off (only standard-semantics atom relations may take the bulk
+   path, so the injective semantics pin down that nothing else moved). *)
+
+type config = { cname : string; cached : bool; jobs : int }
+
+let configs =
+  [
+    { cname = "uncached/seq"; cached = false; jobs = 1 };
+    { cname = "cached/seq"; cached = true; jobs = 1 };
+    { cname = "uncached/par2"; cached = false; jobs = 2 };
+    { cname = "cached/par2"; cached = true; jobs = 2 };
+  ]
+
+let with_config c f =
+  Cache.clear_all ();
+  Cache.set_enabled c.cached;
+  Parmap.set_default_jobs c.jobs;
+  Fun.protect
+    ~finally:(fun () ->
+      Parmap.set_default_jobs 1;
+      Cache.set_enabled true;
+      Cache.clear_all ())
+    f
+
+let with_mode m f =
+  let prev = Bulk_rpq.current_mode () in
+  Bulk_rpq.set_mode m;
+  Fun.protect ~finally:(fun () -> Bulk_rpq.set_mode prev) f
+
+let pp_rel rel =
+  String.concat ";"
+    (Array.to_list
+       (Array.mapi
+          (fun u row ->
+            String.concat ""
+              (Array.to_list (Array.map (fun b -> if b then "1" else "0") row))
+            |> Printf.sprintf "%d:%s" u)
+          rel))
+
+(* ---------------- per-atom relations, per strategy ----------------- *)
+
+let gen_case =
+  QCheck2.Gen.(
+    pair (Testutil.gen_graph ~max_nodes:6 ()) (Testutil.gen_regex ~max_depth:2 ()))
+
+let check_strategy strategy (g, r) =
+  let nfa = Nfa.of_regex r in
+  let want = Path_search.reach_relation g nfa in
+  let oracle = Path_oracle.reach_relation g nfa in
+  if oracle <> want then
+    QCheck2.Test.fail_reportf
+      "Path_search diverges from the deduped oracle on %s / %s@.oracle %s@.got    %s"
+      (Testutil.print_graph g) (Testutil.print_regex r) (pp_rel oracle)
+      (pp_rel want);
+  List.for_all
+    (fun c ->
+      let got =
+        with_config c (fun () -> Bulk_rpq.reach_relation ~strategy g nfa)
+      in
+      if got = want then true
+      else
+        QCheck2.Test.fail_reportf
+          "bulk %s diverges from Path_search under %s on %s / %s@.want %s@.got  %s"
+          (match strategy with
+          | Bulk_rpq.All_pairs -> "all-pairs"
+          | Bulk_rpq.Multi_source -> "multi-source")
+          c.cname (Testutil.print_graph g) (Testutil.print_regex r)
+          (pp_rel want) (pp_rel got))
+    configs
+
+let test_all_pairs =
+  Testutil.qtest ~count:200 "bulk all-pairs closure = Path_search relation"
+    gen_case
+    (check_strategy Bulk_rpq.All_pairs)
+
+let test_multi_source =
+  Testutil.qtest ~count:200 "bulk multi-source BFS = Path_search relation"
+    gen_case
+    (check_strategy Bulk_rpq.Multi_source)
+
+(* ---------------- full-query Eval under all five semantics --------- *)
+
+let gen_query_case =
+  QCheck2.Gen.(
+    let* g = Testutil.gen_graph ~max_nodes:4 () in
+    let* arity = int_bound 2 in
+    let* q = Testutil.gen_crpq ~max_atoms:2 ~max_vars:3 ~arity () in
+    return (g, q))
+
+let answers sem q g = Eval.eval sem q g
+
+let test_eval_all_semantics =
+  Testutil.qtest ~count:200
+    "Eval answers identical with the bulk engine on vs off (5 semantics)"
+    gen_query_case (fun (g, q) ->
+      List.for_all
+        (fun sem ->
+          let want = with_mode Bulk_rpq.Off (fun () -> answers sem q g) in
+          List.for_all
+            (fun c ->
+              let got =
+                with_config c (fun () ->
+                    with_mode Bulk_rpq.On (fun () -> answers sem q g))
+              in
+              if got = want then true
+              else
+                QCheck2.Test.fail_reportf
+                  "Eval/%s with bulk on diverges under %s on %s / %s"
+                  (Semantics.to_string sem) c.cname (Testutil.print_graph g)
+                  (Crpq.to_string q))
+            configs)
+        Semantics.all)
+
+(* ---------------- deterministic seams ------------------------------ *)
+
+let test_auto_dispatch () =
+  (* Auto keeps small graphs on the pointwise engine and switches past
+     the crossover; On/Off force both ways regardless of size. *)
+  let small = Graph.make ~nnodes:2 [ (0, "a", 1) ] in
+  let nfa = Nfa.of_regex (Regex.parse "a*") in
+  with_mode Bulk_rpq.Auto (fun () ->
+      Alcotest.(check bool) "auto: tiny graph stays pointwise" false
+        (Bulk_rpq.use_bulk small nfa));
+  with_mode Bulk_rpq.On (fun () ->
+      Alcotest.(check bool) "on: forced" true (Bulk_rpq.use_bulk small nfa));
+  with_mode Bulk_rpq.Off (fun () ->
+      Alcotest.(check bool) "off: forced" false (Bulk_rpq.use_bulk small nfa));
+  let rng = Random.State.make [| 0xB01; 42 |] in
+  let big = Generate.gnp ~rng ~nodes:256 ~labels:[ "a"; "b" ] ~p:0.02 in
+  with_mode Bulk_rpq.Auto (fun () ->
+      Alcotest.(check bool) "auto: past the crossover goes bulk" true
+        (Bulk_rpq.use_bulk big nfa))
+
+let test_mode_strings () =
+  List.iter
+    (fun (s, m) ->
+      Alcotest.(check string)
+        (Printf.sprintf "mode %s" s)
+        (Bulk_rpq.mode_to_string m)
+        (match Bulk_rpq.mode_of_string s with
+        | Some m' -> Bulk_rpq.mode_to_string m'
+        | None -> "?"))
+    [
+      ("on", Bulk_rpq.On);
+      ("1", Bulk_rpq.On);
+      ("true", Bulk_rpq.On);
+      ("off", Bulk_rpq.Off);
+      ("0", Bulk_rpq.Off);
+      ("auto", Bulk_rpq.Auto);
+      ("AUTO", Bulk_rpq.Auto);
+    ];
+  Alcotest.(check bool) "garbage rejected" true
+    (Bulk_rpq.mode_of_string "fast" = None)
+
+let test_mid_graph_crossagreement () =
+  (* One deterministic mid-size instance (past the auto crossover) where
+     all three engines and both strategies agree cell for cell. *)
+  let rng = Random.State.make [| 0xB02; 7 |] in
+  let g = Generate.gnp ~rng ~nodes:40 ~labels:[ "a"; "b" ] ~p:0.04 in
+  let nfa = Nfa.of_regex (Regex.parse "a(a|b)*b?") in
+  let want = Path_search.reach_relation g nfa in
+  Alcotest.(check bool) "all-pairs agrees" true
+    (Bulk_rpq.reach_relation ~strategy:Bulk_rpq.All_pairs g nfa = want);
+  Alcotest.(check bool) "multi-source agrees" true
+    (Bulk_rpq.reach_relation ~strategy:Bulk_rpq.Multi_source g nfa = want)
+
+let () =
+  Alcotest.run "bulk_diff"
+    [
+      ("relations", [ test_all_pairs; test_multi_source ]);
+      ("eval", [ test_eval_all_semantics ]);
+      ( "seams",
+        [
+          Alcotest.test_case "auto dispatch" `Quick test_auto_dispatch;
+          Alcotest.test_case "mode strings" `Quick test_mode_strings;
+          Alcotest.test_case "mid-size agreement" `Quick
+            test_mid_graph_crossagreement;
+        ] );
+    ]

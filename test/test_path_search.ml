@@ -1,26 +1,9 @@
-(* Brute-force oracles: depth-first over every path up to a length
-   bound, first witness wins.  The number of visited prefixes is
-   budgeted: a dense graph under a rejecting NFA has on the order of
-   |E|^max_len prefixes and the old eager enumeration could eat tens of
-   gigabytes on an unlucky qcheck draw.  When the budget runs out the
-   oracle abstains ([None]) and the property skips that instance. *)
+(* Brute-force oracles live in [Path_oracle] (shared with the bulk
+   engine's differential battery): a budgeted depth-first path
+   enumerator for the path-predicate semantics, and a deduped
+   product-pair oracle for standard reachability that never abstains. *)
 
-exception Out_of_budget
-
-let brute_exists ?(budget = 200_000) g nfa ~src ~dst ~pred ~max_len =
-  let steps = ref 0 in
-  let rec go p len =
-    incr steps;
-    if !steps > budget then raise Out_of_budget;
-    (Path.tgt p = dst && pred p && Nfa.accepts nfa (Path.label p))
-    || len < max_len
-       && List.exists
-            (fun (a, v) -> go (Path.append p a v) (len + 1))
-            (Graph.out g (Path.tgt p))
-  in
-  match go (Path.empty src) 0 with
-  | b -> Some b
-  | exception Out_of_budget -> None
+let brute_exists = Path_oracle.brute_exists
 
 let gen_case =
   QCheck2.Gen.(
@@ -31,17 +14,12 @@ let gen_case =
     return (g, r, src, dst))
 
 let prop_reachable =
-  Testutil.qtest ~count:150 "standard reachability agrees with bounded brute force"
-    gen_case
+  Testutil.qtest ~count:150
+    "standard reachability agrees with the deduped product oracle" gen_case
     (fun (g, r, src, dst) ->
       let nfa = Nfa.of_regex r in
-      let direct = Path_search.exists_path g nfa ~src ~dst in
-      match
-        brute_exists g nfa ~src ~dst ~pred:(fun _ -> true)
-          ~max_len:(Graph.nnodes g * max nfa.Nfa.nstates 1)
-      with
-      | None -> true
-      | Some brute -> direct = brute)
+      Path_search.exists_path g nfa ~src ~dst
+      = Path_oracle.reach_exists g nfa ~src ~dst)
 
 let prop_simple =
   Testutil.qtest ~count:150 "simple-path search agrees with brute force" gen_case

@@ -63,6 +63,8 @@ let serve_rows : Obs.Json.t list ref = ref []
 
 let bulk_rows : Obs.Json.t list ref = ref []
 
+let bulk_scale_rows : Obs.Json.t list ref = ref []
+
 (* Rewritten after every experiment: the file on disk always holds the
    completed prefix of the run, whatever happens to the rest. *)
 let write_results () =
@@ -338,6 +340,8 @@ let run_experiment name f =
       fields @ [ ("cells", Obs.Json.List (List.rev !serve_rows)) ]
     else if String.equal name "bulk" && !bulk_rows <> [] then
       fields @ [ ("cells", Obs.Json.List (List.rev !bulk_rows)) ]
+    else if String.equal name "bulk_scale" && !bulk_scale_rows <> [] then
+      fields @ [ ("cells", Obs.Json.List (List.rev !bulk_scale_rows)) ]
     else fields
   in
   results := Obs.Json.Obj fields :: !results;
@@ -985,6 +989,144 @@ let run_bulk () =
     cells
 
 (* ------------------------------------------------------------------ *)
+(* E17: tiled sparse engine on ≥ 5·10⁵-edge graphs                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Past the dense-matrix wall: every cell samples a fixed source set,
+   answers single-source reachability pointwise (one product BFS per
+   source) and in bulk ([Bulk_rpq.reach_pairs] — tiled, hybrid
+   sparse/dense sweeps), and checks the answer sets source-for-source
+   before any timing is reported.  Each row records the sweep-mode
+   split, the tile geometry and the measured peak tile working set, so
+   CI can assert (a) the largest cell runs sparse sweeps and wins, and
+   (b) peak memory stays within the O(B·n) tile bound.  A final
+   deciders row runs containment decisions with the engine forced on
+   and reports the bulk.dispatch.containment.* delta — the proof that
+   the expansion-side checks consume bulk relations. *)
+let run_bulk_scale () =
+  section "E17" "Tiled sparse bulk engine on large graphs";
+  let m_sweeps = Obs.Metrics.counter "bulk.sweeps" in
+  let m_sparse = Obs.Metrics.counter "bulk.sweep_sparse" in
+  let m_dense = Obs.Metrics.counter "bulk.sweep_dense" in
+  let m_tiles = Obs.Metrics.counter "bulk.tiles" in
+  let m_scattered = Obs.Metrics.counter "bulk.bits_scattered" in
+  let cells = Suite.e17_cells ~seed:17 ~quick:!quick in
+  Format.printf "%-20s %7s %8s %4s %10s %10s %8s %6s %6s %6s %6s@." "cell"
+    "nodes" "edges" "nfa" "pointwise" "bulk" "speedup" "swp(s)" "swp(d)"
+    "tiles" "agree";
+  List.iter
+    (fun (name, re, build) ->
+      let g, srcs = build () in
+      let nfa = Nfa.of_regex re in
+      let n = Graph.nnodes g in
+      let m = nfa.Nfa.nstates in
+      let pw, t_pw =
+        time_it (fun () ->
+            Array.map (fun s -> List.sort compare (Path_search.reachable g nfa s)) srcs)
+      in
+      Bulk_rpq.reset_peak_tile_words ();
+      let s0 = Obs.Metrics.counter_value m_sweeps in
+      let sp0 = Obs.Metrics.counter_value m_sparse in
+      let d0 = Obs.Metrics.counter_value m_dense in
+      let ti0 = Obs.Metrics.counter_value m_tiles in
+      let sc0 = Obs.Metrics.counter_value m_scattered in
+      let pairs, t_bulk = time_it (fun () -> Bulk_rpq.reach_pairs g nfa srcs) in
+      let sweeps = Obs.Metrics.counter_value m_sweeps - s0 in
+      let sparse = Obs.Metrics.counter_value m_sparse - sp0 in
+      let dense = Obs.Metrics.counter_value m_dense - d0 in
+      let tiles = Obs.Metrics.counter_value m_tiles - ti0 in
+      let scattered = Obs.Metrics.counter_value m_scattered - sc0 in
+      let peak = Bulk_rpq.peak_tile_words () in
+      let block = Bulk_rpq.block_rows ~nstates:m ~nnodes:n in
+      let agree = ref true in
+      Array.iteri
+        (fun i expected ->
+          let got = ref [] in
+          Bitmatrix.iter_row pairs i (fun v -> got := v :: !got);
+          if List.rev !got <> expected then agree := false)
+        pw;
+      let reached = Bitmatrix.popcount pairs in
+      let speedup = if t_bulk > 0.0 then t_pw /. t_bulk else 0.0 in
+      Format.printf "%-20s %7d %8d %4d %a %a %7.1fx %6d %6d %6d %6b@." name n
+        (Graph.nedges g) m pp_ms t_pw pp_ms t_bulk speedup sparse dense tiles
+        !agree;
+      bulk_scale_rows :=
+        Obs.Json.Obj
+          [
+            ("cell", Obs.Json.String name);
+            ("nodes", Obs.Json.Int n);
+            ("edges", Obs.Json.Int (Graph.nedges g));
+            ("nfa_states", Obs.Json.Int m);
+            ("sources", Obs.Json.Int (Array.length srcs));
+            ("pointwise_ns", Obs.Json.Int (int_of_float (t_pw *. 1e9)));
+            ("bulk_ns", Obs.Json.Int (int_of_float (t_bulk *. 1e9)));
+            ("reached_pairs", Obs.Json.Int reached);
+            ("sweeps", Obs.Json.Int sweeps);
+            ("sweep_sparse", Obs.Json.Int sparse);
+            ("sweep_dense", Obs.Json.Int dense);
+            ("tiles", Obs.Json.Int tiles);
+            ("bits_scattered", Obs.Json.Int scattered);
+            ("block_rows", Obs.Json.Int block);
+            ("peak_tile_words", Obs.Json.Int peak);
+            ("agree", Obs.Json.Bool !agree);
+          ]
+        :: !bulk_scale_rows;
+      if not !agree then
+        failwith (Printf.sprintf "bulk reach_pairs diverges on cell %s" name))
+    cells;
+  (* Deciders row: the expansion-side atom relations of the containment
+     deciders must reach the bulk engine (caller attribution). *)
+  let with_mode m f =
+    let prev = Bulk_rpq.current_mode () in
+    Bulk_rpq.set_mode m;
+    Fun.protect ~finally:(fun () -> Bulk_rpq.set_mode prev) f
+  in
+  let dispatch_total () =
+    List.fold_left
+      (fun acc engine ->
+        acc
+        + Obs.Metrics.counter_value
+            (Obs.Metrics.counter ("bulk.dispatch.containment." ^ engine)))
+      0
+      [ "pointwise"; "multi_source"; "all_pairs" ]
+  in
+  let pairs =
+    [
+      ( "Q(x, z) :- x -[a+]-> y, y -[b+]-> z",
+        "Q(x, z) :- x -[b+]-> y, y -[(a|b)+]-> z" );
+      ( "Q(x, z) :- x -[a+]-> y, y -[b+]-> z",
+        "Q(x, z) :- x -[a+]-> y, y -[(a|b)+]-> z" );
+      ( "Q(x, y) :- x -[(ab)+]-> y, x -[a+]-> z",
+        "Q(x, y) :- x -[(a|b)+]-> y, x -[(a|b)+]-> z" );
+    ]
+  in
+  let d0 = dispatch_total () in
+  let verdicts, t_dec =
+    time_it (fun () ->
+        with_mode Bulk_rpq.On (fun () ->
+            List.map
+              (fun (s1, s2) ->
+                Containment.decide Semantics.St (Crpq.parse s1) (Crpq.parse s2))
+              pairs))
+  in
+  let bulk_relations = dispatch_total () - d0 in
+  Format.printf
+    "@.deciders: %d St containment decisions, %d expansion-side bulk \
+     relations (bulk.dispatch.containment.*), %a@."
+    (List.length verdicts) bulk_relations pp_ms t_dec;
+  bulk_scale_rows :=
+    Obs.Json.Obj
+      [
+        ("cell", Obs.Json.String "deciders");
+        ("decisions", Obs.Json.Int (List.length verdicts));
+        ("bulk_relations", Obs.Json.Int bulk_relations);
+        ("wall_ns", Obs.Json.Int (int_of_float (t_dec *. 1e9)));
+      ]
+    :: !bulk_scale_rows;
+  if bulk_relations = 0 then
+    failwith "containment deciders consumed no bulk relations"
+
+(* ------------------------------------------------------------------ *)
 (* E14: the certified optimizer — shrinkage, certificate cost, payoff   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1366,6 +1508,7 @@ let () =
       ("ablations", run_ablations);
       ("morphism", run_morphism);
       ("bulk", run_bulk);
+      ("bulk_scale", run_bulk_scale);
       ("optimize", run_optimize);
       ("serve", run_serve);
       ("bechamel", bechamel_section);

@@ -82,9 +82,13 @@ let check_arity q1 q2 =
   if List.length q1.Crpq.free <> List.length q2.Crpq.free then
     invalid_arg "Containment: queries of different arities"
 
+(* Expansion-side rhs checks are the deciders' evaluation workload; the
+   caller attribution makes their bulk-engine consumption visible as
+   [bulk.dispatch.containment.*] (standard-semantics checks only ever
+   reach the engine through [Eval] — references never switch). *)
 let is_counterexample sem q2 (e : Expansion.expanded) =
   let g, tuple = Expansion.to_graph e in
-  not (Eval.check sem q2 g tuple)
+  Bulk_rpq.with_caller "containment" (fun () -> not (Eval.check sem q2 g tuple))
 
 (* ------------------------------------------------------------------ *)
 (* CQ/CQ: homomorphism tests                                            *)

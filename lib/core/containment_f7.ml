@@ -321,7 +321,8 @@ let decide_st_impl ~max_elements (q1 : Crpq.t) (q2 : Crpq.t) =
   let verify_and_return d1 profile =
     let e = Expansion.expand_unchecked d1 profile in
     let g, tuple = Expansion.to_graph e in
-    if Eval.check Semantics.St q2 g tuple then
+    if Bulk_rpq.with_caller "containment" (fun () -> Eval.check Semantics.St q2 g tuple)
+    then
       raise (Unsupported "internal: F7 witness failed re-verification")
     else F7_not_contained e
   in

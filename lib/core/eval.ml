@@ -95,10 +95,17 @@ let iter_join g vars constraints fixed f =
 let join_semantics sem q g fixed f =
   let vars = Array.of_list (Crpq.vars q) in
   (* per-atom relations (graph × NFA products) are independent of each
-     other: compute them across domains, keep the join sequential *)
+     other: compute them across domains, keep the join sequential.  The
+     bulk-dispatch caller is read here and re-established inside each
+     worker closure — worker domains start with fresh DLS, so an ambient
+     attribution (e.g. "containment" around an expansion check) would
+     otherwise be lost at the fan-out boundary. *)
+  let caller = Option.value (Bulk_rpq.current_caller ()) ~default:"eval" in
   let constraints =
     Parmap.map
-      (fun (a : Crpq.atom) -> (a.Crpq.src, a.Crpq.dst, relation_for sem g a))
+      (fun (a : Crpq.atom) ->
+        Bulk_rpq.with_caller caller (fun () ->
+            (a.Crpq.src, a.Crpq.dst, relation_for sem g a)))
       q.Crpq.atoms
   in
   iter_join g vars constraints fixed f

@@ -13,7 +13,9 @@ let pairs_of_relation g rel =
   !acc
 
 let eval_standard lang g =
-  let rel = Bulk_rpq.st_relation g (Crpq.nfa lang) in
+  let rel =
+    Bulk_rpq.with_caller "rpq" (fun () -> Bulk_rpq.st_relation g (Crpq.nfa lang))
+  in
   pairs_of_relation g (fun u v -> rel.(u).(v))
 
 let eval_simple_path lang g =

@@ -53,7 +53,8 @@ let eval_bool sem u g = List.exists (fun q -> Eval.eval_bool sem q g) u.disjunct
 
 let is_counterexample_union sem rhs (e : Expansion.expanded) =
   let g, tuple = Expansion.to_graph e in
-  List.for_all (fun r -> not (Eval.check sem r g tuple)) rhs
+  Bulk_rpq.with_caller "containment" (fun () ->
+      List.for_all (fun r -> not (Eval.check sem r g tuple)) rhs)
 
 (* Shared with [Containment]: the registry hands back the same counter,
    so union and single-query searches aggregate into one metric. *)

@@ -142,6 +142,20 @@ let diff_row_into ~mask i ~dst j =
   Obs.Metrics.add m_words_anded mask.wpr;
   !changed
 
+let scatter_row ~dst i cols ~ofs ~len =
+  if
+    i < 0 || i >= dst.rows || ofs < 0 || len < 0
+    || ofs + len > Array.length cols
+  then invalid_arg "Bitmatrix.scatter_row";
+  let base = i * dst.wpr in
+  for k = ofs to ofs + len - 1 do
+    let j = Array.unsafe_get cols k in
+    if j < 0 || j >= dst.cols then invalid_arg "Bitmatrix.scatter_row: column";
+    let idx = base + (j / bits_per_word) in
+    Array.unsafe_set dst.data idx
+      (Array.unsafe_get dst.data idx lor (1 lsl (j mod bits_per_word)))
+  done
+
 let union_into ~src ~dst =
   if src.rows <> dst.rows || src.cols <> dst.cols then
     invalid_arg "Bitmatrix.union_into";

@@ -56,6 +56,15 @@ val or_row_into : src:t -> int -> dst:t -> int -> bool
     returns [true] iff [dst] changed. *)
 val diff_row_into : mask:t -> int -> dst:t -> int -> bool
 
+(** [scatter_row ~dst i cols ~ofs ~len] sets, in row [i] of [dst], the
+    bit of every column listed in [cols.(ofs .. ofs+len-1)] — the sparse
+    counterpart of {!or_row_into}, used by the CSR frontier push of
+    {!Bulk_rpq} (the [cols] slice is a CSR successor run).  Work is
+    O(len) independent of the row width; the caller accounts it (the
+    [bulk.bits_scattered] counter) since, unlike the dense kernels,
+    there is no per-word loop to meter here. *)
+val scatter_row : dst:t -> int -> int array -> ofs:int -> len:int -> unit
+
 (** [union_into ~src ~dst] ORs all of [src] into [dst] (same
     dimensions); returns [true] iff [dst] changed. *)
 val union_into : src:t -> dst:t -> bool

@@ -2,6 +2,18 @@ let m_sweeps = Obs.Metrics.counter "bulk.sweeps"
 
 let m_frontier_bits = Obs.Metrics.counter "bulk.frontier_bits"
 
+let m_sweep_sparse = Obs.Metrics.counter "bulk.sweep_sparse"
+
+let m_sweep_dense = Obs.Metrics.counter "bulk.sweep_dense"
+
+let m_bits_scattered = Obs.Metrics.counter "bulk.bits_scattered"
+
+let m_tiles = Obs.Metrics.counter "bulk.tiles"
+
+let g_tile_rows = Obs.Metrics.gauge "bulk.tile_rows"
+
+let g_peak_tile_words = Obs.Metrics.gauge "bulk.peak_tile_words"
+
 type mode = Off | On | Auto
 
 let mode_of_string s =
@@ -23,6 +35,102 @@ let current_mode () = !mode_ref
 
 let set_mode m = mode_ref := m
 
+(* ------------------------------------------------------------------ *)
+(* Sweep kernel selection (dense row OR vs sparse CSR push)            *)
+(* ------------------------------------------------------------------ *)
+
+type sweep = Sparse | Dense | Adaptive
+
+let sweep_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "sparse" -> Some Sparse
+  | "dense" -> Some Dense
+  | "auto" | "adaptive" -> Some Adaptive
+  | _ -> None
+
+let sweep_to_string = function
+  | Sparse -> "sparse"
+  | Dense -> "dense"
+  | Adaptive -> "auto"
+
+let sweep_ref =
+  ref
+    (match Sys.getenv_opt "INJCRPQ_BULK_SWEEP" with
+    | Some s -> (
+      match sweep_of_string s with Some m -> m | None -> Adaptive)
+    | None -> Adaptive)
+
+let current_sweep () = !sweep_ref
+
+let set_sweep m = sweep_ref := m
+
+(* The dense kernel needs one n×n bit matrix per label; past this node
+   count the matrices are not built and every sweep pushes through CSR
+   (at n = 16384 a label matrix is ~32 MiB; at n = 10⁵ it would be
+   ~1.2 GiB). *)
+let dense_node_cap = 16384
+
+(* ------------------------------------------------------------------ *)
+(* Source-block tiling                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A tile holds three generations (visited / frontier / next) of one
+   B×n matrix per NFA state; the default B is the largest block whose
+   tile fits the ~64 MiB budget, so peak memory is O(B·n) however many
+   sources are asked for.  The arithmetic uses only [Sys.int_size] and
+   the problem dimensions, keeping tile boundaries — and therefore every
+   bulk.* counter — machine- and domain-count-independent. *)
+let tile_budget_words = 8 * 1024 * 1024
+
+let block_env () =
+  match Sys.getenv_opt "INJCRPQ_BULK_BLOCK" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some b when b >= 1 -> Some b
+    | _ -> None)
+  | None -> None
+
+let block_ref = ref (block_env ())
+
+let current_block_rows () = !block_ref
+
+let set_block_rows b =
+  match b with
+  | Some b when b < 1 -> invalid_arg "Bulk_rpq.set_block_rows"
+  | b -> block_ref := b
+
+let words_per_row n = (n + Sys.int_size - 1) / Sys.int_size
+
+let block_rows ~nstates ~nnodes =
+  match !block_ref with
+  | Some b -> b
+  | None ->
+    let per_row = 3 * max 1 nstates * words_per_row (max 1 nnodes) in
+    max 1 (tile_budget_words / per_row)
+
+(* Peak tile working set (words), for the O(B·n) memory-bound assertion
+   of the E17 bench: the gauge tracks the high-water mark across calls,
+   [reset_peak_tile_words] scopes it to one measurement. *)
+let peak_words = Atomic.make 0
+
+let peak_tile_words () = Atomic.get peak_words
+
+let reset_peak_tile_words () =
+  Atomic.set peak_words 0;
+  Obs.Metrics.set g_peak_tile_words 0
+
+let note_tile_words w =
+  let rec bump () =
+    let cur = Atomic.get peak_words in
+    if w > cur && not (Atomic.compare_and_set peak_words cur w) then bump ()
+  in
+  bump ();
+  Obs.Metrics.set g_peak_tile_words (Atomic.get peak_words)
+
+(* ------------------------------------------------------------------ *)
+(* Engine / strategy selection                                          *)
+(* ------------------------------------------------------------------ *)
+
 type strategy = All_pairs | Multi_source
 
 (* All-pairs closure squares an (n·m)² bit matrix log-diameter times —
@@ -36,7 +144,7 @@ let choose_strategy ~sources ~nstates ~nnodes =
 
 (* Auto crossover: below ~192 nodes the pointwise BFS's early exits beat
    the fixed per-sweep cost of full bitset rows; the last conjunct caps
-   the visited-matrix footprint (m·n² bits ≤ 1 GiB). *)
+   the per-tile product work (tiling keeps memory bounded regardless). *)
 let auto_accepts g nfa =
   let n = Graph.nnodes g in
   let m = nfa.Nfa.nstates in
@@ -47,6 +155,50 @@ let use_bulk g nfa =
   | Off -> false
   | On -> true
   | Auto -> auto_accepts g nfa
+
+(* ------------------------------------------------------------------ *)
+(* Caller attribution for dispatch counters                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [st_relation] serves several layers — the join evaluator, the RPQ
+   surface, the containment deciders' expansion checks.  The ambient
+   caller travels in domain-local storage (established fresh inside
+   Parmap workers by each fan-out site, since worker domains start with
+   default DLS), and every dispatch bumps
+   [bulk.dispatch.<caller>.<engine>] so explain reports show which layer
+   consumed which engine. *)
+let caller_key : string option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current_caller () = Domain.DLS.get caller_key
+
+let with_caller name f =
+  let prev = Domain.DLS.get caller_key in
+  Domain.DLS.set caller_key (Some name);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set caller_key prev) f
+
+let callers = [ "eval"; "containment"; "rpq"; "direct"; "other" ]
+
+let engines = [ "pointwise"; "multi_source"; "all_pairs" ]
+
+let dispatch_counters =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun e ->
+          Hashtbl.replace tbl (c, e)
+            (Obs.Metrics.counter (Printf.sprintf "bulk.dispatch.%s.%s" c e)))
+        engines)
+    callers;
+  tbl
+
+let note_dispatch engine =
+  let caller =
+    match current_caller () with
+    | None -> "direct"
+    | Some c -> if List.mem c callers then c else "other"
+  in
+  Obs.Metrics.incr (Hashtbl.find dispatch_counters (caller, engine))
 
 (* ------------------------------------------------------------------ *)
 (* Per-label adjacency, memoized per graph                             *)
@@ -132,21 +284,110 @@ let all_pairs_relation g nfa =
   rel
 
 (* ------------------------------------------------------------------ *)
-(* Multiple-source frontier BFS                                        *)
+(* Multiple-source frontier BFS: hybrid sparse/dense tiles              *)
 (* ------------------------------------------------------------------ *)
 
-(* One s×n bit matrix per NFA state: row i of [visited.(q)] is the set
-   of graph nodes reached from source i in state q.  Sweeps are
-   synchronous — the next frontier is computed from an immutable
-   snapshot of the current one — so results, sweep counts and word-op
-   counters are independent of the domain count; row blocks of a sweep
-   fan out over [Parmap] (disjoint writes per block). *)
-let multi_source_seen g nfa srcs =
-  let n = Graph.nnodes g in
-  let m = nfa.Nfa.nstates in
+(* Inputs shared by every tile of one [reach_pairs] call.  The dense
+   label matrices are behind a lazy so the sparse-only regime (large n,
+   or a forced sparse sweep) never allocates them; forcing [Dense] via
+   the knob builds them whatever the size — the caps only steer the
+   adaptive choice. *)
+type ctx = {
+  n : int;
+  m : int;
+  delta : (int * int) list array;
+  csr : Csr.labeled;
+  dense : Bitmatrix.t array Lazy.t;
+  dense_ok : bool;
+}
+
+let make_ctx g nfa =
+  {
+    n = Graph.nnodes g;
+    m = nfa.Nfa.nstates;
+    delta = intern_delta g nfa;
+    csr = Csr.of_graph g;
+    dense = lazy (adjacency g);
+    dense_ok = Graph.nnodes g <= dense_node_cap;
+  }
+
+(* Density probe, run sequentially on the immutable frontier snapshot
+   before the sweep fans out (so the choice — and with it every counter
+   — is independent of the domain count).  The dense kernel costs
+   [words_per_row] word-ORs per (frontier bit, transition); the sparse
+   push costs one scattered bit per successor, each a few times the cost
+   of a word-OR.  Degrees come from CSR pointer differences, so the
+   probe itself is O(frontier bits × transitions). *)
+let sparse_op_cost = 2
+
+let choose_sweep ctx frontier rows =
+  match !sweep_ref with
+  | Sparse -> Sparse
+  | Dense -> Dense
+  | Adaptive ->
+    if not ctx.dense_ok then Sparse
+    else begin
+      let wpr = words_per_row ctx.n in
+      let dense_words = ref 0 and gathered = ref 0 in
+      Array.iteri
+        (fun q trans ->
+          if trans <> [] then
+            for i = 0 to rows - 1 do
+              if not (Bitmatrix.is_row_empty frontier.(q) i) then
+                Bitmatrix.iter_row frontier.(q) i (fun u ->
+                    List.iter
+                      (fun (ai, _) ->
+                        dense_words := !dense_words + wpr;
+                        gathered :=
+                          !gathered + Csr.degree ctx.csr.Csr.fwd.(ai) u)
+                      trans)
+            done)
+        ctx.delta;
+      if sparse_op_cost * !gathered < !dense_words then Sparse else Dense
+    end
+
+let sweep_rows_dense ctx adj frontier nxt lo hi =
+  for i = lo to hi do
+    Array.iteri
+      (fun q trans ->
+        if trans <> [] && not (Bitmatrix.is_row_empty frontier.(q) i) then
+          List.iter
+            (fun (ai, q') ->
+              Bitmatrix.iter_row frontier.(q) i (fun u ->
+                  ignore (Bitmatrix.or_row_into ~src:adj.(ai) u ~dst:nxt.(q') i)))
+            trans)
+      ctx.delta
+  done
+
+let sweep_rows_sparse ctx frontier nxt lo hi =
+  let scattered = ref 0 in
+  for i = lo to hi do
+    Array.iteri
+      (fun q trans ->
+        if trans <> [] && not (Bitmatrix.is_row_empty frontier.(q) i) then
+          Bitmatrix.iter_row frontier.(q) i (fun u ->
+              List.iter
+                (fun (ai, q') ->
+                  let c = ctx.csr.Csr.fwd.(ai) in
+                  let len = Csr.degree c u in
+                  if len > 0 then begin
+                    Bitmatrix.scatter_row ~dst:nxt.(q') i (Csr.cols c)
+                      ~ofs:(Csr.start c u) ~len;
+                    scattered := !scattered + len
+                  end)
+                trans))
+      ctx.delta
+  done;
+  Obs.Metrics.add m_bits_scattered !scattered
+
+(* One tile: the synchronous sweep of PR 9 — next frontier computed from
+   an immutable snapshot of the current one, row blocks of a sweep
+   fanned over [Parmap] (disjoint writes per block) — with the kernel
+   chosen per sweep by [choose_sweep].  Returns one s×n visited matrix
+   per NFA state. *)
+let solve_tile ctx nfa srcs =
+  let n = ctx.n and m = ctx.m in
   let s = Array.length srcs in
-  let delta = intern_delta g nfa in
-  let adj = adjacency g in
   let fresh () = Array.init m (fun _ -> Bitmatrix.create ~rows:s ~cols:n) in
   let visited = fresh () in
   let frontier = fresh () in
@@ -159,19 +400,6 @@ let multi_source_seen g nfa srcs =
         srcs)
     nfa.Nfa.initials;
   Array.iter (fun f -> Obs.Metrics.add m_frontier_bits (Bitmatrix.popcount f)) frontier;
-  let sweep_rows frontier nxt lo hi =
-    for i = lo to hi do
-      Array.iteri
-        (fun q trans ->
-          if not (Bitmatrix.is_row_empty frontier.(q) i) then
-            List.iter
-              (fun (ai, q') ->
-                Bitmatrix.iter_row frontier.(q) i (fun u ->
-                    ignore (Bitmatrix.or_row_into ~src:adj.(ai) u ~dst:nxt.(q') i)))
-              trans)
-        delta
-    done
-  in
   let blocks =
     (* Row blocks sized for the default fan-out; Parmap stays sequential
        when jobs = 1 or when called from inside another worker. *)
@@ -186,8 +414,18 @@ let multi_source_seen g nfa srcs =
   while !running do
     Guard.checkpoint "bulk.sweep";
     Obs.Metrics.incr m_sweeps;
+    let kernel = choose_sweep ctx frontier s in
     let nxt = fresh () in
-    ignore (Parmap.map (fun (lo, hi) -> sweep_rows frontier nxt lo hi) blocks);
+    (match kernel with
+    | Dense ->
+      Obs.Metrics.incr m_sweep_dense;
+      let adj = Lazy.force ctx.dense in
+      ignore
+        (Parmap.map (fun (lo, hi) -> sweep_rows_dense ctx adj frontier nxt lo hi) blocks)
+    | Sparse | Adaptive ->
+      Obs.Metrics.incr m_sweep_sparse;
+      ignore
+        (Parmap.map (fun (lo, hi) -> sweep_rows_sparse ctx frontier nxt lo hi) blocks));
     running := false;
     for q = 0 to m - 1 do
       for i = 0 to s - 1 do
@@ -205,13 +443,29 @@ let multi_source_seen g nfa srcs =
   visited
 
 let reach_pairs g nfa srcs =
-  let n = Graph.nnodes g in
-  let m = nfa.Nfa.nstates in
+  let ctx = make_ctx g nfa in
+  let n = ctx.n and m = ctx.m in
   let s = Array.length srcs in
-  let visited = multi_source_seen g nfa srcs in
   let out = Bitmatrix.create ~rows:s ~cols:n in
+  let finals = ref [] in
   for q = 0 to m - 1 do
-    if nfa.Nfa.finals.(q) then ignore (Bitmatrix.union_into ~src:visited.(q) ~dst:out)
+    if nfa.Nfa.finals.(q) then finals := q :: !finals
+  done;
+  let b = block_rows ~nstates:m ~nnodes:n in
+  Obs.Metrics.set g_tile_rows (min b (max s 1));
+  let lo = ref 0 in
+  while !lo < s do
+    let len = min b (s - !lo) in
+    Obs.Metrics.incr m_tiles;
+    note_tile_words (3 * m * len * words_per_row n);
+    let visited = solve_tile ctx nfa (Array.sub srcs !lo len) in
+    List.iter
+      (fun q ->
+        for i = 0 to len - 1 do
+          ignore (Bitmatrix.or_row_into ~src:visited.(q) i ~dst:out (!lo + i))
+        done)
+      !finals;
+    lo := !lo + len
   done;
   out
 
@@ -236,4 +490,16 @@ let reach_relation ?strategy g nfa =
   | Multi_source -> multi_source_relation g nfa
 
 let st_relation g nfa =
-  if use_bulk g nfa then reach_relation g nfa else Path_search.reach_relation g nfa
+  if use_bulk g nfa then begin
+    let n = Graph.nnodes g in
+    let strategy = choose_strategy ~sources:n ~nstates:nfa.Nfa.nstates ~nnodes:n in
+    note_dispatch
+      (match strategy with
+      | All_pairs -> "all_pairs"
+      | Multi_source -> "multi_source");
+    reach_relation ~strategy g nfa
+  end
+  else begin
+    note_dispatch "pointwise";
+    Path_search.reach_relation g nfa
+  end

@@ -1,26 +1,47 @@
-(** Bulk linear-algebra RPQ evaluation over {!Bitmatrix} adjacency.
+(** Bulk linear-algebra RPQ evaluation over {!Bitmatrix} / {!Csr}
+    adjacency.
 
     Where {!Path_search} answers standard-semantics reachability with
     one product BFS per source, this engine answers an RPQ atom for
-    {e all} sources at once: the graph becomes one boolean adjacency
-    matrix per interned label, the NFA×graph product becomes a
-    Kronecker-style boolean matrix, and evaluation is a few bitset
-    sweeps — either an all-pairs transitive closure of the product
-    matrix or a multiple-source frontier BFS with one bitset row per
-    (source, NFA state) pair.  Both return relations bit-identical to
-    [Path_search.reach_relation].
+    {e all} sources at once: either an all-pairs transitive closure of
+    the Kronecker-style NFA×graph product matrix, or a multiple-source
+    frontier BFS with one bitset row per (source, NFA state) pair.  Both
+    return relations bit-identical to [Path_search.reach_relation].
 
-    Selection is governed by [INJCRPQ_BULK=on|off|auto] (or [--bulk] on
-    the CLI): [off] keeps every caller on [Path_search], [on] forces the
-    bulk engine, [auto] (the default) switches only past a size
-    heuristic, so small inputs keep pointwise behavior.  Reference
-    evaluators (expansion/morphism oracles) are never switched.
+    The frontier BFS is {e tiled} and {e hybrid}:
+
+    - {b Tiling}: sources are processed in blocks of ≤ B rows, so peak
+      memory is O(B·n) — three generations (visited/frontier/next) of
+      one B×n matrix per NFA state — and 10⁶–10⁷-edge graphs evaluate
+      without the full s×n allocation.  B defaults to the largest block
+      whose tile fits ~64 MiB and is overridable via
+      [INJCRPQ_BULK_BLOCK] / {!set_block_rows}.
+    - {b Hybrid sweeps}: each sweep runs either the dense row kernel
+      (per-label n×n {!Bitmatrix} OR-gather) or a sparse frontier push
+      ({!Csr} successor runs scattered into the next frontier via
+      {!Bitmatrix.scatter_row}).  The choice is made per sweep from the
+      measured frontier density (CSR degrees vs row width), sequentially
+      on the immutable frontier snapshot, so results and counters stay
+      domain-count- and strategy-independent; past {!dense_node_cap}
+      nodes the dense matrices are never built.  [INJCRPQ_BULK_SWEEP] /
+      {!set_sweep} force a kernel.
+
+    Engine selection is governed by [INJCRPQ_BULK=on|off|auto] (or
+    [--bulk] on the CLI): [off] keeps every caller on [Path_search],
+    [on] forces the bulk engine, [auto] (the default) switches only past
+    a size heuristic, so small inputs keep pointwise behavior.
+    Reference evaluators (expansion/morphism oracles) are never
+    switched.
 
     Observability: sweeps pass the [bulk.sweep] guard checkpoint; the
-    [bulk.sweeps], [bulk.frontier_bits], and [bulk.words_anded] counters
-    account sweep count, frontier growth, and word-level kernel work.
-    Per-label adjacency matrices are memoized through {!Cache.Memo},
-    keyed by {!Graph.uid}. *)
+    [bulk.sweeps], [bulk.frontier_bits], [bulk.words_anded],
+    [bulk.sweep_sparse]/[bulk.sweep_dense], [bulk.bits_scattered] and
+    [bulk.tiles] counters account sweep count, frontier growth and
+    kernel work; [bulk.tile_rows]/[bulk.peak_tile_words] gauge the tile
+    geometry; [bulk.dispatch.<caller>.<engine>] attributes every
+    {!st_relation} dispatch to the layer that asked ({!with_caller}).
+    Per-label adjacency (dense matrices and CSR) is memoized through
+    {!Cache.Memo}, keyed by {!Graph.uid}. *)
 
 type mode = Off | On | Auto
 
@@ -34,6 +55,51 @@ val current_mode : unit -> mode
 
 val set_mode : mode -> unit
 
+(** {2 Sweep kernel selection} *)
+
+type sweep = Sparse | Dense | Adaptive
+
+val sweep_of_string : string -> sweep option
+(** Accepts sparse/dense/auto (and "adaptive"). *)
+
+val sweep_to_string : sweep -> string
+
+val current_sweep : unit -> sweep
+(** Initialized from [INJCRPQ_BULK_SWEEP] (default {!Adaptive}). *)
+
+val set_sweep : sweep -> unit
+(** Forcing {!Dense} builds the dense label matrices whatever the graph
+    size — {!dense_node_cap} only steers the adaptive choice. *)
+
+val dense_node_cap : int
+(** Above this node count the adaptive policy never builds the dense
+    n×n label matrices (a single label matrix at the cap is ~32 MiB). *)
+
+(** {2 Source-block tiling} *)
+
+val block_rows : nstates:int -> nnodes:int -> int
+(** The tile height B in effect for a given problem shape: the override
+    if one is set, else the largest B whose three-generation tile
+    ([3·nstates·B] rows of [nnodes] bits) fits the ~64 MiB budget.
+    Deterministic in the problem dimensions and [Sys.int_size] only. *)
+
+val current_block_rows : unit -> int option
+(** The override (from [INJCRPQ_BULK_BLOCK] or {!set_block_rows}), if
+    any. *)
+
+val set_block_rows : int option -> unit
+(** @raise Invalid_argument on a block height < 1. *)
+
+val peak_tile_words : unit -> int
+(** High-water mark of the tile working set (words) since the last
+    {!reset_peak_tile_words} — the measured quantity behind the O(B·n)
+    memory-bound assertion (also exported as the [bulk.peak_tile_words]
+    gauge). *)
+
+val reset_peak_tile_words : unit -> unit
+
+(** {2 Engine / strategy selection} *)
+
 type strategy = All_pairs | Multi_source
 
 (** [choose_strategy ~sources ~nstates ~nnodes] picks {!All_pairs}
@@ -45,9 +111,22 @@ val choose_strategy : sources:int -> nstates:int -> nnodes:int -> strategy
     under the current mode. *)
 val use_bulk : Graph.t -> Nfa.t -> bool
 
-(** Per-label adjacency of [g]: [adjacency g].(a) is the
+(** {2 Caller attribution} *)
+
+val with_caller : string -> (unit -> 'a) -> 'a
+(** [with_caller name f] runs [f] with [name] as the ambient dispatch
+    caller (domain-local; fan-out sites re-establish it inside Parmap
+    workers).  Known callers — [eval], [containment], [rpq], [direct] —
+    get their own [bulk.dispatch.<caller>.<engine>] counters; anything
+    else lands in [bulk.dispatch.other.*]. *)
+
+val current_caller : unit -> string option
+
+(** {2 Kernels} *)
+
+(** Per-label dense adjacency of [g]: [adjacency g].(a) is the
     [nnodes × nnodes] matrix of label id [a] (memoized per graph —
-    shared, do not mutate). *)
+    shared, do not mutate).  Sparse adjacency lives in {!Csr}. *)
 val adjacency : Graph.t -> Bitmatrix.t array
 
 (** The boolean NFA×graph product matrix over product states coded
@@ -56,10 +135,11 @@ val adjacency : Graph.t -> Bitmatrix.t array
     \xrightarrow{a} q'} pairs with an edge {m u \xrightarrow{a} v}. *)
 val product_matrix : Graph.t -> Nfa.t -> Bitmatrix.t
 
-(** [reach_pairs g nfa srcs] runs the multiple-source frontier BFS from
-    [srcs]: row [i] of the result has bit [v] set iff [v] is reachable
-    from [srcs.(i)] along a path accepted by [nfa].  Dimensions
-    [length srcs × nnodes g]. *)
+(** [reach_pairs g nfa srcs] runs the tiled hybrid multiple-source
+    frontier BFS from [srcs]: row [i] of the result has bit [v] set iff
+    [v] is reachable from [srcs.(i)] along a path accepted by [nfa].
+    Dimensions [length srcs × nnodes g]; peak intermediate memory is
+    O({!block_rows}·nnodes) however long [srcs] is. *)
 val reach_pairs : Graph.t -> Nfa.t -> Graph.node array -> Bitmatrix.t
 
 (** Drop-in replacement for [Path_search.reach_relation] (same
@@ -68,5 +148,7 @@ val reach_pairs : Graph.t -> Nfa.t -> Graph.node array -> Bitmatrix.t
 val reach_relation : ?strategy:strategy -> Graph.t -> Nfa.t -> bool array array
 
 (** The Eval/Containment seam: bulk [reach_relation] when {!use_bulk}
-    says so, [Path_search.reach_relation] otherwise. *)
+    says so, [Path_search.reach_relation] otherwise.  Each call bumps
+    the [bulk.dispatch.*] counter for the ambient caller and the engine
+    actually used. *)
 val st_relation : Graph.t -> Nfa.t -> bool array array

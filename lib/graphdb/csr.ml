@@ -1,0 +1,74 @@
+(* Per-label compressed-sparse-row adjacency.  One flat [ptr]/[idx] pair
+   per (direction, label): successors of node [u] under label [a] are
+   [idx.(ptr.(u)) .. idx.(ptr.(u+1) - 1)], ascending (inherited from the
+   sorted per-node arrays of [Graph]).  Degrees are pointer differences,
+   so the density probe of the hybrid sweep costs two loads per frontier
+   node and no iteration.
+
+   Like the dense label matrices of [Bulk_rpq], the structure is built
+   once per graph and memoized through [Cache.Memo] keyed by
+   [Graph.uid]; at ~2 words per edge per direction it is ~10⁵× smaller
+   than the dense n×n matrices on a 10⁶-edge, 10⁵-node graph. *)
+
+type t = { n : int; ptr : int array; idx : int array }
+
+type labeled = { fwd : t array; rev : t array }
+
+let nnodes c = c.n
+
+let nnz c = Array.length c.idx
+
+let degree c u = c.ptr.(u + 1) - c.ptr.(u)
+
+let start c u = c.ptr.(u)
+
+let cols c = c.idx
+
+let iter_succ c u f =
+  for k = c.ptr.(u) to c.ptr.(u + 1) - 1 do
+    f (Array.unsafe_get c.idx k)
+  done
+
+let fold_succ c u f acc =
+  let acc = ref acc in
+  for k = c.ptr.(u) to c.ptr.(u + 1) - 1 do
+    acc := f !acc (Array.unsafe_get c.idx k)
+  done;
+  !acc
+
+(* [neighbours u ai] is [Graph.succ_ids] / [Graph.pred_ids]: already
+   sorted, so a blit per (node, label) run builds the flat arrays. *)
+let of_neighbours n neighbours ai =
+  let ptr = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    ptr.(u + 1) <- ptr.(u) + Array.length (neighbours u ai)
+  done;
+  let idx = Array.make ptr.(n) 0 in
+  for u = 0 to n - 1 do
+    let run = neighbours u ai in
+    Array.blit run 0 idx ptr.(u) (Array.length run)
+  done;
+  { n; ptr; idx }
+
+let build g =
+  let n = Graph.nnodes g in
+  let nl = Graph.nlabels g in
+  {
+    fwd = Array.init nl (of_neighbours n (Graph.succ_ids g));
+    rev = Array.init nl (of_neighbours n (Graph.pred_ids g));
+  }
+
+module Tbl = Cache.Memo (struct
+  type t = int
+
+  let equal = Int.equal
+
+  let hash = Hashtbl.hash
+end)
+
+let tbl : labeled Tbl.t =
+  (* A few words per edge, but still large on the graphs this layer
+     exists for; keep the LRU as shallow as the dense-adjacency memo. *)
+  Tbl.create ~cap:16 "bulk.csr"
+
+let of_graph g = Tbl.find_or_add tbl (Graph.uid g) (fun () -> build g)

@@ -1,0 +1,45 @@
+(** Per-label compressed-sparse-row adjacency — the sparse counterpart
+    of the dense label matrices of {!Bulk_rpq}.
+
+    One structure per (direction, label id): the neighbours of node [u]
+    are a contiguous ascending run of the flat [idx] array, delimited by
+    [ptr.(u)] and [ptr.(u+1)].  Built once per graph and memoized
+    through {!Cache.Memo} keyed by {!Graph.uid} (table [bulk.csr], same
+    discipline as the dense adjacency memo), so repeated queries over
+    one graph share the arrays.  The arrays are shared — do not
+    mutate. *)
+
+type t
+(** Adjacency of one label in one direction. *)
+
+type labeled = {
+  fwd : t array;  (** [fwd.(ai)]: successors under label id [ai] *)
+  rev : t array;  (** [rev.(ai)]: predecessors under label id [ai] *)
+}
+
+val nnodes : t -> int
+
+val nnz : t -> int
+(** Stored edges = [Graph.nedges] summed over the label array. *)
+
+val degree : t -> int -> int
+(** O(1): two pointer loads — what makes the per-sweep density probe of
+    the hybrid engine affordable. *)
+
+val start : t -> int -> int
+(** Offset of node [u]'s run in {!cols}. *)
+
+val cols : t -> int array
+(** The flat successor array; node [u]'s neighbours occupy
+    [start u .. start u + degree u - 1].  Exposed so allocation-free
+    kernels ({!Bitmatrix.scatter_row}) can consume runs directly. *)
+
+val iter_succ : t -> int -> (int -> unit) -> unit
+
+val fold_succ : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val build : Graph.t -> labeled
+(** Unmemoized construction (tests). *)
+
+val of_graph : Graph.t -> labeled
+(** Memoized per {!Graph.uid}. *)

@@ -22,6 +22,26 @@ let gnp ~rng ~nodes ~labels ~p =
   done;
   Graph.make ~nnodes:nodes !edges
 
+(* Sparse random graph by direct edge sampling: [gnp] is O(nodes² ·
+   labels) in draws, unusable at the 10⁵-node scale of the large-graph
+   bench cells; sampling ~[edges] endpoints directly is O(edges).
+   Self-loops allowed, duplicates collapse in [Graph.make] (so the edge
+   count is a target, short by the birthday-collision fraction). *)
+let gnm ~rng ~nodes ~labels ~edges:m =
+  if nodes < 1 then Graph.make ~nnodes:(max nodes 0) []
+  else begin
+    let labels = Array.of_list labels in
+    let nl = Array.length labels in
+    let edges = ref [] in
+    for _ = 1 to m do
+      let u = Random.State.int rng nodes in
+      let v = Random.State.int rng nodes in
+      let a = labels.(Random.State.int rng nl) in
+      edges := (u, a, v) :: !edges
+    done;
+    Graph.make ~nnodes:nodes !edges
+  end
+
 let layered ~rng ~width ~depth ~labels =
   let nodes = width * depth in
   let labels = Array.of_list labels in

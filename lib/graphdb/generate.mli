@@ -14,6 +14,19 @@ val cycle : Word.t -> Graph.t
 val gnp :
   rng:Random.State.t -> nodes:int -> labels:Word.symbol list -> p:float -> Graph.t
 
+(** [gnm ~rng ~nodes ~labels ~edges] draws ~[edges] labelled edges by
+    direct endpoint sampling — O(edges) work where {!gnp} is O(nodes²),
+    which is what the ≥10⁶-edge bench graphs need.  Duplicate draws
+    collapse, so [edges] is a target, not an exact count; empty label
+    list gives an edgeless graph only when [edges = 0].
+    @raise Invalid_argument on an empty label list with [edges > 0]. *)
+val gnm :
+  rng:Random.State.t ->
+  nodes:int ->
+  labels:Word.symbol list ->
+  edges:int ->
+  Graph.t
+
 (** [layered ~rng ~width ~depth ~labels] generates a layered DAG: every
     node of layer [i] points to 1–3 random nodes of layer [i+1] with
     random labels.  Useful for acyclic workloads. *)

@@ -14,27 +14,30 @@ let fields line =
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun s -> s <> "")
 
+(* Shared by the string and streaming front ends so both report the same
+   errors for the same line.  [String.trim] also strips the '\r' a CRLF
+   file leaves at the end of [input_line]'s result. *)
+let parse_line edges lineno line =
+  let line = String.trim line in
+  if line <> "" && line.[0] <> '#' then begin
+    match fields line with
+    | [ u; lbl; v ] -> begin
+      match node_id u, node_id v with
+      | Some u, Some v -> edges := (u, lbl, v) :: !edges
+      | _ -> invalid_arg (Printf.sprintf "Graph_io: bad node id on line %d" lineno)
+    end
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "Graph_io: expected 'src label dst' on line %d" lineno)
+  end
+
 let of_string text =
   let edges = ref [] in
   let lineno = ref 0 in
   String.split_on_char '\n' text
   |> List.iter (fun line ->
          incr lineno;
-         let line = String.trim line in
-         if line <> "" && line.[0] <> '#' then begin
-           match fields line with
-           | [ u; lbl; v ] -> begin
-             match node_id u, node_id v with
-             | Some u, Some v -> edges := (u, lbl, v) :: !edges
-             | _ ->
-               invalid_arg
-                 (Printf.sprintf "Graph_io: bad node id on line %d" !lineno)
-           end
-           | _ ->
-             invalid_arg
-               (Printf.sprintf "Graph_io: expected 'src label dst' on line %d"
-                  !lineno)
-         end);
+         parse_line edges !lineno line);
   Graph.of_edges (List.rev !edges)
 
 let of_string_result text =
@@ -52,12 +55,25 @@ let to_string g =
     (Graph.edges g);
   Buffer.contents buf
 
+(* Streaming load: one [input_line] at a time, so a multi-gigabyte edge
+   list never materializes as a single string (the accumulated edge list
+   is what [Graph.make] needs anyway).  [Fun.protect] keeps the channel
+   closed on parse errors. *)
 let load path =
   let ic = open_in path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  of_string s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let edges = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           parse_line edges !lineno line
+         done
+       with End_of_file -> ());
+      Graph.of_edges (List.rev !edges))
 
 let load_result path =
   match load path with

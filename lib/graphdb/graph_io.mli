@@ -14,7 +14,10 @@ val of_string_result : string -> (Graph.t, string) result
 val to_string : Graph.t -> string
 
 val load : string -> Graph.t
-(** @raise Sys_error / [Invalid_argument] on I/O or parse failure. *)
+(** Streams the file line-by-line (bounded space beyond the edge list
+    itself — large edge-list graphs never materialize as one string);
+    errors match {!of_string} line-for-line.
+    @raise Sys_error / [Invalid_argument] on I/O or parse failure. *)
 
 val load_result : string -> (Graph.t, string) result
 (** Like {!load} but with a typed error covering both I/O and parsing. *)

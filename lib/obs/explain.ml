@@ -118,6 +118,9 @@ let of_metrics ?(profile = []) ?(events = []) ~title snapshot =
            ]
            snapshot);
       section "morphism csp" (prefix_rows [ "morphism." ] snapshot);
+      (* bulk.dispatch.<caller>.<engine> rows say which layer used which
+         engine; sweep_sparse/sweep_dense/tiles say how it ran *)
+      section "bulk engine" (prefix_rows [ "bulk." ] snapshot);
       section "caches" (cache_rows snapshot);
       section "guard"
         (prefix_rows [ "guard."; "profile." ] snapshot

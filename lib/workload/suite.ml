@@ -79,6 +79,52 @@ let e16_cells ~seed ~quick =
         shapes)
     sizes
 
+(* E17: graphs past the dense-matrix wall.  Each cell is built on
+   demand (and dropped by the bench after measuring) so the family's
+   peak memory is one graph, not the sum; the per-cell rng is seeded by
+   the cell index, so cell k is bit-identical whether or not the other
+   cells ran and the quick cells are a prefix of the full ones.  The
+   low-diameter gnm cells are where the tiled sparse engine must beat
+   pointwise BFS; the grid cells document the opposite regime (diameter
+   ≈ rows+cols sweeps, each with a fixed O(sources·n) cost, favors the
+   per-source early-exit BFS). *)
+let e17_cells ~seed ~quick =
+  let star = Regex.parse "(a|b)*" and chain = Regex.parse "a(a|b)*b" in
+  (* Per-cell source counts keep the pointwise side of the differential
+     (one product BFS per source, the expensive half) within the bench
+     deadline; both engines process the same sampled set, so speedups
+     are comparable within a cell. *)
+  let cell idx name re nsources build =
+    ( name,
+      re,
+      fun () ->
+        let rng = Random.State.make [| 0xE17; seed; idx |] in
+        let g = build rng in
+        let n = Graph.nnodes g in
+        let srcs = Array.init nsources (fun _ -> Random.State.int rng n) in
+        (g, srcs) )
+  in
+  let gnm nodes edges rng = Generate.gnm ~rng ~nodes ~labels:[ "a"; "b" ] ~edges in
+  let grid side _rng =
+    Generate.grid ~rows:side ~cols:side ~right:"a" ~down:"b"
+  in
+  let base =
+    [
+      cell 0 "gnm-66k-524k/star" star 128 (gnm 65536 524288);
+      cell 1 "gnm-66k-524k/chain" chain 128 (gnm 65536 524288);
+      cell 2 "grid-256/star" star 128 (grid 256);
+      cell 3 "gnm-131k-1049k/star" star 96 (gnm 131072 1048576);
+    ]
+  in
+  if quick then base
+  else
+    base
+    @ [
+        cell 4 "gnm-131k-1049k/chain" chain 96 (gnm 131072 1048576);
+        cell 5 "grid-512/star" star 64 (grid 512);
+        cell 6 "gnm-262k-2097k/star" star 64 (gnm 262144 2097152);
+      ]
+
 let hard_simple_path ~sizes =
   List.map
     (fun n -> (n, Generate.lollipop ~handle:(n / 2) ~cycle_len:(n - (n / 2)) ~label:"a"))

@@ -25,6 +25,18 @@ val eval_scaling : seed:int -> sizes:int list -> string * Crpq.t * Graph.t list
     [(name, graph, regex)]. *)
 val e16_cells : seed:int -> quick:bool -> (string * Graph.t * Regex.t) list
 
+(** Large-graph tiled-engine cells (E17): gnm and grid graphs from
+    5·10⁵ up to ≥ 2·10⁶ edges — past the dense-matrix wall, so the
+    hybrid engine must run sparse CSR sweeps under source-block tiling.
+    Returns [(name, regex, build)] where [build ()] constructs the graph
+    and a deterministic sampled source array on demand (cells are
+    independent: per-cell rng seeds, quick cells a prefix of the full
+    set).  Callers should drop each graph before building the next. *)
+val e17_cells :
+  seed:int ->
+  quick:bool ->
+  (string * Regex.t * (unit -> Graph.t * Graph.node array)) list
+
 (** The lollipop family on which simple-path search explodes while
     standard reachability stays polynomial. *)
 val hard_simple_path : sizes:int list -> (int * Graph.t) list

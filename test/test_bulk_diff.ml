@@ -36,6 +36,16 @@ let with_mode m f =
   Bulk_rpq.set_mode m;
   Fun.protect ~finally:(fun () -> Bulk_rpq.set_mode prev) f
 
+let with_sweep s f =
+  let prev = Bulk_rpq.current_sweep () in
+  Bulk_rpq.set_sweep s;
+  Fun.protect ~finally:(fun () -> Bulk_rpq.set_sweep prev) f
+
+let with_block b f =
+  let prev = Bulk_rpq.current_block_rows () in
+  Bulk_rpq.set_block_rows b;
+  Fun.protect ~finally:(fun () -> Bulk_rpq.set_block_rows prev) f
+
 let pp_rel rel =
   String.concat ";"
     (Array.to_list
@@ -120,6 +130,152 @@ let test_eval_all_semantics =
             configs)
         Semantics.all)
 
+(* -------- sweep kernels × tiling: one differential matrix ---------- *)
+
+(* Every (forced sweep kernel, tile height) combination must reproduce
+   the pointwise relation bit for bit — B=1 exercises every tile seam,
+   a huge B the single-tile path, None the budget-derived default; the
+   sparse/dense kernels cover both sides of the adaptive switch. *)
+let sweep_tilings =
+  [
+    (Bulk_rpq.Sparse, Some 1);
+    (Bulk_rpq.Sparse, Some 1024);
+    (Bulk_rpq.Sparse, None);
+    (Bulk_rpq.Dense, Some 1);
+    (Bulk_rpq.Dense, Some 1024);
+    (Bulk_rpq.Dense, None);
+    (Bulk_rpq.Adaptive, Some 2);
+    (Bulk_rpq.Adaptive, None);
+  ]
+
+let test_sweep_tiling_matrix =
+  Testutil.qtest ~count:200
+    "forced sweep kernels x tile heights all match Path_search" gen_case
+    (fun (g, r) ->
+      let nfa = Nfa.of_regex r in
+      let want = Path_search.reach_relation g nfa in
+      List.for_all
+        (fun (sw, b) ->
+          let got =
+            with_sweep sw (fun () ->
+                with_block b (fun () ->
+                    Bulk_rpq.reach_relation ~strategy:Bulk_rpq.Multi_source g
+                      nfa))
+          in
+          if got = want then true
+          else
+            QCheck2.Test.fail_reportf
+              "sweep=%s block=%s diverges on %s / %s@.want %s@.got  %s"
+              (Bulk_rpq.sweep_to_string sw)
+              (match b with None -> "default" | Some n -> string_of_int n)
+              (Testutil.print_graph g) (Testutil.print_regex r) (pp_rel want)
+              (pp_rel got))
+        sweep_tilings)
+
+(* ---------------- tile seams: counter accounting ------------------- *)
+
+let m_tiles = Obs.Metrics.counter "bulk.tiles"
+
+let m_sweep_sparse = Obs.Metrics.counter "bulk.sweep_sparse"
+
+let m_sweep_dense = Obs.Metrics.counter "bulk.sweep_dense"
+
+let with_metrics f =
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled false) f
+
+let test_tile_accounting () =
+  let rng = Random.State.make [| 0xB03; 11 |] in
+  let g = Generate.gnp ~rng ~nodes:60 ~labels:[ "a"; "b" ] ~p:0.04 in
+  let nfa = Nfa.of_regex (Regex.parse "(a|b)*") in
+  let srcs = Array.init 17 (fun i -> (i * 7) mod Graph.nnodes g) in
+  let run b =
+    with_metrics (fun () ->
+        with_block b (fun () ->
+            let t0 = Obs.Metrics.counter_value m_tiles in
+            Bulk_rpq.reset_peak_tile_words ();
+            let pairs = Bulk_rpq.reach_pairs g nfa srcs in
+            (pairs, Obs.Metrics.counter_value m_tiles - t0)))
+  in
+  let pairs1, tiles1 = run (Some 1) in
+  Alcotest.(check int) "B=1: one tile per source" (Array.length srcs) tiles1;
+  let peak1 = Bulk_rpq.peak_tile_words () in
+  let wpr = (Graph.nnodes g + Sys.int_size - 1) / Sys.int_size in
+  Alcotest.(check bool) "B=1: peak tile memory is O(B*n)" true
+    (peak1 <= 3 * nfa.Nfa.nstates * 1 * wpr);
+  let pairs_all, tiles_all = run (Some 1024) in
+  Alcotest.(check int) "B>=s: a single tile" 1 tiles_all;
+  let pairs_def, tiles_def = run None in
+  Alcotest.(check int) "default budget covers 17 sources in one tile" 1
+    tiles_def;
+  let rows m =
+    List.init (Array.length srcs) (fun i ->
+        let acc = ref [] in
+        Bitmatrix.iter_row m i (fun v -> acc := v :: !acc);
+        List.rev !acc)
+  in
+  Alcotest.(check bool) "B=1 rows = single-tile rows" true
+    (rows pairs1 = rows pairs_all);
+  Alcotest.(check bool) "default rows = single-tile rows" true
+    (rows pairs_def = rows pairs_all)
+
+let test_forced_sweep_counters () =
+  let rng = Random.State.make [| 0xB04; 3 |] in
+  let g = Generate.gnp ~rng ~nodes:48 ~labels:[ "a"; "b" ] ~p:0.05 in
+  let nfa = Nfa.of_regex (Regex.parse "a(a|b)*") in
+  let count sw =
+    with_metrics (fun () ->
+        with_sweep sw (fun () ->
+            let sp0 = Obs.Metrics.counter_value m_sweep_sparse in
+            let de0 = Obs.Metrics.counter_value m_sweep_dense in
+            ignore
+              (Bulk_rpq.reach_relation ~strategy:Bulk_rpq.Multi_source g nfa);
+            ( Obs.Metrics.counter_value m_sweep_sparse - sp0,
+              Obs.Metrics.counter_value m_sweep_dense - de0 )))
+  in
+  let sp, de = count Bulk_rpq.Sparse in
+  Alcotest.(check bool) "forced sparse: sparse sweeps only" true
+    (sp > 0 && de = 0);
+  let sp, de = count Bulk_rpq.Dense in
+  Alcotest.(check bool) "forced dense: dense sweeps only" true
+    (de > 0 && sp = 0);
+  let sp, de = count Bulk_rpq.Adaptive in
+  Alcotest.(check bool) "adaptive: every sweep counted exactly once" true
+    (sp >= 0 && de >= 0 && sp + de > 0)
+
+(* ---------------- chaos on the sparse path ------------------------- *)
+
+let test_sparse_chaos =
+  Testutil.qtest ~count:100
+    "chaos at bulk.sweep with the sparse kernel forced: trip or right"
+    QCheck2.Gen.(pair gen_case (int_range 1 3))
+    (fun ((g, r), visit) ->
+      with_sweep Bulk_rpq.Sparse (fun () ->
+          with_block (Some 2) (fun () ->
+              let nfa = Nfa.of_regex r in
+              let want = Path_search.reach_relation g nfa in
+              Guard.Chaos.arm [ ("bulk.sweep", visit) ];
+              let outcome =
+                Guard.run (fun () ->
+                    Bulk_rpq.reach_relation ~strategy:Bulk_rpq.Multi_source g
+                      nfa)
+              in
+              let armed_ok =
+                match outcome with
+                | Ok rel -> rel = want
+                | Error { site; reason = Guard.Fault_injected _ } ->
+                  site = "bulk.sweep"
+                | Error _ -> false
+              in
+              Guard.Chaos.arm [ ("bulk.sweep", visit) ];
+              let supervised =
+                Guard.supervise (fun () ->
+                    Bulk_rpq.reach_relation ~strategy:Bulk_rpq.Multi_source g
+                      nfa)
+              in
+              Guard.Chaos.disarm ();
+              armed_ok && supervised = Ok want)))
+
 (* ---------------- deterministic seams ------------------------------ *)
 
 let test_auto_dispatch () =
@@ -161,6 +317,42 @@ let test_mode_strings () =
   Alcotest.(check bool) "garbage rejected" true
     (Bulk_rpq.mode_of_string "fast" = None)
 
+let test_sweep_strings () =
+  List.iter
+    (fun (s, sw) ->
+      Alcotest.(check string)
+        (Printf.sprintf "sweep %s" s)
+        (Bulk_rpq.sweep_to_string sw)
+        (match Bulk_rpq.sweep_of_string s with
+        | Some sw' -> Bulk_rpq.sweep_to_string sw'
+        | None -> "?"))
+    [
+      ("sparse", Bulk_rpq.Sparse);
+      ("SPARSE", Bulk_rpq.Sparse);
+      ("dense", Bulk_rpq.Dense);
+      ("auto", Bulk_rpq.Adaptive);
+      ("adaptive", Bulk_rpq.Adaptive);
+    ];
+  Alcotest.(check bool) "garbage sweep rejected" true
+    (Bulk_rpq.sweep_of_string "hybrid" = None)
+
+let test_block_validation () =
+  Alcotest.check_raises "block 0 rejected"
+    (Invalid_argument "Bulk_rpq.set_block_rows") (fun () ->
+      Bulk_rpq.set_block_rows (Some 0));
+  Alcotest.check_raises "negative block rejected"
+    (Invalid_argument "Bulk_rpq.set_block_rows") (fun () ->
+      Bulk_rpq.set_block_rows (Some (-3)));
+  with_block (Some 7) (fun () ->
+      Alcotest.(check int) "override wins whatever the shape" 7
+        (Bulk_rpq.block_rows ~nstates:5 ~nnodes:1_000_000));
+  (* default: deterministic in the problem dimensions, >= 1, and
+     shrinking with the row width *)
+  let b_small = Bulk_rpq.block_rows ~nstates:3 ~nnodes:1_000 in
+  let b_large = Bulk_rpq.block_rows ~nstates:3 ~nnodes:1_000_000 in
+  Alcotest.(check bool) "default block positive and monotone" true
+    (b_small >= b_large && b_large >= 1)
+
 let test_mid_graph_crossagreement () =
   (* One deterministic mid-size instance (past the auto crossover) where
      all three engines and both strategies agree cell for cell. *)
@@ -178,10 +370,19 @@ let () =
     [
       ("relations", [ test_all_pairs; test_multi_source ]);
       ("eval", [ test_eval_all_semantics ]);
+      ("kernels", [ test_sweep_tiling_matrix; test_sparse_chaos ]);
+      ( "tiling",
+        [
+          Alcotest.test_case "tile accounting" `Quick test_tile_accounting;
+          Alcotest.test_case "forced sweep counters" `Quick
+            test_forced_sweep_counters;
+        ] );
       ( "seams",
         [
           Alcotest.test_case "auto dispatch" `Quick test_auto_dispatch;
           Alcotest.test_case "mode strings" `Quick test_mode_strings;
+          Alcotest.test_case "sweep strings" `Quick test_sweep_strings;
+          Alcotest.test_case "block validation" `Quick test_block_validation;
           Alcotest.test_case "mid-size agreement" `Quick
             test_mid_graph_crossagreement;
         ] );

@@ -22,6 +22,12 @@ let m_frontier = Obs.Metrics.counter "bulk.frontier_bits"
 
 let m_words = Obs.Metrics.counter "bulk.words_anded"
 
+let m_sparse = Obs.Metrics.counter "bulk.sweep_sparse"
+
+let m_dense = Obs.Metrics.counter "bulk.sweep_dense"
+
+let m_tiles = Obs.Metrics.counter "bulk.tiles"
+
 let with_mode m f =
   let prev = Bulk_rpq.current_mode () in
   Bulk_rpq.set_mode m;
@@ -46,7 +52,18 @@ let render () =
   line "";
   Obs.Metrics.set_enabled true;
   Parmap.set_default_jobs 1;
-  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled false) @@ fun () ->
+  (* pin the sweep policy and tile geometry so an ambient
+     INJCRPQ_BULK_SWEEP / INJCRPQ_BULK_BLOCK (e.g. a CI leg) cannot move
+     the pinned work accounting *)
+  let prev_sweep = Bulk_rpq.current_sweep () in
+  let prev_block = Bulk_rpq.current_block_rows () in
+  Bulk_rpq.set_sweep Bulk_rpq.Adaptive;
+  Bulk_rpq.set_block_rows None;
+  Fun.protect ~finally:(fun () ->
+      Bulk_rpq.set_sweep prev_sweep;
+      Bulk_rpq.set_block_rows prev_block;
+      Obs.Metrics.set_enabled false)
+  @@ fun () ->
   let cells =
     List.filter
       (fun (_, g, _) -> Graph.nnodes g <= 256)
@@ -59,18 +76,28 @@ let render () =
         let s0 = Obs.Metrics.counter_value m_sweeps in
         let f0 = Obs.Metrics.counter_value m_frontier in
         let w0 = Obs.Metrics.counter_value m_words in
+        let sp0 = Obs.Metrics.counter_value m_sparse in
+        let de0 = Obs.Metrics.counter_value m_dense in
+        let t0 = Obs.Metrics.counter_value m_tiles in
         let rel = Bulk_rpq.reach_relation ~strategy g nfa in
         ( rel_pairs rel,
           Obs.Metrics.counter_value m_sweeps - s0,
           Obs.Metrics.counter_value m_frontier - f0,
-          Obs.Metrics.counter_value m_words - w0 )
+          Obs.Metrics.counter_value m_words - w0,
+          Obs.Metrics.counter_value m_sparse - sp0,
+          Obs.Metrics.counter_value m_dense - de0,
+          Obs.Metrics.counter_value m_tiles - t0 )
       in
-      let pairs_ms, sweeps_ms, frontier_ms, words_ms =
+      let pairs_ms, sweeps_ms, frontier_ms, words_ms, sparse_ms, dense_ms,
+          tiles_ms =
         run Bulk_rpq.Multi_source
       in
-      line "e16.%s.multi_source = pairs=%d sweeps=%d frontier_bits=%d words_anded=%d"
-        name pairs_ms sweeps_ms frontier_ms words_ms;
-      let pairs_ap, sweeps_ap, _, words_ap = run Bulk_rpq.All_pairs in
+      line
+        "e16.%s.multi_source = pairs=%d sweeps=%d frontier_bits=%d \
+         words_anded=%d sweep_sparse=%d sweep_dense=%d tiles=%d"
+        name pairs_ms sweeps_ms frontier_ms words_ms sparse_ms dense_ms
+        tiles_ms;
+      let pairs_ap, sweeps_ap, _, words_ap, _, _, _ = run Bulk_rpq.All_pairs in
       line "e16.%s.all_pairs = pairs=%d sweeps=%d words_anded=%d" name pairs_ap
         sweeps_ap words_ap;
       if pairs_ap <> pairs_ms then

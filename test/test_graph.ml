@@ -113,6 +113,85 @@ let test_io_strict_node_ids () =
   parse_err "overflowing id" ~mentions:"bad node id"
     "99999999999999999999 a 0\n"
 
+(* ---------------- streaming file loads ---------------- *)
+
+let with_temp_file contents f =
+  let path = Filename.temp_file "injcrpq_graph" ".edges" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc contents;
+      close_out oc;
+      f path)
+
+let test_load_roundtrip () =
+  with_temp_file (Graph_io.to_string g0) (fun path ->
+      let g = Graph_io.load path in
+      check Alcotest.int "nodes survive file round-trip" (Graph.nnodes g0)
+        (Graph.nnodes g);
+      check Alcotest.bool "edges survive file round-trip" true
+        (Graph.edges g = Graph.edges g0))
+
+let test_load_matches_of_string () =
+  (* the streaming loader and the in-memory parser accept the same
+     inputs with the same edges, and reject the same inputs with the
+     same line-numbered messages — CRLF and comment lines included *)
+  let inputs =
+    [
+      "# header\r\n0 a 1\r\n\r\n1  b \t 2\n";
+      "";
+      "0 a 1\n1 a 2\n2 a 0";
+      "0 a\n";
+      "0 a 1\n# fine\n0 b\n";
+      "0x10 a 1\n";
+      "0 a -1\n";
+    ]
+  in
+  List.iter
+    (fun text ->
+      with_temp_file text (fun path ->
+          match (Graph_io.of_string_result text, Graph_io.load_result path) with
+          | Ok g1, Ok g2 ->
+            check Alcotest.bool
+              (Printf.sprintf "load agrees with of_string on %S" text)
+              true (Graph.edges g1 = Graph.edges g2)
+          | Error e1, Error e2 ->
+            check Alcotest.string
+              (Printf.sprintf "identical error on %S" text)
+              e1 e2
+          | Ok _, Error e ->
+            Alcotest.failf "load rejects %S (%s) but of_string accepts" text e
+          | Error e, Ok _ ->
+            Alcotest.failf "of_string rejects %S (%s) but load accepts" text e))
+    inputs
+
+let test_load_missing_file () =
+  (match Graph_io.load_result "/nonexistent/injcrpq.edges" with
+  | Ok _ -> Alcotest.fail "load_result succeeded on a missing file"
+  | Error e ->
+    check Alcotest.bool
+      (Printf.sprintf "error mentions the path (got %S)" e)
+      true
+      (contains ~needle:"injcrpq.edges" e));
+  check Alcotest.bool "load raises Sys_error" true
+    (match Graph_io.load "/nonexistent/injcrpq.edges" with
+    | exception Sys_error _ -> true
+    | _ -> false)
+
+let test_load_large_stream () =
+  (* a file big enough to span many chunks streams through with the
+     right edge count and no quadratic re-reading *)
+  let n = 20_000 in
+  let buf = Buffer.create (n * 8) in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d a %d\n" i ((i + 1) mod n))
+  done;
+  with_temp_file (Buffer.contents buf) (fun path ->
+      let g = Graph_io.load path in
+      check Alcotest.int "streamed node count" n (Graph.nnodes g);
+      check Alcotest.int "streamed edge count" n (Graph.nedges g))
+
 let prop_in_out_consistent =
   Testutil.qtest "in/out edge views agree" (Testutil.gen_graph ()) (fun g ->
       List.for_all
@@ -157,6 +236,14 @@ let () =
           Alcotest.test_case "empty input" `Quick test_io_empty;
           Alcotest.test_case "malformed lines" `Quick test_io_malformed_lines;
           Alcotest.test_case "strict node ids" `Quick test_io_strict_node_ids;
+        ] );
+      ( "streaming load",
+        [
+          Alcotest.test_case "file round-trip" `Quick test_load_roundtrip;
+          Alcotest.test_case "load = of_string (edges and errors)" `Quick
+            test_load_matches_of_string;
+          Alcotest.test_case "missing file" `Quick test_load_missing_file;
+          Alcotest.test_case "large stream" `Quick test_load_large_stream;
         ] );
       ( "properties",
         [ prop_in_out_consistent; prop_degree_sum; prop_components_partition ] );
